@@ -1,0 +1,184 @@
+// Shared helpers for the benchmark harnesses (one binary per paper table /
+// figure). Each binary prints the same row/series structure as the paper's
+// artifact; absolute numbers differ from the paper (simulated substrate) but
+// the comparative shape is the reproduction target (see EXPERIMENTS.md).
+//
+// Environment knobs (all optional):
+//   FJ_BENCH_SCALE    data scale factor        (default 0.3)
+//   FJ_BENCH_QUERIES  queries per workload     (default: paper counts)
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/true_card.h"
+#include "optimizer/endtoend.h"
+#include "query/subplan.h"
+#include "stats/cardinality_estimator.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+#include "workload/imdb_job.h"
+#include "workload/stats_ceb.h"
+
+namespace fj::bench {
+
+inline double EnvScale(double fallback = 0.15) {
+  const char* s = std::getenv("FJ_BENCH_SCALE");
+  return s != nullptr ? std::atof(s) : fallback;
+}
+
+inline size_t EnvQueries(size_t fallback) {
+  const char* s = std::getenv("FJ_BENCH_QUERIES");
+  return s != nullptr ? static_cast<size_t>(std::atoll(s)) : fallback;
+}
+
+inline std::unique_ptr<Workload> StatsWorkload(
+    size_t default_queries = 146) {
+  StatsCebOptions o;
+  o.scale = EnvScale();
+  o.num_queries = EnvQueries(default_queries);
+  return MakeStatsCeb(o);
+}
+
+inline std::unique_ptr<Workload> ImdbWorkload(size_t default_queries = 113) {
+  ImdbJobOptions o;
+  o.scale = EnvScale();
+  o.num_queries = EnvQueries(default_queries);
+  return MakeImdbJob(o);
+}
+
+/// One end-to-end method row: total, exec + plan split, improvement over a
+/// baseline total (Table 3 / Table 4 layout).
+struct MethodRow {
+  std::string name;
+  WorkloadRunResult result;
+};
+
+inline EndToEndOptions BenchE2eOptions(bool charge_planning = true) {
+  EndToEndOptions o;
+  o.max_output_tuples = 25'000'000;
+  o.charge_planning = charge_planning;
+  return o;
+}
+
+inline MethodRow RunMethod(const Database& db,
+                           const std::vector<Query>& queries,
+                           CardinalityEstimator* estimator,
+                           bool charge_planning = true) {
+  MethodRow row;
+  row.name = estimator->Name();
+  row.result = RunWorkloadEndToEnd(db, queries, estimator,
+                                   BenchE2eOptions(charge_planning));
+  return row;
+}
+
+/// Execution work (rows scanned/built/probed/emitted) converted to a
+/// simulated wall time at a fixed single-core hash-join rate. The work
+/// counters are deterministic, so the reported comparison is reproducible
+/// run to run — unlike raw wall time on a shared single core.
+inline constexpr double kSimulatedRowsPerSecond = 1.5e7;
+
+/// A plan that hit the tuple cap would have produced far more work than what
+/// was executed before the bail-out; charge it a fixed multiple of the cap
+/// (the analog of the paper's very-long-running queries under bad plans).
+inline constexpr double kOverflowPenaltyRows = 4.0 * 25'000'000;
+
+inline double SimulatedExecSeconds(const WorkloadRunResult& r) {
+  return (static_cast<double>(r.total_work) +
+          static_cast<double>(r.overflows) * kOverflowPenaltyRows) /
+         kSimulatedRowsPerSecond;
+}
+
+inline double SimulatedTotalSeconds(const WorkloadRunResult& r) {
+  return r.total_plan_seconds + SimulatedExecSeconds(r);
+}
+
+/// Prints the Table 3/4 layout given rows; improvement is relative to the
+/// row named `baseline` and computed on plan time + simulated execution.
+inline void PrintEndToEndTable(const std::vector<MethodRow>& rows,
+                               const std::string& baseline) {
+  double base_total = 0.0;
+  for (const auto& r : rows) {
+    if (r.name == baseline) base_total = SimulatedTotalSeconds(r.result);
+  }
+  TablePrinter tp({"Method", "End-to-end", "Exec", "Plan", "Improvement",
+                   "Wall exec", "Overflows"});
+  for (const auto& r : rows) {
+    double total = SimulatedTotalSeconds(r.result);
+    std::string improvement =
+        r.name == baseline
+            ? "-"
+            : TablePrinter::FormatPercent((base_total - total) /
+                                          std::max(base_total, 1e-9));
+    tp.AddRow({r.name, TablePrinter::FormatSeconds(total),
+               TablePrinter::FormatSeconds(SimulatedExecSeconds(r.result)),
+               TablePrinter::FormatSeconds(r.result.total_plan_seconds),
+               improvement,
+               TablePrinter::FormatSeconds(r.result.total_exec_seconds),
+               std::to_string(r.result.overflows)});
+  }
+  tp.Print();
+}
+
+/// est/true relative errors over the sub-plans of the first `max_queries`
+/// queries (Figure 7 / Figure 9B data). True cardinalities executed once and
+/// cached across methods via `truth_cache`.
+struct ErrorStats {
+  std::vector<double> rel_errors;  // est / true, both clamped >= 1
+  size_t underestimates = 0;
+  size_t total = 0;
+};
+
+using TruthCache = std::unordered_map<std::string, double>;
+
+inline ErrorStats CollectRelativeErrors(const Database& db,
+                                        const std::vector<Query>& queries,
+                                        CardinalityEstimator* estimator,
+                                        TruthCache* truth_cache,
+                                        size_t max_queries = 40) {
+  ErrorStats stats;
+  size_t n = std::min(max_queries, queries.size());
+  for (size_t i = 0; i < n; ++i) {
+    const Query& q = queries[i];
+    auto masks = EnumerateConnectedSubsets(q, 2);
+    auto ests = estimator->EstimateSubplans(q, masks);
+    for (uint64_t mask : masks) {
+      Query sub = q.InducedSubquery(mask);
+      std::string key = sub.ToString();
+      auto it = truth_cache->find(key);
+      if (it == truth_cache->end()) {
+        TrueCardOptions opts;
+        opts.max_output_tuples = 25'000'000;
+        auto card = TrueCardinality(db, sub, nullptr, opts);
+        double value = card.has_value() ? static_cast<double>(*card) : -1.0;
+        it = truth_cache->emplace(std::move(key), value).first;
+      }
+      if (it->second < 0.0) continue;  // overflowed: no ground truth
+      double truth = std::max(it->second, 1.0);
+      double est = std::max(ests.at(mask), 1.0);
+      stats.rel_errors.push_back(est / truth);
+      if (est < it->second) ++stats.underestimates;
+      ++stats.total;
+    }
+  }
+  return stats;
+}
+
+/// Average per-query estimation latency (all sub-plans), the paper's
+/// "planning/estimation latency" metric.
+inline double EstimationLatencyPerQuery(const std::vector<Query>& queries,
+                                        CardinalityEstimator* estimator,
+                                        size_t max_queries = 30) {
+  WallTimer timer;
+  size_t n = std::min(max_queries, queries.size());
+  for (size_t i = 0; i < n; ++i) {
+    auto masks = EnumerateConnectedSubsets(queries[i], 1);
+    estimator->EstimateSubplans(queries[i], masks);
+  }
+  return n == 0 ? 0.0 : timer.Seconds() / static_cast<double>(n);
+}
+
+}  // namespace fj::bench

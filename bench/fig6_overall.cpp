@@ -1,0 +1,73 @@
+// Reproduces Figure 6: overall comparison of model size, training time and
+// estimation latency per method on both workloads. (End-to-end bar heights
+// are Table 3/4; this bench produces the size/training/latency panels.)
+// Expected shape: FactorJoin ~100x smaller and ~100x faster to train than
+// the denormalizing learned analogs, with estimation latency close to
+// Postgres.
+#include <cstdio>
+
+#include "method_zoo.h"
+
+using namespace fj;
+using namespace fj::bench;
+
+namespace {
+
+void Panel(const Workload& w, bool learned_data_driven_supported) {
+  std::printf("-- %s --\n", w.name.c_str());
+  TablePrinter tp({"Method", "Model size", "Training time",
+                   "Est. latency/query"});
+  auto add = [&](CardinalityEstimator* est) {
+    tp.AddRow({est->Name(), TablePrinter::FormatBytes(est->ModelSizeBytes()),
+               TablePrinter::FormatSeconds(est->TrainSeconds()),
+               TablePrinter::FormatSeconds(
+                   EstimationLatencyPerQuery(w.queries, est))});
+  };
+  PostgresEstimator postgres(w.db);
+  add(&postgres);
+  {
+    JoinHistOptions o;
+    o.num_bins = 100;
+    JoinHistEstimator jh(w.db, o);
+    if (learned_data_driven_supported) add(&jh);
+  }
+  {
+    WanderJoinOptions o;
+    o.walks = 400;
+    WanderJoinEstimator wj(w.db, o);
+    add(&wj);
+  }
+  if (learned_data_driven_supported) {
+    auto bayescard = MakeDenormAnalog(w.db, w.queries, "bayescard*", 2000);
+    add(bayescard.get());
+    auto deepdb = MakeDenormAnalog(w.db, w.queries, "deepdb*", 10000);
+    add(deepdb.get());
+    auto flat = MakeDenormAnalog(w.db, w.queries, "flat*", 40000);
+    add(flat.get());
+  }
+  {
+    PessimisticEstimator pessest(w.db);
+    add(&pessest);
+  }
+  {
+    UBlockEstimator ublock(w.db);
+    add(&ublock);
+  }
+  {
+    std::unique_ptr<FactorJoinEstimator> fj =
+        learned_data_driven_supported ? MakeFactorJoinStats(w.db)
+                                      : MakeFactorJoinImdb(w.db);
+    add(fj.get());
+  }
+  tp.Print();
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Figure 6: model size / training time / latency ==\n");
+  Panel(*StatsWorkload(), /*learned_data_driven_supported=*/true);
+  Panel(*ImdbWorkload(), /*learned_data_driven_supported=*/false);
+  return 0;
+}

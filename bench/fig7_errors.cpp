@@ -1,0 +1,51 @@
+// Reproduces Figure 7: distribution of relative estimation errors
+// (estimate / true) over all STATS-CEB sub-plan queries for Postgres, the
+// FLAT analog, PessEst and FactorJoin. Expected shape: Postgres
+// underestimates by orders of magnitude; PessEst never underestimates;
+// FactorJoin upper-bounds >90% of sub-plans with bounds tighter than
+// PessEst; FLAT analog most accurate but two-sided.
+#include <cstdio>
+
+#include "method_zoo.h"
+#include "util/math_stats.h"
+
+using namespace fj;
+using namespace fj::bench;
+
+int main() {
+  auto w = StatsWorkload();
+  std::printf("== Figure 7: relative estimation errors on %s ==\n",
+              w->name.c_str());
+
+  TruthCache truth_cache;
+  TablePrinter tp({"Method", "p5", "p25", "p50", "p75", "p95", "p99",
+                   "underest.", "subplans"});
+  auto add = [&](CardinalityEstimator* est) {
+    ErrorStats e = CollectRelativeErrors(w->db, w->queries, est, &truth_cache);
+    auto fmt = [&](double p) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.2f", Percentile(e.rel_errors, p));
+      return std::string(buf);
+    };
+    tp.AddRow({est->Name(), fmt(0.05), fmt(0.25), fmt(0.5), fmt(0.75),
+               fmt(0.95), fmt(0.99),
+               TablePrinter::FormatPercent(
+                   e.total == 0 ? 0.0
+                                : static_cast<double>(e.underestimates) /
+                                      static_cast<double>(e.total)),
+               std::to_string(e.total)});
+  };
+
+  PostgresEstimator postgres(w->db);
+  add(&postgres);
+  auto flat = MakeDenormAnalog(w->db, w->queries, "flat*", 40000);
+  add(flat.get());
+  PessimisticEstimator pessest(w->db);
+  add(&pessest);
+  auto fj = MakeFactorJoinStats(w->db);
+  add(fj.get());
+
+  tp.Print();
+  std::printf("(rel. error = estimate/true; 1.0 is exact, <1 underestimates)\n");
+  return 0;
+}

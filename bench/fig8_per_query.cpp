@@ -1,0 +1,101 @@
+// Reproduces Figure 8 (and appendix Figure 10): per-query end-to-end
+// improvement over Postgres, with queries clustered by their Postgres
+// runtime. Expected shape: on short-running (OLTP-like) queries Postgres
+// wins (planning latency dominates); on long-running queries the accurate
+// methods' better plans pay off, with FactorJoin competitive everywhere.
+#include <algorithm>
+#include <cstdio>
+
+#include "method_zoo.h"
+
+using namespace fj;
+using namespace fj::bench;
+
+int main() {
+  auto w = StatsWorkload();
+  std::printf("== Figure 8: per-query improvement over postgres (%s) ==\n",
+              w->name.c_str());
+
+  PostgresEstimator postgres(w->db);
+  auto base = RunWorkloadEndToEnd(w->db, w->queries, &postgres,
+                                  BenchE2eOptions());
+
+  struct MethodData {
+    std::string name;
+    WorkloadRunResult run;
+  };
+  std::vector<MethodData> methods;
+  {
+    TrueCardEstimator truecard(w->db);
+    methods.push_back({"truecard",
+                       RunWorkloadEndToEnd(w->db, w->queries, &truecard,
+                                           BenchE2eOptions(false))});
+  }
+  {
+    auto flat = MakeDenormAnalog(w->db, w->queries, "flat*", 40000);
+    methods.push_back({"flat*", RunWorkloadEndToEnd(w->db, w->queries,
+                                                    flat.get(),
+                                                    BenchE2eOptions())});
+  }
+  {
+    PessimisticEstimator pessest(w->db);
+    methods.push_back({"pessest",
+                       RunWorkloadEndToEnd(w->db, w->queries, &pessest,
+                                           BenchE2eOptions())});
+  }
+  {
+    auto fj = MakeFactorJoinStats(w->db);
+    methods.push_back({"factorjoin",
+                       RunWorkloadEndToEnd(w->db, w->queries, fj.get(),
+                                           BenchE2eOptions())});
+  }
+
+  // Cluster queries by Postgres end-to-end time into runtime intervals.
+  auto query_seconds = [](const QueryRunResult& q) {
+    double rows = static_cast<double>(q.exec_stats.TotalWork()) +
+                  (q.overflow ? kOverflowPenaltyRows : 0.0);
+    return q.plan_seconds + rows / kSimulatedRowsPerSecond;
+  };
+  std::vector<std::pair<double, size_t>> by_runtime;
+  for (size_t i = 0; i < base.per_query.size(); ++i) {
+    by_runtime.emplace_back(query_seconds(base.per_query[i]), i);
+  }
+  std::sort(by_runtime.begin(), by_runtime.end());
+  const size_t kClusters = 6;
+  size_t per_cluster = (by_runtime.size() + kClusters - 1) / kClusters;
+
+  TablePrinter tp([&] {
+    std::vector<std::string> header{"Runtime interval", "queries",
+                                    "postgres"};
+    for (const auto& m : methods) header.push_back(m.name);
+    return header;
+  }());
+
+  for (size_t c = 0; c < kClusters; ++c) {
+    size_t begin = c * per_cluster;
+    size_t end = std::min(begin + per_cluster, by_runtime.size());
+    if (begin >= end) break;
+    double base_total = 0.0;
+    for (size_t i = begin; i < end; ++i) base_total += by_runtime[i].first;
+    std::vector<std::string> row;
+    char interval[64];
+    std::snprintf(interval, sizeof(interval), "%s - %s",
+                  TablePrinter::FormatSeconds(by_runtime[begin].first).c_str(),
+                  TablePrinter::FormatSeconds(by_runtime[end - 1].first).c_str());
+    row.push_back(interval);
+    row.push_back(std::to_string(end - begin));
+    row.push_back(TablePrinter::FormatSeconds(base_total));
+    for (const auto& m : methods) {
+      double total = 0.0;
+      for (size_t i = begin; i < end; ++i) {
+        total += query_seconds(m.run.per_query[by_runtime[i].second]);
+      }
+      row.push_back(TablePrinter::FormatPercent(
+          (base_total - total) / std::max(base_total, 1e-9)));
+    }
+    tp.AddRow(std::move(row));
+  }
+  tp.Print();
+  std::printf("(positive %% = faster than postgres on that cluster)\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Reproduces Figure 9: ablation over the number of bins
+// k in {1, 10, 50, 100, 200}: (A) end-to-end time, (B) bound tightness,
+// (C) estimation latency per query, (D) training time, (E) model size.
+// Expected shape: more bins tighten bounds and improve plans with
+// diminishing returns (flat from ~100 on); model size grows superlinearly,
+// latency roughly linearly.
+#include <cstdio>
+
+#include "factorjoin/estimator.h"
+#include "method_zoo.h"
+#include "util/math_stats.h"
+
+using namespace fj;
+using namespace fj::bench;
+
+int main() {
+  auto w = StatsWorkload();
+  std::printf("== Figure 9: number of bins ablation on %s ==\n",
+              w->name.c_str());
+
+  double postgres_total = 0.0;
+  {
+    PostgresEstimator postgres(w->db);
+    postgres_total = SimulatedTotalSeconds(
+        RunWorkloadEndToEnd(w->db, w->queries, &postgres, BenchE2eOptions()));
+  }
+
+  TruthCache truth_cache;
+  TablePrinter tp({"k", "End-to-end", "Improv.", "p50 err", "p95 err",
+                   "p99 err", "Latency/query", "Train", "Model size"});
+  for (uint32_t k : {1u, 10u, 50u, 100u, 200u}) {
+    FactorJoinConfig cfg;
+    cfg.num_bins = k;
+    cfg.binning = BinningStrategy::kGbsa;
+    cfg.estimator = TableEstimatorKind::kBayesNet;
+    FactorJoinEstimator fj(w->db, cfg);
+    auto run = RunWorkloadEndToEnd(w->db, w->queries, &fj, BenchE2eOptions());
+    auto errors = CollectRelativeErrors(w->db, w->queries, &fj, &truth_cache);
+    double latency = EstimationLatencyPerQuery(w->queries, &fj);
+    auto fmt = [&](double p) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.1f", Percentile(errors.rel_errors, p));
+      return std::string(buf);
+    };
+    tp.AddRow({std::to_string(k),
+               TablePrinter::FormatSeconds(SimulatedTotalSeconds(run)),
+               TablePrinter::FormatPercent(
+                   (postgres_total - SimulatedTotalSeconds(run)) /
+                   std::max(postgres_total, 1e-9)),
+               fmt(0.5), fmt(0.95), fmt(0.99),
+               TablePrinter::FormatSeconds(latency),
+               TablePrinter::FormatSeconds(fj.TrainSeconds()),
+               TablePrinter::FormatBytes(fj.ModelSizeBytes())});
+  }
+  tp.Print();
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Construction of every CardEst method under evaluation, shared by the
+// table/figure benches. Mirrors the baselines of Section 6.1.
+#pragma once
+
+#include <algorithm>
+
+#include <memory>
+#include <vector>
+
+#include "baselines/fanout_denorm.h"
+#include "baselines/joinhist_estimator.h"
+#include "baselines/mscn_estimator.h"
+#include "baselines/pessimistic_estimator.h"
+#include "baselines/postgres_estimator.h"
+#include "baselines/truecard_estimator.h"
+#include "baselines/ublock_estimator.h"
+#include "baselines/wander_join.h"
+#include "bench_util.h"
+#include "factorjoin/estimator.h"
+
+namespace fj::bench {
+
+/// MSCN training set: sub-plan queries of a shadow workload (same generator,
+/// different seed — "similar distribution to the testing workload", 6.1)
+/// labeled by executing them.
+inline std::vector<TrainingExample> MscnTrainingSet(
+    const Database& db, const Workload& shadow, size_t max_queries = 40,
+    size_t max_examples = 1500) {
+  std::vector<TrainingExample> examples;
+  TrueCardOptions opts;
+  opts.max_output_tuples = 2'000'000;
+  for (size_t i = 0; i < shadow.queries.size() && i < max_queries; ++i) {
+    for (const Query& sub : EnumerateSubplans(shadow.queries[i], 1).queries) {
+      if (examples.size() >= max_examples) return examples;
+      auto card = TrueCardinality(db, sub, nullptr, opts);
+      if (!card.has_value()) continue;
+      examples.push_back({sub, static_cast<double>(*card)});
+    }
+  }
+  return examples;
+}
+
+/// FactorJoin with the paper's defaults for STATS-CEB: k=100, GBSA, Bayesian
+/// network single-table estimator.
+inline std::unique_ptr<FactorJoinEstimator> MakeFactorJoinStats(
+    const Database& db) {
+  FactorJoinConfig cfg;
+  cfg.num_bins = 100;
+  cfg.binning = BinningStrategy::kGbsa;
+  cfg.estimator = TableEstimatorKind::kBayesNet;
+  return std::make_unique<FactorJoinEstimator>(db, cfg);
+}
+
+/// FactorJoin for IMDB-JOB: sampling single-table estimator (1%), as the
+/// workload's LIKE / disjunctive filters are outside the BN's class.
+inline std::unique_ptr<FactorJoinEstimator> MakeFactorJoinImdb(
+    const Database& db) {
+  FactorJoinConfig cfg;
+  cfg.num_bins = 100;
+  cfg.binning = BinningStrategy::kGbsa;
+  cfg.estimator = TableEstimatorKind::kSampling;
+  // The paper samples 1% of a 50M-row IMDB; at bench scale that sample would
+  // be degenerate, so the rate is chosen to give a comparable absolute
+  // sample size per table.
+  cfg.sampling_rate = std::clamp(50000.0 / (static_cast<double>(db.TotalRows()) + 1.0),
+                                 0.01, 0.5);
+  return std::make_unique<FactorJoinEstimator>(db, cfg);
+}
+
+/// The learned data-driven family analogs (BayesCard / DeepDB / FLAT):
+/// the same denormalize-and-model scheme at three capacities.
+inline std::unique_ptr<FanoutDenormEstimator> MakeDenormAnalog(
+    const Database& db, const std::vector<Query>& workload,
+    const std::string& name, size_t sample_tuples) {
+  FanoutDenormOptions o;
+  o.sample_tuples = sample_tuples;
+  o.max_output_tuples = 5'000'000;
+  return std::make_unique<FanoutDenormEstimator>(db, workload, name, o);
+}
+
+}  // namespace fj::bench

@@ -1,0 +1,89 @@
+// Reproduces Table 2: summary statistics of the two benchmark workloads
+// (tables, rows, join keys, equivalent key groups, query/template counts,
+// template types, sub-plan counts, true cardinality range).
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace fj;
+using namespace fj::bench;
+
+namespace {
+
+void Summarize(const Workload& w) {
+  size_t min_rows = SIZE_MAX, max_rows = 0, min_cols = SIZE_MAX, max_cols = 0;
+  for (const auto& name : w.db.TableNames()) {
+    const Table& t = w.db.GetTable(name);
+    min_rows = std::min(min_rows, t.num_rows());
+    max_rows = std::max(max_rows, t.num_rows());
+    min_cols = std::min(min_cols, t.num_columns());
+    max_cols = std::max(max_cols, t.num_columns());
+  }
+  bool cyclic = false, self = false, like = false;
+  size_t min_sub = SIZE_MAX, max_sub = 0, min_filters = SIZE_MAX,
+         max_filters = 0;
+  for (const Query& q : w.queries) {
+    cyclic |= q.IsCyclic();
+    self |= q.HasSelfJoin();
+    size_t filters = 0;
+    for (const auto& ref : q.tables()) {
+      PredicatePtr f = q.FilterFor(ref.alias);
+      if (f->kind() != Predicate::Kind::kTrue) {
+        filters += f->ReferencedColumns().size();
+        like |= f->HasStringPattern();
+      }
+    }
+    min_filters = std::min(min_filters, filters);
+    max_filters = std::max(max_filters, filters);
+    size_t subs = EnumerateConnectedSubsets(q, 2).size();
+    min_sub = std::min(min_sub, subs);
+    max_sub = std::max(max_sub, subs);
+  }
+  uint64_t card_lo = UINT64_MAX, card_hi = 0;
+  size_t probe = std::min<size_t>(w.queries.size(), 25);
+  for (size_t i = 0; i < probe; ++i) {
+    TrueCardOptions opts;
+    opts.max_output_tuples = 20'000'000;
+    auto c = TrueCardinality(w.db, w.queries[i], nullptr, opts);
+    if (!c.has_value()) continue;
+    card_lo = std::min(card_lo, *c);
+    card_hi = std::max(card_hi, *c);
+  }
+
+  TablePrinter tp({"Statistic", w.name});
+  tp.AddRow({"# of tables", std::to_string(w.db.TableNames().size())});
+  tp.AddRow({"# of rows per table",
+             std::to_string(min_rows) + " - " + std::to_string(max_rows)});
+  tp.AddRow({"# of columns per table",
+             std::to_string(min_cols) + " - " + std::to_string(max_cols)});
+  tp.AddRow({"# of join keys", std::to_string(w.db.JoinKeyColumns().size())});
+  tp.AddRow({"# of equivalent key groups",
+             std::to_string(w.db.EquivalentKeyGroups().size())});
+  tp.AddRow({"# of queries", std::to_string(w.queries.size())});
+  std::string type = "star & chain";
+  if (cyclic) type += " +cyclic";
+  if (self) type += " +self";
+  tp.AddRow({"join template type", type});
+  tp.AddRow({"# of filter predicates", std::to_string(min_filters) + " - " +
+                                           std::to_string(max_filters)});
+  tp.AddRow({"filter attributes",
+             like ? "numerical & categorical +string LIKE"
+                  : "numerical & categorical"});
+  tp.AddRow({"# of sub-plan queries",
+             std::to_string(min_sub) + " - " + std::to_string(max_sub)});
+  tp.AddRow({"true cardinality range (sampled)",
+             TablePrinter::FormatCount(static_cast<double>(card_lo)) + " - " +
+                 TablePrinter::FormatCount(static_cast<double>(card_hi))});
+  tp.Print();
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Table 2: benchmark summary ==\n");
+  Summarize(*StatsWorkload());
+  Summarize(*ImdbWorkload());
+  return 0;
+}

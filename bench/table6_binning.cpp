@@ -1,0 +1,50 @@
+// Reproduces Table 6: binning strategies (equal-width vs equal-depth vs
+// GBSA) at k=100. Expected shape: GBSA clearly tighter bounds (50/95/99th
+// percentile relative error) and better end-to-end time.
+#include <cstdio>
+
+#include "factorjoin/estimator.h"
+#include "method_zoo.h"
+#include "util/math_stats.h"
+
+using namespace fj;
+using namespace fj::bench;
+
+int main() {
+  auto w = StatsWorkload();
+  std::printf("== Table 6: binning strategies on %s ==\n", w->name.c_str());
+
+  TablePrinter tp({"Algorithm", "End-to-end", "Improvement", "p50 err",
+                   "p95 err", "p99 err"});
+  TruthCache truth_cache;
+  double postgres_total = 0.0;
+  {
+    PostgresEstimator postgres(w->db);
+    postgres_total = SimulatedTotalSeconds(
+        RunWorkloadEndToEnd(w->db, w->queries, &postgres, BenchE2eOptions()));
+  }
+
+  for (BinningStrategy strategy :
+       {BinningStrategy::kEqualWidth, BinningStrategy::kEqualDepth,
+        BinningStrategy::kGbsa}) {
+    FactorJoinConfig cfg;
+    cfg.num_bins = 100;
+    cfg.binning = strategy;
+    cfg.estimator = TableEstimatorKind::kBayesNet;
+    FactorJoinEstimator fj(w->db, cfg);
+    auto run = RunWorkloadEndToEnd(w->db, w->queries, &fj, BenchE2eOptions());
+    auto errors = CollectRelativeErrors(w->db, w->queries, &fj, &truth_cache);
+    char p50[32], p95[32], p99[32];
+    std::snprintf(p50, sizeof(p50), "%.1f", Percentile(errors.rel_errors, 0.5));
+    std::snprintf(p95, sizeof(p95), "%.1f", Percentile(errors.rel_errors, 0.95));
+    std::snprintf(p99, sizeof(p99), "%.1f", Percentile(errors.rel_errors, 0.99));
+    tp.AddRow({BinningStrategyName(strategy),
+               TablePrinter::FormatSeconds(SimulatedTotalSeconds(run)),
+               TablePrinter::FormatPercent(
+                   (postgres_total - SimulatedTotalSeconds(run)) /
+                   std::max(postgres_total, 1e-9)),
+               p50, p95, p99});
+  }
+  tp.Print();
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Incremental updates (Section 4.3): train FactorJoin, append new rows to a
+// table, fold them into the model in milliseconds — no re-binning, no join
+// denormalization — and watch the estimates track the new data.
+//
+//   $ ./incremental_updates
+#include <cstdio>
+
+#include "exec/true_card.h"
+#include "factorjoin/estimator.h"
+#include "workload/stats_ceb.h"
+
+using namespace fj;
+
+int main() {
+  StatsCebOptions options;
+  options.scale = 0.05;
+  options.num_queries = 1;
+  auto workload = MakeStatsCeb(options);
+  Database& db = workload->db;
+
+  FactorJoinConfig config;
+  config.num_bins = 100;
+  FactorJoinEstimator estimator(db, config);
+
+  Query q;
+  q.AddTable("users").AddTable("badges");
+  q.AddJoin("users", "Id", "badges", "UserId");
+  std::printf("query: %s\n\n", q.ToString().c_str());
+
+  auto report = [&](const char* label) {
+    auto truth = TrueCardinality(db, q);
+    std::printf("%-22s estimate=%12.0f   true=%12llu\n", label,
+                estimator.Estimate(q),
+                static_cast<unsigned long long>(truth.value_or(0)));
+  };
+  report("before insert:");
+
+  // Append 5,000 badges, all for user 1 — a drastic skew change.
+  Table* badges = db.MutableTable("badges");
+  size_t first_new = badges->num_rows();
+  for (int i = 0; i < 5000; ++i) {
+    badges->MutableCol("Id")->AppendInt(static_cast<int64_t>(first_new + i + 1));
+    badges->MutableCol("UserId")->AppendInt(1);
+    badges->MutableCol("Date")->AppendInt(2500);
+  }
+  double seconds = estimator.ApplyInsert("badges", first_new);
+  std::printf("\ninserted 5000 rows; model updated in %.2f ms\n\n",
+              seconds * 1e3);
+  report("after insert:");
+  return 0;
+}

@@ -1,0 +1,135 @@
+#include "baselines/fanout_denorm.h"
+
+#include <algorithm>
+
+#include "exec/true_card.h"
+#include "query/filter_eval.h"
+#include "query/subplan.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace fj {
+
+std::string FanoutDenormEstimator::TemplateKey(const Query& query) {
+  std::vector<std::string> parts;
+  for (const auto& ref : query.tables()) {
+    parts.push_back(ref.alias + ":" + ref.table);
+  }
+  std::sort(parts.begin(), parts.end());
+  std::vector<std::string> joins;
+  for (const auto& join : query.joins()) {
+    std::string a = join.left.ToString();
+    std::string b = join.right.ToString();
+    joins.push_back(a < b ? a + "=" + b : b + "=" + a);
+  }
+  std::sort(joins.begin(), joins.end());
+  std::string key;
+  for (const auto& p : parts) key += p + ";";
+  key += "|";
+  for (const auto& j : joins) key += j + ";";
+  return key;
+}
+
+FanoutDenormEstimator::FanoutDenormEstimator(
+    const Database& db, const std::vector<Query>& workload, std::string name,
+    FanoutDenormOptions options)
+    : db_(&db), name_(std::move(name)), options_(options) {
+  WallTimer timer;
+  Rng rng(options_.seed);
+
+  // Collect distinct join templates from every sub-plan of the workload
+  // (the fanout methods must model all join patterns they will be asked
+  // about, which is exactly the exponential blow-up the paper criticizes).
+  std::vector<Query> to_train;
+  std::unordered_map<std::string, bool> seen;
+  for (const Query& q : workload) {
+    if (q.HasSelfJoin() || q.IsCyclic()) continue;  // unsupported
+    for (const Query& sub : EnumerateSubplans(q, 2).queries) {
+      Query bare = sub;  // join structure only: strip filters
+      for (const auto& ref : sub.tables()) {
+        bare.SetFilter(ref.alias, Predicate::True());
+      }
+      std::string key = TemplateKey(bare);
+      if (seen.emplace(key, true).second) to_train.push_back(bare);
+    }
+  }
+
+  for (const Query& tmpl : to_train) {
+    ExecStats stats;
+    Relation joined;
+    try {
+      joined = ExecuteGreedy(*db_, tmpl, &stats, options_.max_output_tuples);
+    } catch (const ExecutionOverflow&) {
+      continue;  // template too large to denormalize; fall back at query time
+    }
+    TemplateModel model;
+    model.join_size = static_cast<double>(joined.size());
+    model.aliases = joined.aliases();
+    for (const auto& alias : model.aliases) {
+      model.tables.push_back(tmpl.TableOf(alias));
+    }
+    size_t want = std::min(options_.sample_tuples, joined.size());
+    if (want > 0) {
+      model.sample.reserve(want * joined.arity());
+      for (size_t s : rng.SampleWithoutReplacement(joined.size(), want)) {
+        const uint32_t* tuple = joined.Tuple(s);
+        model.sample.insert(model.sample.end(), tuple,
+                            tuple + joined.arity());
+      }
+    }
+    templates_.emplace(TemplateKey(tmpl), std::move(model));
+  }
+  fallback_ = std::make_unique<PostgresEstimator>(db);
+  train_seconds_ = timer.Seconds();
+}
+
+double FanoutDenormEstimator::Estimate(const Query& query) {
+  if (query.NumTables() == 1) {
+    const TableRef& ref = query.tables()[0];
+    double rows = static_cast<double>(db_->GetTable(ref.table).num_rows());
+    return std::max(rows * fallback_->FilterSelectivity(query, ref.alias), 1.0);
+  }
+  Query bare = query;
+  for (const auto& ref : query.tables()) {
+    bare.SetFilter(ref.alias, Predicate::True());
+  }
+  auto it = templates_.find(TemplateKey(bare));
+  if (it == templates_.end()) return fallback_->Estimate(query);
+
+  const TemplateModel& model = it->second;
+  size_t arity = model.aliases.size();
+  size_t tuples = arity == 0 ? 0 : model.sample.size() / arity;
+  if (tuples == 0) return 1.0;
+
+  // Per-alias filter evaluated on the sampled denormalized tuples.
+  std::vector<PredicatePtr> filters(arity);
+  std::vector<const Table*> tables(arity);
+  for (size_t a = 0; a < arity; ++a) {
+    filters[a] = query.FilterFor(model.aliases[a]);
+    tables[a] = &db_->GetTable(model.tables[a]);
+  }
+  size_t hits = 0;
+  for (size_t t = 0; t < tuples; ++t) {
+    bool ok = true;
+    for (size_t a = 0; a < arity && ok; ++a) {
+      ok = EvalRow(*tables[a], *filters[a], model.sample[t * arity + a]);
+    }
+    if (ok) ++hits;
+  }
+  // Zero sample hits bound the selectivity below ~1/|sample| rather than
+  // proving emptiness; the half-row floor avoids the catastrophic
+  // underestimates a hard zero would feed the optimizer.
+  double sel = std::max(static_cast<double>(hits), 0.5) /
+               static_cast<double>(tuples);
+  return std::max(sel * model.join_size, 1.0);
+}
+
+size_t FanoutDenormEstimator::ModelSizeBytes() const {
+  size_t bytes = 0;
+  for (const auto& [key, model] : templates_) {
+    bytes += model.sample.size() * sizeof(uint32_t) + key.size() + 64;
+  }
+  return bytes;
+}
+
+}  // namespace fj

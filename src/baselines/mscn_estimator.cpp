@@ -1,0 +1,166 @@
+#include "baselines/mscn_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/timer.h"
+
+namespace fj {
+namespace {
+
+// Canonical key of a join relation between two columns, orientation-free.
+std::string JoinKey(const std::string& t1, const std::string& c1,
+                    const std::string& t2, const std::string& c2) {
+  std::string a = t1 + "." + c1;
+  std::string b = t2 + "." + c2;
+  return a < b ? a + "=" + b : b + "=" + a;
+}
+
+constexpr size_t kOpSlots = 6;  // CmpOp cardinality
+
+size_t OpSlot(CmpOp op) { return static_cast<size_t>(op); }
+
+}  // namespace
+
+void MscnEstimator::BuildVocabulary(const Database& db) {
+  for (const std::string& name : db.TableNames()) {
+    table_slot_.emplace(name, table_slot_.size());
+    const Table& table = db.GetTable(name);
+    for (const auto& col : table.columns()) {
+      std::string key = name + "." + col->name();
+      column_slot_.emplace(key, column_slot_.size());
+      int64_t lo, hi;
+      ColumnRangeStat range;
+      if (col->CodeRange(&lo, &hi) && hi > lo) {
+        range.min_code = static_cast<double>(lo);
+        range.max_code = static_cast<double>(hi);
+      }
+      column_range_.emplace(key, range);
+    }
+  }
+  for (const auto& rel : db.join_relations()) {
+    join_slot_.emplace(JoinKey(rel.left.table, rel.left.column,
+                               rel.right.table, rel.right.column),
+                       join_slot_.size());
+  }
+}
+
+size_t MscnEstimator::FeatureDim() const {
+  return table_slot_.size() + join_slot_.size() + column_slot_.size() +
+         kOpSlots + 1;
+}
+
+std::vector<double> MscnEstimator::Featurize(const Query& query) const {
+  std::vector<double> x(FeatureDim(), 0.0);
+  size_t join_base = table_slot_.size();
+  size_t pred_base = join_base + join_slot_.size();
+
+  for (const auto& ref : query.tables()) {
+    auto it = table_slot_.find(ref.table);
+    if (it != table_slot_.end()) x[it->second] += 1.0;
+  }
+  for (const auto& join : query.joins()) {
+    auto it = join_slot_.find(JoinKey(query.TableOf(join.left.alias),
+                                      join.left.column,
+                                      query.TableOf(join.right.alias),
+                                      join.right.column));
+    if (it != join_slot_.end()) x[join_base + it->second] += 1.0;
+  }
+
+  // Average the leaf-predicate features (set pooling).
+  double leaves = 0.0;
+  std::vector<double> pred(column_slot_.size() + kOpSlots + 1, 0.0);
+  for (const auto& ref : query.tables()) {
+    PredicatePtr filter = query.FilterFor(ref.alias);
+    // Walk conjunctive structure; leaves of other shapes are treated as
+    // opaque single features on their column.
+    std::vector<const Predicate*> stack{filter.get()};
+    while (!stack.empty()) {
+      const Predicate* p = stack.back();
+      stack.pop_back();
+      switch (p->kind()) {
+        case Predicate::Kind::kTrue:
+          break;
+        case Predicate::Kind::kAnd:
+        case Predicate::Kind::kOr:
+        case Predicate::Kind::kNot:
+          for (const auto& c : p->children()) stack.push_back(c.get());
+          break;
+        default: {
+          std::string key = ref.table + "." + p->column();
+          auto cit = column_slot_.find(key);
+          if (cit == column_slot_.end()) break;
+          leaves += 1.0;
+          pred[cit->second] += 1.0;
+          if (p->kind() == Predicate::Kind::kCompare) {
+            pred[column_slot_.size() + OpSlot(p->op())] += 1.0;
+            const auto& range = column_range_.at(key);
+            double code = static_cast<double>(p->value().i);
+            double norm = (code - range.min_code) /
+                          std::max(range.max_code - range.min_code, 1.0);
+            pred[column_slot_.size() + kOpSlots] += std::clamp(norm, 0.0, 1.0);
+          }
+          break;
+        }
+      }
+    }
+  }
+  if (leaves > 0.0) {
+    for (double& v : pred) v /= leaves;
+  }
+  std::copy(pred.begin(), pred.end(), x.begin() + static_cast<long>(pred_base));
+  return x;
+}
+
+MscnEstimator::MscnEstimator(const Database& db,
+                             const std::vector<TrainingExample>& examples,
+                             MscnOptions options)
+    : db_(&db), options_(options) {
+  WallTimer timer;
+  BuildVocabulary(db);
+
+  // Normalize log-cardinalities to [0, 1] for stable training.
+  double max_log = 1.0;
+  for (const auto& ex : examples) {
+    max_log = std::max(max_log, std::log1p(std::max(ex.cardinality, 0.0)));
+  }
+  log_card_scale_ = max_log;
+
+  mlp_ = std::make_unique<Mlp>(
+      std::vector<size_t>{FeatureDim(), options_.hidden_units,
+                          options_.hidden_units / 2, 1},
+      options_.seed);
+
+  std::vector<std::vector<double>> xs;
+  std::vector<std::vector<double>> ys;
+  xs.reserve(examples.size());
+  for (const auto& ex : examples) {
+    xs.push_back(Featurize(ex.query));
+    ys.push_back({std::log1p(std::max(ex.cardinality, 0.0)) / log_card_scale_});
+  }
+
+  Rng rng(options_.seed);
+  std::vector<size_t> idx(xs.size());
+  for (size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(&idx);
+    for (size_t start = 0; start < idx.size(); start += options_.batch_size) {
+      size_t end = std::min(start + options_.batch_size, idx.size());
+      std::vector<std::vector<double>> bx, by;
+      for (size_t i = start; i < end; ++i) {
+        bx.push_back(xs[idx[i]]);
+        by.push_back(ys[idx[i]]);
+      }
+      mlp_->TrainBatch(bx, by, options_.learning_rate);
+    }
+  }
+  train_seconds_ = timer.Seconds();
+}
+
+double MscnEstimator::Estimate(const Query& query) {
+  double y = mlp_->Forward(Featurize(query))[0];
+  double card = std::expm1(std::clamp(y, 0.0, 1.2) * log_card_scale_);
+  return std::max(card, 1.0);
+}
+
+}  // namespace fj

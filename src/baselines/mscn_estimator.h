@@ -1,0 +1,65 @@
+// MSCN-style learned query-driven estimator (Kipf et al., CIDR'19):
+// featurizes a query as averaged one-hot sets of tables, joins and filter
+// predicates, and regresses log-cardinality with a small MLP trained on an
+// executed query workload. Shares the query-driven family's strengths (fast
+// estimates) and weaknesses (needs a large training workload, degrades under
+// workload shift / data updates) discussed in Section 2.2.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/nn.h"
+#include "stats/cardinality_estimator.h"
+#include "storage/database.h"
+
+namespace fj {
+
+struct MscnOptions {
+  size_t hidden_units = 64;
+  size_t epochs = 40;
+  size_t batch_size = 64;
+  double learning_rate = 1e-3;
+  uint64_t seed = 21;
+};
+
+/// One supervised example: a (sub-plan) query and its true cardinality.
+struct TrainingExample {
+  Query query;
+  double cardinality = 0.0;
+};
+
+class MscnEstimator : public CardinalityEstimator {
+ public:
+  MscnEstimator(const Database& db, const std::vector<TrainingExample>& examples,
+                MscnOptions options = {});
+
+  std::string Name() const override { return "mscn"; }
+  double Estimate(const Query& query) override;
+  size_t ModelSizeBytes() const override { return mlp_->MemoryBytes(); }
+  double TrainSeconds() const override { return train_seconds_; }
+
+  /// Feature vector of a query (exposed for tests).
+  std::vector<double> Featurize(const Query& query) const;
+  size_t FeatureDim() const;
+
+ private:
+  void BuildVocabulary(const Database& db);
+
+  const Database* db_;  // not owned
+  MscnOptions options_;
+  std::unordered_map<std::string, size_t> table_slot_;
+  std::unordered_map<std::string, size_t> join_slot_;    // canonical "a.c=b.d"
+  std::unordered_map<std::string, size_t> column_slot_;  // "table.column"
+  struct ColumnRangeStat {
+    double min_code = 0.0;
+    double max_code = 1.0;
+  };
+  std::unordered_map<std::string, ColumnRangeStat> column_range_;
+  double log_card_scale_ = 1.0;
+  std::unique_ptr<Mlp> mlp_;
+  double train_seconds_ = 0.0;
+};
+
+}  // namespace fj

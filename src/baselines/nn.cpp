@@ -1,0 +1,138 @@
+#include "baselines/nn.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fj {
+
+Mlp::Mlp(std::vector<size_t> layer_sizes, uint64_t seed) {
+  if (layer_sizes.size() < 2) {
+    throw std::invalid_argument("Mlp needs at least input and output sizes");
+  }
+  Rng rng(seed);
+  for (size_t l = 0; l + 1 < layer_sizes.size(); ++l) {
+    Layer layer;
+    layer.in = layer_sizes[l];
+    layer.out = layer_sizes[l + 1];
+    layer.w.resize(layer.in * layer.out);
+    layer.b.assign(layer.out, 0.0);
+    double scale = std::sqrt(2.0 / static_cast<double>(layer.in));
+    for (double& w : layer.w) w = rng.Gaussian() * scale;
+    layer.mw.assign(layer.w.size(), 0.0);
+    layer.vw.assign(layer.w.size(), 0.0);
+    layer.mb.assign(layer.b.size(), 0.0);
+    layer.vb.assign(layer.b.size(), 0.0);
+    layers_.push_back(std::move(layer));
+  }
+}
+
+void Mlp::ForwardTrace(const std::vector<double>& x,
+                       std::vector<std::vector<double>>* activations) const {
+  activations->clear();
+  activations->push_back(x);
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    const Layer& layer = layers_[l];
+    const std::vector<double>& in = activations->back();
+    std::vector<double> out(layer.out);
+    for (size_t o = 0; o < layer.out; ++o) {
+      double s = layer.b[o];
+      const double* wrow = &layer.w[o * layer.in];
+      for (size_t i = 0; i < layer.in; ++i) s += wrow[i] * in[i];
+      // ReLU on hidden layers, identity on the output layer.
+      out[o] = (l + 1 < layers_.size()) ? std::max(s, 0.0) : s;
+    }
+    activations->push_back(std::move(out));
+  }
+}
+
+std::vector<double> Mlp::Forward(const std::vector<double>& x) const {
+  std::vector<std::vector<double>> activations;
+  ForwardTrace(x, &activations);
+  return activations.back();
+}
+
+double Mlp::TrainBatch(const std::vector<std::vector<double>>& xs,
+                       const std::vector<std::vector<double>>& ys,
+                       double learning_rate) {
+  if (xs.empty()) return 0.0;
+  // Gradient accumulators.
+  std::vector<std::vector<double>> gw(layers_.size()), gb(layers_.size());
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    gw[l].assign(layers_[l].w.size(), 0.0);
+    gb[l].assign(layers_[l].b.size(), 0.0);
+  }
+
+  double loss = 0.0;
+  std::vector<std::vector<double>> activations;
+  for (size_t n = 0; n < xs.size(); ++n) {
+    ForwardTrace(xs[n], &activations);
+    const std::vector<double>& out = activations.back();
+    // dL/dout for MSE (0.5 factor folded in).
+    std::vector<double> delta(out.size());
+    for (size_t o = 0; o < out.size(); ++o) {
+      double diff = out[o] - ys[n][o];
+      loss += diff * diff;
+      delta[o] = diff;
+    }
+    // Backprop.
+    for (size_t li = layers_.size(); li-- > 0;) {
+      Layer& layer = layers_[li];
+      const std::vector<double>& in = activations[li];
+      const std::vector<double>& act_out = activations[li + 1];
+      // ReLU derivative for hidden layers.
+      if (li + 1 < layers_.size()) {
+        for (size_t o = 0; o < delta.size(); ++o) {
+          if (act_out[o] <= 0.0) delta[o] = 0.0;
+        }
+      }
+      for (size_t o = 0; o < layer.out; ++o) {
+        gb[li][o] += delta[o];
+        double* gwrow = &gw[li][o * layer.in];
+        for (size_t i = 0; i < layer.in; ++i) gwrow[i] += delta[o] * in[i];
+      }
+      if (li > 0) {
+        std::vector<double> prev_delta(layer.in, 0.0);
+        for (size_t o = 0; o < layer.out; ++o) {
+          const double* wrow = &layer.w[o * layer.in];
+          for (size_t i = 0; i < layer.in; ++i) {
+            prev_delta[i] += wrow[i] * delta[o];
+          }
+        }
+        delta = std::move(prev_delta);
+      }
+    }
+  }
+
+  // Adam update.
+  constexpr double kBeta1 = 0.9, kBeta2 = 0.999, kEps = 1e-8;
+  ++adam_t_;
+  double bc1 = 1.0 - std::pow(kBeta1, static_cast<double>(adam_t_));
+  double bc2 = 1.0 - std::pow(kBeta2, static_cast<double>(adam_t_));
+  double inv_n = 1.0 / static_cast<double>(xs.size());
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    Layer& layer = layers_[l];
+    for (size_t i = 0; i < layer.w.size(); ++i) {
+      double g = gw[l][i] * inv_n;
+      layer.mw[i] = kBeta1 * layer.mw[i] + (1 - kBeta1) * g;
+      layer.vw[i] = kBeta2 * layer.vw[i] + (1 - kBeta2) * g * g;
+      layer.w[i] -= learning_rate * (layer.mw[i] / bc1) /
+                    (std::sqrt(layer.vw[i] / bc2) + kEps);
+    }
+    for (size_t i = 0; i < layer.b.size(); ++i) {
+      double g = gb[l][i] * inv_n;
+      layer.mb[i] = kBeta1 * layer.mb[i] + (1 - kBeta1) * g;
+      layer.vb[i] = kBeta2 * layer.vb[i] + (1 - kBeta2) * g * g;
+      layer.b[i] -= learning_rate * (layer.mb[i] / bc1) /
+                    (std::sqrt(layer.vb[i] / bc2) + kEps);
+    }
+  }
+  return loss / static_cast<double>(xs.size());
+}
+
+size_t Mlp::ParameterCount() const {
+  size_t n = 0;
+  for (const Layer& l : layers_) n += l.w.size() + l.b.size();
+  return n;
+}
+
+}  // namespace fj

@@ -1,0 +1,46 @@
+// Minimal dense neural network (fully-connected layers, ReLU, Adam, MSE)
+// used by the MSCN query-driven baseline. No external dependencies.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace fj {
+
+/// Fully-connected feed-forward regressor.
+class Mlp {
+ public:
+  /// `layer_sizes` = {input, hidden..., output}. Weights are He-initialized.
+  Mlp(std::vector<size_t> layer_sizes, uint64_t seed = 1);
+
+  /// Forward pass for one input vector.
+  std::vector<double> Forward(const std::vector<double>& x) const;
+
+  /// One Adam step on a minibatch (MSE loss). Returns the batch loss.
+  double TrainBatch(const std::vector<std::vector<double>>& xs,
+                    const std::vector<std::vector<double>>& ys,
+                    double learning_rate);
+
+  size_t ParameterCount() const;
+  size_t MemoryBytes() const { return ParameterCount() * 3 * sizeof(double); }
+
+ private:
+  struct Layer {
+    size_t in = 0, out = 0;
+    std::vector<double> w;  // out x in, row-major
+    std::vector<double> b;
+    // Adam moments.
+    std::vector<double> mw, vw, mb, vb;
+  };
+
+  /// Forward keeping per-layer activations (training path).
+  void ForwardTrace(const std::vector<double>& x,
+                    std::vector<std::vector<double>>* activations) const;
+
+  std::vector<Layer> layers_;
+  int64_t adam_t_ = 0;
+};
+
+}  // namespace fj

@@ -1,0 +1,113 @@
+#include "baselines/pessimistic_estimator.h"
+
+#include <bit>
+#include <unordered_map>
+
+#include "query/filter_eval.h"
+
+namespace fj {
+namespace {
+
+uint32_t HashPartition(int64_t value, uint32_t partitions) {
+  uint64_t h = static_cast<uint64_t>(value) * 0x9e3779b97f4a7c15ull;
+  return static_cast<uint32_t>(h >> 33) % partitions;
+}
+
+}  // namespace
+
+PessimisticEstimator::PessimisticEstimator(const Database& db,
+                                           PessimisticOptions options)
+    : db_(&db), options_(options) {}
+
+BoundFactor PessimisticEstimator::MakeLeafSketch(
+    const Query& query, size_t alias_idx,
+    const std::vector<QueryKeyGroup>& groups) const {
+  const TableRef& ref = query.tables()[alias_idx];
+  const Table& table = db_->GetTable(ref.table);
+
+  // Materialize the filter (this is where PessEst pays its latency).
+  std::vector<uint32_t> rows = EvalSelection(table, *query.FilterFor(ref.alias));
+
+  BoundFactor factor;
+  factor.alias_mask = uint64_t{1} << alias_idx;
+  factor.card = static_cast<double>(rows.size());
+
+  for (size_t g = 0; g < groups.size(); ++g) {
+    for (const AliasColumn& member : groups[g].members) {
+      if (member.alias != ref.alias) continue;
+      const Column& col = table.Col(member.column);
+      // Exact degree sketch on the filtered rows.
+      std::unordered_map<int64_t, uint64_t> degrees;
+      degrees.reserve(rows.size());
+      for (uint32_t r : rows) {
+        int64_t v = col.IntAt(r);
+        if (v != kNullInt64) ++degrees[v];
+      }
+      GroupBound gb;
+      gb.mass.assign(options_.partitions, 0.0);
+      gb.mfv.assign(options_.partitions, 0.0);
+      for (const auto& [v, d] : degrees) {
+        uint32_t p = HashPartition(v, options_.partitions);
+        gb.mass[p] += static_cast<double>(d);
+        gb.mfv[p] = std::max(gb.mfv[p], static_cast<double>(d));
+      }
+      auto it = factor.groups.find(static_cast<int>(g));
+      if (it == factor.groups.end()) {
+        factor.groups[static_cast<int>(g)] = std::move(gb);
+      } else {
+        for (uint32_t p = 0; p < options_.partitions; ++p) {
+          it->second.mass[p] = std::min(it->second.mass[p], gb.mass[p]);
+          it->second.mfv[p] = std::min(it->second.mfv[p], gb.mfv[p]);
+        }
+      }
+    }
+  }
+  return factor;
+}
+
+double PessimisticEstimator::Estimate(const Query& query) {
+  if (query.NumTables() == 0) return 0.0;
+  std::vector<QueryKeyGroup> groups = query.KeyGroups();
+  std::vector<BoundFactor> leaves;
+  for (size_t i = 0; i < query.NumTables(); ++i) {
+    leaves.push_back(MakeLeafSketch(query, i, groups));
+  }
+  if (query.NumTables() == 1) return leaves[0].card;
+
+  std::vector<uint64_t> adj = query.AliasAdjacency();
+  size_t start = 0;
+  for (size_t i = 1; i < leaves.size(); ++i) {
+    if (leaves[i].card < leaves[start].card) start = i;
+  }
+  BoundFactor current = leaves[start];
+  uint64_t remaining =
+      ((query.NumTables() == 64) ? ~uint64_t{0}
+                                 : (uint64_t{1} << query.NumTables()) - 1) &
+      ~current.alias_mask;
+  while (remaining != 0) {
+    int best = -1;
+    uint64_t m = remaining;
+    while (m != 0) {
+      size_t a = static_cast<size_t>(std::countr_zero(m));
+      m &= m - 1;
+      if ((adj[a] & current.alias_mask) == 0) continue;
+      if (best < 0 ||
+          leaves[a].card < leaves[static_cast<size_t>(best)].card) {
+        best = static_cast<int>(a);
+      }
+    }
+    if (best < 0) {
+      throw std::invalid_argument("pessest: disconnected join graph");
+    }
+    std::vector<int> connecting;
+    for (const auto& [gid, gb] : leaves[static_cast<size_t>(best)].groups) {
+      if (current.groups.count(gid) > 0) connecting.push_back(gid);
+    }
+    current = JoinBoundFactors(current, leaves[static_cast<size_t>(best)],
+                               connecting);
+    remaining &= ~(uint64_t{1} << best);
+  }
+  return current.card;
+}
+
+}  // namespace fj

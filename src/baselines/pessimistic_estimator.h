@@ -1,0 +1,38 @@
+// Pessimistic cardinality estimation (Cai, Balazinska, Suciu, SIGMOD'19
+// flavor): an *exact* upper bound computed at query time from the filtered
+// tables. Each alias's filtered join-key columns are summarized into
+// hash-partitioned degree sketches (per-partition total and max degree), and
+// the sketches are combined with the same MFV bound arithmetic FactorJoin
+// uses — but since the sketches are built on the materialized filter results,
+// the bound is exact and never underestimates. The price is planning latency:
+// every estimate scans the base tables (Section 6.2's PessEst discussion).
+#pragma once
+
+#include "factorjoin/factor.h"
+#include "stats/cardinality_estimator.h"
+#include "storage/database.h"
+
+namespace fj {
+
+struct PessimisticOptions {
+  /// Number of hash partitions per key group sketch.
+  uint32_t partitions = 64;
+};
+
+class PessimisticEstimator : public CardinalityEstimator {
+ public:
+  PessimisticEstimator(const Database& db, PessimisticOptions options = {});
+
+  std::string Name() const override { return "pessest"; }
+  double Estimate(const Query& query) override;
+  size_t ModelSizeBytes() const override { return sizeof(*this); }
+
+ private:
+  BoundFactor MakeLeafSketch(const Query& query, size_t alias_idx,
+                             const std::vector<QueryKeyGroup>& groups) const;
+
+  const Database* db_;  // not owned
+  PessimisticOptions options_;
+};
+
+}  // namespace fj

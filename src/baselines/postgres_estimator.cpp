@@ -1,0 +1,69 @@
+#include "baselines/postgres_estimator.h"
+
+#include <algorithm>
+
+#include "util/timer.h"
+
+namespace fj {
+
+PostgresEstimator::PostgresEstimator(const Database& db,
+                                     PostgresEstimatorOptions options)
+    : db_(&db) {
+  WallTimer timer;
+  for (const std::string& name : db.TableNames()) {
+    const Table& table = db.GetTable(name);
+    TableStats ts;
+    ts.rows = table.num_rows();
+    for (const auto& col : table.columns()) {
+      ts.columns.push_back(col->name());
+      ts.histograms.emplace_back(*col, options.histogram_buckets);
+    }
+    stats_.emplace(name, std::move(ts));
+  }
+  train_seconds_ = timer.Seconds();
+}
+
+double PostgresEstimator::FilterSelectivity(const Query& query,
+                                            const std::string& alias) const {
+  const std::string& table_name = query.TableOf(alias);
+  const TableStats& ts = stats_.at(table_name);
+  return EstimateSelectivity(db_->GetTable(table_name), ts.histograms,
+                             ts.columns, *query.FilterFor(alias));
+}
+
+double PostgresEstimator::Estimate(const Query& query) {
+  // Cross product of filtered table sizes ...
+  double card = 1.0;
+  for (const auto& ref : query.tables()) {
+    double rows = static_cast<double>(stats_.at(ref.table).rows);
+    card *= std::max(rows * FilterSelectivity(query, ref.alias), 1.0);
+  }
+  // ... reduced by 1/max(NDV, NDV) per join condition (join-key uniformity).
+  for (const auto& join : query.joins()) {
+    const std::string& lt = query.TableOf(join.left.alias);
+    const std::string& rt = query.TableOf(join.right.alias);
+    auto ndv_of = [&](const std::string& table, const std::string& column) {
+      const TableStats& ts = stats_.at(table);
+      for (size_t i = 0; i < ts.columns.size(); ++i) {
+        if (ts.columns[i] == column) {
+          return std::max<uint64_t>(ts.histograms[i].distinct_count(), 1);
+        }
+      }
+      return uint64_t{1};
+    };
+    uint64_t ndv = std::max(ndv_of(lt, join.left.column),
+                            ndv_of(rt, join.right.column));
+    card /= static_cast<double>(ndv);
+  }
+  return std::max(card, 1.0);
+}
+
+size_t PostgresEstimator::ModelSizeBytes() const {
+  size_t bytes = 0;
+  for (const auto& [name, ts] : stats_) {
+    for (const auto& h : ts.histograms) bytes += h.MemoryBytes();
+  }
+  return bytes;
+}
+
+}  // namespace fj

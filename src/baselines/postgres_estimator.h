@@ -1,0 +1,46 @@
+// Selinger-style estimator as deployed in PostgreSQL (Section 2.2,
+// "Traditional methods"): per-column equal-depth histograms with attribute
+// independence across columns, and the join-key uniformity assumption
+// |A join B| = |A| * |B| / max(NDV(A.k), NDV(B.k)) applied per join
+// condition.
+#pragma once
+
+#include <unordered_map>
+
+#include "stats/cardinality_estimator.h"
+#include "stats/histogram.h"
+#include "storage/database.h"
+
+namespace fj {
+
+struct PostgresEstimatorOptions {
+  uint32_t histogram_buckets = 100;
+};
+
+class PostgresEstimator : public CardinalityEstimator {
+ public:
+  explicit PostgresEstimator(const Database& db,
+                             PostgresEstimatorOptions options = {});
+
+  std::string Name() const override { return "postgres"; }
+  double Estimate(const Query& query) override;
+  size_t ModelSizeBytes() const override;
+  double TrainSeconds() const override { return train_seconds_; }
+
+  /// Filter selectivity of one alias (exposed for reuse by other
+  /// tradition-style baselines).
+  double FilterSelectivity(const Query& query, const std::string& alias) const;
+
+ private:
+  struct TableStats {
+    std::vector<std::string> columns;
+    std::vector<ColumnHistogram> histograms;
+    uint64_t rows = 0;
+  };
+
+  const Database* db_;  // not owned
+  std::unordered_map<std::string, TableStats> stats_;
+  double train_seconds_ = 0.0;
+};
+
+}  // namespace fj

@@ -1,0 +1,39 @@
+// Oracle baseline: returns the true cardinality (computed by executing the
+// query, cached). Represents the paper's TrueCard "optimal" row; the bench
+// harness charges it zero planning latency.
+#pragma once
+
+#include <unordered_map>
+
+#include "exec/true_card.h"
+#include "stats/cardinality_estimator.h"
+#include "storage/database.h"
+
+namespace fj {
+
+class TrueCardEstimator : public CardinalityEstimator {
+ public:
+  explicit TrueCardEstimator(const Database& db) : db_(&db) {}
+
+  std::string Name() const override { return "truecard"; }
+
+  double Estimate(const Query& query) override {
+    std::string key = query.ToString();
+    auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+    auto card = TrueCardinality(*db_, query);
+    // On executor overflow fall back to the cap (still a huge number that
+    // steers the optimizer away).
+    double value = card.has_value()
+                       ? static_cast<double>(*card)
+                       : static_cast<double>(TrueCardOptions{}.max_output_tuples);
+    cache_.emplace(std::move(key), value);
+    return value;
+  }
+
+ private:
+  const Database* db_;  // not owned
+  std::unordered_map<std::string, double> cache_;
+};
+
+}  // namespace fj

@@ -1,0 +1,60 @@
+// U-Block-style bound estimator (Hertzschuch et al., CIDR'21): per join key,
+// offline top-k most-frequent-value statistics plus a uniform summary of the
+// remainder, combined into a cardinality upper bound. Evaluated standalone
+// (without the paper's companion plan enumerator), as in Section 6.1.
+#pragma once
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/postgres_estimator.h"
+#include "stats/cardinality_estimator.h"
+#include "storage/database.h"
+
+namespace fj {
+
+struct UBlockOptions {
+  uint32_t top_k = 16;
+};
+
+class UBlockEstimator : public CardinalityEstimator {
+ public:
+  UBlockEstimator(const Database& db, UBlockOptions options = {});
+
+  std::string Name() const override { return "ublock"; }
+  double Estimate(const Query& query) override;
+  size_t ModelSizeBytes() const override;
+  double TrainSeconds() const override { return train_seconds_; }
+
+ private:
+  /// Top-k summary of one key column (or of an intermediate result's key).
+  struct TopKStats {
+    std::unordered_map<int64_t, double> top;  // value -> count
+    double rest_count = 0.0;                  // mass outside `top`
+    double rest_max = 1.0;                    // max count outside `top`
+  };
+
+  struct UFactor {
+    double card = 0.0;
+    std::map<int, TopKStats> groups;  // by query key group
+    uint64_t alias_mask = 0;
+  };
+
+  static double MaxDegree(const TopKStats& s);
+  static double PairBound(const TopKStats& a, const TopKStats& b);
+
+  UFactor MakeLeaf(const Query& query, size_t alias_idx,
+                   const std::vector<QueryKeyGroup>& groups) const;
+  UFactor JoinStep(const UFactor& left, const UFactor& right,
+                   const std::vector<int>& connecting) const;
+
+  const Database* db_;  // not owned
+  UBlockOptions options_;
+  std::unordered_map<ColumnRef, TopKStats, ColumnRefHash> stats_;
+  std::unordered_map<ColumnRef, int, ColumnRefHash> column_to_group_;
+  std::unique_ptr<PostgresEstimator> selectivity_;
+  double train_seconds_ = 0.0;
+};
+
+}  // namespace fj

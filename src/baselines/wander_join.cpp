@@ -1,0 +1,149 @@
+#include "baselines/wander_join.h"
+
+#include <algorithm>
+
+#include "query/filter_eval.h"
+#include "util/timer.h"
+
+namespace fj {
+
+WanderJoinEstimator::WanderJoinEstimator(const Database& db,
+                                         WanderJoinOptions options)
+    : db_(&db), options_(options), rng_(options.seed) {
+  WallTimer timer;
+  // Index every declared join-key column: value -> row ids.
+  for (const ColumnRef& ref : db.JoinKeyColumns()) {
+    const Column& col = db.GetTable(ref.table).Col(ref.column);
+    KeyIndex index;
+    index.reserve(col.size());
+    for (size_t r = 0; r < col.size(); ++r) {
+      int64_t v = col.IntAt(r);
+      if (v != kNullInt64) index[v].push_back(static_cast<uint32_t>(r));
+    }
+    indexes_.emplace(ref, std::move(index));
+  }
+  train_seconds_ = timer.Seconds();
+}
+
+const WanderJoinEstimator::KeyIndex& WanderJoinEstimator::IndexFor(
+    const ColumnRef& ref) const {
+  auto it = indexes_.find(ref);
+  if (it == indexes_.end()) {
+    throw std::logic_error("wander join: no index for " + ref.ToString());
+  }
+  return it->second;
+}
+
+double WanderJoinEstimator::Estimate(const Query& query) {
+  size_t n = query.NumTables();
+  if (n == 0) return 0.0;
+  if (n == 1) {
+    const TableRef& ref = query.tables()[0];
+    return static_cast<double>(
+        CountMatches(db_->GetTable(ref.table), *query.FilterFor(ref.alias)));
+  }
+
+  // BFS spanning tree of the alias join graph: the walk order. Each non-root
+  // alias remembers the join condition used to reach it; the remaining
+  // conditions are verified at the end of each walk.
+  std::vector<uint64_t> adj = query.AliasAdjacency();
+  std::vector<int> order{0};
+  std::vector<int> tree_join(n, -1);  // join condition index reaching alias
+  std::vector<bool> visited(n, false);
+  visited[0] = true;
+  for (size_t head = 0; head < order.size(); ++head) {
+    size_t u = static_cast<size_t>(order[head]);
+    for (size_t j = 0; j < query.joins().size(); ++j) {
+      const JoinCondition& join = query.joins()[j];
+      size_t a = query.AliasIndex(join.left.alias);
+      size_t b = query.AliasIndex(join.right.alias);
+      size_t other;
+      if (a == u && !visited[b]) {
+        other = b;
+      } else if (b == u && !visited[a]) {
+        other = a;
+      } else {
+        continue;
+      }
+      visited[other] = true;
+      tree_join[other] = static_cast<int>(j);
+      order.push_back(static_cast<int>(other));
+    }
+  }
+  if (order.size() != n) {
+    throw std::invalid_argument("wander join: disconnected join graph");
+  }
+  std::vector<bool> is_tree_edge(query.joins().size(), false);
+  for (int j : tree_join) {
+    if (j >= 0) is_tree_edge[static_cast<size_t>(j)] = true;
+  }
+
+  const Table& first_table = db_->GetTable(query.tables()[0].table);
+  if (first_table.num_rows() == 0) return 0.0;
+
+  double sum = 0.0;
+  std::vector<uint32_t> walk_rows(n, 0);
+  for (size_t w = 0; w < options_.walks; ++w) {
+    double weight = static_cast<double>(first_table.num_rows());
+    uint32_t r0 = static_cast<uint32_t>(rng_.Below(first_table.num_rows()));
+    if (!EvalRow(first_table, *query.FilterFor(query.tables()[0].alias), r0)) {
+      continue;
+    }
+    walk_rows[0] = r0;
+    bool dead = false;
+    for (size_t step = 1; step < order.size() && !dead; ++step) {
+      size_t alias_idx = static_cast<size_t>(order[step]);
+      const JoinCondition& join =
+          query.joins()[static_cast<size_t>(tree_join[alias_idx])];
+      // Orient: `from` is the already-visited side.
+      AliasColumn from = join.left, to = join.right;
+      if (query.AliasIndex(to.alias) != alias_idx) std::swap(from, to);
+      const Table& from_table = db_->GetTable(query.TableOf(from.alias));
+      int64_t key = from_table.Col(from.column)
+                        .IntAt(walk_rows[query.AliasIndex(from.alias)]);
+      if (key == kNullInt64) {
+        dead = true;
+        break;
+      }
+      const KeyIndex& index =
+          IndexFor({query.TableOf(to.alias), to.column});
+      auto it = index.find(key);
+      if (it == index.end() || it->second.empty()) {
+        dead = true;
+        break;
+      }
+      uint32_t pick = it->second[rng_.Below(it->second.size())];
+      weight *= static_cast<double>(it->second.size());
+      const Table& to_table = db_->GetTable(query.TableOf(to.alias));
+      if (!EvalRow(to_table, *query.FilterFor(to.alias), pick)) {
+        dead = true;
+        break;
+      }
+      walk_rows[alias_idx] = pick;
+    }
+    if (dead) continue;
+    // Verify non-tree join conditions (cyclic templates).
+    bool ok = true;
+    for (size_t j = 0; j < query.joins().size() && ok; ++j) {
+      if (is_tree_edge[j]) continue;
+      const JoinCondition& join = query.joins()[j];
+      const Table& lt = db_->GetTable(query.TableOf(join.left.alias));
+      const Table& rt = db_->GetTable(query.TableOf(join.right.alias));
+      int64_t lv = lt.Col(join.left.column)
+                       .IntAt(walk_rows[query.AliasIndex(join.left.alias)]);
+      int64_t rv = rt.Col(join.right.column)
+                       .IntAt(walk_rows[query.AliasIndex(join.right.alias)]);
+      ok = lv != kNullInt64 && lv == rv;
+    }
+    if (ok) sum += weight;
+  }
+  return sum / static_cast<double>(options_.walks);
+}
+
+size_t WanderJoinEstimator::ModelSizeBytes() const {
+  // Indexes are considered part of the database (as in the paper's setup with
+  // PK/FK indexes built), so the estimator itself is almost stateless.
+  return sizeof(*this);
+}
+
+}  // namespace fj

@@ -1,0 +1,42 @@
+// Wander join (Li et al., SIGMOD'16): random walks along the join path using
+// per-key indexes, producing a Horvitz-Thompson estimate of the join size.
+// The WJSample baseline of the paper's evaluation.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "stats/cardinality_estimator.h"
+#include "storage/database.h"
+#include "util/rng.h"
+
+namespace fj {
+
+struct WanderJoinOptions {
+  /// Number of random walks per (sub-)query estimate.
+  size_t walks = 200;
+  uint64_t seed = 99;
+};
+
+class WanderJoinEstimator : public CardinalityEstimator {
+ public:
+  WanderJoinEstimator(const Database& db, WanderJoinOptions options = {});
+
+  std::string Name() const override { return "wjsample"; }
+  double Estimate(const Query& query) override;
+  size_t ModelSizeBytes() const override;
+  double TrainSeconds() const override { return train_seconds_; }
+
+ private:
+  using KeyIndex = std::unordered_map<int64_t, std::vector<uint32_t>>;
+
+  const KeyIndex& IndexFor(const ColumnRef& ref) const;
+
+  const Database* db_;  // not owned
+  WanderJoinOptions options_;
+  std::unordered_map<ColumnRef, KeyIndex, ColumnRefHash> indexes_;
+  Rng rng_;
+  double train_seconds_ = 0.0;
+};
+
+}  // namespace fj

@@ -1,0 +1,83 @@
+// In-memory hash join over Relations, plus base-table scan with filter.
+// This executor is the substrate for the end-to-end experiments: the
+// optimizer's chosen plan is actually run and its work measured, standing in
+// for PostgreSQL execution in the paper's setup.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "exec/relation.h"
+#include "query/query.h"
+#include "storage/database.h"
+
+namespace fj {
+
+/// Cumulative work counters for one plan execution. `rows_*` counts model the
+/// dominant costs of hash-join execution and are the unit of the simulated
+/// "execution time" in the benches (wall time is also measured).
+struct ExecStats {
+  size_t rows_scanned = 0;  // base-table rows read by scans
+  size_t rows_built = 0;    // tuples inserted into hash tables
+  size_t rows_probed = 0;   // tuples probing hash tables
+  size_t rows_output = 0;   // tuples emitted by joins
+
+  size_t TotalWork() const {
+    return rows_scanned + rows_built + rows_probed + rows_output;
+  }
+
+  void Add(const ExecStats& o) {
+    rows_scanned += o.rows_scanned;
+    rows_built += o.rows_built;
+    rows_probed += o.rows_probed;
+    rows_output += o.rows_output;
+  }
+};
+
+/// Thrown when a join's output exceeds the configured tuple cap (protects the
+/// harness from plans whose intermediate results would not fit in memory).
+class ExecutionOverflow : public std::runtime_error {
+ public:
+  explicit ExecutionOverflow(size_t tuples)
+      : std::runtime_error("join result exceeded cap: " +
+                           std::to_string(tuples) + " tuples") {}
+};
+
+/// One equi-join column pair connecting the two inputs of a join.
+struct JoinKeyPair {
+  AliasColumn left;   // belongs to the left (build) relation
+  AliasColumn right;  // belongs to the right (probe) relation
+};
+
+/// Scans base table `table_name` as alias `alias`, applying `filter`.
+Relation ScanFilter(const Database& db, const std::string& table_name,
+                    const std::string& alias, const Predicate& filter,
+                    ExecStats* stats);
+
+/// Hash-joins `left` (build side) with `right` (probe side) on all `keys`.
+/// `max_output_tuples` bounds the materialized result.
+Relation HashJoin(const Database& db, const Query& query, const Relation& left,
+                  const Relation& right, const std::vector<JoinKeyPair>& keys,
+                  ExecStats* stats, size_t max_output_tuples);
+
+/// Nested-loop join: compares every tuple pair. Cheap on tiny inputs, and the
+/// executor-side realization of the catastrophic plans that severe
+/// cardinality underestimation produces. Work is |left| * |right| pairs,
+/// charged to stats->rows_probed; the join aborts with ExecutionOverflow
+/// when the pair count exceeds `max_pair_work` (after charging the work).
+Relation NestedLoopJoin(const Database& db, const Query& query,
+                        const Relation& left, const Relation& right,
+                        const std::vector<JoinKeyPair>& keys, ExecStats* stats,
+                        size_t max_output_tuples,
+                        size_t max_pair_work = 200'000'000);
+
+/// All join conditions of `query` that connect an alias in `left_aliases` to
+/// an alias in `right_aliases` (in either orientation; the returned pairs are
+/// oriented left→right).
+std::vector<JoinKeyPair> ConnectingKeys(
+    const Query& query, const std::vector<std::string>& left_aliases,
+    const std::vector<std::string>& right_aliases);
+
+}  // namespace fj

@@ -1,0 +1,12 @@
+#include "exec/relation.h"
+
+namespace fj {
+
+int Relation::AliasPos(const std::string& alias) const {
+  for (size_t i = 0; i < aliases_.size(); ++i) {
+    if (aliases_[i] == alias) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace fj

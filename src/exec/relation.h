@@ -1,0 +1,47 @@
+// Intermediate results of join execution: tuples of base-table row ids, one
+// id per alias, stored flat (row-major).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fj {
+
+class Relation {
+ public:
+  Relation() = default;
+  explicit Relation(std::vector<std::string> aliases)
+      : aliases_(std::move(aliases)) {}
+
+  const std::vector<std::string>& aliases() const { return aliases_; }
+  size_t arity() const { return aliases_.size(); }
+  size_t size() const {
+    return aliases_.empty() ? 0 : data_.size() / aliases_.size();
+  }
+
+  /// Position of an alias within tuples; -1 if absent.
+  int AliasPos(const std::string& alias) const;
+
+  /// Appends one tuple (row ids parallel to aliases()).
+  void Append(const uint32_t* tuple) {
+    data_.insert(data_.end(), tuple, tuple + arity());
+  }
+
+  /// Row id of `alias` in tuple t.
+  uint32_t RowId(size_t t, size_t alias_pos) const {
+    return data_[t * arity() + alias_pos];
+  }
+
+  const uint32_t* Tuple(size_t t) const { return &data_[t * arity()]; }
+
+  void Reserve(size_t tuples) { data_.reserve(tuples * arity()); }
+
+  std::vector<uint32_t>* mutable_data() { return &data_; }
+
+ private:
+  std::vector<std::string> aliases_;
+  std::vector<uint32_t> data_;
+};
+
+}  // namespace fj

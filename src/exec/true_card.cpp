@@ -1,0 +1,71 @@
+#include "exec/true_card.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace fj {
+
+Relation ExecuteGreedy(const Database& db, const Query& query,
+                       ExecStats* stats, size_t max_output_tuples) {
+  // Filtered scans of all aliases.
+  std::vector<Relation> pending;
+  for (const auto& ref : query.tables()) {
+    pending.push_back(ScanFilter(db, ref.table, ref.alias,
+                                 *query.FilterFor(ref.alias), stats));
+  }
+  if (pending.empty()) return Relation{};
+
+  // Start from the smallest relation, repeatedly join in the connected
+  // neighbor that yields the smallest (actually computed) intermediate.
+  // Greedy-by-result keeps the oracle robust without a full optimizer.
+  size_t start = 0;
+  for (size_t i = 1; i < pending.size(); ++i) {
+    if (pending[i].size() < pending[start].size()) start = i;
+  }
+  Relation current = std::move(pending[start]);
+  pending.erase(pending.begin() + static_cast<long>(start));
+
+  while (!pending.empty()) {
+    // Candidates connected to the current result.
+    int best = -1;
+    for (size_t i = 0; i < pending.size(); ++i) {
+      auto keys = ConnectingKeys(query, current.aliases(),
+                                 pending[i].aliases());
+      if (keys.empty()) continue;
+      if (best < 0 || pending[i].size() < pending[static_cast<size_t>(best)].size()) {
+        best = static_cast<int>(i);
+      }
+    }
+    if (best < 0) {
+      // Disconnected query: cross products are not supported by the oracle;
+      // callers only pass connected (sub-)queries.
+      throw std::invalid_argument("ExecuteGreedy: disconnected join graph");
+    }
+    auto& next = pending[static_cast<size_t>(best)];
+    auto keys = ConnectingKeys(query, current.aliases(), next.aliases());
+    current = HashJoin(db, query, current, next, keys, stats,
+                       max_output_tuples);
+    pending.erase(pending.begin() + best);
+  }
+  return current;
+}
+
+std::optional<uint64_t> TrueCardinality(const Database& db, const Query& query,
+                                        ExecStats* stats,
+                                        const TrueCardOptions& options) {
+  try {
+    if (query.NumTables() == 1) {
+      Relation rel = ScanFilter(db, query.tables()[0].table,
+                                query.tables()[0].alias,
+                                *query.FilterFor(query.tables()[0].alias),
+                                stats);
+      return rel.size();
+    }
+    Relation rel = ExecuteGreedy(db, query, stats, options.max_output_tuples);
+    return rel.size();
+  } catch (const ExecutionOverflow&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace fj

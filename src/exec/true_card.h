@@ -1,0 +1,30 @@
+// Exact cardinality oracle: executes the query with a greedy join order and
+// returns the true result size. Used as ground truth in the experiments and
+// as the TrueCard "optimal" baseline.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "exec/hash_join.h"
+#include "query/query.h"
+#include "storage/database.h"
+
+namespace fj {
+
+struct TrueCardOptions {
+  size_t max_output_tuples = 80'000'000;
+};
+
+/// Exact |Q|. Returns nullopt if any intermediate result exceeds the cap.
+/// `stats` (optional) accumulates the work performed.
+std::optional<uint64_t> TrueCardinality(const Database& db, const Query& query,
+                                        ExecStats* stats = nullptr,
+                                        const TrueCardOptions& options = {});
+
+/// Executes the query joining aliases in greedy smallest-intermediate-first
+/// order and returns the final relation. Throws ExecutionOverflow on cap.
+Relation ExecuteGreedy(const Database& db, const Query& query,
+                       ExecStats* stats, size_t max_output_tuples);
+
+}  // namespace fj

@@ -1,0 +1,79 @@
+#include "factorjoin/bin_stats.h"
+
+#include <algorithm>
+
+namespace fj {
+
+ColumnBinStats::ColumnBinStats(const Column& col, const Binning& binning) {
+  totals_.assign(binning.num_bins(), 0);
+  mfvs_.assign(binning.num_bins(), 0);
+  ndvs_.assign(binning.num_bins(), 0);
+  value_counts_ = ValueCounts(col);
+  for (const auto& [value, count] : value_counts_) {
+    uint32_t bin = binning.BinOf(value);
+    totals_[bin] += count;
+    mfvs_[bin] = std::max(mfvs_[bin], count);
+    ndvs_[bin] += 1;
+    total_rows_ += count;
+  }
+}
+
+uint64_t ColumnBinStats::MaxMfv() const {
+  uint64_t m = 0;
+  for (uint64_t v : mfvs_) m = std::max(m, v);
+  return std::max<uint64_t>(m, 1);
+}
+
+void ColumnBinStats::InsertValues(const std::vector<int64_t>& values,
+                                  const Binning& binning) {
+  for (int64_t v : values) {
+    if (v == kNullInt64) continue;
+    uint64_t& count = value_counts_[v];
+    uint32_t bin = binning.BinOf(v);
+    if (count == 0) ndvs_[bin] += 1;
+    ++count;
+    totals_[bin] += 1;
+    mfvs_[bin] = std::max(mfvs_[bin], count);
+    total_rows_ += 1;
+  }
+}
+
+void ColumnBinStats::DeleteValues(const std::vector<int64_t>& values,
+                                  const Binning& binning) {
+  std::vector<uint32_t> dirty_bins;
+  for (int64_t v : values) {
+    if (v == kNullInt64) continue;
+    auto it = value_counts_.find(v);
+    if (it == value_counts_.end() || it->second == 0) continue;
+    uint32_t bin = binning.BinOf(v);
+    --it->second;
+    totals_[bin] -= 1;
+    total_rows_ -= 1;
+    if (it->second == 0) {
+      ndvs_[bin] -= 1;
+      value_counts_.erase(it);
+    }
+    dirty_bins.push_back(bin);
+  }
+  std::sort(dirty_bins.begin(), dirty_bins.end());
+  dirty_bins.erase(std::unique(dirty_bins.begin(), dirty_bins.end()),
+                   dirty_bins.end());
+  for (uint32_t bin : dirty_bins) RebuildBinAggregates(bin, binning);
+}
+
+void ColumnBinStats::RebuildBinAggregates(uint32_t bin,
+                                          const Binning& binning) {
+  uint64_t mfv = 0;
+  for (const auto& [value, count] : value_counts_) {
+    if (binning.BinOf(value) == bin) mfv = std::max(mfv, count);
+  }
+  mfvs_[bin] = mfv;
+}
+
+size_t ColumnBinStats::MemoryBytes() const {
+  return totals_.size() * 3 * sizeof(uint64_t) +
+         value_counts_.size() * (sizeof(int64_t) + sizeof(uint64_t) +
+                                 sizeof(void*));
+}
+
+}  // namespace fj

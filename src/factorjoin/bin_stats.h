@@ -1,0 +1,63 @@
+// Offline per-bin summaries of join-key columns (Figure 5): for every join
+// key and every bin of its group's binning, the total row count and the
+// most-frequent-value (MFV) count V*. These summaries power the probabilistic
+// bound (Equation 5) and are cheap to maintain incrementally (Section 4.3).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "factorjoin/binning.h"
+#include "storage/column.h"
+
+namespace fj {
+
+/// Per-bin summary of one join-key column under one binning.
+class ColumnBinStats {
+ public:
+  ColumnBinStats() = default;
+
+  /// Scans `col`, assigning every non-null value to its bin.
+  ColumnBinStats(const Column& col, const Binning& binning);
+
+  uint32_t num_bins() const { return static_cast<uint32_t>(totals_.size()); }
+
+  /// Total number of rows whose key falls in `bin`.
+  uint64_t TotalCount(uint32_t bin) const { return totals_[bin]; }
+
+  /// Count of the most frequent single value inside `bin` (V*).
+  uint64_t MfvCount(uint32_t bin) const { return mfvs_[bin]; }
+
+  /// Number of distinct values inside `bin`.
+  uint64_t DistinctCount(uint32_t bin) const { return ndvs_[bin]; }
+
+  /// Largest MFV over all bins (used to propagate MFV bounds across joins).
+  uint64_t MaxMfv() const;
+
+  /// Row count of the column at build time (incl. updates).
+  uint64_t total_rows() const { return total_rows_; }
+
+  /// Incremental insert of new key values (Section 4.3): bins stay fixed, the
+  /// per-value counts, totals and MFVs are updated.
+  void InsertValues(const std::vector<int64_t>& values, const Binning& binning);
+
+  /// Incremental delete. MFV counts are recomputed from the retained
+  /// per-value counts, so deletes keep V* exact.
+  void DeleteValues(const std::vector<int64_t>& values, const Binning& binning);
+
+  size_t MemoryBytes() const;
+
+ private:
+  void RebuildBinAggregates(uint32_t bin, const Binning& binning);
+
+  std::vector<uint64_t> totals_;
+  std::vector<uint64_t> mfvs_;
+  std::vector<uint64_t> ndvs_;
+  // Exact per-value counts; needed for MFV maintenance under updates. The
+  // paper's model size accounting includes this dictionary.
+  std::unordered_map<int64_t, uint64_t> value_counts_;
+  uint64_t total_rows_ = 0;
+};
+
+}  // namespace fj

@@ -1,0 +1,304 @@
+#include "factorjoin/binning.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace fj {
+
+const char* BinningStrategyName(BinningStrategy s) {
+  switch (s) {
+    case BinningStrategy::kEqualWidth: return "equal-width";
+    case BinningStrategy::kEqualDepth: return "equal-depth";
+    case BinningStrategy::kGbsa: return "gbsa";
+  }
+  return "?";
+}
+
+Binning Binning::FromBounds(std::vector<int64_t> upper_bounds) {
+  Binning b;
+  b.explicit_ = false;
+  b.upper_bounds_ = std::move(upper_bounds);
+  if (b.upper_bounds_.empty()) {
+    b.upper_bounds_.push_back(std::numeric_limits<int64_t>::max());
+  }
+  b.num_bins_ = static_cast<uint32_t>(b.upper_bounds_.size());
+  return b;
+}
+
+Binning Binning::FromMap(std::unordered_map<int64_t, uint32_t> value_to_bin,
+                         uint32_t num_bins, uint32_t overflow_bin) {
+  Binning b;
+  b.explicit_ = true;
+  b.value_to_bin_ = std::move(value_to_bin);
+  b.num_bins_ = std::max<uint32_t>(num_bins, 1);
+  b.overflow_bin_ = std::min(overflow_bin, b.num_bins_ - 1);
+  return b;
+}
+
+uint32_t Binning::BinOf(int64_t value) const {
+  if (explicit_) {
+    auto it = value_to_bin_.find(value);
+    if (it == value_to_bin_.end()) return overflow_bin_;
+    return it->second;
+  }
+  auto it = std::lower_bound(upper_bounds_.begin(), upper_bounds_.end(), value);
+  if (it == upper_bounds_.end()) return num_bins_ - 1;
+  return static_cast<uint32_t>(it - upper_bounds_.begin());
+}
+
+size_t Binning::MemoryBytes() const {
+  return upper_bounds_.size() * sizeof(int64_t) +
+         value_to_bin_.size() * (sizeof(int64_t) + sizeof(uint32_t) +
+                                 sizeof(void*));
+}
+
+std::unordered_map<int64_t, uint64_t> ValueCounts(const Column& col) {
+  std::unordered_map<int64_t, uint64_t> counts;
+  counts.reserve(col.size());
+  for (int64_t v : col.ints()) {
+    if (v != kNullInt64) ++counts[v];
+  }
+  return counts;
+}
+
+namespace {
+
+// Combined value → total count over all member columns.
+std::unordered_map<int64_t, uint64_t> CombinedCounts(
+    const std::vector<const Column*>& columns) {
+  std::unordered_map<int64_t, uint64_t> total;
+  for (const Column* col : columns) {
+    for (int64_t v : col->ints()) {
+      if (v != kNullInt64) ++total[v];
+    }
+  }
+  return total;
+}
+
+// Population variance of counts within one bin's value set.
+double CountVariance(const std::vector<uint64_t>& counts) {
+  if (counts.size() < 2) return 0.0;
+  double mean = 0.0;
+  for (uint64_t c : counts) mean += static_cast<double>(c);
+  mean /= static_cast<double>(counts.size());
+  double var = 0.0;
+  for (uint64_t c : counts) {
+    double d = static_cast<double>(c) - mean;
+    var += d * d;
+  }
+  return var / static_cast<double>(counts.size());
+}
+
+}  // namespace
+
+Binning BuildEqualWidth(const std::vector<const Column*>& columns,
+                        uint32_t k) {
+  int64_t lo = std::numeric_limits<int64_t>::max();
+  int64_t hi = std::numeric_limits<int64_t>::min();
+  bool found = false;
+  for (const Column* col : columns) {
+    int64_t clo, chi;
+    if (col->CodeRange(&clo, &chi)) {
+      lo = std::min(lo, clo);
+      hi = std::max(hi, chi);
+      found = true;
+    }
+  }
+  if (!found || k <= 1 || lo == hi) {
+    return Binning::FromBounds({std::numeric_limits<int64_t>::max()});
+  }
+  std::vector<int64_t> bounds;
+  bounds.reserve(k);
+  // Width computed in double to avoid overflow on wide code ranges.
+  double width = (static_cast<double>(hi) - static_cast<double>(lo)) /
+                 static_cast<double>(k);
+  for (uint32_t i = 1; i < k; ++i) {
+    int64_t edge = lo + static_cast<int64_t>(std::floor(width * i));
+    if (bounds.empty() || edge > bounds.back()) bounds.push_back(edge);
+  }
+  bounds.push_back(std::numeric_limits<int64_t>::max());
+  return Binning::FromBounds(std::move(bounds));
+}
+
+Binning BuildEqualDepth(const std::vector<const Column*>& columns,
+                        uint32_t k) {
+  auto counts = CombinedCounts(columns);
+  if (counts.empty() || k <= 1) {
+    return Binning::FromBounds({std::numeric_limits<int64_t>::max()});
+  }
+  std::vector<std::pair<int64_t, uint64_t>> sorted(counts.begin(),
+                                                   counts.end());
+  std::sort(sorted.begin(), sorted.end());
+  uint64_t total = 0;
+  for (const auto& [v, c] : sorted) total += c;
+  uint64_t per_bin = std::max<uint64_t>(total / k, 1);
+
+  std::vector<int64_t> bounds;
+  uint64_t acc = 0;
+  for (const auto& [v, c] : sorted) {
+    acc += c;
+    if (acc >= per_bin && bounds.size() + 1 < k) {
+      bounds.push_back(v);
+      acc = 0;
+    }
+  }
+  bounds.push_back(std::numeric_limits<int64_t>::max());
+  return Binning::FromBounds(std::move(bounds));
+}
+
+Binning BuildGbsa(const std::vector<const Column*>& columns, uint32_t k) {
+  if (columns.empty() || k == 0) {
+    return Binning::FromBounds({std::numeric_limits<int64_t>::max()});
+  }
+  if (k == 1) {
+    // One bin over everything; explicit map not needed.
+    return Binning::FromBounds({std::numeric_limits<int64_t>::max()});
+  }
+
+  // Sort member keys by domain size (distinct values), descending
+  // (Algorithm 2 line 3).
+  std::vector<std::unordered_map<int64_t, uint64_t>> per_key_counts;
+  per_key_counts.reserve(columns.size());
+  for (const Column* col : columns) per_key_counts.push_back(ValueCounts(*col));
+  std::vector<size_t> order(columns.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return per_key_counts[a].size() > per_key_counts[b].size();
+  });
+
+  // The full value universe of the group (so every observed value is mapped).
+  auto universe = CombinedCounts(columns);
+
+  // Step 1 (lines 4-5): min-variance bins on the largest-domain key with half
+  // the budget. Sorting values by their count and cutting equal-depth over
+  // that order groups equal-frequency values together, which minimizes
+  // within-bin count variance.
+  const auto& first_counts = per_key_counts[order[0]];
+  std::vector<std::pair<uint64_t, int64_t>> by_count;  // (count, value)
+  by_count.reserve(universe.size());
+  for (const auto& [v, _] : universe) {
+    auto it = first_counts.find(v);
+    uint64_t c = it == first_counts.end() ? 0 : it->second;
+    by_count.emplace_back(c, v);
+  }
+  std::sort(by_count.begin(), by_count.end());
+
+  uint32_t budget = k;
+  // With a single member key only the first stage runs, so it gets the whole
+  // budget; otherwise half is reserved for the refinement stages (line 5).
+  uint32_t initial_bins =
+      order.size() == 1 ? budget : std::max<uint32_t>(budget / 2, 1);
+  // Equal-depth over *mass* in count-sorted order: heavy-hitter values end up
+  // in small (often singleton) bins and the long tail of equal-count values
+  // shares bins — which is what minimizes within-bin count variance.
+  std::vector<std::vector<int64_t>> bins;
+  {
+    uint64_t total_mass = 0;
+    for (const auto& [c, v] : by_count) total_mass += std::max<uint64_t>(c, 1);
+    uint64_t per = std::max<uint64_t>(total_mass / initial_bins, 1);
+    std::vector<int64_t> current;
+    uint64_t acc = 0;
+    for (const auto& [c, v] : by_count) {
+      current.push_back(v);
+      acc += std::max<uint64_t>(c, 1);
+      if (acc >= per && bins.size() + 1 < initial_bins) {
+        bins.push_back(std::move(current));
+        current.clear();
+        acc = 0;
+      }
+    }
+    if (!current.empty()) bins.push_back(std::move(current));
+  }
+  uint32_t remain = budget - std::min<uint32_t>(
+                                 budget, static_cast<uint32_t>(bins.size()));
+
+  // Steps 2..m (lines 6-14): for each further key, find the bins with the
+  // highest count variance under that key and dichotomize them.
+  for (size_t oi = 1; oi < order.size() && remain > 0; ++oi) {
+    const auto& counts = per_key_counts[order[oi]];
+    // Variance per bin under this key.
+    std::vector<std::pair<double, size_t>> variances;  // (variance, bin idx)
+    for (size_t b = 0; b < bins.size(); ++b) {
+      std::vector<uint64_t> cs;
+      cs.reserve(bins[b].size());
+      for (int64_t v : bins[b]) {
+        auto it = counts.find(v);
+        cs.push_back(it == counts.end() ? 0 : it->second);
+      }
+      variances.emplace_back(CountVariance(cs), b);
+    }
+    std::sort(variances.begin(), variances.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+
+    uint32_t splits = std::max<uint32_t>(remain / 2, 1);
+    splits = std::min<uint32_t>(splits, remain);
+    uint32_t done = 0;
+    for (const auto& [var, b] : variances) {
+      if (done >= splits) break;
+      if (var <= 0.0 || bins[b].size() < 2) continue;
+      // min_variance_dichotomy: sort the bin's values by this key's count and
+      // cut at the median of the mass order.
+      std::vector<std::pair<uint64_t, int64_t>> vals;
+      vals.reserve(bins[b].size());
+      for (int64_t v : bins[b]) {
+        auto it = counts.find(v);
+        vals.emplace_back(it == counts.end() ? 0 : it->second, v);
+      }
+      std::sort(vals.begin(), vals.end());
+      size_t half = vals.size() / 2;
+      std::vector<int64_t> lo_half, hi_half;
+      for (size_t i = 0; i < vals.size(); ++i) {
+        (i < half ? lo_half : hi_half).push_back(vals[i].second);
+      }
+      bins[b] = std::move(lo_half);
+      bins.push_back(std::move(hi_half));
+      ++done;
+    }
+    remain -= done;
+  }
+
+  std::unordered_map<int64_t, uint32_t> value_to_bin;
+  value_to_bin.reserve(universe.size());
+  for (size_t b = 0; b < bins.size(); ++b) {
+    for (int64_t v : bins[b]) value_to_bin[v] = static_cast<uint32_t>(b);
+  }
+  // Unseen (future) values fall into the last bin, which holds the
+  // highest-frequency region of the first key; conservative for inserts.
+  uint32_t overflow = static_cast<uint32_t>(bins.size()) - 1;
+  return Binning::FromMap(std::move(value_to_bin),
+                          static_cast<uint32_t>(bins.size()), overflow);
+}
+
+Binning BuildBinning(BinningStrategy strategy,
+                     const std::vector<const Column*>& columns, uint32_t k) {
+  switch (strategy) {
+    case BinningStrategy::kEqualWidth: return BuildEqualWidth(columns, k);
+    case BinningStrategy::kEqualDepth: return BuildEqualDepth(columns, k);
+    case BinningStrategy::kGbsa: return BuildGbsa(columns, k);
+  }
+  return BuildEqualWidth(columns, k);
+}
+
+std::vector<uint32_t> AllocateBinBudget(
+    uint64_t total_budget, const std::vector<uint64_t>& group_frequencies,
+    uint32_t min_bins) {
+  std::vector<uint32_t> ks(group_frequencies.size(), min_bins);
+  uint64_t total_freq = 0;
+  for (uint64_t f : group_frequencies) total_freq += f;
+  if (total_freq == 0) {
+    // No workload information: spread evenly.
+    uint64_t each = group_frequencies.empty()
+                        ? 0
+                        : total_budget / group_frequencies.size();
+    for (auto& k : ks) k = std::max<uint32_t>(static_cast<uint32_t>(each), min_bins);
+    return ks;
+  }
+  for (size_t i = 0; i < ks.size(); ++i) {
+    uint64_t share = total_budget * group_frequencies[i] / total_freq;
+    ks[i] = std::max<uint32_t>(static_cast<uint32_t>(share), min_bins);
+  }
+  return ks;
+}
+
+}  // namespace fj

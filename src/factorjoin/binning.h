@@ -1,0 +1,89 @@
+// Join-key domain binning (Section 4).
+//
+// One Binning is shared by every join key in an equivalent key group: a value
+// must land in the bin with the same index on both sides of a join
+// (Section 4.1). Three construction strategies are provided:
+//   * equal-width   — fixed-width ranges over [min, max]
+//   * equal-depth   — frequency quantiles of the concatenated key domains
+//   * GBSA          — greedy bin selection (Algorithm 2), which minimizes the
+//                     variance of value counts inside each bin across all
+//                     keys of the group, the property that keeps the
+//                     MFV-based bound tight.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/database.h"
+
+namespace fj {
+
+enum class BinningStrategy { kEqualWidth, kEqualDepth, kGbsa };
+
+const char* BinningStrategyName(BinningStrategy s);
+
+/// Immutable value→bin mapping for one equivalent key group.
+///
+/// Two physical representations: range-based (sorted upper boundaries, binary
+/// search) for equal-width/equal-depth, and explicit (hash map) for GBSA whose
+/// bins are arbitrary value sets. Values never seen at construction fall into
+/// the range bin that would contain them (range repr) or into a designated
+/// overflow bin (explicit repr), so incremental inserts stay well-defined.
+class Binning {
+ public:
+  /// Range representation; `upper_bounds` are inclusive upper bin edges,
+  /// strictly increasing, last edge covers +inf.
+  static Binning FromBounds(std::vector<int64_t> upper_bounds);
+
+  /// Explicit representation; values map to their assigned bin, unseen values
+  /// to `overflow_bin`.
+  static Binning FromMap(std::unordered_map<int64_t, uint32_t> value_to_bin,
+                         uint32_t num_bins, uint32_t overflow_bin);
+
+  uint32_t num_bins() const { return num_bins_; }
+
+  /// Bin index of a value (always valid, see class comment).
+  uint32_t BinOf(int64_t value) const;
+
+  size_t MemoryBytes() const;
+
+ private:
+  Binning() = default;
+
+  bool explicit_ = false;
+  uint32_t num_bins_ = 1;
+  uint32_t overflow_bin_ = 0;
+  std::vector<int64_t> upper_bounds_;
+  std::unordered_map<int64_t, uint32_t> value_to_bin_;
+};
+
+/// Frequency map of one join-key column: value → number of rows.
+std::unordered_map<int64_t, uint64_t> ValueCounts(const Column& col);
+
+/// Builds the binning for one key group with `k` bins using `strategy`.
+/// `columns` are the member key columns' data (all tables of the group).
+Binning BuildBinning(BinningStrategy strategy,
+                     const std::vector<const Column*>& columns, uint32_t k);
+
+/// Equal-width over the combined [min, max] code range of all columns.
+Binning BuildEqualWidth(const std::vector<const Column*>& columns, uint32_t k);
+
+/// Equal-depth over the combined frequency distribution.
+Binning BuildEqualDepth(const std::vector<const Column*>& columns, uint32_t k);
+
+/// Greedy Bin Selection Algorithm (Algorithm 2). Sorts member keys by domain
+/// size descending; spends k/2 budget on min-variance bins of the first key
+/// (equal-depth over count-sorted values), then for each subsequent key
+/// dichotomizes the highest-variance bins with a halving budget.
+Binning BuildGbsa(const std::vector<const Column*>& columns, uint32_t k);
+
+/// Workload-aware bin budget allocation (Section 4.2): given a total budget K
+/// and per-group workload frequencies n_i, returns k_i = K * n_i / sum(n_j),
+/// with every group receiving at least `min_bins`.
+std::vector<uint32_t> AllocateBinBudget(uint64_t total_budget,
+                                        const std::vector<uint64_t>& group_frequencies,
+                                        uint32_t min_bins = 4);
+
+}  // namespace fj

@@ -1,0 +1,365 @@
+#include "factorjoin/estimator.h"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+#include "stats/sampling_estimator.h"
+#include "stats/truescan_estimator.h"
+#include "util/timer.h"
+
+namespace fj {
+namespace {
+
+// Counts how often each global key group is exercised by a workload: a query
+// contributes to a group when any of its join conditions equates members of
+// that group (Section 4.2).
+std::vector<uint64_t> GroupFrequencies(
+    const std::vector<Query>& workload,
+    const std::unordered_map<ColumnRef, int, ColumnRefHash>& column_to_group,
+    size_t num_groups) {
+  std::vector<uint64_t> freq(num_groups, 0);
+  for (const Query& q : workload) {
+    std::vector<bool> seen(num_groups, false);
+    for (const auto& join : q.joins()) {
+      ColumnRef ref{q.TableOf(join.left.alias), join.left.column};
+      auto it = column_to_group.find(ref);
+      if (it == column_to_group.end()) continue;
+      if (!seen[static_cast<size_t>(it->second)]) {
+        seen[static_cast<size_t>(it->second)] = true;
+        ++freq[static_cast<size_t>(it->second)];
+      }
+    }
+  }
+  return freq;
+}
+
+}  // namespace
+
+FactorJoinEstimator::FactorJoinEstimator(const Database& db,
+                                         FactorJoinConfig config,
+                                         const std::vector<Query>* workload)
+    : db_(&db), config_(config) {
+  WallTimer timer;
+
+  // 1. Equivalent key groups from the schema.
+  std::vector<KeyGroup> groups = db.EquivalentKeyGroups();
+  for (size_t g = 0; g < groups.size(); ++g) {
+    for (const ColumnRef& ref : groups[g].members) {
+      column_to_group_[ref] = static_cast<int>(g);
+    }
+  }
+
+  // 2. Bin budget per group.
+  std::vector<uint32_t> ks(groups.size(), config_.num_bins);
+  if (config_.workload_aware_budget && workload != nullptr) {
+    uint64_t total_budget =
+        static_cast<uint64_t>(config_.num_bins) * groups.size();
+    ks = AllocateBinBudget(total_budget,
+                           GroupFrequencies(*workload, column_to_group_,
+                                            groups.size()));
+  }
+
+  // 3. Binning per group + per-column bin summaries.
+  group_binnings_.reserve(groups.size());
+  for (size_t g = 0; g < groups.size(); ++g) {
+    std::vector<const Column*> cols;
+    for (const ColumnRef& ref : groups[g].members) {
+      cols.push_back(&db.GetTable(ref.table).Col(ref.column));
+    }
+    group_binnings_.push_back(BuildBinning(config_.binning, cols, ks[g]));
+  }
+  for (size_t g = 0; g < groups.size(); ++g) {
+    for (const ColumnRef& ref : groups[g].members) {
+      bin_stats_.emplace(ref,
+                         ColumnBinStats(db.GetTable(ref.table).Col(ref.column),
+                                        group_binnings_[g]));
+    }
+  }
+
+  // 4. Single-table estimators.
+  for (const std::string& name : db.TableNames()) {
+    const Table& table = db.GetTable(name);
+    switch (config_.estimator) {
+      case TableEstimatorKind::kSampling:
+        estimators_[name] = std::make_unique<SamplingEstimator>(
+            table, config_.sampling_rate, config_.seed);
+        break;
+      case TableEstimatorKind::kTrueScan:
+        estimators_[name] = std::make_unique<TrueScanEstimator>(table);
+        break;
+      case TableEstimatorKind::kBayesNet: {
+        std::unordered_map<std::string, const Binning*> key_binnings;
+        for (const auto& [ref, gid] : column_to_group_) {
+          if (ref.table == name) {
+            key_binnings[ref.column] =
+                &group_binnings_[static_cast<size_t>(gid)];
+          }
+        }
+        estimators_[name] = std::make_unique<BayesNetEstimator>(
+            table, std::move(key_binnings), config_.bayes_net);
+        break;
+      }
+    }
+  }
+
+  train_seconds_ = timer.Seconds();
+}
+
+const Binning* FactorJoinEstimator::BinningFor(const ColumnRef& ref) const {
+  auto it = column_to_group_.find(ref);
+  if (it == column_to_group_.end()) return nullptr;
+  return &group_binnings_[static_cast<size_t>(it->second)];
+}
+
+const ColumnBinStats* FactorJoinEstimator::BinStatsFor(
+    const ColumnRef& ref) const {
+  auto it = bin_stats_.find(ref);
+  if (it == bin_stats_.end()) return nullptr;
+  return &it->second;
+}
+
+int FactorJoinEstimator::GlobalGroupOf(const Query& query,
+                                       const QueryKeyGroup& group) const {
+  for (const AliasColumn& member : group.members) {
+    ColumnRef ref{query.TableOf(member.alias), member.column};
+    auto it = column_to_group_.find(ref);
+    if (it != column_to_group_.end()) return it->second;
+  }
+  throw std::logic_error(
+      "query join key is not a declared join key in the schema: " +
+      group.members.front().ToString());
+}
+
+BoundFactor FactorJoinEstimator::MakeLeafFactor(
+    const Query& query, size_t alias_idx,
+    const std::vector<QueryKeyGroup>& groups) const {
+  const TableRef& ref = query.tables()[alias_idx];
+  const TableEstimator& est = *estimators_.at(ref.table);
+
+  // Member columns of this alias per query key group.
+  struct AliasKey {
+    int query_group;
+    std::string column;
+    const Binning* binning;
+    const ColumnBinStats* stats;
+  };
+  std::vector<AliasKey> keys;
+  for (size_t g = 0; g < groups.size(); ++g) {
+    for (const AliasColumn& member : groups[g].members) {
+      if (member.alias != ref.alias) continue;
+      int global = GlobalGroupOf(query, groups[g]);
+      ColumnRef cref{ref.table, member.column};
+      keys.push_back({static_cast<int>(g), member.column,
+                      &group_binnings_[static_cast<size_t>(global)],
+                      &bin_stats_.at(cref)});
+    }
+  }
+
+  std::vector<KeyDistRequest> requests;
+  requests.reserve(keys.size());
+  for (const AliasKey& k : keys) requests.push_back({k.column, k.binning});
+  KeyDistResult dists = est.EstimateKeyDists(*query.FilterFor(ref.alias),
+                                             requests);
+
+  BoundFactor factor;
+  factor.alias_mask = uint64_t{1} << alias_idx;
+  factor.card = std::max(dists.filtered_rows, 0.0);
+
+  for (size_t i = 0; i < keys.size(); ++i) {
+    const AliasKey& k = keys[i];
+    GroupBound gb;
+    gb.mass = dists.masses[i];
+    gb.mfv.resize(k.binning->num_bins());
+    double mass_sum = 0.0;
+    for (double m : gb.mass) mass_sum += m;
+    for (uint32_t b = 0; b < k.binning->num_bins(); ++b) {
+      gb.mfv[b] = static_cast<double>(std::max<uint64_t>(k.stats->MfvCount(b), 1));
+      if (mass_sum <= 0.0 && factor.card > 0.0 && k.stats->total_rows() > 0) {
+        // The estimator saw no matching rows (tiny sample + selective
+        // filter): back off to the key's unconditioned shape scaled to the
+        // filtered-cardinality estimate.
+        gb.mass[b] = factor.card *
+                     static_cast<double>(k.stats->TotalCount(b)) /
+                     static_cast<double>(k.stats->total_rows());
+      }
+      // The estimated per-bin mass can never exceed the bin's (exact) total
+      // count; clamping tightens sampling noise without hurting validity.
+      gb.mass[b] = std::min(gb.mass[b],
+                            static_cast<double>(k.stats->TotalCount(b)));
+    }
+    auto it = factor.groups.find(k.query_group);
+    if (it == factor.groups.end()) {
+      factor.groups[k.query_group] = std::move(gb);
+    } else {
+      // Two columns of the same alias in one group (intra-alias equality):
+      // keep the elementwise minimum, a valid bound for the conjunction.
+      GroupBound& existing = it->second;
+      size_t bins = std::min(existing.mass.size(), gb.mass.size());
+      for (size_t b = 0; b < bins; ++b) {
+        existing.mass[b] = std::min(existing.mass[b], gb.mass[b]);
+        existing.mfv[b] = std::min(existing.mfv[b], gb.mfv[b]);
+      }
+    }
+  }
+  return factor;
+}
+
+std::unordered_map<uint64_t, double> FactorJoinEstimator::EstimateSubplans(
+    const Query& query, const std::vector<uint64_t>& masks) {
+  std::vector<QueryKeyGroup> groups = query.KeyGroups();
+
+  // Leaf factors for every alias (estimated once, reused by every sub-plan —
+  // the heart of the progressive algorithm's saving).
+  std::vector<BoundFactor> leaves;
+  leaves.reserve(query.NumTables());
+  for (size_t i = 0; i < query.NumTables(); ++i) {
+    leaves.push_back(MakeLeafFactor(query, i, groups));
+  }
+
+  std::vector<uint64_t> adj = query.AliasAdjacency();
+  std::unordered_map<uint64_t, BoundFactor> cache;
+  for (size_t i = 0; i < query.NumTables(); ++i) {
+    cache[uint64_t{1} << i] = leaves[i];
+  }
+
+  // Masks ordered by popcount so each sub-plan can reuse a cached sub-factor.
+  std::vector<uint64_t> ordered = masks;
+  std::sort(ordered.begin(), ordered.end(), [](uint64_t a, uint64_t b) {
+    int pa = std::popcount(a), pb = std::popcount(b);
+    if (pa != pb) return pa < pb;
+    return a < b;
+  });
+
+  std::unordered_map<uint64_t, double> out;
+  for (uint64_t mask : ordered) {
+    if (std::popcount(mask) == 1) {
+      out[mask] = cache.at(mask).card;
+      continue;
+    }
+    if (cache.count(mask) > 0) {
+      out[mask] = cache.at(mask).card;
+      continue;
+    }
+    // Split off one alias whose removal keeps a cached, connected remainder
+    // that this alias joins back to.
+    BoundFactor joined;
+    bool done = false;
+    uint64_t m = mask;
+    while (m != 0 && !done) {
+      size_t a = static_cast<size_t>(std::countr_zero(m));
+      m &= m - 1;
+      uint64_t rest = mask & ~(uint64_t{1} << a);
+      auto it = cache.find(rest);
+      if (it == cache.end()) continue;
+      if ((adj[a] & rest) == 0) continue;
+      // Connecting query key groups: groups with bound state on both sides.
+      std::vector<int> connecting;
+      for (const auto& [gid, gb] : leaves[a].groups) {
+        if (it->second.groups.count(gid) > 0) connecting.push_back(gid);
+      }
+      if (connecting.empty()) continue;
+      joined = JoinBoundFactors(it->second, leaves[a], connecting);
+      done = true;
+    }
+    if (!done) {
+      // No cached remainder (can happen when the caller's mask list skips
+      // intermediate subsets): estimate this mask standalone.
+      out[mask] = Estimate(query.InducedSubquery(mask));
+      continue;
+    }
+    // Floor at one tuple: a zero bound reflects estimator blind spots (e.g.
+    // sparse samples), not proven emptiness.
+    out[mask] = std::max(joined.card, 1.0);
+    cache[mask] = std::move(joined);
+  }
+  return out;
+}
+
+double FactorJoinEstimator::Estimate(const Query& query) {
+  if (query.NumTables() == 0) return 0.0;
+  if (query.NumTables() == 1) {
+    const TableRef& ref = query.tables()[0];
+    return estimators_.at(ref.table)
+        ->EstimateFilteredRows(*query.FilterFor(ref.alias));
+  }
+  std::vector<QueryKeyGroup> groups = query.KeyGroups();
+  std::vector<uint64_t> adj = query.AliasAdjacency();
+
+  std::vector<BoundFactor> leaves;
+  for (size_t i = 0; i < query.NumTables(); ++i) {
+    leaves.push_back(MakeLeafFactor(query, i, groups));
+  }
+
+  // Greedy left-deep accumulation starting from the smallest leaf.
+  size_t start = 0;
+  for (size_t i = 1; i < leaves.size(); ++i) {
+    if (leaves[i].card < leaves[start].card) start = i;
+  }
+  BoundFactor current = leaves[start];
+  uint64_t remaining = ((query.NumTables() == 64)
+                            ? ~uint64_t{0}
+                            : (uint64_t{1} << query.NumTables()) - 1) &
+                       ~current.alias_mask;
+  while (remaining != 0) {
+    // Next connected alias with the smallest leaf bound.
+    int best = -1;
+    uint64_t m = remaining;
+    while (m != 0) {
+      size_t a = static_cast<size_t>(std::countr_zero(m));
+      m &= m - 1;
+      if ((adj[a] & current.alias_mask) == 0) continue;
+      if (best < 0 || leaves[a].card < leaves[static_cast<size_t>(best)].card) {
+        best = static_cast<int>(a);
+      }
+    }
+    if (best < 0) {
+      throw std::invalid_argument("FactorJoin: disconnected join graph: " +
+                                  query.ToString());
+    }
+    std::vector<int> connecting;
+    for (const auto& [gid, gb] : leaves[static_cast<size_t>(best)].groups) {
+      if (current.groups.count(gid) > 0) connecting.push_back(gid);
+    }
+    current = JoinBoundFactors(current, leaves[static_cast<size_t>(best)],
+                               connecting);
+    remaining &= ~(uint64_t{1} << best);
+  }
+  return std::max(current.card, 1.0);
+}
+
+double FactorJoinEstimator::ApplyInsert(const std::string& table_name,
+                                        size_t first_new_row) {
+  WallTimer timer;
+  const Table& table = db_->GetTable(table_name);
+
+  // Update bin summaries of this table's join-key columns.
+  for (auto& [ref, stats] : bin_stats_) {
+    if (ref.table != table_name) continue;
+    const Column& col = table.Col(ref.column);
+    std::vector<int64_t> new_values(col.ints().begin() + static_cast<long>(first_new_row),
+                                    col.ints().end());
+    stats.InsertValues(new_values,
+                       group_binnings_[static_cast<size_t>(
+                           column_to_group_.at(ref))]);
+  }
+
+  // Update the single-table model.
+  TableEstimator* est = estimators_.at(table_name).get();
+  if (auto* bn = dynamic_cast<BayesNetEstimator*>(est)) {
+    bn->IncrementalUpdate(table, first_new_row);
+  } else {
+    est->Refresh(table);
+  }
+  return timer.Seconds();
+}
+
+size_t FactorJoinEstimator::ModelSizeBytes() const {
+  size_t bytes = 0;
+  for (const Binning& b : group_binnings_) bytes += b.MemoryBytes();
+  for (const auto& [ref, stats] : bin_stats_) bytes += stats.MemoryBytes();
+  for (const auto& [name, est] : estimators_) bytes += est->MemoryBytes();
+  return bytes;
+}
+
+}  // namespace fj

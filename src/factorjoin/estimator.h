@@ -1,0 +1,98 @@
+// FactorJoin: the paper's cardinality estimation framework.
+//
+// Offline phase (Section 3.3): discover equivalent key groups from the
+// schema, bin every group's key domain (GBSA by default; the bin budget can
+// be allocated per group from workload frequencies, Section 4.2), scan
+// per-bin MFV/total summaries, and train one single-table estimator per
+// table (Bayesian network, sampling, or exact scan).
+//
+// Online phase: a query is translated into per-alias bound factors over its
+// key groups; sub-plans are estimated progressively by joining cached factors
+// pairwise (Section 5.2), each join applying the probabilistic bound of
+// Equation 5. Cyclic templates and self joins are supported (Section 3.1,
+// appendix cases 4-5).
+//
+// Incremental updates (Section 4.3) fold newly appended rows into the bin
+// summaries and the single-table models without rebinning.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "factorjoin/bin_stats.h"
+#include "factorjoin/binning.h"
+#include "factorjoin/factor.h"
+#include "stats/bayes_net.h"
+#include "stats/cardinality_estimator.h"
+#include "stats/table_estimator.h"
+#include "storage/database.h"
+
+namespace fj {
+
+struct FactorJoinConfig {
+  /// Bins per equivalent key group (the paper's k; default 100).
+  uint32_t num_bins = 100;
+  BinningStrategy binning = BinningStrategy::kGbsa;
+  TableEstimatorKind estimator = TableEstimatorKind::kBayesNet;
+  /// Sampling rate when estimator == kSampling.
+  double sampling_rate = 0.01;
+  /// When true and a workload is provided to the constructor, `num_bins`
+  /// becomes a total budget K split across groups as k_i = K * n_i / sum n_j.
+  bool workload_aware_budget = false;
+  BayesNetOptions bayes_net;
+  uint64_t seed = 42;
+};
+
+class FactorJoinEstimator : public CardinalityEstimator {
+ public:
+  /// Trains on `db` (which must outlive the estimator). `workload`, when
+  /// given, drives the workload-aware bin budget split.
+  FactorJoinEstimator(const Database& db, FactorJoinConfig config,
+                      const std::vector<Query>* workload = nullptr);
+
+  std::string Name() const override { return "factorjoin"; }
+  double Estimate(const Query& query) override;
+  std::unordered_map<uint64_t, double> EstimateSubplans(
+      const Query& query, const std::vector<uint64_t>& masks) override;
+  size_t ModelSizeBytes() const override;
+  double TrainSeconds() const override { return train_seconds_; }
+
+  /// Incremental update after rows were appended to `table_name`:
+  /// `first_new_row` is the index of the first appended row. Returns the
+  /// update wall time in seconds.
+  double ApplyInsert(const std::string& table_name, size_t first_new_row);
+
+  /// The shared binning of the group that `ref` belongs to (nullptr if `ref`
+  /// is not a join key).
+  const Binning* BinningFor(const ColumnRef& ref) const;
+
+  /// Offline per-bin summaries of a join-key column (for tests/baselines).
+  const ColumnBinStats* BinStatsFor(const ColumnRef& ref) const;
+
+  const FactorJoinConfig& config() const { return config_; }
+  size_t num_key_groups() const { return group_binnings_.size(); }
+
+ private:
+  /// Builds the leaf bound factor for one alias of `query`.
+  /// `group_ids[i]` = query key-group index; the factor covers every group
+  /// with a member column on this alias.
+  BoundFactor MakeLeafFactor(const Query& query, size_t alias_idx,
+                             const std::vector<QueryKeyGroup>& groups) const;
+
+  /// Maps a query key group to the global group id (via any member column).
+  int GlobalGroupOf(const Query& query, const QueryKeyGroup& group) const;
+
+  const Database* db_;  // not owned
+  FactorJoinConfig config_;
+
+  // Offline state.
+  std::vector<Binning> group_binnings_;
+  std::unordered_map<ColumnRef, int, ColumnRefHash> column_to_group_;
+  std::unordered_map<ColumnRef, ColumnBinStats, ColumnRefHash> bin_stats_;
+  std::unordered_map<std::string, std::unique_ptr<TableEstimator>> estimators_;
+  double train_seconds_ = 0.0;
+};
+
+}  // namespace fj

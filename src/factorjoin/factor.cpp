@@ -1,0 +1,144 @@
+#include "factorjoin/factor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fj {
+namespace {
+
+double MaxOf(const std::vector<double>& v) {
+  double m = 1.0;
+  for (double x : v) m = std::max(m, x);
+  return m;
+}
+
+// Rescales a mass vector so it sums to `target` (no-op if current sum is 0).
+void RescaleTo(std::vector<double>* mass, double target) {
+  double sum = 0.0;
+  for (double m : *mass) sum += m;
+  if (sum <= 0.0) return;
+  double f = target / sum;
+  for (double& m : *mass) m *= f;
+}
+
+}  // namespace
+
+double GroupJoinBound(const GroupBound& left, const GroupBound& right) {
+  size_t bins = std::min(left.mass.size(), right.mass.size());
+  double bound = 0.0;
+  for (size_t b = 0; b < bins; ++b) {
+    double ml = std::max(left.mass[b], 0.0);
+    double mr = std::max(right.mass[b], 0.0);
+    if (ml == 0.0 || mr == 0.0) continue;
+    double vl = std::max(left.mfv[b], 1.0);
+    double vr = std::max(right.mfv[b], 1.0);
+    // Equation 5, additionally clamped by the per-bin cross product (always
+    // a valid upper bound, and much tighter when a filter left only a few
+    // rows in the bin while the offline MFV is large).
+    bound += std::min(std::min(ml * vr, mr * vl), ml * mr);
+  }
+  return bound;
+}
+
+BoundFactor JoinBoundFactors(const BoundFactor& left, const BoundFactor& right,
+                             const std::vector<int>& connecting_groups) {
+  if (connecting_groups.empty()) {
+    throw std::invalid_argument("JoinBoundFactors: no connecting key group");
+  }
+
+  // Tightest connecting group wins (each is a valid bound on its own).
+  int best_group = connecting_groups.front();
+  double best_bound = -1.0;
+  for (int g : connecting_groups) {
+    const GroupBound& gl = left.groups.at(g);
+    const GroupBound& gr = right.groups.at(g);
+    double bound = GroupJoinBound(gl, gr);
+    if (best_bound < 0.0 || bound < best_bound) {
+      best_bound = bound;
+      best_group = g;
+    }
+  }
+  double card = std::min(best_bound, left.card * right.card);
+  card = std::max(card, 0.0);
+
+  BoundFactor out;
+  out.alias_mask = left.alias_mask | right.alias_mask;
+  out.card = card;
+
+  const GroupBound& gl_star = left.groups.at(best_group);
+  const GroupBound& gr_star = right.groups.at(best_group);
+  // Duplication factors: joining on g*, one left tuple matches at most
+  // max_b mfvR[b] right tuples and vice versa.
+  double dup_from_right = MaxOf(gr_star.mfv);
+  double dup_from_left = MaxOf(gl_star.mfv);
+
+  // g*: per-bin bound terms become the joined mass; MFV multiplies.
+  {
+    size_t bins = std::min(gl_star.mass.size(), gr_star.mass.size());
+    GroupBound g;
+    g.mass.resize(bins);
+    g.mfv.resize(bins);
+    for (size_t b = 0; b < bins; ++b) {
+      double ml = std::max(gl_star.mass[b], 0.0);
+      double mr = std::max(gr_star.mass[b], 0.0);
+      double vl = std::max(gl_star.mfv[b], 1.0);
+      double vr = std::max(gr_star.mfv[b], 1.0);
+      g.mass[b] = (ml == 0.0 || mr == 0.0)
+                      ? 0.0
+                      : std::min(std::min(ml * vr, mr * vl), ml * mr);
+      // No single key value can repeat more often than the whole result.
+      g.mfv[b] = std::min(vl * vr, std::max(card, 1.0));
+    }
+    // Keep the factor internally consistent with the (possibly clamped) card.
+    RescaleTo(&g.mass, card);
+    out.groups[best_group] = std::move(g);
+  }
+
+  // Remaining groups.
+  auto scaled_copy = [&](const GroupBound& src, double old_card,
+                         double dup) {
+    GroupBound g;
+    g.mass = src.mass;
+    RescaleTo(&g.mass, card);
+    (void)old_card;
+    g.mfv.resize(src.mfv.size());
+    for (size_t b = 0; b < src.mfv.size(); ++b) {
+      // Duplication bound, clamped by the result size (a value cannot occur
+      // more often than there are tuples).
+      g.mfv[b] = std::min(std::max(src.mfv[b], 1.0) * dup,
+                          std::max(card, 1.0));
+    }
+    return g;
+  };
+
+  for (const auto& [gid, gb] : left.groups) {
+    if (gid == best_group) continue;
+    bool connecting = std::find(connecting_groups.begin(),
+                                connecting_groups.end(),
+                                gid) != connecting_groups.end();
+    GroupBound gl = scaled_copy(gb, left.card, dup_from_right);
+    if (connecting) {
+      // Present on both sides: take the elementwise min of both rescaled
+      // views (each is an upper-bound-flavored estimate of the same
+      // distribution in the join result).
+      GroupBound gr = scaled_copy(right.groups.at(gid), right.card,
+                                  dup_from_left);
+      size_t bins = std::min(gl.mass.size(), gr.mass.size());
+      gl.mass.resize(bins);
+      gl.mfv.resize(bins);
+      for (size_t b = 0; b < bins; ++b) {
+        gl.mass[b] = std::min(gl.mass[b], gr.mass[b]);
+        gl.mfv[b] = std::min(gl.mfv[b], gr.mfv[b]);
+      }
+    }
+    out.groups[gid] = std::move(gl);
+  }
+  for (const auto& [gid, gb] : right.groups) {
+    if (gid == best_group || out.groups.count(gid) > 0) continue;
+    out.groups[gid] = scaled_copy(gb, right.card, dup_from_left);
+  }
+  return out;
+}
+
+}  // namespace fj

@@ -1,0 +1,60 @@
+// Bound factors: the quantities FactorJoin's approximate inference carries
+// per (sub-plan, equivalent key group): a per-bin expected mass and a per-bin
+// most-frequent-value bound V*.
+//
+// Joining two factors applies the probabilistic bound of Equation 5 per bin
+// of each connecting key group and takes the tightest group (each group's
+// bound is individually valid because dropping an equality predicate can only
+// grow the result, so the minimum over groups is valid too — this is how
+// cyclic join templates, appendix Case 5, are handled). The joined factor
+// caches the new per-bin masses and MFV bounds, which is exactly the
+// "joining factor graphs" step of the progressive sub-plan estimation
+// (Section 5.2).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace fj {
+
+/// Per-key-group bound state inside a factor.
+struct GroupBound {
+  /// mass[b]: expected number of tuples whose group key falls in bin b,
+  /// conditioned on all filters of the factor's aliases. Sums to ~card.
+  std::vector<double> mass;
+  /// mfv[b]: upper bound on the count of any single key value in bin b
+  /// (offline V* for leaf factors; products of V* after joins). >= 1.
+  std::vector<double> mfv;
+};
+
+/// A factor over a set of aliases (identified by bitmask in the enclosing
+/// query) carrying its cardinality bound and per-group bound state.
+struct BoundFactor {
+  uint64_t alias_mask = 0;
+  /// Upper bound (probabilistic) on the sub-plan's cardinality.
+  double card = 0.0;
+  /// Keyed by the query-level key-group index.
+  std::map<int, GroupBound> groups;
+};
+
+/// Equation 5 for one key group: sum over bins of
+///   min(massL[b] * mfvR[b], massR[b] * mfvL[b]).
+/// (Equivalent to min(massL/mfvL, massR/mfvR) * mfvL * mfvR.)
+double GroupJoinBound(const GroupBound& left, const GroupBound& right);
+
+/// Joins two factors. `connecting_groups` must be the key-group ids present
+/// in both factors (at least one). Produces the joined factor:
+///   card       = min over connecting groups of GroupJoinBound, further
+///                clamped by the cross-product bound card_L * card_R;
+///   g* (argmin) gets per-bin masses equal to its per-bin bound terms and
+///                mfv = mfvL * mfvR;
+///   other connecting groups get elementwise-min of both sides' rescaled
+///                masses and the smaller of the two propagated MFV bounds;
+///   one-sided groups get masses rescaled to the new cardinality and MFV
+///                multiplied by the other side's maximal duplication factor
+///                (max over bins of its g* MFV).
+BoundFactor JoinBoundFactors(const BoundFactor& left, const BoundFactor& right,
+                             const std::vector<int>& connecting_groups);
+
+}  // namespace fj

@@ -1,0 +1,53 @@
+// Cost-based join-order optimization over injected sub-plan cardinalities —
+// the role PostgreSQL's planner plays in the paper's end-to-end experiments
+// (Section 6.1: "we inject into PostgreSQL all sub-plan query cardinalities
+// estimated by each method").
+//
+// Exhaustive dynamic programming over connected subsets for up to
+// `dp_table_limit` relations; greedy left-deep construction beyond that.
+// The cost model is a textbook in-memory hash join: build + probe + output.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "optimizer/plan.h"
+#include "query/query.h"
+
+namespace fj {
+
+struct CostModelParams {
+  double scan_cost_per_row = 1.0;
+  double build_cost_per_row = 2.0;
+  double probe_cost_per_row = 1.0;
+  double output_cost_per_row = 0.5;
+  /// Per input-pair cost of a nested-loop join: cheaper than hashing when
+  /// both inputs are (believed) tiny.
+  double nested_loop_cost_per_pair = 0.25;
+};
+
+/// Cost of hash-joining two inputs with the given (estimated) cardinalities.
+double HashJoinCost(double left_card, double right_card, double out_card,
+                    const CostModelParams& params);
+
+/// Cost of a nested-loop join of the two inputs.
+double NestedLoopCost(double left_card, double right_card, double out_card,
+                      const CostModelParams& params);
+
+struct OptimizerOptions {
+  CostModelParams cost;
+  /// DP is exponential; above this many relations fall back to greedy.
+  size_t dp_table_limit = 13;
+};
+
+/// Computes the cheapest join tree for `query` given `cardinalities`:
+/// a map alias-mask -> estimated cardinality covering every connected subset
+/// (including single aliases). Missing masks are treated pessimistically
+/// (cross-product of members).
+std::unique_ptr<PlanNode> OptimizeJoinOrder(
+    const Query& query,
+    const std::unordered_map<uint64_t, double>& cardinalities,
+    const OptimizerOptions& options = {});
+
+}  // namespace fj

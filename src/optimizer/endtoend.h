@@ -1,0 +1,66 @@
+// End-to-end experiment harness: for each query, a CardEst method estimates
+// every sub-plan, the DP optimizer picks a plan from those estimates, the
+// plan is executed with the real hash-join executor, and both planning and
+// execution times are recorded — mirroring the paper's methodology
+// (Section 6.1, "Environment").
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "exec/hash_join.h"
+#include "optimizer/dp_optimizer.h"
+#include "stats/cardinality_estimator.h"
+#include "storage/database.h"
+
+namespace fj {
+
+struct EndToEndOptions {
+  OptimizerOptions optimizer;
+  size_t max_output_tuples = 80'000'000;
+  /// When false, planning time is reported as zero (the TrueCard oracle row,
+  /// which the paper treats as latency-free).
+  bool charge_planning = true;
+};
+
+struct QueryRunResult {
+  double plan_seconds = 0.0;  // sub-plan estimation + join ordering
+  double exec_seconds = 0.0;  // wall time of plan execution
+  ExecStats exec_stats;
+  double estimated_card = 0.0;  // method's estimate for the full query
+  uint64_t true_card = 0;       // actual result size of the executed plan
+  size_t num_subplans = 0;
+  bool overflow = false;  // plan execution hit the tuple cap
+  std::string plan_text;
+};
+
+/// Runs one query end to end with `estimator` injected into the optimizer.
+QueryRunResult RunQueryEndToEnd(const Database& db, const Query& query,
+                                CardinalityEstimator* estimator,
+                                const EndToEndOptions& options = {});
+
+/// Executes a plan tree and returns the final relation.
+Relation ExecutePlan(const Database& db, const Query& query,
+                     const PlanNode& plan, ExecStats* stats,
+                     size_t max_output_tuples);
+
+struct WorkloadRunResult {
+  std::vector<QueryRunResult> per_query;
+  double total_plan_seconds = 0.0;
+  double total_exec_seconds = 0.0;
+  size_t total_work = 0;
+  size_t overflows = 0;
+
+  double TotalSeconds() const {
+    return total_plan_seconds + total_exec_seconds;
+  }
+};
+
+/// Runs a whole workload; queries that overflow are counted but still
+/// included with the work done up to the overflow.
+WorkloadRunResult RunWorkloadEndToEnd(const Database& db,
+                                      const std::vector<Query>& workload,
+                                      CardinalityEstimator* estimator,
+                                      const EndToEndOptions& options = {});
+
+}  // namespace fj

@@ -1,0 +1,14 @@
+#include "optimizer/plan.h"
+
+#include <vector>
+
+namespace fj {
+
+std::string PlanNode::ToString(
+    const std::vector<std::string>& alias_names) const {
+  if (IsLeaf()) return alias_names[static_cast<size_t>(leaf_alias)];
+  return "(" + left->ToString(alias_names) + " x " +
+         right->ToString(alias_names) + ")";
+}
+
+}  // namespace fj

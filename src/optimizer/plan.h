@@ -1,0 +1,36 @@
+// Join plan tree produced by the optimizer.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace fj {
+
+/// Physical join operator. Nested-loop is cheaper for very small inputs (no
+/// hash build) — and catastrophic when the optimizer *believed* the inputs
+/// were small but they are not, which is how severe underestimation turns
+/// into disastrous plans (Section 3.2's motivation for upper bounds).
+enum class JoinAlgo { kHashJoin, kNestedLoop };
+
+struct PlanNode {
+  /// Alias bitmask covered by this subtree.
+  uint64_t mask = 0;
+  /// Leaf: index of the alias; -1 for join nodes.
+  int leaf_alias = -1;
+  JoinAlgo algo = JoinAlgo::kHashJoin;
+  std::unique_ptr<PlanNode> left;
+  std::unique_ptr<PlanNode> right;
+  /// Estimated output cardinality (as injected by the CardEst method).
+  double est_card = 0.0;
+  /// Cumulative estimated cost.
+  double cost = 0.0;
+
+  bool IsLeaf() const { return leaf_alias >= 0; }
+
+  /// "(((a ⋈ b) ⋈ c))"-style rendering for logs and tests.
+  std::string ToString(const std::vector<std::string>& alias_names) const;
+};
+
+}  // namespace fj

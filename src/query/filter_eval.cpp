@@ -1,0 +1,144 @@
+#include "query/filter_eval.h"
+
+#include <cmath>
+
+#include "util/like_match.h"
+
+namespace fj {
+namespace {
+
+// Compares row r of `col` against `lit` under `op`. Null never matches a
+// comparison (SQL three-valued logic collapsed to false).
+bool CompareLeaf(const Column& col, size_t r, CmpOp op, const Literal& lit) {
+  if (col.IsNull(r)) return false;
+  // Strings compare by dictionary code for equality and by text otherwise;
+  // equality is the common case in the benchmarks.
+  if (col.type() == ColumnType::kString) {
+    if (op == CmpOp::kEq || op == CmpOp::kNe) {
+      int64_t code = col.pool()->Lookup(lit.s);
+      bool eq = code >= 0 && col.IntAt(r) == code;
+      return op == CmpOp::kEq ? eq : !eq;
+    }
+    int cmp = col.StringAt(r).compare(lit.s);
+    switch (op) {
+      case CmpOp::kLt: return cmp < 0;
+      case CmpOp::kLe: return cmp <= 0;
+      case CmpOp::kGt: return cmp > 0;
+      case CmpOp::kGe: return cmp >= 0;
+      default: return false;
+    }
+  }
+  if (col.type() == ColumnType::kDouble) {
+    double v = col.DoubleAt(r);
+    double x = lit.type == ColumnType::kDouble ? lit.d
+                                               : static_cast<double>(lit.i);
+    switch (op) {
+      case CmpOp::kEq: return v == x;
+      case CmpOp::kNe: return v != x;
+      case CmpOp::kLt: return v < x;
+      case CmpOp::kLe: return v <= x;
+      case CmpOp::kGt: return v > x;
+      case CmpOp::kGe: return v >= x;
+    }
+    return false;
+  }
+  int64_t v = col.IntAt(r);
+  int64_t x = lit.type == ColumnType::kDouble
+                  ? static_cast<int64_t>(std::llround(lit.d))
+                  : lit.i;
+  switch (op) {
+    case CmpOp::kEq: return v == x;
+    case CmpOp::kNe: return v != x;
+    case CmpOp::kLt: return v < x;
+    case CmpOp::kLe: return v <= x;
+    case CmpOp::kGt: return v > x;
+    case CmpOp::kGe: return v >= x;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool EvalRow(const Table& table, const Predicate& pred, size_t r) {
+  using Kind = Predicate::Kind;
+  switch (pred.kind()) {
+    case Kind::kTrue:
+      return true;
+    case Kind::kCompare:
+      return CompareLeaf(table.Col(pred.column()), r, pred.op(), pred.value());
+    case Kind::kBetween: {
+      const Column& col = table.Col(pred.column());
+      return CompareLeaf(col, r, CmpOp::kGe, pred.lo()) &&
+             CompareLeaf(col, r, CmpOp::kLe, pred.hi());
+    }
+    case Kind::kIn: {
+      const Column& col = table.Col(pred.column());
+      for (const Literal& lit : pred.set()) {
+        if (CompareLeaf(col, r, CmpOp::kEq, lit)) return true;
+      }
+      return false;
+    }
+    case Kind::kLike: {
+      const Column& col = table.Col(pred.column());
+      if (col.IsNull(r) || col.type() != ColumnType::kString) return false;
+      return LikeMatch(col.StringAt(r), pred.pattern());
+    }
+    case Kind::kNotLike: {
+      const Column& col = table.Col(pred.column());
+      if (col.IsNull(r) || col.type() != ColumnType::kString) return false;
+      return !LikeMatch(col.StringAt(r), pred.pattern());
+    }
+    case Kind::kIsNull:
+      return table.Col(pred.column()).IsNull(r);
+    case Kind::kIsNotNull:
+      return !table.Col(pred.column()).IsNull(r);
+    case Kind::kAnd:
+      for (const auto& c : pred.children()) {
+        if (!EvalRow(table, *c, r)) return false;
+      }
+      return true;
+    case Kind::kOr:
+      for (const auto& c : pred.children()) {
+        if (EvalRow(table, *c, r)) return true;
+      }
+      return false;
+    case Kind::kNot:
+      return !EvalRow(table, *pred.children()[0], r);
+  }
+  return false;
+}
+
+std::vector<uint8_t> EvalBitmap(const Table& table, const Predicate& pred) {
+  std::vector<uint8_t> bits(table.num_rows());
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    bits[r] = EvalRow(table, pred, r) ? 1 : 0;
+  }
+  return bits;
+}
+
+std::vector<uint32_t> EvalSelection(const Table& table, const Predicate& pred) {
+  std::vector<uint32_t> sel;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    if (EvalRow(table, pred, r)) sel.push_back(static_cast<uint32_t>(r));
+  }
+  return sel;
+}
+
+std::vector<uint32_t> EvalOnRows(const Table& table, const Predicate& pred,
+                                 const std::vector<uint32_t>& rows) {
+  std::vector<uint32_t> sel;
+  for (uint32_t r : rows) {
+    if (EvalRow(table, pred, r)) sel.push_back(r);
+  }
+  return sel;
+}
+
+size_t CountMatches(const Table& table, const Predicate& pred) {
+  size_t n = 0;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    if (EvalRow(table, pred, r)) ++n;
+  }
+  return n;
+}
+
+}  // namespace fj

@@ -1,0 +1,29 @@
+// Predicate evaluation against a Table: row-at-a-time checks, full-table
+// bitmaps and selection vectors.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "query/predicate.h"
+#include "storage/table.h"
+
+namespace fj {
+
+/// Returns true iff row `r` of `table` satisfies `pred`.
+bool EvalRow(const Table& table, const Predicate& pred, size_t r);
+
+/// One byte per row, 1 = match.
+std::vector<uint8_t> EvalBitmap(const Table& table, const Predicate& pred);
+
+/// Matching row ids in ascending order.
+std::vector<uint32_t> EvalSelection(const Table& table, const Predicate& pred);
+
+/// Subset of `rows` that match, preserving order.
+std::vector<uint32_t> EvalOnRows(const Table& table, const Predicate& pred,
+                                 const std::vector<uint32_t>& rows);
+
+/// Number of matching rows.
+size_t CountMatches(const Table& table, const Predicate& pred);
+
+}  // namespace fj

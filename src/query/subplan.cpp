@@ -1,0 +1,55 @@
+#include "query/subplan.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace fj {
+
+std::vector<uint64_t> EnumerateConnectedSubsets(const Query& query,
+                                                size_t min_tables) {
+  size_t n = query.NumTables();
+  std::vector<uint64_t> adj = query.AliasAdjacency();
+  std::vector<uint64_t> result;
+  if (n == 0 || n > 30) return result;
+
+  uint64_t limit = uint64_t{1} << n;
+  for (uint64_t mask = 1; mask < limit; ++mask) {
+    size_t bits = static_cast<size_t>(std::popcount(mask));
+    if (bits < min_tables) continue;
+    // BFS connectivity restricted to `mask`.
+    uint64_t start = mask & (~mask + 1);  // lowest set bit
+    uint64_t reached = start;
+    uint64_t frontier = start;
+    while (frontier != 0) {
+      uint64_t next = 0;
+      uint64_t f = frontier;
+      while (f != 0) {
+        size_t i = static_cast<size_t>(std::countr_zero(f));
+        f &= f - 1;
+        next |= adj[i] & mask;
+      }
+      frontier = next & ~reached;
+      reached |= next;
+    }
+    if (reached == mask) result.push_back(mask);
+  }
+  std::stable_sort(result.begin(), result.end(),
+                   [](uint64_t a, uint64_t b) {
+                     int pa = std::popcount(a), pb = std::popcount(b);
+                     if (pa != pb) return pa < pb;
+                     return a < b;
+                   });
+  return result;
+}
+
+SubplanSet EnumerateSubplans(const Query& query, size_t min_tables) {
+  SubplanSet set;
+  set.masks = EnumerateConnectedSubsets(query, min_tables);
+  set.queries.reserve(set.masks.size());
+  for (uint64_t mask : set.masks) {
+    set.queries.push_back(query.InducedSubquery(mask));
+  }
+  return set;
+}
+
+}  // namespace fj

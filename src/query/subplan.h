@@ -1,0 +1,28 @@
+// Sub-plan query enumeration: all connected sub-join-graphs of a query.
+// The optimizer needs a cardinality estimate for every one of these, which is
+// what drives the paper's planning-latency comparisons (IMDB-JOB queries have
+// up to ~10,000 sub-plan queries).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "query/query.h"
+
+namespace fj {
+
+/// Bitmasks (over Query::tables() order) of all connected alias subsets with
+/// at least `min_tables` members, ordered by popcount then value so that
+/// smaller sub-plans come first (the order progressive estimation consumes).
+std::vector<uint64_t> EnumerateConnectedSubsets(const Query& query,
+                                                size_t min_tables = 2);
+
+/// Convenience: materialized sub-queries for each connected subset.
+struct SubplanSet {
+  std::vector<uint64_t> masks;
+  std::vector<Query> queries;  // parallel to masks
+};
+
+SubplanSet EnumerateSubplans(const Query& query, size_t min_tables = 2);
+
+}  // namespace fj

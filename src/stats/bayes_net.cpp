@@ -1,0 +1,334 @@
+#include "stats/bayes_net.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/timer.h"
+
+namespace fj {
+namespace {
+
+// Collects conjunctive leaves; returns false on OR / NOT (unsupported here).
+bool CollectConjunctiveLeaves(const Predicate& pred,
+                              std::vector<const Predicate*>* leaves) {
+  switch (pred.kind()) {
+    case Predicate::Kind::kTrue:
+      return true;
+    case Predicate::Kind::kAnd:
+      for (const auto& c : pred.children()) {
+        if (!CollectConjunctiveLeaves(*c, leaves)) return false;
+      }
+      return true;
+    case Predicate::Kind::kOr:
+    case Predicate::Kind::kNot:
+      return false;
+    default:
+      leaves->push_back(&pred);
+      return true;
+  }
+}
+
+}  // namespace
+
+BayesNetEstimator::BayesNetEstimator(
+    const Table& table,
+    std::unordered_map<std::string, const Binning*> key_binnings,
+    BayesNetOptions options)
+    : table_(&table),
+      key_binnings_(std::move(key_binnings)),
+      options_(options) {
+  Train();
+}
+
+void BayesNetEstimator::Train() {
+  WallTimer timer;
+  nodes_.clear();
+  column_to_node_.clear();
+
+  // One BN node per column; join keys use the shared group binning.
+  for (const auto& col_ptr : table_->columns()) {
+    const Column& col = *col_ptr;
+    Node node;
+    node.column = col.name();
+    auto it = key_binnings_.find(col.name());
+    if (it != key_binnings_.end()) {
+      node.discretizer = Discretizer::FromBinning(col, it->second);
+    } else {
+      node.discretizer = Discretizer::AutoEqualDepth(col, options_.max_categories);
+    }
+    node.cards = node.discretizer.num_categories();
+    column_to_node_[node.column] = nodes_.size();
+    nodes_.push_back(std::move(node));
+  }
+
+  // Discretized data matrix.
+  size_t rows = table_->num_rows();
+  std::vector<std::vector<uint32_t>> data(nodes_.size());
+  std::vector<uint32_t> cards(nodes_.size());
+  for (size_t v = 0; v < nodes_.size(); ++v) {
+    const Column& col = table_->Col(nodes_[v].column);
+    data[v].resize(rows);
+    for (size_t r = 0; r < rows; ++r) {
+      data[v][r] = nodes_[v].discretizer.CategoryOf(col.IntAt(r));
+    }
+    cards[v] = nodes_[v].cards;
+  }
+
+  tree_ = LearnChowLiuTree(data, cards);
+
+  // CPT counts.
+  for (size_t v = 0; v < nodes_.size(); ++v) {
+    Node& node = nodes_[v];
+    int parent = tree_.parent[v];
+    if (parent < 0) {
+      node.counts.assign(node.cards, 0.0);
+      for (size_t r = 0; r < rows; ++r) node.counts[data[v][r]] += 1.0;
+    } else {
+      uint32_t pcard = nodes_[static_cast<size_t>(parent)].cards;
+      node.counts.assign(static_cast<size_t>(pcard) * node.cards, 0.0);
+      const auto& pdata = data[static_cast<size_t>(parent)];
+      for (size_t r = 0; r < rows; ++r) {
+        node.counts[static_cast<size_t>(pdata[r]) * node.cards + data[v][r]] += 1.0;
+      }
+    }
+  }
+  NormalizeCpts();
+
+  fallback_ = std::make_unique<SamplingEstimator>(
+      *table_, options_.fallback_sample_rate, options_.seed);
+  train_seconds_ = timer.Seconds();
+}
+
+void BayesNetEstimator::NormalizeCpts() {
+  double alpha = options_.laplace_alpha;
+  for (size_t v = 0; v < nodes_.size(); ++v) {
+    Node& node = nodes_[v];
+    int parent = tree_.parent[v];
+    node.cpt.assign(node.counts.size(), 0.0);
+    if (parent < 0) {
+      double total = 0.0;
+      for (double c : node.counts) total += c + alpha;
+      for (size_t i = 0; i < node.counts.size(); ++i) {
+        node.cpt[i] = (node.counts[i] + alpha) / total;
+      }
+    } else {
+      uint32_t pcard = nodes_[static_cast<size_t>(parent)].cards;
+      for (uint32_t j = 0; j < pcard; ++j) {
+        double total = 0.0;
+        for (uint32_t i = 0; i < node.cards; ++i) {
+          total += node.counts[static_cast<size_t>(j) * node.cards + i] + alpha;
+        }
+        for (uint32_t i = 0; i < node.cards; ++i) {
+          node.cpt[static_cast<size_t>(j) * node.cards + i] =
+              (node.counts[static_cast<size_t>(j) * node.cards + i] + alpha) / total;
+        }
+      }
+    }
+  }
+}
+
+std::optional<std::vector<std::vector<double>>> BayesNetEstimator::BuildEvidence(
+    const Predicate& filter) const {
+  std::vector<const Predicate*> leaves;
+  if (!CollectConjunctiveLeaves(filter, &leaves)) return std::nullopt;
+
+  std::vector<std::vector<double>> evidence(nodes_.size());
+  for (size_t v = 0; v < nodes_.size(); ++v) {
+    evidence[v].assign(nodes_[v].cards, 1.0);
+    // Filtered rows must be non-null on... no: filters only constrain
+    // mentioned columns; unconstrained columns keep weight 1 everywhere.
+  }
+  for (const Predicate* leaf : leaves) {
+    auto it = column_to_node_.find(leaf->column());
+    if (it == column_to_node_.end()) return std::nullopt;
+    size_t v = it->second;
+    auto w = nodes_[v].discretizer.LeafEvidence(table_->Col(leaf->column()), *leaf);
+    if (!w.has_value()) return std::nullopt;
+    for (size_t i = 0; i < evidence[v].size(); ++i) evidence[v][i] *= (*w)[i];
+  }
+  return evidence;
+}
+
+BayesNetEstimator::Beliefs BayesNetEstimator::Propagate(
+    const std::vector<std::vector<double>>& evidence) const {
+  size_t n = nodes_.size();
+  Beliefs out;
+  out.node_beliefs.resize(n);
+
+  auto children = tree_.Children();
+  auto order = tree_.TopologicalOrder();
+
+  // Upward pass (reverse topological order, so every child is finalized
+  // before its parent): lambda_v = evidence_v * prod(child messages), and
+  // msg_up[c][j] = sum_i P(c=i | parent=j) * lambda_c(i).
+  std::vector<std::vector<double>> lambda(n);
+  std::vector<std::vector<double>> msg_up(n);  // message v -> parent(v)
+  for (size_t v = 0; v < n; ++v) lambda[v] = evidence[v];
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    size_t v = static_cast<size_t>(*it);
+    for (int c : children[v]) {
+      size_t cc = static_cast<size_t>(c);
+      const auto& cpt = nodes_[cc].cpt;
+      uint32_t card = nodes_[cc].cards;
+      uint32_t pcard = nodes_[v].cards;
+      msg_up[cc].assign(pcard, 0.0);
+      for (uint32_t j = 0; j < pcard; ++j) {
+        double s = 0.0;
+        for (uint32_t i = 0; i < card; ++i) {
+          s += cpt[static_cast<size_t>(j) * card + i] * lambda[cc][i];
+        }
+        msg_up[cc][j] = s;
+      }
+      for (uint32_t j = 0; j < pcard; ++j) lambda[v][j] *= msg_up[cc][j];
+    }
+  }
+
+  // Downward pass (topological): pi and beliefs.
+  std::vector<std::vector<double>> pi(n);
+  out.component_z.assign(n, 1.0);
+  std::vector<double> root_z(n, 1.0);
+  for (int vi : order) {
+    size_t v = static_cast<size_t>(vi);
+    int parent = tree_.parent[v];
+    if (parent < 0) {
+      pi[v] = nodes_[v].cpt;  // root prior
+    } else {
+      size_t p = static_cast<size_t>(parent);
+      // belief at parent excluding v's upward contribution.
+      std::vector<double> excl(nodes_[p].cards);
+      for (uint32_t j = 0; j < nodes_[p].cards; ++j) {
+        double b = pi[p][j] * evidence[p][j];
+        for (int s : children[p]) {
+          if (s == vi) continue;
+          b *= msg_up[static_cast<size_t>(s)][j];
+        }
+        excl[j] = b;
+      }
+      const auto& cpt = nodes_[v].cpt;
+      uint32_t card = nodes_[v].cards;
+      pi[v].assign(card, 0.0);
+      for (uint32_t j = 0; j < nodes_[p].cards; ++j) {
+        if (excl[j] == 0.0) continue;
+        for (uint32_t i = 0; i < card; ++i) {
+          pi[v][i] += cpt[static_cast<size_t>(j) * card + i] * excl[j];
+        }
+      }
+    }
+    out.node_beliefs[v].resize(nodes_[v].cards);
+    for (uint32_t i = 0; i < nodes_[v].cards; ++i) {
+      out.node_beliefs[v][i] = pi[v][i] * lambda[v][i];
+    }
+  }
+
+  // Component Z values: at each root, Z = sum of beliefs; propagate the root's
+  // component id to descendants.
+  std::vector<int> component_root(n, -1);
+  for (int vi : order) {
+    size_t v = static_cast<size_t>(vi);
+    int parent = tree_.parent[v];
+    component_root[v] = parent < 0 ? vi : component_root[static_cast<size_t>(parent)];
+  }
+  std::vector<double> z_of_root(n, 1.0);
+  out.total_z = 1.0;
+  for (size_t v = 0; v < n; ++v) {
+    if (tree_.parent[v] < 0) {
+      double z = 0.0;
+      for (double b : out.node_beliefs[v]) z += b;
+      z_of_root[v] = z;
+      out.total_z *= z;
+    }
+  }
+  for (size_t v = 0; v < n; ++v) {
+    out.component_z[v] = z_of_root[static_cast<size_t>(component_root[v])];
+  }
+  return out;
+}
+
+double BayesNetEstimator::EstimateFilteredRows(const Predicate& filter) const {
+  auto evidence = BuildEvidence(filter);
+  if (!evidence.has_value()) return fallback_->EstimateFilteredRows(filter);
+  Beliefs beliefs = Propagate(*evidence);
+  return beliefs.total_z * static_cast<double>(table_->num_rows());
+}
+
+KeyDistResult BayesNetEstimator::EstimateKeyDists(
+    const Predicate& filter, const std::vector<KeyDistRequest>& keys) const {
+  auto evidence = BuildEvidence(filter);
+  if (!evidence.has_value()) return fallback_->EstimateKeyDists(filter, keys);
+
+  Beliefs beliefs = Propagate(*evidence);
+  double n = static_cast<double>(table_->num_rows());
+
+  KeyDistResult result;
+  result.filtered_rows = beliefs.total_z * n;
+  result.masses.resize(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    auto it = column_to_node_.find(keys[i].column);
+    if (it == column_to_node_.end()) {
+      throw std::logic_error("BayesNetEstimator: unknown key column " +
+                             keys[i].column);
+    }
+    size_t v = it->second;
+    const Node& node = nodes_[v];
+    if (!node.discretizer.is_external() ||
+        node.cards != keys[i].binning->num_bins() + 1) {
+      throw std::logic_error(
+          "BayesNetEstimator: key column was not discretized by the "
+          "requested binning: " + keys[i].column);
+    }
+    // belief[v][b] = P(v=b, evidence of v's component); scale to a mass by
+    // multiplying by N and the Z of the *other* components.
+    double other_z = beliefs.component_z[v] > 0.0
+                         ? beliefs.total_z / beliefs.component_z[v]
+                         : 0.0;
+    result.masses[i].assign(keys[i].binning->num_bins(), 0.0);
+    for (uint32_t b = 0; b < keys[i].binning->num_bins(); ++b) {
+      result.masses[i][b] = beliefs.node_beliefs[v][b] * other_z * n;
+    }
+    // The null category (last) is dropped: nulls never join.
+  }
+  return result;
+}
+
+void BayesNetEstimator::Refresh(const Table& table) {
+  table_ = &table;
+  Train();
+}
+
+void BayesNetEstimator::IncrementalUpdate(const Table& table,
+                                          size_t first_new_row) {
+  table_ = &table;
+  size_t rows = table.num_rows();
+  if (first_new_row >= rows) return;
+  // Fold new rows into the existing CPT counts; structure stays fixed.
+  std::vector<const Column*> cols(nodes_.size());
+  for (size_t v = 0; v < nodes_.size(); ++v) cols[v] = &table.Col(nodes_[v].column);
+  for (size_t r = first_new_row; r < rows; ++r) {
+    for (size_t v = 0; v < nodes_.size(); ++v) {
+      Node& node = nodes_[v];
+      uint32_t cat = node.discretizer.CategoryOf(cols[v]->IntAt(r));
+      int parent = tree_.parent[v];
+      if (parent < 0) {
+        node.counts[cat] += 1.0;
+      } else {
+        uint32_t pcat = nodes_[static_cast<size_t>(parent)].discretizer.CategoryOf(
+            cols[static_cast<size_t>(parent)]->IntAt(r));
+        node.counts[static_cast<size_t>(pcat) * node.cards + cat] += 1.0;
+      }
+    }
+  }
+  NormalizeCpts();
+  fallback_->Refresh(table);
+}
+
+size_t BayesNetEstimator::MemoryBytes() const {
+  size_t bytes = 0;
+  for (const auto& node : nodes_) {
+    bytes += (node.counts.size() + node.cpt.size()) * sizeof(double);
+    bytes += node.discretizer.MemoryBytes();
+  }
+  return bytes;
+}
+
+}  // namespace fj

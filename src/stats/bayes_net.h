@@ -1,0 +1,97 @@
+// Tree-structured Bayesian-network single-table estimator (BayesCard-like,
+// Sections 3.3 / 5.1): Chow-Liu structure over all columns, CPTs with Laplace
+// smoothing, soft-evidence belief propagation for conditional join-key
+// distributions.
+//
+// Join-key columns are discretized by their equivalence group's shared
+// Binning so the BN's marginals are directly the binned distributions
+// FactorJoin's factor graph consumes. Non-conjunctive filters and string
+// pattern predicates fall back to an embedded sample (the paper's BayesCard
+// likewise does not support those classes).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "stats/chow_liu.h"
+#include "stats/discretizer.h"
+#include "stats/sampling_estimator.h"
+#include "stats/table_estimator.h"
+
+namespace fj {
+
+struct BayesNetOptions {
+  uint32_t max_categories = 64;     // auto-discretization width
+  double laplace_alpha = 0.1;       // CPT smoothing
+  double fallback_sample_rate = 0.05;
+  uint64_t seed = 7;
+};
+
+class BayesNetEstimator : public TableEstimator {
+ public:
+  /// `key_binnings`: join-key column name → shared group binning (not owned).
+  BayesNetEstimator(const Table& table,
+                    std::unordered_map<std::string, const Binning*> key_binnings,
+                    BayesNetOptions options = {});
+
+  double EstimateFilteredRows(const Predicate& filter) const override;
+  KeyDistResult EstimateKeyDists(
+      const Predicate& filter,
+      const std::vector<KeyDistRequest>& keys) const override;
+
+  /// Full retrain on the (possibly changed) table.
+  void Refresh(const Table& table) override;
+
+  /// Incremental update (Section 4.3): folds rows [first_new_row, num_rows)
+  /// into the CPT counts without relearning the tree structure.
+  void IncrementalUpdate(const Table& table, size_t first_new_row);
+
+  size_t MemoryBytes() const override;
+  std::string Name() const override { return "bayescard"; }
+
+  const ChowLiuTree& tree() const { return tree_; }
+  double train_seconds() const { return train_seconds_; }
+
+ private:
+  struct Node {
+    std::string column;
+    Discretizer discretizer;
+    uint32_t cards = 0;
+    // Raw counts: root prior counts, or joint counts with the parent
+    // (row-major parent_card x card). Normalized on demand into `cpt`.
+    std::vector<double> counts;
+    std::vector<double> cpt;
+  };
+
+  void Train();
+  void NormalizeCpts();
+
+  /// Per-node soft evidence from a conjunctive filter; nullopt if the filter
+  /// needs the sampling fallback.
+  std::optional<std::vector<std::vector<double>>> BuildEvidence(
+      const Predicate& filter) const;
+
+  /// Belief propagation: returns per-node unnormalized beliefs
+  /// belief[v][i] = P(v = i, evidence within v's tree component) and the
+  /// per-component probability of evidence Z (aligned by component root).
+  struct Beliefs {
+    std::vector<std::vector<double>> node_beliefs;
+    std::vector<double> component_z;  // indexed by node: z of its component
+    double total_z = 1.0;             // product over components
+  };
+  Beliefs Propagate(const std::vector<std::vector<double>>& evidence) const;
+
+  const Table* table_;  // not owned
+  std::unordered_map<std::string, const Binning*> key_binnings_;
+  BayesNetOptions options_;
+  std::vector<Node> nodes_;
+  std::unordered_map<std::string, size_t> column_to_node_;
+  ChowLiuTree tree_;
+  std::unique_ptr<SamplingEstimator> fallback_;
+  double train_seconds_ = 0.0;
+};
+
+}  // namespace fj

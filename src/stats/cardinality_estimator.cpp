@@ -1,0 +1,15 @@
+#include "stats/cardinality_estimator.h"
+
+namespace fj {
+
+std::unordered_map<uint64_t, double> CardinalityEstimator::EstimateSubplans(
+    const Query& query, const std::vector<uint64_t>& masks) {
+  std::unordered_map<uint64_t, double> out;
+  out.reserve(masks.size());
+  for (uint64_t mask : masks) {
+    out[mask] = Estimate(query.InducedSubquery(mask));
+  }
+  return out;
+}
+
+}  // namespace fj

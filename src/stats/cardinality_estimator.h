@@ -1,0 +1,38 @@
+// Interface every join-cardinality estimation method implements (FactorJoin
+// and all baselines), so the optimizer harness can inject any of them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "query/query.h"
+
+namespace fj {
+
+class CardinalityEstimator {
+ public:
+  virtual ~CardinalityEstimator() = default;
+
+  virtual std::string Name() const = 0;
+
+  /// Estimated cardinality of a connected (sub-)query. Single-alias queries
+  /// return the filtered base-table cardinality.
+  virtual double Estimate(const Query& query) = 0;
+
+  /// Estimates for all given sub-plan alias masks of `query` (masks use
+  /// Query::tables() bit order and include single-alias masks). The default
+  /// estimates each sub-plan independently; methods with shared computation
+  /// (FactorJoin's progressive algorithm) override this.
+  virtual std::unordered_map<uint64_t, double> EstimateSubplans(
+      const Query& query, const std::vector<uint64_t>& masks);
+
+  /// Serialized statistics footprint (Figure 6 "model size").
+  virtual size_t ModelSizeBytes() const { return 0; }
+
+  /// Offline construction time (Figure 6 "training time").
+  virtual double TrainSeconds() const { return 0.0; }
+};
+
+}  // namespace fj

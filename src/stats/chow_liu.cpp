@@ -1,0 +1,89 @@
+#include "stats/chow_liu.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/math_stats.h"
+
+namespace fj {
+
+std::vector<std::vector<int>> ChowLiuTree::Children() const {
+  std::vector<std::vector<int>> children(parent.size());
+  for (size_t v = 0; v < parent.size(); ++v) {
+    if (parent[v] >= 0) children[static_cast<size_t>(parent[v])].push_back(static_cast<int>(v));
+  }
+  return children;
+}
+
+std::vector<int> ChowLiuTree::TopologicalOrder() const {
+  std::vector<int> order;
+  auto children = Children();
+  std::queue<int> frontier;
+  for (size_t v = 0; v < parent.size(); ++v) {
+    if (parent[v] < 0) frontier.push(static_cast<int>(v));
+  }
+  while (!frontier.empty()) {
+    int v = frontier.front();
+    frontier.pop();
+    order.push_back(v);
+    for (int c : children[static_cast<size_t>(v)]) frontier.push(c);
+  }
+  return order;
+}
+
+ChowLiuTree LearnChowLiuTree(const std::vector<std::vector<uint32_t>>& data,
+                             const std::vector<uint32_t>& cards) {
+  size_t nvars = data.size();
+  ChowLiuTree tree;
+  tree.parent.assign(nvars, -1);
+  tree.edge_mi.assign(nvars, 0.0);
+  if (nvars <= 1) return tree;
+
+  size_t rows = data[0].size();
+
+  // Pairwise mutual information.
+  std::vector<std::vector<double>> mi(nvars, std::vector<double>(nvars, 0.0));
+  for (size_t a = 0; a < nvars; ++a) {
+    for (size_t b = a + 1; b < nvars; ++b) {
+      std::vector<double> joint(static_cast<size_t>(cards[a]) * cards[b], 0.0);
+      for (size_t r = 0; r < rows; ++r) {
+        joint[static_cast<size_t>(data[a][r]) * cards[b] + data[b][r]] += 1.0;
+      }
+      double m = MutualInformation(joint, cards[a], cards[b]);
+      mi[a][b] = mi[b][a] = m;
+    }
+  }
+
+  // Prim's algorithm for the maximum spanning tree.
+  std::vector<bool> in_tree(nvars, false);
+  std::vector<double> best_mi(nvars, -1.0);
+  std::vector<int> best_parent(nvars, -1);
+  in_tree[0] = true;
+  for (size_t v = 1; v < nvars; ++v) {
+    best_mi[v] = mi[0][v];
+    best_parent[v] = 0;
+  }
+  for (size_t step = 1; step < nvars; ++step) {
+    int pick = -1;
+    double pick_mi = -1.0;
+    for (size_t v = 0; v < nvars; ++v) {
+      if (!in_tree[v] && best_mi[v] > pick_mi) {
+        pick_mi = best_mi[v];
+        pick = static_cast<int>(v);
+      }
+    }
+    if (pick < 0) break;
+    in_tree[static_cast<size_t>(pick)] = true;
+    tree.parent[static_cast<size_t>(pick)] = best_parent[static_cast<size_t>(pick)];
+    tree.edge_mi[static_cast<size_t>(pick)] = pick_mi;
+    for (size_t v = 0; v < nvars; ++v) {
+      if (!in_tree[v] && mi[static_cast<size_t>(pick)][v] > best_mi[v]) {
+        best_mi[v] = mi[static_cast<size_t>(pick)][v];
+        best_parent[v] = pick;
+      }
+    }
+  }
+  return tree;
+}
+
+}  // namespace fj

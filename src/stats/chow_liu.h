@@ -1,0 +1,33 @@
+// Chow-Liu structure learning (Section 5.1): approximates a joint
+// distribution over discrete variables by the maximum-spanning-tree of the
+// pairwise mutual-information graph (Chow & Liu, 1968).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fj {
+
+/// Learned tree: parent[v] = parent variable index, or -1 for the root.
+/// A forest can result when some variables carry zero mutual information;
+/// every root has parent -1.
+struct ChowLiuTree {
+  std::vector<int> parent;
+  /// Mutual information of the edge to the parent (0 for roots).
+  std::vector<double> edge_mi;
+
+  /// Children lists derived from parent[].
+  std::vector<std::vector<int>> Children() const;
+  /// Indices ordered so parents precede children (BFS from roots).
+  std::vector<int> TopologicalOrder() const;
+};
+
+/// Learns the tree from discretized data: data[v][r] = category of variable v
+/// in row r; cards[v] = number of categories of variable v.
+///
+/// All pairwise MI values are computed from joint category counts; edges are
+/// chosen by Prim's algorithm on -MI. O(V^2 * R).
+ChowLiuTree LearnChowLiuTree(const std::vector<std::vector<uint32_t>>& data,
+                             const std::vector<uint32_t>& cards);
+
+}  // namespace fj

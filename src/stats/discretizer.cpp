@@ -1,0 +1,203 @@
+#include "stats/discretizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace fj {
+
+Discretizer Discretizer::FromBinning(const Column& col,
+                                     const Binning* binning) {
+  Discretizer d;
+  d.external_ = binning;
+  d.num_categories_ = binning->num_bins() + 1;  // + null
+  d.BuildMeta(col);
+  return d;
+}
+
+Discretizer Discretizer::AutoEqualDepth(const Column& col,
+                                        uint32_t max_categories) {
+  Discretizer d;
+  // Equal-depth boundaries over the sorted distinct codes weighted by count.
+  std::unordered_map<int64_t, uint64_t> counts;
+  for (int64_t v : col.ints()) {
+    if (v != kNullInt64) ++counts[v];
+  }
+  std::vector<std::pair<int64_t, uint64_t>> sorted(counts.begin(), counts.end());
+  std::sort(sorted.begin(), sorted.end());
+  uint32_t cats = std::min<uint32_t>(
+      max_categories, std::max<uint32_t>(static_cast<uint32_t>(sorted.size()), 1));
+  if (sorted.size() <= max_categories) {
+    // Budget covers every distinct value: one category per value, which keeps
+    // conditional distributions exact on categorical columns.
+    for (size_t i = 0; i + 1 < sorted.size(); ++i) {
+      d.upper_bounds_.push_back(sorted[i].first);
+    }
+  } else {
+    uint64_t total = 0;
+    for (const auto& [v, c] : sorted) total += c;
+    uint64_t per = std::max<uint64_t>(cats == 0 ? total : total / cats, 1);
+    uint64_t acc = 0;
+    for (const auto& [v, c] : sorted) {
+      acc += c;
+      if (acc >= per && d.upper_bounds_.size() + 1 < cats) {
+        d.upper_bounds_.push_back(v);
+        acc = 0;
+      }
+    }
+  }
+  d.upper_bounds_.push_back(std::numeric_limits<int64_t>::max());
+  d.num_categories_ = static_cast<uint32_t>(d.upper_bounds_.size()) + 1;
+  d.BuildMeta(col);
+  return d;
+}
+
+uint32_t Discretizer::CategoryOf(int64_t code) const {
+  if (code == kNullInt64) return null_category();
+  if (external_ != nullptr) return external_->BinOf(code);
+  auto it = std::lower_bound(upper_bounds_.begin(), upper_bounds_.end(), code);
+  if (it == upper_bounds_.end()) {
+    return static_cast<uint32_t>(upper_bounds_.size()) - 1;
+  }
+  return static_cast<uint32_t>(it - upper_bounds_.begin());
+}
+
+void Discretizer::BuildMeta(const Column& col) {
+  meta_.assign(num_categories_, {});
+  std::unordered_map<int64_t, uint64_t> counts;
+  for (int64_t v : col.ints()) {
+    if (v == kNullInt64) {
+      meta_[null_category()].count += 1.0;
+    } else {
+      ++counts[v];
+    }
+  }
+  meta_[null_category()].ndv = meta_[null_category()].count > 0 ? 1.0 : 0.0;
+  for (const auto& [v, c] : counts) {
+    CategoryMeta& m = meta_[CategoryOf(v)];
+    if (m.ndv == 0.0) {
+      m.min_code = m.max_code = v;
+    } else {
+      m.min_code = std::min(m.min_code, v);
+      m.max_code = std::max(m.max_code, v);
+    }
+    m.count += static_cast<double>(c);
+    m.ndv += 1.0;
+  }
+  value_counts_.clear();
+  if (counts.size() <= kExactCountLimit) {
+    for (const auto& [v, c] : counts) {
+      value_counts_[v] = static_cast<double>(c);
+    }
+  }
+}
+
+double Discretizer::EqualityWeight(int64_t code) const {
+  const CategoryMeta& m = meta_[CategoryOf(code)];
+  if (m.count <= 0.0 || m.ndv <= 0.0) return 0.0;
+  if (!value_counts_.empty()) {
+    auto it = value_counts_.find(code);
+    // A value never seen in the data has true frequency zero.
+    if (it == value_counts_.end()) return 0.0;
+    return it->second / m.count;
+  }
+  return 1.0 / m.ndv;
+}
+
+double Discretizer::RangeOverlap(const CategoryMeta& m, int64_t lo,
+                                 int64_t hi) const {
+  if (m.ndv <= 0.0) return 0.0;
+  if (hi < m.min_code || lo > m.max_code) return 0.0;
+  if (lo <= m.min_code && hi >= m.max_code) return 1.0;
+  // Partial overlap: assume values spread uniformly over [min, max].
+  double span = static_cast<double>(m.max_code) - static_cast<double>(m.min_code) + 1.0;
+  double olo = static_cast<double>(std::max(lo, m.min_code));
+  double ohi = static_cast<double>(std::min(hi, m.max_code));
+  return std::clamp((ohi - olo + 1.0) / span, 0.0, 1.0);
+}
+
+std::optional<std::vector<double>> Discretizer::LeafEvidence(
+    const Column& col, const Predicate& leaf) const {
+  const int64_t kMin = std::numeric_limits<int64_t>::min() + 1;
+  const int64_t kMax = std::numeric_limits<int64_t>::max();
+  std::vector<double> w(num_categories_, 0.0);
+
+  auto code_of = [&](const Literal& lit) -> int64_t {
+    switch (col.type()) {
+      case ColumnType::kString:
+        return lit.type == ColumnType::kString && col.pool() != nullptr
+                   ? col.pool()->Lookup(lit.s)
+                   : kNullInt64;
+      case ColumnType::kDouble:
+        return lit.type == ColumnType::kDouble
+                   ? Column::DoubleToCode(lit.d)
+                   : Column::DoubleToCode(static_cast<double>(lit.i));
+      case ColumnType::kInt64:
+        return lit.type == ColumnType::kDouble
+                   ? static_cast<int64_t>(std::llround(lit.d))
+                   : lit.i;
+    }
+    return kNullInt64;
+  };
+
+  auto range_weights = [&](int64_t lo, int64_t hi) {
+    for (uint32_t c = 0; c + 1 < num_categories_; ++c) {
+      w[c] = RangeOverlap(meta_[c], lo, hi);
+    }
+  };
+
+  switch (leaf.kind()) {
+    case Predicate::Kind::kTrue:
+      std::fill(w.begin(), w.end(), 1.0);
+      return w;
+    case Predicate::Kind::kCompare: {
+      int64_t x = code_of(leaf.value());
+      switch (leaf.op()) {
+        case CmpOp::kEq: {
+          if (x == kNullInt64) return w;  // literal unseen: zero selectivity
+          w[CategoryOf(x)] = EqualityWeight(x);
+          return w;
+        }
+        case CmpOp::kNe: {
+          std::fill(w.begin(), w.end() - 1, 1.0);
+          if (x != kNullInt64) {
+            w[CategoryOf(x)] = 1.0 - EqualityWeight(x);
+          }
+          return w;
+        }
+        case CmpOp::kLt: range_weights(kMin, x - 1); return w;
+        case CmpOp::kLe: range_weights(kMin, x); return w;
+        case CmpOp::kGt: range_weights(x + 1, kMax); return w;
+        case CmpOp::kGe: range_weights(x, kMax); return w;
+      }
+      return w;
+    }
+    case Predicate::Kind::kBetween:
+      range_weights(code_of(leaf.lo()), code_of(leaf.hi()));
+      return w;
+    case Predicate::Kind::kIn: {
+      for (const Literal& lit : leaf.set()) {
+        int64_t x = code_of(lit);
+        if (x == kNullInt64) continue;
+        uint32_t c = CategoryOf(x);
+        w[c] = std::min(1.0, w[c] + EqualityWeight(x));
+      }
+      return w;
+    }
+    case Predicate::Kind::kIsNull:
+      w[null_category()] = 1.0;
+      return w;
+    case Predicate::Kind::kIsNotNull:
+      std::fill(w.begin(), w.end() - 1, 1.0);
+      return w;
+    default:
+      return std::nullopt;  // LIKE / composite: caller must fall back
+  }
+}
+
+size_t Discretizer::MemoryBytes() const {
+  return upper_bounds_.size() * sizeof(int64_t) +
+         meta_.size() * sizeof(CategoryMeta);
+}
+
+}  // namespace fj

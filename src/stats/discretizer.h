@@ -1,0 +1,75 @@
+// Per-column discretization for the Bayesian-network estimator.
+//
+// Join-key columns are discretized by their equivalence group's Binning (so
+// BN marginals line up with FactorJoin's bins exactly); other attributes get
+// equal-depth categories. Each category keeps count/ndv/min/max metadata so
+// filter predicates can be converted into per-category soft-evidence weights
+// P(leaf | category).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "factorjoin/binning.h"
+#include "query/predicate.h"
+#include "storage/column.h"
+
+namespace fj {
+
+class Discretizer {
+ public:
+  /// Discretize through an external (shared) binning; category ids equal bin
+  /// ids, plus one trailing null category.
+  static Discretizer FromBinning(const Column& col, const Binning* binning);
+
+  /// Equal-depth auto-discretization into at most `max_categories` value
+  /// categories (plus the null category).
+  static Discretizer AutoEqualDepth(const Column& col,
+                                    uint32_t max_categories);
+
+  /// Total categories including the null category (the last index).
+  uint32_t num_categories() const { return num_categories_; }
+  uint32_t null_category() const { return num_categories_ - 1; }
+
+  /// Category of a value code (null maps to null_category()).
+  uint32_t CategoryOf(int64_t code) const;
+
+  /// Whether this discretizer wraps an external (join-key) binning; if so,
+  /// value categories coincide with bin ids.
+  bool is_external() const { return external_ != nullptr; }
+
+  /// Per-category soft-evidence weights for a *leaf* predicate on this
+  /// column: weights[c] ~= P(leaf holds | category c). Returns nullopt for
+  /// leaf kinds the discretizer cannot resolve (e.g. LIKE).
+  std::optional<std::vector<double>> LeafEvidence(const Column& col,
+                                                  const Predicate& leaf) const;
+
+  size_t MemoryBytes() const;
+
+ private:
+  struct CategoryMeta {
+    double count = 0.0;
+    double ndv = 0.0;
+    int64_t min_code = 0;
+    int64_t max_code = 0;
+  };
+
+  /// Columns with at most this many distinct values additionally keep exact
+  /// per-value counts, making equality/IN evidence exact instead of the
+  /// uniform 1/ndv approximation (critical for skewed categorical columns).
+  static constexpr size_t kExactCountLimit = 4096;
+
+  void BuildMeta(const Column& col);
+  double RangeOverlap(const CategoryMeta& m, int64_t lo, int64_t hi) const;
+  /// P(column == code | its category); exact when value counts are kept.
+  double EqualityWeight(int64_t code) const;
+
+  const Binning* external_ = nullptr;      // not owned
+  std::vector<int64_t> upper_bounds_;      // for auto equal-depth
+  uint32_t num_categories_ = 1;
+  std::vector<CategoryMeta> meta_;
+  std::unordered_map<int64_t, double> value_counts_;  // empty if too wide
+};
+
+}  // namespace fj

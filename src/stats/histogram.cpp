@@ -1,0 +1,191 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace fj {
+namespace {
+
+constexpr double kDefaultLikeSelectivity = 0.05;
+constexpr double kDefaultLeafSelectivity = 0.33;
+
+}  // namespace
+
+ColumnHistogram::ColumnHistogram(const Column& col, uint32_t num_buckets) {
+  rows_ = col.size();
+  std::unordered_map<int64_t, uint64_t> counts;
+  uint64_t nulls = 0;
+  for (int64_t v : col.ints()) {
+    if (v == kNullInt64) {
+      ++nulls;
+    } else {
+      ++counts[v];
+    }
+  }
+  null_fraction_ = rows_ == 0 ? 0.0 : static_cast<double>(nulls) / static_cast<double>(rows_);
+  ndv_ = counts.size();
+  if (counts.empty()) return;
+
+  std::vector<std::pair<int64_t, uint64_t>> sorted(counts.begin(), counts.end());
+  std::sort(sorted.begin(), sorted.end());
+  uint64_t non_null = rows_ - nulls;
+  uint64_t per = std::max<uint64_t>(num_buckets == 0 ? non_null : non_null / num_buckets, 1);
+
+  Bucket current;
+  current.lo = sorted.front().first;
+  bool open = false;
+  for (const auto& [v, c] : sorted) {
+    if (!open) {
+      current = Bucket{};
+      current.lo = v;
+      open = true;
+    }
+    current.hi = v;
+    current.count += static_cast<double>(c);
+    current.ndv += 1.0;
+    if (current.count >= static_cast<double>(per) &&
+        buckets_.size() + 1 < num_buckets) {
+      buckets_.push_back(current);
+      open = false;
+    }
+  }
+  if (open) buckets_.push_back(current);
+}
+
+double ColumnHistogram::EqualitySelectivity(int64_t code) const {
+  if (rows_ == 0) return 0.0;
+  for (const Bucket& b : buckets_) {
+    if (code >= b.lo && code <= b.hi) {
+      if (b.ndv <= 0.0) return 0.0;
+      // Uniform within bucket: count/ndv rows per distinct value.
+      return (b.count / b.ndv) / static_cast<double>(rows_);
+    }
+  }
+  return 0.0;
+}
+
+double ColumnHistogram::RangeSelectivity(int64_t lo, int64_t hi) const {
+  if (rows_ == 0 || lo > hi) return 0.0;
+  double matched = 0.0;
+  for (const Bucket& b : buckets_) {
+    if (hi < b.lo || lo > b.hi) continue;
+    if (lo <= b.lo && hi >= b.hi) {
+      matched += b.count;
+      continue;
+    }
+    double span = static_cast<double>(b.hi) - static_cast<double>(b.lo) + 1.0;
+    double olo = static_cast<double>(std::max(lo, b.lo));
+    double ohi = static_cast<double>(std::min(hi, b.hi));
+    matched += b.count * std::clamp((ohi - olo + 1.0) / span, 0.0, 1.0);
+  }
+  return matched / static_cast<double>(rows_);
+}
+
+double ColumnHistogram::LeafSelectivity(const Column& col,
+                                        const Predicate& leaf) const {
+  const int64_t kMin = std::numeric_limits<int64_t>::min() + 1;
+  const int64_t kMax = std::numeric_limits<int64_t>::max();
+
+  auto code_of = [&](const Literal& lit) -> int64_t {
+    switch (col.type()) {
+      case ColumnType::kString:
+        return lit.type == ColumnType::kString && col.pool() != nullptr
+                   ? col.pool()->Lookup(lit.s)
+                   : kNullInt64;
+      case ColumnType::kDouble:
+        return lit.type == ColumnType::kDouble
+                   ? Column::DoubleToCode(lit.d)
+                   : Column::DoubleToCode(static_cast<double>(lit.i));
+      case ColumnType::kInt64:
+        return lit.type == ColumnType::kDouble
+                   ? static_cast<int64_t>(std::llround(lit.d))
+                   : lit.i;
+    }
+    return kNullInt64;
+  };
+
+  switch (leaf.kind()) {
+    case Predicate::Kind::kTrue:
+      return 1.0;
+    case Predicate::Kind::kCompare: {
+      int64_t x = code_of(leaf.value());
+      switch (leaf.op()) {
+        case CmpOp::kEq:
+          return x == kNullInt64 ? 0.0 : EqualitySelectivity(x);
+        case CmpOp::kNe:
+          return std::max(0.0, 1.0 - null_fraction_ -
+                                   (x == kNullInt64 ? 0.0 : EqualitySelectivity(x)));
+        case CmpOp::kLt: return RangeSelectivity(kMin, x - 1);
+        case CmpOp::kLe: return RangeSelectivity(kMin, x);
+        case CmpOp::kGt: return RangeSelectivity(x + 1, kMax);
+        case CmpOp::kGe: return RangeSelectivity(x, kMax);
+      }
+      return kDefaultLeafSelectivity;
+    }
+    case Predicate::Kind::kBetween:
+      return RangeSelectivity(code_of(leaf.lo()), code_of(leaf.hi()));
+    case Predicate::Kind::kIn: {
+      double s = 0.0;
+      for (const Literal& lit : leaf.set()) {
+        int64_t x = code_of(lit);
+        if (x != kNullInt64) s += EqualitySelectivity(x);
+      }
+      return std::min(s, 1.0);
+    }
+    case Predicate::Kind::kLike:
+      return kDefaultLikeSelectivity;
+    case Predicate::Kind::kNotLike:
+      return 1.0 - kDefaultLikeSelectivity;
+    case Predicate::Kind::kIsNull:
+      return null_fraction_;
+    case Predicate::Kind::kIsNotNull:
+      return 1.0 - null_fraction_;
+    default:
+      return kDefaultLeafSelectivity;
+  }
+}
+
+size_t ColumnHistogram::MemoryBytes() const {
+  return buckets_.size() * sizeof(Bucket) + sizeof(*this);
+}
+
+double EstimateSelectivity(const Table& table,
+                           const std::vector<ColumnHistogram>& histograms,
+                           const std::vector<std::string>& histogram_columns,
+                           const Predicate& pred) {
+  auto hist_for = [&](const std::string& column) -> const ColumnHistogram* {
+    for (size_t i = 0; i < histogram_columns.size(); ++i) {
+      if (histogram_columns[i] == column) return &histograms[i];
+    }
+    return nullptr;
+  };
+
+  switch (pred.kind()) {
+    case Predicate::Kind::kAnd: {
+      double s = 1.0;
+      for (const auto& c : pred.children()) {
+        s *= EstimateSelectivity(table, histograms, histogram_columns, *c);
+      }
+      return s;
+    }
+    case Predicate::Kind::kOr: {
+      // Inclusion-exclusion under independence: 1 - prod(1 - s_i).
+      double inv = 1.0;
+      for (const auto& c : pred.children()) {
+        inv *= 1.0 - EstimateSelectivity(table, histograms, histogram_columns, *c);
+      }
+      return 1.0 - inv;
+    }
+    case Predicate::Kind::kNot:
+      return 1.0 - EstimateSelectivity(table, histograms, histogram_columns,
+                                       *pred.children()[0]);
+    default: {
+      const ColumnHistogram* h = hist_for(pred.column());
+      if (h == nullptr) return pred.kind() == Predicate::Kind::kTrue ? 1.0 : 0.33;
+      return h->LeafSelectivity(table.Col(pred.column()), pred);
+    }
+  }
+}
+
+}  // namespace fj

@@ -1,0 +1,58 @@
+// Classic per-column statistics used by the traditional baselines
+// (PostgresEstimator, JoinHist): equal-depth histogram + NDV + null fraction,
+// with textbook selectivity formulas for leaf predicates.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "query/predicate.h"
+#include "storage/table.h"
+
+namespace fj {
+
+/// Equal-depth histogram over a column's integer codes, with per-bucket
+/// distinct counts (the shape PostgreSQL keeps in pg_stats).
+class ColumnHistogram {
+ public:
+  ColumnHistogram() = default;
+  ColumnHistogram(const Column& col, uint32_t buckets);
+
+  /// Selectivity (fraction of all rows, including nulls) of a leaf predicate.
+  /// Composite predicates combine leaves with independence / inclusion-
+  /// exclusion in EstimateSelectivity below.
+  double LeafSelectivity(const Column& col, const Predicate& leaf) const;
+
+  double null_fraction() const { return null_fraction_; }
+  uint64_t distinct_count() const { return ndv_; }
+  uint64_t row_count() const { return rows_; }
+
+  size_t MemoryBytes() const;
+
+ private:
+  struct Bucket {
+    int64_t lo = 0;       // inclusive
+    int64_t hi = 0;       // inclusive
+    double count = 0.0;
+    double ndv = 0.0;
+  };
+
+  double RangeSelectivity(int64_t lo, int64_t hi) const;
+  double EqualitySelectivity(int64_t code) const;
+
+  std::vector<Bucket> buckets_;
+  uint64_t rows_ = 0;
+  uint64_t ndv_ = 0;
+  double null_fraction_ = 0.0;
+};
+
+/// Selectivity of an arbitrary predicate tree under attribute independence:
+/// AND multiplies, OR uses inclusion-exclusion, NOT complements. LIKE leaves
+/// use a fixed default selectivity (Postgres-style pattern heuristics are out
+/// of scope for the baseline).
+double EstimateSelectivity(const Table& table,
+                           const std::vector<ColumnHistogram>& histograms,
+                           const std::vector<std::string>& histogram_columns,
+                           const Predicate& pred);
+
+}  // namespace fj

@@ -1,0 +1,74 @@
+#include "stats/sampling_estimator.h"
+
+#include <algorithm>
+
+#include "query/filter_eval.h"
+
+namespace fj {
+
+SamplingEstimator::SamplingEstimator(const Table& table, double rate,
+                                     uint64_t seed)
+    : table_(&table), rate_(std::clamp(rate, 1e-6, 1.0)), seed_(seed) {
+  DrawSample();
+}
+
+void SamplingEstimator::DrawSample() {
+  sample_rows_.clear();
+  size_t n = table_->num_rows();
+  size_t target = std::max<size_t>(static_cast<size_t>(rate_ * static_cast<double>(n)), 1);
+  target = std::min(target, n);
+  Rng rng(seed_, 0x5eedu);
+  sample_rows_.reserve(target);
+  for (size_t r : rng.SampleWithoutReplacement(n, target)) {
+    sample_rows_.push_back(static_cast<uint32_t>(r));
+  }
+  std::sort(sample_rows_.begin(), sample_rows_.end());
+  scale_ = sample_rows_.empty()
+               ? 0.0
+               : static_cast<double>(n) / static_cast<double>(sample_rows_.size());
+}
+
+double SamplingEstimator::EstimateFilteredRows(const Predicate& filter) const {
+  size_t hits = 0;
+  for (uint32_t r : sample_rows_) {
+    if (EvalRow(*table_, filter, r)) ++hits;
+  }
+  // Zero hits bound selectivity below ~1/|sample|, they do not prove
+  // emptiness; report half a sample row to avoid catastrophic
+  // underestimation downstream.
+  return std::max(static_cast<double>(hits), 0.5) * scale_;
+}
+
+KeyDistResult SamplingEstimator::EstimateKeyDists(
+    const Predicate& filter, const std::vector<KeyDistRequest>& keys) const {
+  KeyDistResult result;
+  result.masses.resize(keys.size());
+  std::vector<const Column*> cols(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    cols[i] = &table_->Col(keys[i].column);
+    result.masses[i].assign(keys[i].binning->num_bins(), 0.0);
+  }
+  size_t hits = 0;
+  for (uint32_t r : sample_rows_) {
+    if (!EvalRow(*table_, filter, r)) continue;
+    ++hits;
+    for (size_t i = 0; i < keys.size(); ++i) {
+      int64_t code = cols[i]->IntAt(r);
+      if (code == kNullInt64) continue;
+      result.masses[i][keys[i].binning->BinOf(code)] += scale_;
+    }
+  }
+  result.filtered_rows = std::max(static_cast<double>(hits), 0.5) * scale_;
+  return result;
+}
+
+void SamplingEstimator::Refresh(const Table& table) {
+  table_ = &table;
+  DrawSample();
+}
+
+size_t SamplingEstimator::MemoryBytes() const {
+  return sample_rows_.size() * sizeof(uint32_t);
+}
+
+}  // namespace fj

@@ -1,0 +1,41 @@
+// Bernoulli-sample single-table estimator (Lipton et al. style, Section 3.3).
+// Keeps a uniform row sample; filters are evaluated exactly on the sample and
+// scaled by the inverse sampling rate. Supports every predicate class,
+// including LIKE and disjunctions — the estimator used for IMDB-JOB.
+#pragma once
+
+#include <vector>
+
+#include "stats/table_estimator.h"
+#include "util/rng.h"
+
+namespace fj {
+
+class SamplingEstimator : public TableEstimator {
+ public:
+  /// Draws a Bernoulli(rate) sample of `table`. A fresh sample is drawn again
+  /// on Refresh() with the same rate and seed stream.
+  SamplingEstimator(const Table& table, double rate, uint64_t seed = 42);
+
+  double EstimateFilteredRows(const Predicate& filter) const override;
+  KeyDistResult EstimateKeyDists(
+      const Predicate& filter,
+      const std::vector<KeyDistRequest>& keys) const override;
+  void Refresh(const Table& table) override;
+  size_t MemoryBytes() const override;
+  std::string Name() const override { return "sampling"; }
+
+  size_t sample_size() const { return sample_rows_.size(); }
+  double rate() const { return rate_; }
+
+ private:
+  void DrawSample();
+
+  const Table* table_;  // not owned; must outlive the estimator
+  double rate_;
+  uint64_t seed_;
+  std::vector<uint32_t> sample_rows_;
+  double scale_ = 1.0;  // table rows / sample rows
+};
+
+}  // namespace fj

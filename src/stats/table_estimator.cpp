@@ -1,0 +1,14 @@
+#include "stats/table_estimator.h"
+
+namespace fj {
+
+const char* TableEstimatorKindName(TableEstimatorKind kind) {
+  switch (kind) {
+    case TableEstimatorKind::kSampling: return "sampling";
+    case TableEstimatorKind::kBayesNet: return "bayescard";
+    case TableEstimatorKind::kTrueScan: return "truescan";
+  }
+  return "?";
+}
+
+}  // namespace fj

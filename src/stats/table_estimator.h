@@ -1,0 +1,62 @@
+// Common interface for single-table cardinality estimators.
+//
+// FactorJoin is agnostic to the single-table model (Section 3.3) — it only
+// requires conditional distributions of join keys given filter predicates.
+// Implementations: SamplingEstimator (flexible, supports every predicate
+// class incl. LIKE and disjunctions), BayesNetEstimator (BayesCard-like,
+// accurate on conjunctive numeric/categorical filters), TrueScanEstimator
+// (exact, slow — the paper's "TrueScan" ablation row).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "factorjoin/binning.h"
+#include "query/predicate.h"
+#include "storage/table.h"
+
+namespace fj {
+
+/// Request for the binned distribution of one join-key column.
+struct KeyDistRequest {
+  std::string column;
+  const Binning* binning;  // not owned
+};
+
+/// Conditional binned distributions of the requested keys.
+struct KeyDistResult {
+  /// Estimated |Q(T)| (number of rows passing the filter).
+  double filtered_rows = 0.0;
+  /// masses[i][b] = estimated number of filtered rows whose key i falls in
+  /// bin b. Each masses[i] sums to ~filtered_rows (minus nulls).
+  std::vector<std::vector<double>> masses;
+};
+
+class TableEstimator {
+ public:
+  virtual ~TableEstimator() = default;
+
+  /// Estimated number of rows satisfying `filter`.
+  virtual double EstimateFilteredRows(const Predicate& filter) const = 0;
+
+  /// Conditional binned join-key distributions under `filter`.
+  virtual KeyDistResult EstimateKeyDists(
+      const Predicate& filter,
+      const std::vector<KeyDistRequest>& keys) const = 0;
+
+  /// Re-trains / refreshes internal state after the underlying table changed
+  /// (incremental update path, Section 4.3).
+  virtual void Refresh(const Table& table) = 0;
+
+  virtual size_t MemoryBytes() const = 0;
+
+  virtual std::string Name() const = 0;
+};
+
+/// Which single-table estimator FactorJoin plugs in (Table 7 ablation).
+enum class TableEstimatorKind { kSampling, kBayesNet, kTrueScan };
+
+const char* TableEstimatorKindName(TableEstimatorKind kind);
+
+}  // namespace fj

@@ -1,0 +1,82 @@
+#include "storage/column.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_set>
+
+namespace fj {
+
+Column::Column(std::string name, ColumnType type)
+    : name_(std::move(name)), type_(type) {
+  if (type_ == ColumnType::kString) pool_ = std::make_unique<StringPool>();
+}
+
+void Column::AppendInt(int64_t v) {
+  assert(type_ == ColumnType::kInt64);
+  ints_.push_back(v);
+  cached_distinct_ = -1;
+}
+
+void Column::AppendDouble(double v) {
+  assert(type_ == ColumnType::kDouble);
+  ints_.push_back(DoubleToCode(v));
+  doubles_.push_back(v);
+  cached_distinct_ = -1;
+}
+
+void Column::AppendString(std::string_view s) {
+  assert(type_ == ColumnType::kString);
+  ints_.push_back(pool_->Intern(s));
+  cached_distinct_ = -1;
+}
+
+void Column::AppendNull() {
+  ints_.push_back(kNullInt64);
+  if (type_ == ColumnType::kDouble) {
+    doubles_.push_back(std::nan(""));
+  }
+  cached_distinct_ = -1;
+}
+
+int64_t Column::DistinctCount() const {
+  if (cached_distinct_ >= 0) return cached_distinct_;
+  std::unordered_set<int64_t> seen;
+  seen.reserve(ints_.size());
+  for (int64_t v : ints_) {
+    if (v != kNullInt64) seen.insert(v);
+  }
+  cached_distinct_ = static_cast<int64_t>(seen.size());
+  return cached_distinct_;
+}
+
+bool Column::CodeRange(int64_t* min_code, int64_t* max_code) const {
+  bool found = false;
+  int64_t lo = 0, hi = 0;
+  for (int64_t v : ints_) {
+    if (v == kNullInt64) continue;
+    if (!found) {
+      lo = hi = v;
+      found = true;
+    } else {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  if (found) {
+    *min_code = lo;
+    *max_code = hi;
+  }
+  return found;
+}
+
+size_t Column::MemoryBytes() const {
+  size_t bytes = ints_.size() * sizeof(int64_t) +
+                 doubles_.size() * sizeof(double);
+  if (pool_) {
+    for (const auto& s : pool_->strings()) bytes += s.size() + sizeof(size_t);
+  }
+  return bytes;
+}
+
+}  // namespace fj

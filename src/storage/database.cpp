@@ -1,0 +1,109 @@
+#include "storage/database.h"
+
+#include <stdexcept>
+
+namespace fj {
+namespace {
+
+// Union-find over dense indices.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    for (size_t i = 0; i < n; ++i) parent_[i] = i;
+  }
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(size_t a, size_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+}  // namespace
+
+Table* Database::AddTable(const std::string& name) {
+  if (tables_.count(name) > 0) {
+    throw std::invalid_argument("duplicate table " + name);
+  }
+  auto table = std::make_unique<Table>(name);
+  Table* ptr = table.get();
+  tables_.emplace(name, std::move(table));
+  table_order_.push_back(name);
+  return ptr;
+}
+
+const Table& Database::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) throw std::out_of_range("no table " + name);
+  return *it->second;
+}
+
+Table* Database::MutableTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) throw std::out_of_range("no table " + name);
+  return it->second.get();
+}
+
+void Database::AddJoinRelation(const ColumnRef& left, const ColumnRef& right) {
+  // Validate both endpoints exist so schema typos fail fast.
+  GetTable(left.table).Col(left.column);
+  GetTable(right.table).Col(right.column);
+  join_relations_.push_back({left, right});
+}
+
+std::vector<ColumnRef> Database::JoinKeyColumns() const {
+  std::vector<ColumnRef> keys;
+  std::unordered_map<ColumnRef, size_t, ColumnRefHash> seen;
+  for (const auto& rel : join_relations_) {
+    for (const ColumnRef& ref : {rel.left, rel.right}) {
+      if (seen.emplace(ref, keys.size()).second) keys.push_back(ref);
+    }
+  }
+  return keys;
+}
+
+std::vector<KeyGroup> Database::EquivalentKeyGroups() const {
+  std::vector<ColumnRef> keys = JoinKeyColumns();
+  std::unordered_map<ColumnRef, size_t, ColumnRefHash> index;
+  for (size_t i = 0; i < keys.size(); ++i) index[keys[i]] = i;
+
+  UnionFind uf(keys.size());
+  for (const auto& rel : join_relations_) {
+    uf.Union(index.at(rel.left), index.at(rel.right));
+  }
+
+  std::unordered_map<size_t, size_t> root_to_group;
+  std::vector<KeyGroup> groups;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    size_t root = uf.Find(i);
+    auto it = root_to_group.find(root);
+    if (it == root_to_group.end()) {
+      root_to_group[root] = groups.size();
+      groups.push_back({});
+      it = root_to_group.find(root);
+    }
+    groups[it->second].members.push_back(keys[i]);
+  }
+  return groups;
+}
+
+std::vector<std::string> Database::TableNames() const { return table_order_; }
+
+size_t Database::TotalRows() const {
+  size_t rows = 0;
+  for (const auto& [_, t] : tables_) rows += t->num_rows();
+  return rows;
+}
+
+size_t Database::MemoryBytes() const {
+  size_t bytes = 0;
+  for (const auto& [_, t] : tables_) bytes += t->MemoryBytes();
+  return bytes;
+}
+
+}  // namespace fj

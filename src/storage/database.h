@@ -1,0 +1,81 @@
+// Database = tables + declared join relations between columns.
+//
+// The schema's join relations define which columns are semantically
+// equivalent join keys; FactorJoin's offline phase computes the transitive
+// closure of these relations ("equivalent key groups", Section 3.3) to decide
+// which columns share one binning.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/table.h"
+
+namespace fj {
+
+/// Reference to a column of a base table ("posts.OwnerUserId").
+struct ColumnRef {
+  std::string table;
+  std::string column;
+
+  bool operator==(const ColumnRef& o) const {
+    return table == o.table && column == o.column;
+  }
+  std::string ToString() const { return table + "." + column; }
+};
+
+struct ColumnRefHash {
+  size_t operator()(const ColumnRef& r) const {
+    return std::hash<std::string>()(r.table) * 1000003u ^
+           std::hash<std::string>()(r.column);
+  }
+};
+
+/// Undirected join relation declared in the schema (typically PK = FK).
+struct JoinRelation {
+  ColumnRef left;
+  ColumnRef right;
+};
+
+/// A set of join-key columns that are transitively joinable with each other.
+struct KeyGroup {
+  std::vector<ColumnRef> members;
+};
+
+class Database {
+ public:
+  Table* AddTable(const std::string& name);
+
+  const Table& GetTable(const std::string& name) const;
+  Table* MutableTable(const std::string& name);
+  bool HasTable(const std::string& name) const { return tables_.count(name) > 0; }
+
+  /// Declares that left and right columns join (both must exist).
+  void AddJoinRelation(const ColumnRef& left, const ColumnRef& right);
+
+  const std::vector<JoinRelation>& join_relations() const {
+    return join_relations_;
+  }
+
+  /// Computes equivalent key groups: connected components of the join-relation
+  /// graph over ColumnRefs. Deterministic order (insertion order of members).
+  std::vector<KeyGroup> EquivalentKeyGroups() const;
+
+  /// All join-key columns (members of any relation).
+  std::vector<ColumnRef> JoinKeyColumns() const;
+
+  std::vector<std::string> TableNames() const;
+
+  size_t TotalRows() const;
+  size_t MemoryBytes() const;
+
+ private:
+  std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
+  std::vector<std::string> table_order_;
+  std::vector<JoinRelation> join_relations_;
+};
+
+}  // namespace fj

@@ -1,0 +1,37 @@
+#include "storage/table.h"
+
+namespace fj {
+
+Column* Table::AddColumn(const std::string& column_name, ColumnType type) {
+  if (index_.count(column_name) > 0) {
+    throw std::invalid_argument("duplicate column " + column_name +
+                                " in table " + name_);
+  }
+  index_[column_name] = columns_.size();
+  columns_.push_back(std::make_unique<Column>(column_name, type));
+  return columns_.back().get();
+}
+
+const Column& Table::Col(const std::string& column_name) const {
+  auto it = index_.find(column_name);
+  if (it == index_.end()) {
+    throw std::out_of_range("no column " + column_name + " in table " + name_);
+  }
+  return *columns_[it->second];
+}
+
+Column* Table::MutableCol(const std::string& column_name) {
+  auto it = index_.find(column_name);
+  if (it == index_.end()) {
+    throw std::out_of_range("no column " + column_name + " in table " + name_);
+  }
+  return columns_[it->second].get();
+}
+
+size_t Table::MemoryBytes() const {
+  size_t bytes = 0;
+  for (const auto& c : columns_) bytes += c->MemoryBytes();
+  return bytes;
+}
+
+}  // namespace fj

@@ -1,0 +1,48 @@
+// A named table: an ordered set of columns of equal length.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/column.h"
+
+namespace fj {
+
+class Table {
+ public:
+  explicit Table(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Adds an empty column; returns a pointer owned by the table.
+  Column* AddColumn(const std::string& column_name, ColumnType type);
+
+  /// Column by name; throws std::out_of_range if absent.
+  const Column& Col(const std::string& column_name) const;
+  Column* MutableCol(const std::string& column_name);
+
+  bool HasColumn(const std::string& column_name) const {
+    return index_.count(column_name) > 0;
+  }
+
+  size_t num_rows() const {
+    return columns_.empty() ? 0 : columns_.front()->size();
+  }
+  size_t num_columns() const { return columns_.size(); }
+
+  const std::vector<std::unique_ptr<Column>>& columns() const {
+    return columns_;
+  }
+
+  size_t MemoryBytes() const;
+
+ private:
+  std::string name_;
+  std::vector<std::unique_ptr<Column>> columns_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+}  // namespace fj

@@ -1,0 +1,30 @@
+#include "util/like_match.h"
+
+namespace fj {
+
+bool LikeMatch(std::string_view text, std::string_view pattern) {
+  // Iterative two-pointer algorithm with backtracking to the last '%',
+  // O(|text| * |pattern|) worst case but linear on typical patterns.
+  size_t t = 0, p = 0;
+  size_t star_p = std::string_view::npos;  // position after last '%'
+  size_t star_t = 0;                       // text position when '%' matched
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '_' || pattern[p] == text[t])) {
+      ++t;
+      ++p;
+    } else if (p < pattern.size() && pattern[p] == '%') {
+      star_p = ++p;
+      star_t = t;
+    } else if (star_p != std::string_view::npos) {
+      p = star_p;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '%') ++p;
+  return p == pattern.size();
+}
+
+}  // namespace fj

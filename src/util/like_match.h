@@ -1,0 +1,14 @@
+// SQL LIKE pattern matching ('%' = any sequence, '_' = any single char).
+// Used by the predicate evaluator and by estimators supporting string
+// pattern-matching filters (IMDB-JOB workload).
+#pragma once
+
+#include <string_view>
+
+namespace fj {
+
+/// Returns true iff `text` matches the SQL LIKE `pattern`. Matching is
+/// case-sensitive, consistent with PostgreSQL's LIKE.
+bool LikeMatch(std::string_view text, std::string_view pattern);
+
+}  // namespace fj

@@ -1,0 +1,86 @@
+#include "util/math_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fj {
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double Variance(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  double m = Mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return s / static_cast<double>(xs.size());
+}
+
+double Percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  if (p <= 0.0) return xs.front();
+  if (p >= 1.0) return xs.back();
+  double pos = p * static_cast<double>(xs.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= xs.size()) return xs.back();
+  return xs[lo] * (1.0 - frac) + xs[lo + 1] * frac;
+}
+
+double GeometricMean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double x : xs) log_sum += std::log(std::max(x, 1e-300));
+  return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+double Entropy(const std::vector<double>& counts) {
+  double total = 0.0;
+  for (double c : counts) total += c;
+  if (total <= 0.0) return 0.0;
+  double h = 0.0;
+  for (double c : counts) {
+    if (c <= 0.0) continue;
+    double p = c / total;
+    h -= p * std::log(p);
+  }
+  return h;
+}
+
+double MutualInformation(const std::vector<double>& joint, size_t nx,
+                         size_t ny) {
+  std::vector<double> px(nx, 0.0), py(ny, 0.0);
+  double total = 0.0;
+  for (size_t i = 0; i < nx; ++i) {
+    for (size_t j = 0; j < ny; ++j) {
+      double c = joint[i * ny + j];
+      px[i] += c;
+      py[j] += c;
+      total += c;
+    }
+  }
+  if (total <= 0.0) return 0.0;
+  double mi = 0.0;
+  for (size_t i = 0; i < nx; ++i) {
+    for (size_t j = 0; j < ny; ++j) {
+      double c = joint[i * ny + j];
+      if (c <= 0.0) continue;
+      double pxy = c / total;
+      mi += pxy * std::log(pxy * total * total / (px[i] * py[j]));
+    }
+  }
+  return std::max(mi, 0.0);
+}
+
+double QError(double estimate, double truth) {
+  double e = std::max(estimate, 1.0);
+  double t = std::max(truth, 1.0);
+  return std::max(e / t, t / e);
+}
+
+}  // namespace fj

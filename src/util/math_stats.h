@@ -1,0 +1,38 @@
+// Small numeric helpers shared across estimators: moments, percentiles,
+// entropy and mutual information over discrete joint counts.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fj {
+
+/// Arithmetic mean; 0 for empty input.
+double Mean(const std::vector<double>& xs);
+
+/// Population variance; 0 for inputs with fewer than 2 elements.
+double Variance(const std::vector<double>& xs);
+
+/// p-th percentile (p in [0,1]) with linear interpolation. Copies and sorts;
+/// intended for reporting, not hot paths. Returns 0 for empty input.
+double Percentile(std::vector<double> xs, double p);
+
+/// Geometric mean of strictly positive values; 0 for empty input.
+double GeometricMean(const std::vector<double>& xs);
+
+/// Shannon entropy (nats) of an unnormalized count vector.
+double Entropy(const std::vector<double>& counts);
+
+/// Mutual information (nats) between two discrete variables given their joint
+/// count matrix `joint[i * ny + j]` with marginals implied. Zero counts are
+/// skipped. nx, ny are the category counts of each variable.
+double MutualInformation(const std::vector<double>& joint, size_t nx,
+                         size_t ny);
+
+/// q-error between an estimate and the truth: max(est/true, true/est) with
+/// both clamped to >= 1 tuple. The standard cardinality-estimation accuracy
+/// metric.
+double QError(double estimate, double truth);
+
+}  // namespace fj

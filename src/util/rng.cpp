@@ -1,0 +1,42 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <numbers>
+#include <unordered_set>
+
+namespace fj {
+
+double Rng::Gaussian() {
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  if (u1 < 1e-300) u1 = 1e-300;
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t m) {
+  if (m > n) m = n;
+  std::vector<size_t> out;
+  out.reserve(m);
+  if (m * 3 >= n) {
+    // Dense case: partial Fisher-Yates over an index array.
+    std::vector<size_t> idx(n);
+    for (size_t i = 0; i < n; ++i) idx[i] = i;
+    for (size_t i = 0; i < m; ++i) {
+      size_t j = i + static_cast<size_t>(Below(n - i));
+      std::swap(idx[i], idx[j]);
+      out.push_back(idx[i]);
+    }
+  } else {
+    // Sparse case: rejection with a hash set.
+    std::unordered_set<size_t> seen;
+    seen.reserve(m * 2);
+    while (out.size() < m) {
+      size_t candidate = static_cast<size_t>(Below(n));
+      if (seen.insert(candidate).second) out.push_back(candidate);
+    }
+  }
+  return out;
+}
+
+}  // namespace fj

@@ -1,0 +1,89 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomized components in the library (workload generators, sampling
+// estimators, wander-join walks, neural-net initialization) take an explicit
+// Rng so experiments are reproducible bit-for-bit across runs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+namespace fj {
+
+/// PCG32 generator (O'Neill, 2014). Small state, good statistical quality,
+/// much faster to construct than std::mt19937 and cheap to copy.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL,
+               uint64_t stream = 0xda3e39cb94b95bdbULL) {
+    state_ = 0u;
+    inc_ = (stream << 1u) | 1u;
+    Next32();
+    state_ += seed;
+    Next32();
+  }
+
+  /// Uniform 32-bit value.
+  uint32_t Next32() {
+    uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    uint32_t xorshifted = static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+    uint32_t rot = static_cast<uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((~rot + 1u) & 31u));
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next64() {
+    return (static_cast<uint64_t>(Next32()) << 32) | Next32();
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t Below(uint64_t bound) {
+    // Lemire's nearly-divisionless method would be faster; modulo bias is
+    // negligible for bounds far below 2^64 and this keeps the code obvious.
+    uint64_t threshold = (~bound + 1u) % bound;
+    for (;;) {
+      uint64_t r = Next64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t Range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool Chance(double p) { return NextDouble() < p; }
+
+  /// Standard normal via Box-Muller (no cached second value; simple and
+  /// adequate for NN weight init).
+  double Gaussian();
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(Below(i + 1));
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  /// Sample m distinct indices from [0, n) without replacement (m <= n).
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t m);
+
+ private:
+  uint64_t state_;
+  uint64_t inc_;
+};
+
+}  // namespace fj

@@ -1,0 +1,20 @@
+#include "util/string_pool.h"
+
+namespace fj {
+
+int64_t StringPool::Intern(std::string_view s) {
+  auto it = index_.find(std::string(s));
+  if (it != index_.end()) return it->second;
+  int64_t code = static_cast<int64_t>(strings_.size());
+  strings_.emplace_back(s);
+  index_.emplace(strings_.back(), code);
+  return code;
+}
+
+int64_t StringPool::Lookup(std::string_view s) const {
+  auto it = index_.find(std::string(s));
+  if (it == index_.end()) return -1;
+  return it->second;
+}
+
+}  // namespace fj

@@ -1,0 +1,36 @@
+// Dictionary encoding for string columns. A StringPool maps each distinct
+// string to a dense int64 code so string columns can share the integer
+// storage/estimation machinery; the pool is retained to evaluate LIKE
+// predicates against the original text.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace fj {
+
+class StringPool {
+ public:
+  /// Interns `s`, returning its stable code (existing code if seen before).
+  int64_t Intern(std::string_view s);
+
+  /// Returns the code for `s`, or -1 if the string was never interned.
+  int64_t Lookup(std::string_view s) const;
+
+  /// Returns the string for a code interned earlier. Precondition: valid code.
+  const std::string& Get(int64_t code) const { return strings_[static_cast<size_t>(code)]; }
+
+  size_t size() const { return strings_.size(); }
+
+  /// All interned strings, indexed by code.
+  const std::vector<std::string>& strings() const { return strings_; }
+
+ private:
+  std::vector<std::string> strings_;
+  std::unordered_map<std::string, int64_t> index_;
+};
+
+}  // namespace fj

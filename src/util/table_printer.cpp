@@ -1,0 +1,92 @@
+#include "util/table_printer.h"
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+namespace fj {
+
+TablePrinter::TablePrinter(std::vector<std::string> header) {
+  rows_.push_back(std::move(header));
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::ToString() const {
+  size_t ncols = 0;
+  for (const auto& row : rows_) ncols = std::max(ncols, row.size());
+  std::vector<size_t> widths(ncols, 0);
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    const auto& row = rows_[r];
+    for (size_t c = 0; c < row.size(); ++c) {
+      out << row[c];
+      if (c + 1 < row.size()) {
+        out << std::string(widths[c] - row[c].size() + 2, ' ');
+      }
+    }
+    out << '\n';
+    if (r == 0) {
+      size_t total = 0;
+      for (size_t c = 0; c < ncols; ++c) total += widths[c] + (c + 1 < ncols ? 2 : 0);
+      out << std::string(total, '-') << '\n';
+    }
+  }
+  return out.str();
+}
+
+void TablePrinter::Print() const { std::cout << ToString() << std::flush; }
+
+std::string TablePrinter::FormatSeconds(double s) {
+  char buf[64];
+  if (s < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.1fus", s * 1e6);
+  } else if (s < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.1fms", s * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fs", s);
+  }
+  return buf;
+}
+
+std::string TablePrinter::FormatCount(double c) {
+  char buf[64];
+  if (c >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2fG", c / 1e9);
+  } else if (c >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fM", c / 1e6);
+  } else if (c >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.1fk", c / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f", c);
+  }
+  return buf;
+}
+
+std::string TablePrinter::FormatBytes(size_t bytes) {
+  char buf[64];
+  double b = static_cast<double>(bytes);
+  if (b >= 1024.0 * 1024.0) {
+    std::snprintf(buf, sizeof(buf), "%.2fMB", b / (1024.0 * 1024.0));
+  } else if (b >= 1024.0) {
+    std::snprintf(buf, sizeof(buf), "%.1fKB", b / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%zuB", bytes);
+  }
+  return buf;
+}
+
+std::string TablePrinter::FormatPercent(double fraction) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", fraction * 100.0);
+  return buf;
+}
+
+}  // namespace fj

@@ -1,0 +1,32 @@
+// Fixed-width ASCII table printing used by the benchmark harnesses so each
+// bench binary emits rows in the same layout as the paper's tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fj {
+
+/// Collects rows of string cells and prints them with aligned columns.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders to stdout with a separator line under the header.
+  void Print() const;
+
+  /// Renders to a string (used by tests).
+  std::string ToString() const;
+
+  static std::string FormatSeconds(double s);
+  static std::string FormatCount(double c);
+  static std::string FormatBytes(size_t bytes);
+  static std::string FormatPercent(double fraction);
+
+ private:
+  std::vector<std::vector<std::string>> rows_;  // rows_[0] is the header
+};
+
+}  // namespace fj

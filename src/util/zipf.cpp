@@ -1,0 +1,27 @@
+#include "util/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fj {
+
+ZipfSampler::ZipfSampler(size_t n, double theta) : n_(n), theta_(theta) {
+  if (n_ == 0) n_ = 1;
+  cdf_.resize(n_);
+  double total = 0.0;
+  for (size_t k = 0; k < n_; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), theta_);
+    cdf_[k] = total;
+  }
+  for (size_t k = 0; k < n_; ++k) cdf_[k] /= total;
+  cdf_.back() = 1.0;
+}
+
+size_t ZipfSampler::Sample(Rng* rng) const {
+  double u = rng->NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return n_ - 1;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+}  // namespace fj

@@ -1,0 +1,32 @@
+// Zipfian sampling used by the workload generators to create the skewed
+// join-key frequency distributions FactorJoin is designed for.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace fj {
+
+/// Samples integers in [0, n) with P(k) proportional to 1/(k+1)^theta.
+///
+/// Uses an inverse-CDF table built once at construction; sampling is a binary
+/// search, O(log n). theta = 0 degenerates to uniform.
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double theta);
+
+  /// Draws one value in [0, n).
+  size_t Sample(Rng* rng) const;
+
+  size_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  size_t n_;
+  double theta_;
+  std::vector<double> cdf_;  // cdf_[k] = P(X <= k), monotone, ends at 1.0
+};
+
+}  // namespace fj

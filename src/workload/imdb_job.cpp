@@ -1,0 +1,391 @@
+#include "workload/imdb_job.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/zipf.h"
+#include "workload/query_gen.h"
+
+namespace fj {
+namespace {
+
+const char* kWords[] = {
+    "dark",   "night",  "return", "story",  "love",   "war",    "king",
+    "shadow", "dream",  "city",   "last",   "first",  "blood",  "moon",
+    "star",   "fire",   "ice",    "stone",  "river",  "ghost",  "red",
+    "blue",   "silent", "broken", "golden", "lost",   "hidden", "final",
+    "secret", "ancient"};
+constexpr size_t kNumWords = sizeof(kWords) / sizeof(kWords[0]);
+
+const char* kFirstNames[] = {"james", "mary",  "john",   "linda", "robert",
+                             "susan", "david", "karen",  "maria", "peter",
+                             "anna",  "paul",  "laura",  "mark",  "julia"};
+const char* kLastNames[] = {"smith",  "johnson", "garcia", "miller",
+                            "davis",  "lopez",   "wilson", "moore",
+                            "taylor", "anderson"};
+
+std::string RandomTitle(Rng* rng) {
+  std::string s = kWords[rng->Below(kNumWords)];
+  size_t extra = 1 + rng->Below(2);
+  for (size_t i = 0; i < extra; ++i) {
+    s += " ";
+    s += kWords[rng->Below(kNumWords)];
+  }
+  return s;
+}
+
+std::string RandomName(Rng* rng) {
+  std::string s = kLastNames[rng->Below(10)];
+  s += ", ";
+  s += kFirstNames[rng->Below(15)];
+  return s;
+}
+
+size_t Scaled(double base, double scale) {
+  return std::max<size_t>(static_cast<size_t>(base * scale), 8);
+}
+
+}  // namespace
+
+std::unique_ptr<Workload> MakeImdbJob(const ImdbJobOptions& options) {
+  auto w = std::make_unique<Workload>();
+  w->name = "imdb-job";
+  Database& db = w->db;
+  Rng rng(options.seed);
+
+  const size_t n_title = Scaled(20000, options.scale);
+  const size_t n_name = Scaled(25000, options.scale);
+  const size_t n_char = Scaled(15000, options.scale);
+  const size_t n_company = Scaled(6000, options.scale);
+  const size_t n_keyword = Scaled(3000, options.scale);
+  const size_t n_ci = Scaled(60000, options.scale);
+  const size_t n_mc = Scaled(25000, options.scale);
+  const size_t n_mi = Scaled(35000, options.scale);
+  const size_t n_mi_idx = Scaled(12000, options.scale);
+  const size_t n_mk = Scaled(30000, options.scale);
+  const size_t n_ml = Scaled(3000, options.scale);
+  const size_t n_an = Scaled(9000, options.scale);
+  const size_t n_at = Scaled(4000, options.scale);
+  const size_t n_pi = Scaled(20000, options.scale);
+  const size_t n_cc = Scaled(3000, options.scale);
+
+  // Small dimension helper.
+  auto make_dim = [&](const char* table, const char* col,
+                      std::vector<std::string> values) {
+    Table* t = db.AddTable(table);
+    Column* id = t->AddColumn("id", ColumnType::kInt64);
+    Column* v = t->AddColumn(col, ColumnType::kString);
+    for (size_t i = 0; i < values.size(); ++i) {
+      id->AppendInt(static_cast<int64_t>(i + 1));
+      v->AppendString(values[i]);
+    }
+    return t;
+  };
+  make_dim("kind_type", "kind",
+           {"movie", "tv series", "tv movie", "video movie", "episode",
+            "video game", "tv mini series"});
+  make_dim("company_type", "kind",
+           {"distributors", "production companies", "special effects",
+            "miscellaneous"});
+  make_dim("role_type", "role",
+           {"actor", "actress", "producer", "writer", "cinematographer",
+            "composer", "costume designer", "director", "editor", "guest",
+            "miscellaneous", "production designer"});
+  make_dim("link_type", "link",
+           {"follows", "followed by", "remake of", "remade as", "references",
+            "referenced in", "spoofs", "spoofed in", "version of",
+            "similar to"});
+  make_dim("comp_cast_type", "kind",
+           {"cast", "crew", "complete", "complete+verified"});
+  {
+    std::vector<std::string> infos;
+    const char* kinds[] = {"genres", "languages", "runtimes", "rating",
+                           "votes", "budget", "countries", "color"};
+    for (int rep = 0; rep < 5; ++rep) {
+      for (const char* k : kinds) {
+        infos.push_back(std::string(k) + "-" + std::to_string(rep));
+      }
+    }
+    make_dim("info_type", "info", infos);
+  }
+  size_t n_info_type = db.GetTable("info_type").num_rows();
+
+  // ---- title ---------------------------------------------------------
+  // production_year correlates with kind_id; popular (low heat index)
+  // titles attract most fact rows.
+  Table* title = db.AddTable("title");
+  Column* t_id = title->AddColumn("id", ColumnType::kInt64);
+  Column* t_title = title->AddColumn("title", ColumnType::kString);
+  Column* t_kind = title->AddColumn("kind_id", ColumnType::kInt64);
+  Column* t_year = title->AddColumn("production_year", ColumnType::kInt64);
+  for (size_t i = 0; i < n_title; ++i) {
+    t_id->AppendInt(static_cast<int64_t>(i + 1));
+    t_title->AppendString(RandomTitle(&rng));
+    int64_t kind = 1 + static_cast<int64_t>(rng.Below(7));
+    t_kind->AppendInt(kind);
+    // TV content skews recent; movies spread over a century.
+    int64_t year = kind >= 2 ? 1990 + static_cast<int64_t>(rng.Below(34))
+                             : 1920 + static_cast<int64_t>(rng.Below(104));
+    t_year->AppendInt(year);
+  }
+  ZipfSampler title_zipf(n_title, 0.95);
+  auto sample_title = [&]() {
+    return static_cast<int64_t>(title_zipf.Sample(&rng)) + 1;
+  };
+
+  // ---- name / char_name / company_name / keyword ----------------------
+  Table* name = db.AddTable("name");
+  Column* na_id = name->AddColumn("id", ColumnType::kInt64);
+  Column* na_name = name->AddColumn("name", ColumnType::kString);
+  Column* na_gender = name->AddColumn("gender", ColumnType::kString);
+  for (size_t i = 0; i < n_name; ++i) {
+    na_id->AppendInt(static_cast<int64_t>(i + 1));
+    na_name->AppendString(RandomName(&rng));
+    na_gender->AppendString(rng.Chance(0.6) ? "m" : "f");
+  }
+  ZipfSampler person_zipf(n_name, 1.0);
+  auto sample_person = [&]() {
+    return static_cast<int64_t>(person_zipf.Sample(&rng)) + 1;
+  };
+
+  Table* char_name = db.AddTable("char_name");
+  Column* ch_id = char_name->AddColumn("id", ColumnType::kInt64);
+  Column* ch_name = char_name->AddColumn("name", ColumnType::kString);
+  for (size_t i = 0; i < n_char; ++i) {
+    ch_id->AppendInt(static_cast<int64_t>(i + 1));
+    ch_name->AppendString(RandomTitle(&rng));
+  }
+
+  Table* company = db.AddTable("company_name");
+  Column* co_id = company->AddColumn("id", ColumnType::kInt64);
+  Column* co_name = company->AddColumn("name", ColumnType::kString);
+  Column* co_cc = company->AddColumn("country_code", ColumnType::kString);
+  const char* kCountries[] = {"[us]", "[gb]", "[de]", "[fr]", "[jp]", "[in]"};
+  for (size_t i = 0; i < n_company; ++i) {
+    co_id->AppendInt(static_cast<int64_t>(i + 1));
+    co_name->AppendString(RandomTitle(&rng) + " productions");
+    co_cc->AppendString(kCountries[rng.Below(6)]);
+  }
+
+  Table* keyword = db.AddTable("keyword");
+  Column* k_id = keyword->AddColumn("id", ColumnType::kInt64);
+  Column* k_kw = keyword->AddColumn("keyword", ColumnType::kString);
+  for (size_t i = 0; i < n_keyword; ++i) {
+    k_id->AppendInt(static_cast<int64_t>(i + 1));
+    k_kw->AppendString(std::string(kWords[rng.Below(kNumWords)]) + "-" +
+                       std::to_string(rng.Below(200)));
+  }
+
+  // ---- fact tables -----------------------------------------------------
+  Table* ci = db.AddTable("cast_info");
+  Column* ci_movie = ci->AddColumn("movie_id", ColumnType::kInt64);
+  Column* ci_person = ci->AddColumn("person_id", ColumnType::kInt64);
+  Column* ci_role_char = ci->AddColumn("person_role_id", ColumnType::kInt64);
+  Column* ci_role = ci->AddColumn("role_id", ColumnType::kInt64);
+  Column* ci_order = ci->AddColumn("nr_order", ColumnType::kInt64);
+  for (size_t i = 0; i < n_ci; ++i) {
+    ci_movie->AppendInt(sample_title());
+    ci_person->AppendInt(sample_person());
+    if (rng.Chance(0.4)) {
+      ci_role_char->AppendNull();
+    } else {
+      ci_role_char->AppendInt(1 + static_cast<int64_t>(rng.Below(n_char)));
+    }
+    ci_role->AppendInt(1 + static_cast<int64_t>(rng.Below(12)));
+    ci_order->AppendInt(static_cast<int64_t>(rng.Below(50)));
+  }
+
+  Table* mc = db.AddTable("movie_companies");
+  Column* mc_movie = mc->AddColumn("movie_id", ColumnType::kInt64);
+  Column* mc_company = mc->AddColumn("company_id", ColumnType::kInt64);
+  Column* mc_type = mc->AddColumn("company_type_id", ColumnType::kInt64);
+  Column* mc_note = mc->AddColumn("note", ColumnType::kString);
+  ZipfSampler company_zipf(n_company, 1.1);
+  for (size_t i = 0; i < n_mc; ++i) {
+    mc_movie->AppendInt(sample_title());
+    mc_company->AppendInt(static_cast<int64_t>(company_zipf.Sample(&rng)) + 1);
+    mc_type->AppendInt(1 + static_cast<int64_t>(rng.Below(4)));
+    mc_note->AppendString(rng.Chance(0.5) ? "(theatrical)" : "(tv)");
+  }
+
+  auto make_movie_info = [&](const char* tname, size_t rows) {
+    Table* t = db.AddTable(tname);
+    Column* movie = t->AddColumn("movie_id", ColumnType::kInt64);
+    Column* itype = t->AddColumn("info_type_id", ColumnType::kInt64);
+    Column* info = t->AddColumn("info", ColumnType::kString);
+    for (size_t i = 0; i < rows; ++i) {
+      movie->AppendInt(sample_title());
+      itype->AppendInt(1 + static_cast<int64_t>(rng.Below(n_info_type)));
+      info->AppendString(std::string(kWords[rng.Below(kNumWords)]) +
+                         std::to_string(rng.Below(100)));
+    }
+  };
+  make_movie_info("movie_info", n_mi);
+  make_movie_info("movie_info_idx", n_mi_idx);
+
+  Table* mk = db.AddTable("movie_keyword");
+  Column* mk_movie = mk->AddColumn("movie_id", ColumnType::kInt64);
+  Column* mk_kw = mk->AddColumn("keyword_id", ColumnType::kInt64);
+  ZipfSampler keyword_zipf(n_keyword, 1.2);
+  for (size_t i = 0; i < n_mk; ++i) {
+    mk_movie->AppendInt(sample_title());
+    mk_kw->AppendInt(static_cast<int64_t>(keyword_zipf.Sample(&rng)) + 1);
+  }
+
+  Table* ml = db.AddTable("movie_link");
+  Column* ml_movie = ml->AddColumn("movie_id", ColumnType::kInt64);
+  Column* ml_linked = ml->AddColumn("linked_movie_id", ColumnType::kInt64);
+  Column* ml_type = ml->AddColumn("link_type_id", ColumnType::kInt64);
+  for (size_t i = 0; i < n_ml; ++i) {
+    ml_movie->AppendInt(sample_title());
+    ml_linked->AppendInt(sample_title());
+    ml_type->AppendInt(1 + static_cast<int64_t>(rng.Below(10)));
+  }
+
+  Table* an = db.AddTable("aka_name");
+  Column* an_person = an->AddColumn("person_id", ColumnType::kInt64);
+  Column* an_name = an->AddColumn("name", ColumnType::kString);
+  for (size_t i = 0; i < n_an; ++i) {
+    an_person->AppendInt(sample_person());
+    an_name->AppendString(RandomName(&rng));
+  }
+
+  Table* at = db.AddTable("aka_title");
+  Column* at_movie = at->AddColumn("movie_id", ColumnType::kInt64);
+  Column* at_title = at->AddColumn("title", ColumnType::kString);
+  Column* at_kind = at->AddColumn("kind_id", ColumnType::kInt64);
+  for (size_t i = 0; i < n_at; ++i) {
+    at_movie->AppendInt(sample_title());
+    at_title->AppendString(RandomTitle(&rng));
+    at_kind->AppendInt(1 + static_cast<int64_t>(rng.Below(7)));
+  }
+
+  Table* pi = db.AddTable("person_info");
+  Column* pi_person = pi->AddColumn("person_id", ColumnType::kInt64);
+  Column* pi_type = pi->AddColumn("info_type_id", ColumnType::kInt64);
+  Column* pi_info = pi->AddColumn("info", ColumnType::kString);
+  for (size_t i = 0; i < n_pi; ++i) {
+    pi_person->AppendInt(sample_person());
+    pi_type->AppendInt(1 + static_cast<int64_t>(rng.Below(n_info_type)));
+    pi_info->AppendString(std::string(kWords[rng.Below(kNumWords)]));
+  }
+
+  Table* cc = db.AddTable("complete_cast");
+  Column* cc_movie = cc->AddColumn("movie_id", ColumnType::kInt64);
+  Column* cc_subject = cc->AddColumn("subject_id", ColumnType::kInt64);
+  Column* cc_status = cc->AddColumn("status_id", ColumnType::kInt64);
+  for (size_t i = 0; i < n_cc; ++i) {
+    cc_movie->AppendInt(sample_title());
+    cc_subject->AppendInt(1 + static_cast<int64_t>(rng.Below(2)));
+    cc_status->AppendInt(3 + static_cast<int64_t>(rng.Below(2)));
+  }
+
+  // ---- join relations (11 equivalent key groups) -----------------------
+  db.AddJoinRelation({"title", "id"}, {"movie_companies", "movie_id"});
+  db.AddJoinRelation({"title", "id"}, {"cast_info", "movie_id"});
+  db.AddJoinRelation({"title", "id"}, {"movie_info", "movie_id"});
+  db.AddJoinRelation({"title", "id"}, {"movie_info_idx", "movie_id"});
+  db.AddJoinRelation({"title", "id"}, {"movie_keyword", "movie_id"});
+  db.AddJoinRelation({"title", "id"}, {"movie_link", "movie_id"});
+  db.AddJoinRelation({"title", "id"}, {"movie_link", "linked_movie_id"});
+  db.AddJoinRelation({"title", "id"}, {"aka_title", "movie_id"});
+  db.AddJoinRelation({"title", "id"}, {"complete_cast", "movie_id"});
+  db.AddJoinRelation({"name", "id"}, {"cast_info", "person_id"});
+  db.AddJoinRelation({"name", "id"}, {"aka_name", "person_id"});
+  db.AddJoinRelation({"name", "id"}, {"person_info", "person_id"});
+  db.AddJoinRelation({"company_name", "id"}, {"movie_companies", "company_id"});
+  db.AddJoinRelation({"company_type", "id"},
+                     {"movie_companies", "company_type_id"});
+  db.AddJoinRelation({"info_type", "id"}, {"movie_info", "info_type_id"});
+  db.AddJoinRelation({"info_type", "id"}, {"movie_info_idx", "info_type_id"});
+  db.AddJoinRelation({"info_type", "id"}, {"person_info", "info_type_id"});
+  db.AddJoinRelation({"keyword", "id"}, {"movie_keyword", "keyword_id"});
+  db.AddJoinRelation({"char_name", "id"}, {"cast_info", "person_role_id"});
+  db.AddJoinRelation({"role_type", "id"}, {"cast_info", "role_id"});
+  db.AddJoinRelation({"kind_type", "id"}, {"title", "kind_id"});
+  db.AddJoinRelation({"kind_type", "id"}, {"aka_title", "kind_id"});
+  db.AddJoinRelation({"link_type", "id"}, {"movie_link", "link_type_id"});
+  db.AddJoinRelation({"comp_cast_type", "id"}, {"complete_cast", "subject_id"});
+  db.AddJoinRelation({"comp_cast_type", "id"}, {"complete_cast", "status_id"});
+
+  // ---- query workload ---------------------------------------------------
+  std::unordered_map<std::string, std::vector<std::string>> filter_cols{
+      {"title", {"title", "kind_id", "production_year"}},
+      {"name", {"name", "gender"}},
+      {"char_name", {"name"}},
+      {"company_name", {"name", "country_code"}},
+      {"keyword", {"keyword"}},
+      {"cast_info", {"role_id", "nr_order"}},
+      {"movie_companies", {"company_type_id", "note"}},
+      {"movie_info", {"info"}},
+      {"movie_info_idx", {"info"}},
+      {"info_type", {"info"}},
+      {"movie_keyword", {}},
+      {"movie_link", {"link_type_id"}},
+      {"aka_name", {"name"}},
+      {"aka_title", {"title", "kind_id"}},
+      {"person_info", {"info"}},
+      {"complete_cast", {}},
+      {"kind_type", {"kind"}},
+      {"company_type", {"kind"}},
+      {"role_type", {"role"}},
+      {"link_type", {"link"}},
+      {"comp_cast_type", {"kind"}},
+  };
+  FilterGenOptions fopts;
+  fopts.min_predicates = 1;
+  fopts.max_predicates = 3;
+  fopts.eq_probability = 0.35;
+  fopts.like_probability = 0.45;  // string pattern matching, JOB-style
+  fopts.or_probability = 0.2;    // disjunctive filters
+
+  // Fixed quotas per template class so the workload reliably contains the
+  // query shapes the benchmark is known for.
+  size_t want_self = std::max<size_t>(
+      static_cast<size_t>(options.self_join_fraction *
+                          static_cast<double>(options.num_templates)),
+      options.self_join_fraction > 0 ? 1 : 0);
+  size_t want_cyclic = std::max<size_t>(
+      static_cast<size_t>(options.cyclic_fraction *
+                          static_cast<double>(options.num_templates)),
+      options.cyclic_fraction > 0 ? 1 : 0);
+  std::vector<Query> templates;
+  size_t have_self = 0, have_cyclic = 0;
+  int guard = 0;
+  while (templates.size() < options.num_templates && guard < 8000) {
+    ++guard;
+    bool self_join = have_self < want_self;
+    bool cyclic = !self_join && have_cyclic < want_cyclic;
+    size_t tables = 2 + static_cast<size_t>(
+                            rng.Below(options.max_tables_per_query - 1));
+    if (cyclic) tables = std::max<size_t>(tables, 3);
+    JoinTemplate t = SampleJoinTemplate(db, tables, self_join, cyclic, &rng);
+    if (t.tables.size() < 2) continue;
+    Query q = TemplateToQuery(db, t);
+    if (!q.IsConnected()) continue;
+    if (self_join && !q.HasSelfJoin()) continue;
+    if (cyclic && !q.IsCyclic()) continue;  // retry until a cycle closed
+    have_self += q.HasSelfJoin() ? 1 : 0;
+    have_cyclic += q.IsCyclic() ? 1 : 0;
+    templates.push_back(std::move(q));
+  }
+  size_t attempts = 0;
+  while (w->queries.size() < options.num_queries && !templates.empty() &&
+         attempts < options.num_queries * 30) {
+    ++attempts;
+    const Query& tmpl = templates[attempts % templates.size()];
+    Query q = tmpl;
+    for (const auto& ref : tmpl.tables()) {
+      if (rng.Chance(0.85)) {
+        q.SetFilter(ref.alias,
+                    GenerateFilter(db.GetTable(ref.table),
+                                   filter_cols[ref.table], fopts, &rng));
+      }
+    }
+    if (!QueryIsExecutable(db, q, options.max_true_cardinality)) continue;
+    w->queries.push_back(std::move(q));
+  }
+  return w;
+}
+
+}  // namespace fj

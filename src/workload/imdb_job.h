@@ -1,0 +1,30 @@
+// Synthetic stand-in for the IMDB-JOB benchmark (Leis et al., VLDB'15):
+// a 21-table movie-database schema with 11 equivalent key groups centered on
+// title.id and name.id, dictionary string columns (for LIKE predicates),
+// cyclic join templates through movie_link, self joins, and disjunctive
+// filters — the query classes that rule out the learned data-driven
+// baselines in the paper's evaluation (Section 6.1).
+#pragma once
+
+#include <memory>
+
+#include "workload/stats_ceb.h"  // Workload struct
+
+namespace fj {
+
+struct ImdbJobOptions {
+  double scale = 1.0;  // 1.0 gives ~20k titles / ~60k cast_info rows
+  size_t num_queries = 113;
+  size_t num_templates = 33;
+  size_t max_tables_per_query = 6;
+  /// Fractions of templates with an extra cycle-closing edge / a self join.
+  double cyclic_fraction = 0.2;
+  double self_join_fraction = 0.1;
+  /// Generation-time executability bound (see StatsCebOptions).
+  uint64_t max_true_cardinality = 6'000'000;
+  uint64_t seed = 1138;
+};
+
+std::unique_ptr<Workload> MakeImdbJob(const ImdbJobOptions& options = {});
+
+}  // namespace fj

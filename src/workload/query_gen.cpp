@@ -1,0 +1,199 @@
+#include "workload/query_gen.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "exec/true_card.h"
+
+namespace fj {
+namespace {
+
+// A leaf predicate anchored at the value of a uniformly chosen row, so the
+// resulting selectivity is distributed like the data.
+PredicatePtr GenerateLeaf(const Table& table, const std::string& column,
+                          const FilterGenOptions& options, Rng* rng) {
+  const Column& col = table.Col(column);
+  if (col.size() == 0) return Predicate::True();
+  size_t r = static_cast<size_t>(rng->Below(col.size()));
+  // Re-draw a few times to dodge nulls.
+  for (int tries = 0; tries < 5 && col.IsNull(r); ++tries) {
+    r = static_cast<size_t>(rng->Below(col.size()));
+  }
+  if (col.IsNull(r)) return Predicate::IsNotNull(column);
+
+  if (col.type() == ColumnType::kString) {
+    const std::string& s = col.StringAt(r);
+    bool high_cardinality = col.DistinctCount() > options.max_eq_distinct;
+    if ((high_cardinality || rng->Chance(options.like_probability)) &&
+        s.size() >= 3) {
+      // Random substring pattern.
+      size_t len = 2 + static_cast<size_t>(rng->Below(std::min<size_t>(s.size() - 1, 4)));
+      size_t start = static_cast<size_t>(rng->Below(s.size() - len + 1));
+      return Predicate::Like(column, "%" + s.substr(start, len) + "%");
+    }
+    return Predicate::Cmp(column, CmpOp::kEq, Literal::Str(s));
+  }
+
+  int64_t v = col.IntAt(r);
+  Literal lit = col.type() == ColumnType::kDouble
+                    ? Literal::Double(col.DoubleAt(r))
+                    : Literal::Int(v);
+  if (col.DistinctCount() <= options.max_eq_distinct &&
+      rng->Chance(options.eq_probability)) {
+    return Predicate::Cmp(column, CmpOp::kEq, lit);
+  }
+  switch (rng->Below(4)) {
+    case 0: return Predicate::Cmp(column, CmpOp::kLe, lit);
+    case 1: return Predicate::Cmp(column, CmpOp::kGe, lit);
+    case 2: return Predicate::Cmp(column, CmpOp::kLt, lit);
+    default: {
+      // Range around the anchor using a second anchored row.
+      size_t r2 = static_cast<size_t>(rng->Below(col.size()));
+      if (col.IsNull(r2)) return Predicate::Cmp(column, CmpOp::kGe, lit);
+      int64_t v2 = col.IntAt(r2);
+      if (col.type() == ColumnType::kDouble) {
+        double lo = std::min(col.DoubleAt(r), col.DoubleAt(r2));
+        double hi = std::max(col.DoubleAt(r), col.DoubleAt(r2));
+        return Predicate::Between(column, Literal::Double(lo),
+                                  Literal::Double(hi));
+      }
+      return Predicate::Between(column, Literal::Int(std::min(v, v2)),
+                                Literal::Int(std::max(v, v2)));
+    }
+  }
+}
+
+}  // namespace
+
+PredicatePtr GenerateFilter(const Table& table,
+                            const std::vector<std::string>& columns,
+                            const FilterGenOptions& options, Rng* rng) {
+  if (columns.empty()) return Predicate::True();
+  size_t count = options.min_predicates +
+                 static_cast<size_t>(rng->Below(
+                     options.max_predicates - options.min_predicates + 1));
+  count = std::min(count, columns.size());
+
+  // Choose distinct columns.
+  std::vector<std::string> chosen = columns;
+  rng->Shuffle(&chosen);
+  chosen.resize(count);
+
+  std::vector<PredicatePtr> leaves;
+  for (const std::string& c : chosen) {
+    leaves.push_back(GenerateLeaf(table, c, options, rng));
+  }
+  // Optionally fuse two leaves into a disjunction.
+  if (leaves.size() >= 2 && rng->Chance(options.or_probability)) {
+    PredicatePtr a = leaves.back();
+    leaves.pop_back();
+    PredicatePtr b = leaves.back();
+    leaves.pop_back();
+    leaves.push_back(Predicate::Or({a, b}));
+  }
+  return Predicate::And(std::move(leaves));
+}
+
+JoinTemplate SampleJoinTemplate(const Database& db, size_t num_tables,
+                                bool allow_self_join, bool add_cycle_edge,
+                                Rng* rng) {
+  JoinTemplate out;
+  const auto& relations = db.join_relations();
+  if (relations.empty() || num_tables < 2) return out;
+
+  // Adjacency: table name -> relation indices touching it.
+  std::unordered_map<std::string, std::vector<size_t>> adjacent;
+  for (size_t i = 0; i < relations.size(); ++i) {
+    adjacent[relations[i].left.table].push_back(i);
+    adjacent[relations[i].right.table].push_back(i);
+  }
+
+  // Start from a random relation's endpoint.
+  size_t seed_rel = static_cast<size_t>(rng->Below(relations.size()));
+  std::string start = rng->Chance(0.5) ? relations[seed_rel].left.table
+                                       : relations[seed_rel].right.table;
+
+  std::unordered_map<std::string, size_t> alias_of;  // base table -> alias idx
+  auto add_table = [&](const std::string& table) {
+    std::string alias = table;
+    if (alias_of.count(table) > 0) {
+      alias = table + "_" + std::to_string(out.tables.size());
+    }
+    alias_of[table] = out.tables.size();
+    out.tables.push_back({alias, table});
+    return out.tables.size() - 1;
+  };
+  add_table(start);
+
+  int stall = 0;
+  while (out.tables.size() < num_tables && stall < 200) {
+    ++stall;
+    // Pick a random already-included alias and grow from its base table.
+    size_t grow = static_cast<size_t>(rng->Below(out.tables.size()));
+    const std::string& grow_table = out.tables[grow].table;
+    const auto& cands = adjacent[grow_table];
+    if (cands.empty()) continue;
+    size_t rel_idx = cands[rng->Below(cands.size())];
+    const JoinRelation& rel = relations[rel_idx];
+    bool grow_is_left = rel.left.table == grow_table;
+    const std::string& other =
+        grow_is_left ? rel.right.table : rel.left.table;
+    bool other_present = alias_of.count(other) > 0;
+    if (other_present && !allow_self_join) continue;
+    if (other == grow_table && !allow_self_join) continue;
+    size_t new_alias = add_table(other);
+    out.edges.push_back({grow, new_alias, rel_idx, !grow_is_left});
+    stall = 0;
+  }
+  if (out.tables.size() < 2) return JoinTemplate{};
+
+  // Optional extra edge closing a cycle: a relation whose both endpoint
+  // tables are already present via different aliases and not already used
+  // between that alias pair.
+  if (add_cycle_edge) {
+    for (int tries = 0; tries < 200; ++tries) {
+      size_t rel_idx = static_cast<size_t>(rng->Below(relations.size()));
+      const JoinRelation& rel = relations[rel_idx];
+      auto lit = alias_of.find(rel.left.table);
+      auto rit = alias_of.find(rel.right.table);
+      if (lit == alias_of.end() || rit == alias_of.end()) continue;
+      if (lit->second == rit->second) continue;
+      bool duplicate = false;
+      for (const auto& e : out.edges) {
+        if ((e.left_alias == lit->second && e.right_alias == rit->second) ||
+            (e.left_alias == rit->second && e.right_alias == lit->second)) {
+          duplicate = e.relation == rel_idx;
+          if (duplicate) break;
+        }
+      }
+      if (duplicate) continue;
+      out.edges.push_back({lit->second, rit->second, rel_idx, false});
+      break;
+    }
+  }
+  return out;
+}
+
+bool QueryIsExecutable(const Database& db, const Query& query,
+                       uint64_t max_true_cardinality) {
+  TrueCardOptions opts;
+  opts.max_output_tuples = max_true_cardinality * 4;
+  auto card = TrueCardinality(db, query, nullptr, opts);
+  return card.has_value() && *card <= max_true_cardinality;
+}
+
+Query TemplateToQuery(const Database& db, const JoinTemplate& tmpl) {
+  Query q;
+  for (const auto& ref : tmpl.tables) q.AddTable(ref.table, ref.alias);
+  const auto& relations = db.join_relations();
+  for (const auto& e : tmpl.edges) {
+    const JoinRelation& rel = relations[e.relation];
+    const ColumnRef& left_col = e.flipped ? rel.right : rel.left;
+    const ColumnRef& right_col = e.flipped ? rel.left : rel.right;
+    q.AddJoin(tmpl.tables[e.left_alias].alias, left_col.column,
+              tmpl.tables[e.right_alias].alias, right_col.column);
+  }
+  return q;
+}
+
+}  // namespace fj

@@ -1,0 +1,78 @@
+// Shared query-workload generation utilities: random filter predicates
+// anchored at real data values, and join-template sampling over the schema's
+// join-relation graph.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "query/query.h"
+#include "storage/database.h"
+#include "util/rng.h"
+
+namespace fj {
+
+struct FilterGenOptions {
+  /// Columns eligible for predicates per table (join keys are excluded
+  /// automatically by the caller providing this list).
+  size_t min_predicates = 1;
+  size_t max_predicates = 4;
+  /// Probability a generated leaf is an equality (vs range). Equality is
+  /// only used on columns with at most `max_eq_distinct` distinct values;
+  /// near-unique columns always get range predicates (an equality there
+  /// makes the query trivially empty).
+  double eq_probability = 0.3;
+  int64_t max_eq_distinct = 200;
+  /// Probability of wrapping two leaves into a disjunction (IMDB-style).
+  double or_probability = 0.0;
+  /// Probability of a LIKE predicate on an eligible string column.
+  double like_probability = 0.0;
+};
+
+/// Generates a random filter for `table` using only `columns` (which must
+/// exist in the table). Values are anchored at actual rows so selectivities
+/// are non-degenerate. Returns Predicate::True() when columns is empty.
+PredicatePtr GenerateFilter(const Table& table,
+                            const std::vector<std::string>& columns,
+                            const FilterGenOptions& options, Rng* rng);
+
+/// Table-level join graph edge: one declared relation.
+struct SchemaEdge {
+  size_t relation_index;  // into db.join_relations()
+};
+
+/// Samples a random connected join template of `num_tables` tables from the
+/// schema graph (a spanning tree of relations; tables can repeat only if
+/// `allow_self_join`). Returns the chosen relation indices and table
+/// sequence; empty on failure (e.g. schema too small).
+struct JoinTemplate {
+  /// Aliased tables in join order.
+  std::vector<TableRef> tables;
+  /// For each join: (left alias index, right alias index, relation index,
+  /// flipped?) — flipped means the relation's right column belongs to the
+  /// left alias.
+  struct Edge {
+    size_t left_alias;
+    size_t right_alias;
+    size_t relation;
+    bool flipped;
+  };
+  std::vector<Edge> edges;
+};
+
+JoinTemplate SampleJoinTemplate(const Database& db, size_t num_tables,
+                                bool allow_self_join, bool add_cycle_edge,
+                                Rng* rng);
+
+/// Materializes a template into a Query (no filters yet).
+Query TemplateToQuery(const Database& db, const JoinTemplate& tmpl);
+
+/// True when the query's exact result size is at most `max_true_cardinality`
+/// and a greedy execution stays within 4x that bound for intermediates.
+/// Generators use this to reject queries that no plan could execute on the
+/// benchmark harness.
+bool QueryIsExecutable(const Database& db, const Query& query,
+                       uint64_t max_true_cardinality);
+
+}  // namespace fj

@@ -1,0 +1,301 @@
+#include "workload/stats_ceb.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/zipf.h"
+#include "workload/query_gen.h"
+
+namespace fj {
+namespace {
+
+// Days since epoch of the synthetic site's launch; used for CreationDate
+// columns so "data before/after T" splits (the incremental-update experiment)
+// are natural.
+constexpr int64_t kLaunchDay = 0;
+constexpr int64_t kLastDay = 2600;  // ~7 years of activity
+
+size_t Scaled(double base, double scale) {
+  return std::max<size_t>(static_cast<size_t>(base * scale), 16);
+}
+
+}  // namespace
+
+std::unique_ptr<Workload> MakeStatsCeb(const StatsCebOptions& options) {
+  auto w = std::make_unique<Workload>();
+  w->name = "stats-ceb";
+  Database& db = w->db;
+  Rng rng(options.seed);
+
+  const size_t n_users = Scaled(10000, options.scale);
+  const size_t n_posts = Scaled(22000, options.scale);
+  const size_t n_comments = Scaled(43000, options.scale);
+  const size_t n_votes = Scaled(80000, options.scale);
+  const size_t n_badges = Scaled(20000, options.scale);
+  const size_t n_history = Scaled(75000, options.scale);
+  const size_t n_links = Scaled(2800, options.scale);
+  const size_t n_tags = Scaled(260, options.scale);
+
+  // ---- users -------------------------------------------------------------
+  // Reputation, Views, UpVotes, DownVotes are mutually correlated through a
+  // latent "activity" level; CreationDate is earlier for more active users.
+  Table* users = db.AddTable("users");
+  Column* u_id = users->AddColumn("Id", ColumnType::kInt64);
+  Column* u_rep = users->AddColumn("Reputation", ColumnType::kInt64);
+  Column* u_date = users->AddColumn("CreationDate", ColumnType::kInt64);
+  Column* u_views = users->AddColumn("Views", ColumnType::kInt64);
+  Column* u_up = users->AddColumn("UpVotes", ColumnType::kInt64);
+  Column* u_down = users->AddColumn("DownVotes", ColumnType::kInt64);
+  std::vector<double> user_activity(n_users);
+  for (size_t i = 0; i < n_users; ++i) {
+    double activity = std::pow(rng.NextDouble(), 3.0);  // few very active
+    user_activity[i] = activity;
+    u_id->AppendInt(static_cast<int64_t>(i + 1));
+    int64_t rep = 1 + static_cast<int64_t>(activity * 25000 *
+                                           (0.5 + rng.NextDouble()));
+    u_rep->AppendInt(rep);
+    u_date->AppendInt(kLaunchDay +
+                      static_cast<int64_t>((1.0 - activity) * 0.7 * kLastDay *
+                                           rng.NextDouble()));
+    u_views->AppendInt(static_cast<int64_t>(rep * 0.08 * rng.NextDouble()));
+    u_up->AppendInt(static_cast<int64_t>(rep * 0.05 * rng.NextDouble()));
+    u_down->AppendInt(static_cast<int64_t>(rep * 0.008 * rng.NextDouble()));
+  }
+
+  // Active users own disproportionally many posts: Zipf over an
+  // activity-sorted permutation of user ids.
+  std::vector<int64_t> users_by_activity(n_users);
+  for (size_t i = 0; i < n_users; ++i) users_by_activity[i] = static_cast<int64_t>(i + 1);
+  std::sort(users_by_activity.begin(), users_by_activity.end(),
+            [&](int64_t a, int64_t b) {
+              return user_activity[static_cast<size_t>(a - 1)] >
+                     user_activity[static_cast<size_t>(b - 1)];
+            });
+  // theta chosen so the head of the distribution is ~100x the median fanout
+  // but multi-fact star joins stay executable on the harness.
+  ZipfSampler user_zipf(n_users, 1.0);
+  auto sample_user = [&]() {
+    return users_by_activity[user_zipf.Sample(&rng)];
+  };
+
+  // ---- posts -------------------------------------------------------------
+  Table* posts = db.AddTable("posts");
+  Column* p_id = posts->AddColumn("Id", ColumnType::kInt64);
+  Column* p_type = posts->AddColumn("PostTypeId", ColumnType::kInt64);
+  Column* p_date = posts->AddColumn("CreationDate", ColumnType::kInt64);
+  Column* p_score = posts->AddColumn("Score", ColumnType::kInt64);
+  Column* p_views = posts->AddColumn("ViewCount", ColumnType::kInt64);
+  Column* p_owner = posts->AddColumn("OwnerUserId", ColumnType::kInt64);
+  Column* p_answers = posts->AddColumn("AnswerCount", ColumnType::kInt64);
+  Column* p_comments = posts->AddColumn("CommentCount", ColumnType::kInt64);
+  std::vector<double> post_heat(n_posts);
+  std::vector<int64_t> post_date(n_posts);
+  for (size_t i = 0; i < n_posts; ++i) {
+    int64_t owner = sample_user();
+    double owner_act = user_activity[static_cast<size_t>(owner - 1)];
+    double heat = std::pow(rng.NextDouble(), 2.0) * (0.3 + owner_act);
+    post_heat[i] = heat;
+    p_id->AppendInt(static_cast<int64_t>(i + 1));
+    p_type->AppendInt(rng.Chance(0.55) ? 1 : 2);  // question vs answer
+    int64_t owner_created = u_date->IntAt(static_cast<size_t>(owner - 1));
+    int64_t date = owner_created +
+                   static_cast<int64_t>(rng.NextDouble() *
+                                        static_cast<double>(kLastDay - owner_created));
+    post_date[i] = date;
+    p_date->AppendInt(date);
+    // Score correlated with heat; views correlated with score.
+    int64_t score = static_cast<int64_t>(heat * 120 * rng.NextDouble()) - 2;
+    p_score->AppendInt(score);
+    p_views->AppendInt(std::max<int64_t>(score, 0) * 40 +
+                       static_cast<int64_t>(rng.Below(200)));
+    p_owner->AppendInt(owner);
+    p_answers->AppendInt(static_cast<int64_t>(heat * 8 * rng.NextDouble()));
+    p_comments->AppendInt(static_cast<int64_t>(heat * 12 * rng.NextDouble()));
+  }
+  std::vector<int64_t> posts_by_heat(n_posts);
+  for (size_t i = 0; i < n_posts; ++i) posts_by_heat[i] = static_cast<int64_t>(i + 1);
+  std::sort(posts_by_heat.begin(), posts_by_heat.end(),
+            [&](int64_t a, int64_t b) {
+              return post_heat[static_cast<size_t>(a - 1)] >
+                     post_heat[static_cast<size_t>(b - 1)];
+            });
+  ZipfSampler post_zipf(n_posts, 0.95);
+  auto sample_post = [&]() { return posts_by_heat[post_zipf.Sample(&rng)]; };
+
+  // ---- comments ----------------------------------------------------------
+  Table* comments = db.AddTable("comments");
+  Column* c_id = comments->AddColumn("Id", ColumnType::kInt64);
+  Column* c_post = comments->AddColumn("PostId", ColumnType::kInt64);
+  Column* c_user = comments->AddColumn("UserId", ColumnType::kInt64);
+  Column* c_score = comments->AddColumn("Score", ColumnType::kInt64);
+  Column* c_date = comments->AddColumn("CreationDate", ColumnType::kInt64);
+  for (size_t i = 0; i < n_comments; ++i) {
+    int64_t post = sample_post();
+    c_id->AppendInt(static_cast<int64_t>(i + 1));
+    c_post->AppendInt(post);
+    c_user->AppendInt(sample_user());
+    c_score->AppendInt(static_cast<int64_t>(
+        post_heat[static_cast<size_t>(post - 1)] * 10 * rng.NextDouble()));
+    int64_t pd = post_date[static_cast<size_t>(post - 1)];
+    c_date->AppendInt(pd + static_cast<int64_t>(
+                               rng.NextDouble() * static_cast<double>(kLastDay - pd)));
+  }
+
+  // ---- votes -------------------------------------------------------------
+  Table* votes = db.AddTable("votes");
+  Column* v_id = votes->AddColumn("Id", ColumnType::kInt64);
+  Column* v_post = votes->AddColumn("PostId", ColumnType::kInt64);
+  Column* v_type = votes->AddColumn("VoteTypeId", ColumnType::kInt64);
+  Column* v_user = votes->AddColumn("UserId", ColumnType::kInt64);
+  Column* v_date = votes->AddColumn("CreationDate", ColumnType::kInt64);
+  Column* v_bounty = votes->AddColumn("BountyAmount", ColumnType::kInt64);
+  for (size_t i = 0; i < n_votes; ++i) {
+    int64_t post = sample_post();
+    v_id->AppendInt(static_cast<int64_t>(i + 1));
+    v_post->AppendInt(post);
+    v_type->AppendInt(1 + static_cast<int64_t>(rng.Below(10)));
+    // ~30% of votes are anonymous (null UserId) — realistic null handling.
+    if (rng.Chance(0.3)) {
+      v_user->AppendNull();
+    } else {
+      v_user->AppendInt(sample_user());
+    }
+    int64_t pd = post_date[static_cast<size_t>(post - 1)];
+    v_date->AppendInt(pd + static_cast<int64_t>(
+                               rng.NextDouble() * static_cast<double>(kLastDay - pd)));
+    if (rng.Chance(0.02)) {
+      v_bounty->AppendInt(50 * (1 + static_cast<int64_t>(rng.Below(10))));
+    } else {
+      v_bounty->AppendNull();
+    }
+  }
+
+  // ---- badges ------------------------------------------------------------
+  Table* badges = db.AddTable("badges");
+  Column* b_id = badges->AddColumn("Id", ColumnType::kInt64);
+  Column* b_user = badges->AddColumn("UserId", ColumnType::kInt64);
+  Column* b_date = badges->AddColumn("Date", ColumnType::kInt64);
+  for (size_t i = 0; i < n_badges; ++i) {
+    int64_t user = sample_user();
+    b_id->AppendInt(static_cast<int64_t>(i + 1));
+    b_user->AppendInt(user);
+    int64_t ud = u_date->IntAt(static_cast<size_t>(user - 1));
+    b_date->AppendInt(ud + static_cast<int64_t>(
+                               rng.NextDouble() * static_cast<double>(kLastDay - ud)));
+  }
+
+  // ---- postHistory -------------------------------------------------------
+  Table* history = db.AddTable("postHistory");
+  Column* h_id = history->AddColumn("Id", ColumnType::kInt64);
+  Column* h_type = history->AddColumn("PostHistoryTypeId", ColumnType::kInt64);
+  Column* h_post = history->AddColumn("PostId", ColumnType::kInt64);
+  Column* h_user = history->AddColumn("UserId", ColumnType::kInt64);
+  Column* h_date = history->AddColumn("CreationDate", ColumnType::kInt64);
+  for (size_t i = 0; i < n_history; ++i) {
+    int64_t post = sample_post();
+    h_id->AppendInt(static_cast<int64_t>(i + 1));
+    h_type->AppendInt(1 + static_cast<int64_t>(rng.Below(12)));
+    h_post->AppendInt(post);
+    h_user->AppendInt(sample_user());
+    int64_t pd = post_date[static_cast<size_t>(post - 1)];
+    h_date->AppendInt(pd + static_cast<int64_t>(
+                               rng.NextDouble() * static_cast<double>(kLastDay - pd)));
+  }
+
+  // ---- postLinks ---------------------------------------------------------
+  Table* links = db.AddTable("postLinks");
+  Column* l_id = links->AddColumn("Id", ColumnType::kInt64);
+  Column* l_post = links->AddColumn("PostId", ColumnType::kInt64);
+  Column* l_related = links->AddColumn("RelatedPostId", ColumnType::kInt64);
+  Column* l_type = links->AddColumn("LinkTypeId", ColumnType::kInt64);
+  Column* l_date = links->AddColumn("CreationDate", ColumnType::kInt64);
+  for (size_t i = 0; i < n_links; ++i) {
+    l_id->AppendInt(static_cast<int64_t>(i + 1));
+    l_post->AppendInt(sample_post());
+    l_related->AppendInt(sample_post());
+    l_type->AppendInt(rng.Chance(0.8) ? 1 : 3);
+    l_date->AppendInt(static_cast<int64_t>(rng.Below(kLastDay)));
+  }
+
+  // ---- tags --------------------------------------------------------------
+  Table* tags = db.AddTable("tags");
+  Column* t_id = tags->AddColumn("Id", ColumnType::kInt64);
+  Column* t_count = tags->AddColumn("Count", ColumnType::kInt64);
+  Column* t_post = tags->AddColumn("ExcerptPostId", ColumnType::kInt64);
+  for (size_t i = 0; i < n_tags; ++i) {
+    t_id->AppendInt(static_cast<int64_t>(i + 1));
+    t_count->AppendInt(1 + static_cast<int64_t>(rng.Below(5000)));
+    t_post->AppendInt(sample_post());
+  }
+
+  // ---- schema join relations (two equivalent key groups, 13 join keys) ---
+  db.AddJoinRelation({"users", "Id"}, {"badges", "UserId"});
+  db.AddJoinRelation({"users", "Id"}, {"comments", "UserId"});
+  db.AddJoinRelation({"users", "Id"}, {"postHistory", "UserId"});
+  db.AddJoinRelation({"users", "Id"}, {"posts", "OwnerUserId"});
+  db.AddJoinRelation({"users", "Id"}, {"votes", "UserId"});
+  db.AddJoinRelation({"posts", "Id"}, {"comments", "PostId"});
+  db.AddJoinRelation({"posts", "Id"}, {"postHistory", "PostId"});
+  db.AddJoinRelation({"posts", "Id"}, {"postLinks", "PostId"});
+  db.AddJoinRelation({"posts", "Id"}, {"postLinks", "RelatedPostId"});
+  db.AddJoinRelation({"posts", "Id"}, {"votes", "PostId"});
+  db.AddJoinRelation({"posts", "Id"}, {"tags", "ExcerptPostId"});
+
+  // ---- query workload ----------------------------------------------------
+  // Filterable (non-key) columns per table.
+  std::unordered_map<std::string, std::vector<std::string>> filter_cols{
+      {"users", {"Reputation", "CreationDate", "Views", "UpVotes", "DownVotes"}},
+      {"posts", {"PostTypeId", "CreationDate", "Score", "ViewCount",
+                 "AnswerCount", "CommentCount"}},
+      {"comments", {"Score", "CreationDate"}},
+      {"votes", {"VoteTypeId", "CreationDate"}},
+      {"badges", {"Date"}},
+      {"postHistory", {"PostHistoryTypeId", "CreationDate"}},
+      {"postLinks", {"LinkTypeId", "CreationDate"}},
+      {"tags", {"Count"}},
+  };
+  FilterGenOptions fopts;
+  fopts.min_predicates = 1;
+  fopts.max_predicates = 3;
+  fopts.eq_probability = 0.25;
+
+  // Templates first (star & chain only, as in STATS-CEB), then several
+  // filter instantiations per template.
+  std::vector<Query> templates;
+  int guard = 0;
+  while (templates.size() < options.num_templates && guard < 2000) {
+    ++guard;
+    size_t tables = 2 + static_cast<size_t>(
+                            rng.Below(options.max_tables_per_query - 1));
+    JoinTemplate t = SampleJoinTemplate(db, tables, /*allow_self_join=*/false,
+                                        /*add_cycle_edge=*/false, &rng);
+    if (t.tables.size() < 2) continue;
+    Query q = TemplateToQuery(db, t);
+    if (!q.IsConnected()) continue;
+    templates.push_back(std::move(q));
+  }
+  size_t attempts = 0;
+  while (w->queries.size() < options.num_queries && !templates.empty() &&
+         attempts < options.num_queries * 30) {
+    ++attempts;
+    const Query& tmpl = templates[attempts % templates.size()];
+    Query q = tmpl;
+    for (const auto& ref : tmpl.tables()) {
+      // Large fact tables are always filtered (multi-fact stars would not be
+      // executable otherwise); hub/dimension tables sometimes stay open.
+      bool is_fact = ref.table == "comments" || ref.table == "votes" ||
+                     ref.table == "postHistory" || ref.table == "badges" ||
+                     ref.table == "postLinks";
+      if (is_fact || rng.Chance(0.7)) {
+        q.SetFilter(ref.alias,
+                    GenerateFilter(db.GetTable(ref.table),
+                                   filter_cols[ref.table], fopts, &rng));
+      }
+    }
+    if (!QueryIsExecutable(db, q, options.max_true_cardinality)) continue;
+    w->queries.push_back(std::move(q));
+  }
+  return w;
+}
+
+}  // namespace fj

@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include "factorjoin/bin_stats.h"
+#include "factorjoin/binning.h"
+#include "util/rng.h"
+#include "util/zipf.h"
+
+namespace fj {
+namespace {
+
+Column MakeIntColumn(const std::vector<int64_t>& values) {
+  Column col("k", ColumnType::kInt64);
+  for (int64_t v : values) col.AppendInt(v);
+  return col;
+}
+
+TEST(BinningTest, EqualWidthCoversDomain) {
+  Column col = MakeIntColumn({0, 10, 20, 30, 40, 50, 60, 70, 80, 90});
+  Binning b = BuildEqualWidth({&col}, 5);
+  EXPECT_EQ(b.num_bins(), 5u);
+  EXPECT_EQ(b.BinOf(0), 0u);
+  EXPECT_EQ(b.BinOf(90), 4u);
+  // Monotone non-decreasing assignment.
+  uint32_t prev = 0;
+  for (int64_t v = 0; v <= 90; ++v) {
+    uint32_t bin = b.BinOf(v);
+    EXPECT_GE(bin, prev);
+    prev = bin;
+  }
+}
+
+TEST(BinningTest, EqualWidthDegenerateSingleValue) {
+  Column col = MakeIntColumn({7, 7, 7});
+  Binning b = BuildEqualWidth({&col}, 10);
+  EXPECT_EQ(b.num_bins(), 1u);
+  EXPECT_EQ(b.BinOf(7), 0u);
+}
+
+TEST(BinningTest, EqualDepthBalancesMass) {
+  // Value 0 has 90 rows, values 1..9 have 1 each: equal-depth with 2 bins
+  // should isolate value 0.
+  std::vector<int64_t> values(90, 0);
+  for (int64_t v = 1; v <= 9; ++v) values.push_back(v);
+  Column col = MakeIntColumn(values);
+  Binning b = BuildEqualDepth({&col}, 2);
+  EXPECT_EQ(b.num_bins(), 2u);
+  EXPECT_EQ(b.BinOf(0), 0u);
+  EXPECT_EQ(b.BinOf(5), 1u);
+}
+
+TEST(BinningTest, GbsaPartitionsUniverse) {
+  Rng rng(5);
+  std::vector<int64_t> v1, v2;
+  ZipfSampler zipf(200, 1.2);
+  for (int i = 0; i < 2000; ++i) v1.push_back(static_cast<int64_t>(zipf.Sample(&rng)));
+  for (int i = 0; i < 3000; ++i) v2.push_back(static_cast<int64_t>(zipf.Sample(&rng)));
+  Column c1 = MakeIntColumn(v1), c2 = MakeIntColumn(v2);
+  Binning b = BuildGbsa({&c1, &c2}, 16);
+  EXPECT_GE(b.num_bins(), 8u);
+  EXPECT_LE(b.num_bins(), 16u);
+  for (int64_t v : v1) EXPECT_LT(b.BinOf(v), b.num_bins());
+  for (int64_t v : v2) EXPECT_LT(b.BinOf(v), b.num_bins());
+}
+
+// Average within-bin count variance of a column under a binning.
+double AvgBinVariance(const Column& col, const Binning& b) {
+  auto counts = ValueCounts(col);
+  std::vector<std::vector<double>> per_bin(b.num_bins());
+  for (const auto& [v, c] : counts) {
+    per_bin[b.BinOf(v)].push_back(static_cast<double>(c));
+  }
+  double total = 0.0;
+  int nonempty = 0;
+  for (const auto& bin : per_bin) {
+    if (bin.empty()) continue;
+    double mean = 0.0;
+    for (double c : bin) mean += c;
+    mean /= static_cast<double>(bin.size());
+    double var = 0.0;
+    for (double c : bin) var += (c - mean) * (c - mean);
+    total += var / static_cast<double>(bin.size());
+    ++nonempty;
+  }
+  return nonempty == 0 ? 0.0 : total / nonempty;
+}
+
+TEST(BinningTest, GbsaBeatsEqualWidthOnSkewedData) {
+  // Zipf-skewed FK column: GBSA groups equal-frequency values, so its
+  // within-bin count variance should be far below equal-width's.
+  Rng rng(17);
+  ZipfSampler zipf(500, 1.3);
+  std::vector<int64_t> values;
+  for (int i = 0; i < 20000; ++i) {
+    values.push_back(static_cast<int64_t>(zipf.Sample(&rng)));
+  }
+  Column col = MakeIntColumn(values);
+  Binning gbsa = BuildGbsa({&col}, 32);
+  Binning width = BuildEqualWidth({&col}, 32);
+  EXPECT_LT(AvgBinVariance(col, gbsa), AvgBinVariance(col, width) * 0.5);
+}
+
+TEST(BinningTest, GbsaZeroVarianceGivesPerfectBins) {
+  // All values appear exactly twice: any grouping has zero variance, and the
+  // MFV count in each bin must equal 2.
+  std::vector<int64_t> values;
+  for (int64_t v = 0; v < 50; ++v) {
+    values.push_back(v);
+    values.push_back(v);
+  }
+  Column col = MakeIntColumn(values);
+  Binning b = BuildGbsa({&col}, 8);
+  ColumnBinStats stats(col, b);
+  for (uint32_t bin = 0; bin < b.num_bins(); ++bin) {
+    if (stats.TotalCount(bin) > 0) {
+      EXPECT_EQ(stats.MfvCount(bin), 2u);
+    }
+  }
+}
+
+TEST(BinningTest, SingleBinGroupsEverything) {
+  Column col = MakeIntColumn({1, 5, 9});
+  for (auto strategy : {BinningStrategy::kEqualWidth,
+                        BinningStrategy::kEqualDepth, BinningStrategy::kGbsa}) {
+    Binning b = BuildBinning(strategy, {&col}, 1);
+    EXPECT_EQ(b.num_bins(), 1u) << BinningStrategyName(strategy);
+  }
+}
+
+TEST(BinStatsTest, TotalsAndMfv) {
+  Column col = MakeIntColumn({1, 1, 1, 2, 2, 9});
+  Binning b = Binning::FromBounds({5, std::numeric_limits<int64_t>::max()});
+  ColumnBinStats stats(col, b);
+  EXPECT_EQ(stats.TotalCount(0), 5u);  // 1,1,1,2,2
+  EXPECT_EQ(stats.MfvCount(0), 3u);
+  EXPECT_EQ(stats.DistinctCount(0), 2u);
+  EXPECT_EQ(stats.TotalCount(1), 1u);
+  EXPECT_EQ(stats.MfvCount(1), 1u);
+  EXPECT_EQ(stats.total_rows(), 6u);
+  EXPECT_EQ(stats.MaxMfv(), 3u);
+}
+
+TEST(BinStatsTest, InsertUpdatesMfv) {
+  Column col = MakeIntColumn({1, 2});
+  Binning b = Binning::FromBounds({std::numeric_limits<int64_t>::max()});
+  ColumnBinStats stats(col, b);
+  EXPECT_EQ(stats.MfvCount(0), 1u);
+  stats.InsertValues({2, 2, 2}, b);
+  EXPECT_EQ(stats.MfvCount(0), 4u);
+  EXPECT_EQ(stats.TotalCount(0), 5u);
+  EXPECT_EQ(stats.DistinctCount(0), 2u);
+}
+
+TEST(BinStatsTest, DeleteRecomputesMfv) {
+  Column col = MakeIntColumn({1, 1, 1, 2, 2});
+  Binning b = Binning::FromBounds({std::numeric_limits<int64_t>::max()});
+  ColumnBinStats stats(col, b);
+  EXPECT_EQ(stats.MfvCount(0), 3u);
+  stats.DeleteValues({1, 1}, b);
+  EXPECT_EQ(stats.MfvCount(0), 2u);  // both values now have count <= 2
+  EXPECT_EQ(stats.TotalCount(0), 3u);
+  stats.DeleteValues({1}, b);
+  EXPECT_EQ(stats.DistinctCount(0), 1u);
+}
+
+TEST(BinStatsTest, NullsIgnored) {
+  Column col("k", ColumnType::kInt64);
+  col.AppendInt(1);
+  col.AppendNull();
+  Binning b = Binning::FromBounds({std::numeric_limits<int64_t>::max()});
+  ColumnBinStats stats(col, b);
+  EXPECT_EQ(stats.total_rows(), 1u);
+}
+
+TEST(BinBudgetTest, ProportionalAllocation) {
+  auto ks = AllocateBinBudget(300, {100, 50, 50}, 4);
+  ASSERT_EQ(ks.size(), 3u);
+  EXPECT_EQ(ks[0], 150u);
+  EXPECT_EQ(ks[1], 75u);
+  EXPECT_EQ(ks[2], 75u);
+}
+
+TEST(BinBudgetTest, MinBinsFloorAndNoWorkload) {
+  auto ks = AllocateBinBudget(1000, {1000000, 1}, 4);
+  EXPECT_GE(ks[1], 4u);
+  auto even = AllocateBinBudget(200, {0, 0}, 4);
+  EXPECT_EQ(even[0], even[1]);
+  EXPECT_GE(even[0], 4u);
+}
+
+}  // namespace
+}  // namespace fj

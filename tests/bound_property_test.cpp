@@ -1,0 +1,174 @@
+// Property tests for the probabilistic bound across the appendix join cases
+// (chain, star, self, cyclic) on randomized IMDB-like mini schemas, and for
+// the monotonicity/validity invariants the bound must satisfy.
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "baselines/pessimistic_estimator.h"
+#include "baselines/ublock_estimator.h"
+#include "exec/true_card.h"
+#include "factorjoin/estimator.h"
+#include "query/subplan.h"
+#include "util/rng.h"
+#include "util/zipf.h"
+
+namespace fj {
+namespace {
+
+// Mini IMDB: title hub, two fact tables, a link table enabling self joins
+// and cycles, and a dimension.
+struct MiniImdb {
+  Database db;
+};
+
+std::unique_ptr<MiniImdb> MakeMiniImdb(uint64_t seed) {
+  auto out = std::make_unique<MiniImdb>();
+  Rng rng(seed);
+  Database& db = out->db;
+
+  const int n_title = 60;
+  Table* title = db.AddTable("title");
+  Column* t_id = title->AddColumn("id", ColumnType::kInt64);
+  Column* t_kind = title->AddColumn("kind", ColumnType::kInt64);
+  for (int i = 0; i < n_title; ++i) {
+    t_id->AppendInt(i);
+    t_kind->AppendInt(rng.Range(0, 3));
+  }
+  ZipfSampler zipf(n_title, 1.1);
+  Table* ci = db.AddTable("ci");
+  Column* ci_movie = ci->AddColumn("movie_id", ColumnType::kInt64);
+  Column* ci_role = ci->AddColumn("role", ColumnType::kInt64);
+  for (int i = 0; i < 300; ++i) {
+    ci_movie->AppendInt(static_cast<int64_t>(zipf.Sample(&rng)));
+    ci_role->AppendInt(rng.Range(0, 5));
+  }
+  Table* mk = db.AddTable("mk");
+  Column* mk_movie = mk->AddColumn("movie_id", ColumnType::kInt64);
+  Column* mk_kw = mk->AddColumn("kw", ColumnType::kInt64);
+  for (int i = 0; i < 200; ++i) {
+    mk_movie->AppendInt(static_cast<int64_t>(zipf.Sample(&rng)));
+    mk_kw->AppendInt(rng.Range(0, 19));
+  }
+  Table* ml = db.AddTable("ml");
+  Column* ml_movie = ml->AddColumn("movie_id", ColumnType::kInt64);
+  Column* ml_linked = ml->AddColumn("linked_id", ColumnType::kInt64);
+  for (int i = 0; i < 80; ++i) {
+    ml_movie->AppendInt(static_cast<int64_t>(zipf.Sample(&rng)));
+    ml_linked->AppendInt(static_cast<int64_t>(zipf.Sample(&rng)));
+  }
+  db.AddJoinRelation({"title", "id"}, {"ci", "movie_id"});
+  db.AddJoinRelation({"title", "id"}, {"mk", "movie_id"});
+  db.AddJoinRelation({"title", "id"}, {"ml", "movie_id"});
+  db.AddJoinRelation({"title", "id"}, {"ml", "linked_id"});
+  return out;
+}
+
+FactorJoinConfig ExactConfig(uint32_t k) {
+  FactorJoinConfig cfg;
+  cfg.num_bins = k;
+  cfg.binning = BinningStrategy::kGbsa;
+  cfg.estimator = TableEstimatorKind::kTrueScan;
+  return cfg;
+}
+
+class BoundCases : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BoundCases, StarJoinBoundHolds) {
+  auto m = MakeMiniImdb(GetParam());
+  FactorJoinEstimator fj(m->db, ExactConfig(16));
+  Query q;
+  q.AddTable("title").AddTable("ci").AddTable("mk");
+  q.AddJoin("title", "id", "ci", "movie_id");
+  q.AddJoin("title", "id", "mk", "movie_id");
+  q.SetFilter("ci", Predicate::Cmp("role", CmpOp::kLe, Literal::Int(2)));
+  auto truth = TrueCardinality(m->db, q);
+  ASSERT_TRUE(truth.has_value());
+  EXPECT_GE(fj.Estimate(q) + 1e-6, static_cast<double>(*truth));
+}
+
+TEST_P(BoundCases, SelfJoinThroughLinkTable) {
+  // title t1 -> ml -> title t2 (the JOB pattern): self join via aliases.
+  auto m = MakeMiniImdb(GetParam());
+  FactorJoinEstimator fj(m->db, ExactConfig(16));
+  Query q;
+  q.AddTable("title", "t1").AddTable("ml").AddTable("title", "t2");
+  q.AddJoin("t1", "id", "ml", "movie_id");
+  q.AddJoin("ml", "linked_id", "t2", "id");
+  q.SetFilter("t2", Predicate::Cmp("kind", CmpOp::kEq, Literal::Int(1)));
+  auto truth = TrueCardinality(m->db, q);
+  ASSERT_TRUE(truth.has_value());
+  EXPECT_GE(fj.Estimate(q) + 1e-6, static_cast<double>(*truth));
+}
+
+TEST_P(BoundCases, CyclicTemplateBoundHolds) {
+  // Two conditions between title and ml (appendix Case 5).
+  auto m = MakeMiniImdb(GetParam());
+  FactorJoinEstimator fj(m->db, ExactConfig(16));
+  Query q;
+  q.AddTable("title").AddTable("ml");
+  q.AddJoin("title", "id", "ml", "movie_id");
+  q.AddJoin("title", "id", "ml", "linked_id");
+  EXPECT_TRUE(q.IsCyclic());
+  auto truth = TrueCardinality(m->db, q);
+  ASSERT_TRUE(truth.has_value());
+  EXPECT_GE(fj.Estimate(q) + 1e-6, static_cast<double>(*truth));
+}
+
+TEST_P(BoundCases, FilterNeverIncreasesBound) {
+  // With exact single-table stats, adding a filter can only shrink per-bin
+  // masses, so the bound must be monotone.
+  auto m = MakeMiniImdb(GetParam());
+  FactorJoinEstimator fj(m->db, ExactConfig(16));
+  Query base;
+  base.AddTable("title").AddTable("ci");
+  base.AddJoin("title", "id", "ci", "movie_id");
+  double unfiltered = fj.Estimate(base);
+  Query filtered = base;
+  filtered.SetFilter("ci", Predicate::Cmp("role", CmpOp::kLe, Literal::Int(1)));
+  EXPECT_LE(fj.Estimate(filtered), unfiltered + 1e-9);
+}
+
+TEST_P(BoundCases, ProgressiveSubplansAllBounded) {
+  auto m = MakeMiniImdb(GetParam());
+  FactorJoinEstimator fj(m->db, ExactConfig(16));
+  Query q;
+  q.AddTable("title").AddTable("ci").AddTable("mk").AddTable("ml");
+  q.AddJoin("title", "id", "ci", "movie_id");
+  q.AddJoin("title", "id", "mk", "movie_id");
+  q.AddJoin("title", "id", "ml", "movie_id");
+  q.SetFilter("mk", Predicate::Cmp("kw", CmpOp::kLe, Literal::Int(9)));
+  auto masks = EnumerateConnectedSubsets(q, 2);
+  auto ests = fj.EstimateSubplans(q, masks);
+  for (uint64_t mask : masks) {
+    auto truth = TrueCardinality(m->db, q.InducedSubquery(mask));
+    ASSERT_TRUE(truth.has_value());
+    EXPECT_GE(ests.at(mask) + 1e-6, static_cast<double>(*truth))
+        << "mask=" << mask;
+  }
+}
+
+TEST_P(BoundCases, OtherBoundMethodsAlsoHold) {
+  auto m = MakeMiniImdb(GetParam());
+  Query q;
+  q.AddTable("title").AddTable("ci").AddTable("mk");
+  q.AddJoin("title", "id", "ci", "movie_id");
+  q.AddJoin("title", "id", "mk", "movie_id");
+  auto truth = TrueCardinality(m->db, q);
+  ASSERT_TRUE(truth.has_value());
+  // PessEst and (unfiltered) U-Block are bounds by construction.
+  PessimisticEstimator pess(m->db);
+  EXPECT_GE(pess.Estimate(q) * 1.0001, static_cast<double>(*truth));
+  UBlockEstimator ublock(m->db);
+  EXPECT_GE(ublock.Estimate(q) * 1.0001, static_cast<double>(*truth));
+  // FactorJoin's bound must be no looser than the trivial k=1 bound.
+  FactorJoinEstimator fj1(m->db, ExactConfig(1));
+  FactorJoinEstimator fj32(m->db, ExactConfig(32));
+  EXPECT_LE(fj32.Estimate(q), fj1.Estimate(q) + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BoundCases,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+}  // namespace
+}  // namespace fj

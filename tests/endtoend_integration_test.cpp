@@ -1,0 +1,122 @@
+// Integration tests across the whole stack: workload generation ->
+// estimator training -> sub-plan estimation -> DP planning -> execution,
+// on small instances of both benchmark workloads.
+#include <gtest/gtest.h>
+
+#include "baselines/postgres_estimator.h"
+#include "baselines/truecard_estimator.h"
+#include "factorjoin/estimator.h"
+#include "optimizer/endtoend.h"
+#include "workload/imdb_job.h"
+#include "workload/stats_ceb.h"
+
+namespace fj {
+namespace {
+
+EndToEndOptions SmallOptions() {
+  EndToEndOptions o;
+  o.max_output_tuples = 3'000'000;
+  return o;
+}
+
+TEST(EndToEndIntegration, StatsWorkloadAllMethodsAgreeOnResults) {
+  StatsCebOptions wo;
+  wo.scale = 0.03;
+  wo.num_queries = 12;
+  wo.num_templates = 8;
+  auto w = MakeStatsCeb(wo);
+
+  FactorJoinConfig cfg;
+  cfg.num_bins = 32;
+  FactorJoinEstimator fj(w->db, cfg);
+  PostgresEstimator pg(w->db);
+
+  // Whatever plans the two methods induce, the query RESULTS must be equal:
+  // planning only changes execution strategy, never semantics.
+  for (size_t i = 0; i < w->queries.size(); ++i) {
+    auto r1 = RunQueryEndToEnd(w->db, w->queries[i], &fj, SmallOptions());
+    auto r2 = RunQueryEndToEnd(w->db, w->queries[i], &pg, SmallOptions());
+    if (!r1.overflow && !r2.overflow) {
+      EXPECT_EQ(r1.true_card, r2.true_card) << w->queries[i].ToString();
+    }
+  }
+}
+
+TEST(EndToEndIntegration, ImdbWorkloadRunsIncludingCyclicAndSelfJoins) {
+  ImdbJobOptions wo;
+  wo.scale = 0.03;
+  wo.num_queries = 12;
+  wo.num_templates = 8;
+  auto w = MakeImdbJob(wo);
+
+  FactorJoinConfig cfg;
+  cfg.num_bins = 32;
+  cfg.estimator = TableEstimatorKind::kSampling;
+  cfg.sampling_rate = 0.3;
+  FactorJoinEstimator fj(w->db, cfg);
+
+  auto run = RunWorkloadEndToEnd(w->db, w->queries, &fj, SmallOptions());
+  EXPECT_EQ(run.per_query.size(), w->queries.size());
+  for (const auto& r : run.per_query) {
+    EXPECT_GT(r.num_subplans, 0u);
+    EXPECT_GT(r.estimated_card, 0.0);
+  }
+}
+
+TEST(EndToEndIntegration, TrueCardPlansNeverBeatenOnSimulatedWork) {
+  // TrueCard's plans must be at least as good as FactorJoin's and Postgres'
+  // in total deterministic work (it optimizes with exact cardinalities and
+  // the same cost model the executor realizes) — allowing slack for
+  // cost-model/work mismatches on individual operators.
+  StatsCebOptions wo;
+  wo.scale = 0.03;
+  wo.num_queries = 10;
+  wo.num_templates = 6;
+  auto w = MakeStatsCeb(wo);
+
+  TrueCardEstimator oracle(w->db);
+  PostgresEstimator pg(w->db);
+  auto oracle_run = RunWorkloadEndToEnd(w->db, w->queries, &oracle, SmallOptions());
+  auto pg_run = RunWorkloadEndToEnd(w->db, w->queries, &pg, SmallOptions());
+  EXPECT_LE(static_cast<double>(oracle_run.total_work),
+            static_cast<double>(pg_run.total_work) * 1.25);
+}
+
+TEST(EndToEndIntegration, FactorJoinWorkCompetitiveWithPostgres) {
+  StatsCebOptions wo;
+  wo.scale = 0.03;
+  wo.num_queries = 15;
+  wo.num_templates = 8;
+  wo.seed = 4242;
+  auto w = MakeStatsCeb(wo);
+
+  FactorJoinConfig cfg;
+  cfg.num_bins = 64;
+  FactorJoinEstimator fj(w->db, cfg);
+  PostgresEstimator pg(w->db);
+  auto fj_run = RunWorkloadEndToEnd(w->db, w->queries, &fj, SmallOptions());
+  auto pg_run = RunWorkloadEndToEnd(w->db, w->queries, &pg, SmallOptions());
+  // Overflow counts as a lost query.
+  EXPECT_LE(fj_run.overflows, pg_run.overflows);
+  // Upper-bound-driven plans should not be drastically worse than Postgres'
+  // on total work (the paper finds them substantially better at scale).
+  EXPECT_LE(static_cast<double>(fj_run.total_work),
+            static_cast<double>(pg_run.total_work) * 2.0);
+}
+
+TEST(EndToEndIntegration, WorkloadGeneratorsRespectExecutabilityBound) {
+  StatsCebOptions wo;
+  wo.scale = 0.03;
+  wo.num_queries = 10;
+  wo.num_templates = 6;
+  wo.max_true_cardinality = 50'000;
+  auto w = MakeStatsCeb(wo);
+  for (const Query& q : w->queries) {
+    auto truth = TrueCardinality(w->db, q);
+    ASSERT_TRUE(truth.has_value());
+    EXPECT_LE(*truth, 50'000u) << q.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace fj

@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include "exec/true_card.h"
+#include "util/rng.h"
+
+namespace fj {
+namespace {
+
+// Figure 2 example: A.id with value counts a:8 b:4 c:1 f:3, B.Aid with
+// a:6 b:5 e:2 f:5; join size = 8*6 + 4*5 + 3*5 = 83.
+Database Figure2Database() {
+  Database db;
+  Table* a = db.AddTable("A");
+  Column* aid = a->AddColumn("id", ColumnType::kInt64);
+  Column* a1 = a->AddColumn("a1", ColumnType::kInt64);
+  auto add_many = [](Column* col, int64_t v, int times) {
+    for (int i = 0; i < times; ++i) col->AppendInt(v);
+  };
+  add_many(aid, 0, 8);   // a
+  add_many(aid, 1, 4);   // b
+  add_many(aid, 2, 1);   // c
+  add_many(aid, 5, 3);   // f
+  for (int i = 0; i < 16; ++i) a1->AppendInt(i);
+
+  Table* b = db.AddTable("B");
+  Column* baid = b->AddColumn("aid", ColumnType::kInt64);
+  Column* b1 = b->AddColumn("b1", ColumnType::kInt64);
+  add_many(baid, 0, 6);  // a
+  add_many(baid, 1, 5);  // b
+  add_many(baid, 4, 2);  // e
+  add_many(baid, 5, 5);  // f
+  for (int i = 0; i < 18; ++i) b1->AppendInt(i);
+
+  db.AddJoinRelation({"A", "id"}, {"B", "aid"});
+  return db;
+}
+
+Query Figure2Query() {
+  Query q;
+  q.AddTable("A").AddTable("B");
+  q.AddJoin("A", "id", "B", "aid");
+  return q;
+}
+
+TEST(HashJoinTest, TwoTableJoinMatchesHandComputation) {
+  Database db = Figure2Database();
+  Query q = Figure2Query();
+  ExecStats stats;
+  auto card = TrueCardinality(db, q, &stats);
+  ASSERT_TRUE(card.has_value());
+  EXPECT_EQ(*card, 83u);
+  EXPECT_GT(stats.rows_scanned, 0u);
+  EXPECT_EQ(stats.rows_output, 83u);
+}
+
+TEST(HashJoinTest, FiltersReduceJoin) {
+  Database db = Figure2Database();
+  Query q = Figure2Query();
+  // Keep only A rows with a1 < 8 (the first 8 rows, all with id=a).
+  q.SetFilter("A", Predicate::Cmp("a1", CmpOp::kLt, Literal::Int(8)));
+  auto card = TrueCardinality(db, q);
+  ASSERT_TRUE(card.has_value());
+  EXPECT_EQ(*card, 48u);  // 8 * 6
+}
+
+TEST(HashJoinTest, NullsNeverJoin) {
+  Database db;
+  Table* a = db.AddTable("A");
+  Column* id = a->AddColumn("id", ColumnType::kInt64);
+  id->AppendInt(1);
+  id->AppendNull();
+  Table* b = db.AddTable("B");
+  Column* aid = b->AddColumn("aid", ColumnType::kInt64);
+  aid->AppendInt(1);
+  aid->AppendNull();
+  db.AddJoinRelation({"A", "id"}, {"B", "aid"});
+
+  Query q;
+  q.AddTable("A").AddTable("B");
+  q.AddJoin("A", "id", "B", "aid");
+  auto card = TrueCardinality(db, q);
+  ASSERT_TRUE(card.has_value());
+  EXPECT_EQ(*card, 1u);
+}
+
+TEST(HashJoinTest, SelfJoinViaAliases) {
+  // Table E(id, mgr): 1->2, 2->3, 3->3. Self join e1.mgr = e2.id.
+  Database db;
+  Table* e = db.AddTable("E");
+  Column* id = e->AddColumn("id", ColumnType::kInt64);
+  Column* mgr = e->AddColumn("mgr", ColumnType::kInt64);
+  id->AppendInt(1);
+  id->AppendInt(2);
+  id->AppendInt(3);
+  mgr->AppendInt(2);
+  mgr->AppendInt(3);
+  mgr->AppendInt(3);
+
+  Query q;
+  q.AddTable("E", "e1").AddTable("E", "e2");
+  q.AddJoin("e1", "mgr", "e2", "id");
+  auto card = TrueCardinality(db, q);
+  ASSERT_TRUE(card.has_value());
+  EXPECT_EQ(*card, 3u);
+}
+
+TEST(HashJoinTest, CyclicTriangleJoin) {
+  // Three tables forming a triangle; verify against brute force.
+  Rng rng(99);
+  Database db;
+  for (const char* name : {"R", "S", "T"}) {
+    Table* t = db.AddTable(name);
+    Column* x = t->AddColumn("x", ColumnType::kInt64);
+    Column* y = t->AddColumn("y", ColumnType::kInt64);
+    for (int i = 0; i < 30; ++i) {
+      x->AppendInt(rng.Range(0, 4));
+      y->AppendInt(rng.Range(0, 4));
+    }
+  }
+  db.AddJoinRelation({"R", "y"}, {"S", "x"});
+  db.AddJoinRelation({"S", "y"}, {"T", "x"});
+  db.AddJoinRelation({"T", "y"}, {"R", "x"});
+
+  Query q;
+  q.AddTable("R").AddTable("S").AddTable("T");
+  q.AddJoin("R", "y", "S", "x");
+  q.AddJoin("S", "y", "T", "x");
+  q.AddJoin("T", "y", "R", "x");
+
+  // Brute force over all row triples.
+  const Table& r = db.GetTable("R");
+  const Table& s = db.GetTable("S");
+  const Table& t = db.GetTable("T");
+  uint64_t expected = 0;
+  for (size_t i = 0; i < 30; ++i) {
+    for (size_t j = 0; j < 30; ++j) {
+      if (r.Col("y").IntAt(i) != s.Col("x").IntAt(j)) continue;
+      for (size_t k = 0; k < 30; ++k) {
+        if (s.Col("y").IntAt(j) == t.Col("x").IntAt(k) &&
+            t.Col("y").IntAt(k) == r.Col("x").IntAt(i)) {
+          ++expected;
+        }
+      }
+    }
+  }
+  auto card = TrueCardinality(db, q);
+  ASSERT_TRUE(card.has_value());
+  EXPECT_EQ(*card, expected);
+}
+
+TEST(HashJoinTest, OverflowCapReturnsNullopt) {
+  // Cross-product-like join: every row matches every row.
+  Database db;
+  Table* a = db.AddTable("A");
+  Column* id = a->AddColumn("id", ColumnType::kInt64);
+  Table* b = db.AddTable("B");
+  Column* aid = b->AddColumn("aid", ColumnType::kInt64);
+  for (int i = 0; i < 1000; ++i) {
+    id->AppendInt(7);
+    aid->AppendInt(7);
+  }
+  db.AddJoinRelation({"A", "id"}, {"B", "aid"});
+  Query q;
+  q.AddTable("A").AddTable("B");
+  q.AddJoin("A", "id", "B", "aid");
+  TrueCardOptions options;
+  options.max_output_tuples = 1000;  // 1e6 result exceeds this
+  EXPECT_FALSE(TrueCardinality(db, q, nullptr, options).has_value());
+}
+
+TEST(HashJoinTest, SingleTableCardIsFilteredCount) {
+  Database db = Figure2Database();
+  Query q;
+  q.AddTable("A");
+  q.SetFilter("A", Predicate::Cmp("a1", CmpOp::kLt, Literal::Int(4)));
+  auto card = TrueCardinality(db, q);
+  ASSERT_TRUE(card.has_value());
+  EXPECT_EQ(*card, 4u);
+}
+
+TEST(RelationTest, AliasPositions) {
+  Relation rel({"a", "b"});
+  EXPECT_EQ(rel.AliasPos("a"), 0);
+  EXPECT_EQ(rel.AliasPos("b"), 1);
+  EXPECT_EQ(rel.AliasPos("c"), -1);
+  uint32_t tuple[2] = {4, 9};
+  rel.Append(tuple);
+  EXPECT_EQ(rel.size(), 1u);
+  EXPECT_EQ(rel.RowId(0, 1), 9u);
+}
+
+TEST(ConnectingKeysTest, OrientsPairsLeftToRight) {
+  Query q;
+  q.AddTable("ta", "a").AddTable("tb", "b");
+  q.AddJoin("b", "aid", "a", "id");  // declared reversed
+  auto keys = ConnectingKeys(q, {"a"}, {"b"});
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_EQ(keys[0].left.alias, "a");
+  EXPECT_EQ(keys[0].right.alias, "b");
+}
+
+}  // namespace
+}  // namespace fj

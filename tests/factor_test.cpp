@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "factorjoin/factor.h"
+
+namespace fj {
+namespace {
+
+// Figure 5 worked example: bin1 of A.id has total 16 and MFV 8; bin1 of B.Aid
+// has total 24 and MFV 6. The paper derives the bound
+// min(16/8, 24/6) * 8 * 6 = 96 for the true per-bin join size 83.
+TEST(FactorTest, Figure5Bound) {
+  GroupBound a{{16.0}, {8.0}};
+  GroupBound b{{24.0}, {6.0}};
+  EXPECT_DOUBLE_EQ(GroupJoinBound(a, b), 96.0);
+  EXPECT_GE(GroupJoinBound(a, b), 83.0);
+}
+
+TEST(FactorTest, BoundIsSymmetric) {
+  GroupBound a{{10.0, 5.0}, {2.0, 5.0}};
+  GroupBound b{{7.0, 9.0}, {3.0, 1.0}};
+  EXPECT_DOUBLE_EQ(GroupJoinBound(a, b), GroupJoinBound(b, a));
+}
+
+TEST(FactorTest, ExactWhenZeroVariance) {
+  // Every value in the bin appears exactly MFV times on both sides: with
+  // total = ndv * mfv the bound equals the exact join size
+  // ndv * mfvA * mfvB when ndv matches.
+  // A: 4 values x 3 each = 12; B: same 4 values x 2 each = 8.
+  GroupBound a{{12.0}, {3.0}};
+  GroupBound b{{8.0}, {2.0}};
+  // Exact join: 4 values * 3 * 2 = 24. Bound: min(12*2, 8*3) = 24.
+  EXPECT_DOUBLE_EQ(GroupJoinBound(a, b), 24.0);
+}
+
+TEST(FactorTest, EmptyBinContributesNothing) {
+  GroupBound a{{0.0, 10.0}, {1.0, 2.0}};
+  GroupBound b{{5.0, 10.0}, {1.0, 2.0}};
+  // Bin 0: left mass 0 -> no contribution. Bin 1: min(10*2, 10*2) = 20.
+  EXPECT_DOUBLE_EQ(GroupJoinBound(a, b), 20.0);
+}
+
+TEST(FactorTest, BoundNeverBelowDisjointExact) {
+  // Exact per-bin join with per-value counts c_A(v) * c_B(v) is always
+  // <= min(total_A * mfv_B, total_B * mfv_A); spot check several shapes.
+  struct Shape {
+    std::vector<double> a_counts, b_counts;
+  };
+  std::vector<Shape> shapes = {
+      {{8, 4, 3}, {6, 5, 5}},
+      {{1, 1, 1, 1}, {10, 1, 1, 1}},
+      {{100}, {1}},
+      {{2, 2, 2}, {2, 2, 2}},
+  };
+  for (const auto& s : shapes) {
+    double exact = 0.0, total_a = 0.0, total_b = 0.0, mfv_a = 0.0, mfv_b = 0.0;
+    for (size_t i = 0; i < s.a_counts.size(); ++i) {
+      exact += s.a_counts[i] * s.b_counts[i];
+      total_a += s.a_counts[i];
+      total_b += s.b_counts[i];
+      mfv_a = std::max(mfv_a, s.a_counts[i]);
+      mfv_b = std::max(mfv_b, s.b_counts[i]);
+    }
+    GroupBound a{{total_a}, {mfv_a}};
+    GroupBound b{{total_b}, {mfv_b}};
+    EXPECT_GE(GroupJoinBound(a, b), exact);
+  }
+}
+
+BoundFactor MakeFactor(uint64_t mask, double card,
+                       std::map<int, GroupBound> groups) {
+  BoundFactor f;
+  f.alias_mask = mask;
+  f.card = card;
+  f.groups = std::move(groups);
+  return f;
+}
+
+TEST(FactorJoinStepTest, JoinPicksTightestGroup) {
+  // Two connecting groups; group 1 gives a smaller bound.
+  BoundFactor left = MakeFactor(0b01, 20.0,
+                                {{0, GroupBound{{20.0}, {4.0}}},
+                                 {1, GroupBound{{20.0}, {1.0}}}});
+  BoundFactor right = MakeFactor(0b10, 30.0,
+                                 {{0, GroupBound{{30.0}, {5.0}}},
+                                  {1, GroupBound{{30.0}, {1.0}}}});
+  // Group 0 bound: min(20*5, 30*4) = 100. Group 1: min(20*1, 30*1) = 20.
+  BoundFactor joined = JoinBoundFactors(left, right, {0, 1});
+  EXPECT_DOUBLE_EQ(joined.card, 20.0);
+  EXPECT_EQ(joined.alias_mask, 0b11u);
+}
+
+TEST(FactorJoinStepTest, CrossProductClamp) {
+  BoundFactor left = MakeFactor(0b01, 3.0, {{0, GroupBound{{3.0}, {100.0}}}});
+  BoundFactor right = MakeFactor(0b10, 4.0, {{0, GroupBound{{4.0}, {100.0}}}});
+  // Group bound min(3*100, 4*100) = 300, but |A x B| = 12 caps it.
+  BoundFactor joined = JoinBoundFactors(left, right, {0});
+  EXPECT_DOUBLE_EQ(joined.card, 12.0);
+}
+
+TEST(FactorJoinStepTest, JoinedMassSumsToCard) {
+  BoundFactor left = MakeFactor(
+      0b01, 16.0, {{0, GroupBound{{10.0, 6.0}, {4.0, 2.0}}}});
+  BoundFactor right = MakeFactor(
+      0b10, 24.0, {{0, GroupBound{{12.0, 12.0}, {6.0, 3.0}}}});
+  BoundFactor joined = JoinBoundFactors(left, right, {0});
+  double sum = 0.0;
+  for (double m : joined.groups.at(0).mass) sum += m;
+  EXPECT_NEAR(sum, joined.card, 1e-9);
+}
+
+TEST(FactorJoinStepTest, MfvMultipliesOnJoinedGroup) {
+  BoundFactor left = MakeFactor(0b01, 16.0, {{0, GroupBound{{16.0}, {8.0}}}});
+  BoundFactor right = MakeFactor(0b10, 24.0, {{0, GroupBound{{24.0}, {6.0}}}});
+  BoundFactor joined = JoinBoundFactors(left, right, {0});
+  EXPECT_DOUBLE_EQ(joined.groups.at(0).mfv[0], 48.0);
+  EXPECT_DOUBLE_EQ(joined.card, 96.0);  // Figure 5 again, through the join
+}
+
+TEST(FactorJoinStepTest, CarriedGroupRescaledAndMfvPropagated) {
+  // Left has a second group (id 7) not involved in the join; its mass must be
+  // rescaled to the new cardinality and its MFV multiplied by the right
+  // side's max duplication.
+  BoundFactor left = MakeFactor(0b01, 10.0,
+                                {{0, GroupBound{{10.0}, {2.0}}},
+                                 {7, GroupBound{{4.0, 6.0}, {3.0, 2.0}}}});
+  BoundFactor right = MakeFactor(0b10, 5.0, {{0, GroupBound{{5.0}, {5.0}}}});
+  BoundFactor joined = JoinBoundFactors(left, right, {0});
+  // card = min(10*5, 5*2) = 10.
+  EXPECT_DOUBLE_EQ(joined.card, 10.0);
+  const GroupBound& carried = joined.groups.at(7);
+  EXPECT_NEAR(carried.mass[0] + carried.mass[1], 10.0, 1e-9);
+  // Original ratio 4:6 preserved.
+  EXPECT_NEAR(carried.mass[0] / carried.mass[1], 4.0 / 6.0, 1e-9);
+  // MFV multiplied by right's max MFV (5), clamped by the result size (10):
+  // 3*5 = 15 -> 10, 2*5 = 10 -> 10.
+  EXPECT_DOUBLE_EQ(carried.mfv[0], 10.0);
+  EXPECT_DOUBLE_EQ(carried.mfv[1], 10.0);
+}
+
+TEST(FactorJoinStepTest, ThreeWayStarMatchesSequentialBound) {
+  // Star join A.id = B.aid = C.aid, one bin (appendix Case 2 shape).
+  BoundFactor a = MakeFactor(0b001, 16.0, {{0, GroupBound{{16.0}, {8.0}}}});
+  BoundFactor b = MakeFactor(0b010, 24.0, {{0, GroupBound{{24.0}, {6.0}}}});
+  BoundFactor c = MakeFactor(0b100, 10.0, {{0, GroupBound{{10.0}, {2.0}}}});
+  BoundFactor ab = JoinBoundFactors(a, b, {0});
+  BoundFactor abc = JoinBoundFactors(ab, c, {0});
+  // ab: card 96, mfv 48. abc: min(96*2, 10*48) = 192.
+  EXPECT_DOUBLE_EQ(abc.card, 192.0);
+  EXPECT_EQ(abc.alias_mask, 0b111u);
+}
+
+TEST(FactorJoinStepTest, ThrowsWithoutConnectingGroup) {
+  BoundFactor a = MakeFactor(0b01, 5.0, {{0, GroupBound{{5.0}, {1.0}}}});
+  BoundFactor b = MakeFactor(0b10, 5.0, {{1, GroupBound{{5.0}, {1.0}}}});
+  EXPECT_THROW(JoinBoundFactors(a, b, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fj

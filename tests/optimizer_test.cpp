@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include "baselines/truecard_estimator.h"
+#include "query/subplan.h"
+#include "exec/true_card.h"
+#include "optimizer/endtoend.h"
+#include "util/rng.h"
+#include "util/zipf.h"
+
+namespace fj {
+namespace {
+
+// Schema: small dimension D, huge fact F, tiny selective table S.
+// D - F - S chain; a good plan joins S (tiny) early.
+struct Fixture {
+  Database db;
+  Query query;
+};
+
+std::unique_ptr<Fixture> MakeFixture() {
+  auto f = std::make_unique<Fixture>();
+  Rng rng(77);
+  Database& db = f->db;
+
+  Table* d = db.AddTable("D");
+  Column* d_id = d->AddColumn("id", ColumnType::kInt64);
+  Column* d_a = d->AddColumn("a", ColumnType::kInt64);
+  for (int i = 0; i < 200; ++i) {
+    d_id->AppendInt(i);
+    d_a->AppendInt(rng.Range(0, 9));
+  }
+
+  Table* fact = db.AddTable("F");
+  Column* f_did = fact->AddColumn("did", ColumnType::kInt64);
+  Column* f_sid = fact->AddColumn("sid", ColumnType::kInt64);
+  ZipfSampler zipf(200, 1.2);
+  for (int i = 0; i < 5000; ++i) {
+    f_did->AppendInt(static_cast<int64_t>(zipf.Sample(&rng)));
+    f_sid->AppendInt(rng.Range(0, 49));
+  }
+
+  Table* s = db.AddTable("S");
+  Column* s_id = s->AddColumn("id", ColumnType::kInt64);
+  Column* s_b = s->AddColumn("b", ColumnType::kInt64);
+  for (int i = 0; i < 50; ++i) {
+    s_id->AppendInt(i);
+    s_b->AppendInt(i % 5);
+  }
+
+  db.AddJoinRelation({"D", "id"}, {"F", "did"});
+  db.AddJoinRelation({"S", "id"}, {"F", "sid"});
+
+  f->query.AddTable("D").AddTable("F").AddTable("S");
+  f->query.AddJoin("D", "id", "F", "did");
+  f->query.AddJoin("S", "id", "F", "sid");
+  f->query.SetFilter("S", Predicate::Cmp("b", CmpOp::kEq, Literal::Int(0)));
+  return f;
+}
+
+TEST(CostModelTest, HashJoinCostMonotonicInInputs) {
+  CostModelParams p;
+  double base = HashJoinCost(100, 1000, 500, p);
+  EXPECT_GT(HashJoinCost(200, 1000, 500, p), base);
+  EXPECT_GT(HashJoinCost(100, 2000, 500, p), base);
+  EXPECT_GT(HashJoinCost(100, 1000, 5000, p), base);
+}
+
+TEST(OptimizerTest, DpFindsConnectedPlanCoveringAllAliases) {
+  auto f = MakeFixture();
+  TrueCardEstimator oracle(f->db);
+  auto masks = EnumerateConnectedSubsets(f->query, 1);
+  auto cards = oracle.EstimateSubplans(f->query, masks);
+  auto plan = OptimizeJoinOrder(f->query, cards);
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(plan->mask, 0b111u);
+  EXPECT_FALSE(plan->IsLeaf());
+}
+
+TEST(OptimizerTest, PlanExecutionMatchesTrueCardinalityAnyOrder) {
+  auto f = MakeFixture();
+  auto truth = TrueCardinality(f->db, f->query);
+  ASSERT_TRUE(truth.has_value());
+
+  // Run with wildly wrong injected cards: the plan may be bad but the result
+  // size must be identical.
+  std::unordered_map<uint64_t, double> bogus;
+  for (uint64_t mask : EnumerateConnectedSubsets(f->query, 1)) {
+    bogus[mask] = static_cast<double>((mask * 2654435761u) % 1000 + 1);
+  }
+  auto plan = OptimizeJoinOrder(f->query, bogus);
+  ExecStats stats;
+  Relation out = ExecutePlan(f->db, f->query, *plan, &stats, 80'000'000);
+  EXPECT_EQ(out.size(), *truth);
+}
+
+TEST(OptimizerTest, BetterEstimatesGiveNoMoreWork) {
+  auto f = MakeFixture();
+
+  // Oracle cardinalities.
+  TrueCardEstimator oracle(f->db);
+  auto masks = EnumerateConnectedSubsets(f->query, 1);
+  auto good = oracle.EstimateSubplans(f->query, masks);
+
+  // Adversarial cardinalities: claim the D x F join is tiny so the optimizer
+  // builds it first, and the selective S join is huge.
+  auto bad = good;
+  uint64_t df = 0b011;  // D, F
+  uint64_t fs = 0b110;  // F, S
+  bad[df] = 1.0;
+  bad[fs] = 1e9;
+
+  ExecStats good_stats, bad_stats;
+  auto good_plan = OptimizeJoinOrder(f->query, good);
+  auto bad_plan = OptimizeJoinOrder(f->query, bad);
+  ExecutePlan(f->db, f->query, *good_plan, &good_stats, 80'000'000);
+  ExecutePlan(f->db, f->query, *bad_plan, &bad_stats, 80'000'000);
+  EXPECT_LE(good_stats.TotalWork(), bad_stats.TotalWork());
+}
+
+TEST(OptimizerTest, GreedyFallbackForLargeQueries) {
+  auto f = MakeFixture();
+  TrueCardEstimator oracle(f->db);
+  auto masks = EnumerateConnectedSubsets(f->query, 1);
+  auto cards = oracle.EstimateSubplans(f->query, masks);
+  OptimizerOptions options;
+  options.dp_table_limit = 2;  // force greedy path
+  auto plan = OptimizeJoinOrder(f->query, cards, options);
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(plan->mask, 0b111u);
+  ExecStats stats;
+  Relation out = ExecutePlan(f->db, f->query, *plan, &stats, 80'000'000);
+  auto truth = TrueCardinality(f->db, f->query);
+  EXPECT_EQ(out.size(), *truth);
+}
+
+TEST(EndToEndTest, RunQueryReportsPlanAndExecution) {
+  auto f = MakeFixture();
+  TrueCardEstimator oracle(f->db);
+  EndToEndOptions options;
+  QueryRunResult r = RunQueryEndToEnd(f->db, f->query, &oracle, options);
+  EXPECT_GT(r.num_subplans, 3u);
+  EXPECT_FALSE(r.overflow);
+  auto truth = TrueCardinality(f->db, f->query);
+  EXPECT_EQ(r.true_card, *truth);
+  EXPECT_GE(r.plan_seconds, 0.0);
+  EXPECT_GT(r.exec_stats.TotalWork(), 0u);
+  EXPECT_FALSE(r.plan_text.empty());
+}
+
+TEST(EndToEndTest, ChargePlanningFlag) {
+  auto f = MakeFixture();
+  TrueCardEstimator oracle(f->db);
+  EndToEndOptions options;
+  options.charge_planning = false;
+  QueryRunResult r = RunQueryEndToEnd(f->db, f->query, &oracle, options);
+  EXPECT_EQ(r.plan_seconds, 0.0);
+}
+
+TEST(EndToEndTest, WorkloadAggregation) {
+  auto f = MakeFixture();
+  TrueCardEstimator oracle(f->db);
+  std::vector<Query> workload{f->query, f->query};
+  WorkloadRunResult r = RunWorkloadEndToEnd(f->db, workload, &oracle);
+  EXPECT_EQ(r.per_query.size(), 2u);
+  EXPECT_GT(r.TotalSeconds(), 0.0);
+  EXPECT_EQ(r.overflows, 0u);
+}
+
+TEST(PlanNodeTest, ToStringRendersTree) {
+  PlanNode leaf_a;
+  leaf_a.leaf_alias = 0;
+  PlanNode leaf_b;
+  leaf_b.leaf_alias = 1;
+  PlanNode join;
+  join.left = std::make_unique<PlanNode>(std::move(leaf_a));
+  join.right = std::make_unique<PlanNode>(std::move(leaf_b));
+  EXPECT_EQ(join.ToString({"x", "y"}), "(x x y)");
+}
+
+}  // namespace
+}  // namespace fj

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "storage/database.h"
+
+namespace fj {
+namespace {
+
+TEST(ColumnTest, IntAppendAndRead) {
+  Column col("x", ColumnType::kInt64);
+  col.AppendInt(5);
+  col.AppendInt(-3);
+  col.AppendNull();
+  ASSERT_EQ(col.size(), 3u);
+  EXPECT_EQ(col.IntAt(0), 5);
+  EXPECT_EQ(col.IntAt(1), -3);
+  EXPECT_TRUE(col.IsNull(2));
+  EXPECT_FALSE(col.IsNull(0));
+}
+
+TEST(ColumnTest, StringDictionaryEncoding) {
+  Column col("s", ColumnType::kString);
+  col.AppendString("foo");
+  col.AppendString("bar");
+  col.AppendString("foo");
+  EXPECT_EQ(col.IntAt(0), col.IntAt(2));
+  EXPECT_NE(col.IntAt(0), col.IntAt(1));
+  EXPECT_EQ(col.StringAt(1), "bar");
+  EXPECT_EQ(col.DistinctCount(), 2);
+}
+
+TEST(ColumnTest, DoubleFixedPointCodes) {
+  Column col("d", ColumnType::kDouble);
+  col.AppendDouble(1.5);
+  col.AppendDouble(-2.25);
+  EXPECT_DOUBLE_EQ(col.DoubleAt(0), 1.5);
+  EXPECT_EQ(col.IntAt(0), Column::DoubleToCode(1.5));
+  EXPECT_LT(col.IntAt(1), 0);
+}
+
+TEST(ColumnTest, DistinctCountIgnoresNulls) {
+  Column col("x", ColumnType::kInt64);
+  col.AppendInt(1);
+  col.AppendInt(1);
+  col.AppendNull();
+  col.AppendInt(2);
+  EXPECT_EQ(col.DistinctCount(), 2);
+}
+
+TEST(ColumnTest, CodeRange) {
+  Column col("x", ColumnType::kInt64);
+  int64_t lo, hi;
+  EXPECT_FALSE(col.CodeRange(&lo, &hi));
+  col.AppendInt(10);
+  col.AppendInt(-4);
+  col.AppendNull();
+  ASSERT_TRUE(col.CodeRange(&lo, &hi));
+  EXPECT_EQ(lo, -4);
+  EXPECT_EQ(hi, 10);
+}
+
+TEST(TableTest, ColumnsByName) {
+  Table t("users");
+  t.AddColumn("id", ColumnType::kInt64);
+  t.AddColumn("name", ColumnType::kString);
+  EXPECT_EQ(t.num_columns(), 2u);
+  EXPECT_TRUE(t.HasColumn("id"));
+  EXPECT_FALSE(t.HasColumn("missing"));
+  EXPECT_THROW(t.Col("missing"), std::out_of_range);
+  EXPECT_THROW(t.AddColumn("id", ColumnType::kInt64), std::invalid_argument);
+}
+
+TEST(TableTest, NumRowsTracksColumns) {
+  Table t("x");
+  Column* c = t.AddColumn("a", ColumnType::kInt64);
+  EXPECT_EQ(t.num_rows(), 0u);
+  c->AppendInt(1);
+  c->AppendInt(2);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(DatabaseTest, AddAndGetTables) {
+  Database db;
+  db.AddTable("a");
+  db.AddTable("b");
+  EXPECT_TRUE(db.HasTable("a"));
+  EXPECT_FALSE(db.HasTable("c"));
+  EXPECT_THROW(db.AddTable("a"), std::invalid_argument);
+  EXPECT_THROW(db.GetTable("c"), std::out_of_range);
+  auto names = db.TableNames();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "a");
+}
+
+TEST(DatabaseTest, JoinRelationValidatesColumns) {
+  Database db;
+  Table* a = db.AddTable("a");
+  a->AddColumn("id", ColumnType::kInt64);
+  Table* b = db.AddTable("b");
+  b->AddColumn("aid", ColumnType::kInt64);
+  EXPECT_THROW(db.AddJoinRelation({"a", "nope"}, {"b", "aid"}),
+               std::out_of_range);
+  db.AddJoinRelation({"a", "id"}, {"b", "aid"});
+  EXPECT_EQ(db.join_relations().size(), 1u);
+}
+
+TEST(DatabaseTest, EquivalentKeyGroupsTransitiveClosure) {
+  // a.id = b.aid, b.aid = c.aid  => one group of three.
+  // d.id = e.did                 => a second group of two.
+  Database db;
+  for (const char* name : {"a", "b", "c", "d", "e"}) {
+    Table* t = db.AddTable(name);
+    t->AddColumn("id", ColumnType::kInt64);
+    t->AddColumn("aid", ColumnType::kInt64);
+    t->AddColumn("did", ColumnType::kInt64);
+  }
+  db.AddJoinRelation({"a", "id"}, {"b", "aid"});
+  db.AddJoinRelation({"b", "aid"}, {"c", "aid"});
+  db.AddJoinRelation({"d", "id"}, {"e", "did"});
+
+  auto groups = db.EquivalentKeyGroups();
+  ASSERT_EQ(groups.size(), 2u);
+  size_t big = groups[0].members.size() == 3 ? 0 : 1;
+  EXPECT_EQ(groups[big].members.size(), 3u);
+  EXPECT_EQ(groups[1 - big].members.size(), 2u);
+}
+
+TEST(DatabaseTest, JoinKeyColumnsDeduplicated) {
+  Database db;
+  Table* a = db.AddTable("a");
+  a->AddColumn("id", ColumnType::kInt64);
+  Table* b = db.AddTable("b");
+  b->AddColumn("aid", ColumnType::kInt64);
+  Table* c = db.AddTable("c");
+  c->AddColumn("aid", ColumnType::kInt64);
+  db.AddJoinRelation({"a", "id"}, {"b", "aid"});
+  db.AddJoinRelation({"a", "id"}, {"c", "aid"});
+  EXPECT_EQ(db.JoinKeyColumns().size(), 3u);
+}
+
+TEST(DatabaseTest, MemoryAccounting) {
+  Database db;
+  Table* a = db.AddTable("a");
+  Column* c = a->AddColumn("id", ColumnType::kInt64);
+  for (int i = 0; i < 100; ++i) c->AppendInt(i);
+  EXPECT_GE(db.MemoryBytes(), 100 * sizeof(int64_t));
+  EXPECT_EQ(db.TotalRows(), 100u);
+}
+
+}  // namespace
+}  // namespace fj

@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/like_match.h"
+#include "util/math_stats.h"
+#include "util/rng.h"
+#include "util/string_pool.h"
+#include "util/table_printer.h"
+#include "util/zipf.h"
+
+namespace fj {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next64(), b.Next64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) any_diff |= a.Next64() != b.Next64();
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Below(17), 17u);
+  }
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.Range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(11);
+  auto sample = rng.SampleWithoutReplacement(100, 30);
+  ASSERT_EQ(sample.size(), 30u);
+  std::sort(sample.begin(), sample.end());
+  EXPECT_EQ(std::unique(sample.begin(), sample.end()), sample.end());
+  for (size_t s : sample) EXPECT_LT(s, 100u);
+}
+
+TEST(RngTest, SampleWithoutReplacementWholePopulation) {
+  Rng rng(11);
+  auto sample = rng.SampleWithoutReplacement(10, 10);
+  std::sort(sample.begin(), sample.end());
+  for (size_t i = 0; i < 10; ++i) EXPECT_EQ(sample[i], i);
+}
+
+TEST(RngTest, GaussianRoughlyStandard) {
+  Rng rng(13);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.Gaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  double mean = sum / n;
+  double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, 1.0, 0.1);
+}
+
+TEST(ZipfTest, UniformWhenThetaZero) {
+  ZipfSampler zipf(10, 0.0);
+  Rng rng(3);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[zipf.Sample(&rng)];
+  for (int c : counts) EXPECT_NEAR(c, 5000, 600);
+}
+
+TEST(ZipfTest, SkewedWhenThetaHigh) {
+  ZipfSampler zipf(100, 1.5);
+  Rng rng(3);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[zipf.Sample(&rng)];
+  // Rank 0 should dominate rank 10 heavily under theta=1.5.
+  EXPECT_GT(counts[0], counts[10] * 5);
+}
+
+TEST(ZipfTest, AllValuesInRange) {
+  ZipfSampler zipf(5, 1.0);
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(zipf.Sample(&rng), 5u);
+}
+
+TEST(LikeMatchTest, ExactMatch) {
+  EXPECT_TRUE(LikeMatch("hello", "hello"));
+  EXPECT_FALSE(LikeMatch("hello", "hell"));
+  EXPECT_FALSE(LikeMatch("hell", "hello"));
+}
+
+TEST(LikeMatchTest, PercentWildcard) {
+  EXPECT_TRUE(LikeMatch("hello world", "%world"));
+  EXPECT_TRUE(LikeMatch("hello world", "hello%"));
+  EXPECT_TRUE(LikeMatch("hello world", "%lo wo%"));
+  EXPECT_TRUE(LikeMatch("anything", "%"));
+  EXPECT_FALSE(LikeMatch("hello", "%xyz%"));
+}
+
+TEST(LikeMatchTest, UnderscoreWildcard) {
+  EXPECT_TRUE(LikeMatch("cat", "c_t"));
+  EXPECT_FALSE(LikeMatch("caat", "c_t"));
+  EXPECT_TRUE(LikeMatch("cat", "___"));
+  EXPECT_FALSE(LikeMatch("cat", "____"));
+}
+
+TEST(LikeMatchTest, MixedWildcards) {
+  EXPECT_TRUE(LikeMatch("Anna Karenina", "%An%"));
+  EXPECT_TRUE(LikeMatch("banana", "b%n_"));
+  EXPECT_FALSE(LikeMatch("", "_%"));
+  EXPECT_TRUE(LikeMatch("", "%"));
+}
+
+TEST(LikeMatchTest, BacktrackingCases) {
+  EXPECT_TRUE(LikeMatch("aaab", "%ab"));
+  EXPECT_TRUE(LikeMatch("abcabc", "%abc"));
+  EXPECT_FALSE(LikeMatch("abcabd", "%abc"));
+}
+
+TEST(MathStatsTest, MeanVariance) {
+  EXPECT_DOUBLE_EQ(Mean({1, 2, 3, 4}), 2.5);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({2, 2, 2}), 0.0);
+  EXPECT_NEAR(Variance({1, 3}), 1.0, 1e-12);
+}
+
+TEST(MathStatsTest, Percentile) {
+  std::vector<double> xs{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(Percentile({}, 0.5), 0.0);
+}
+
+TEST(MathStatsTest, GeometricMean) {
+  EXPECT_NEAR(GeometricMean({1, 100}), 10.0, 1e-9);
+  EXPECT_DOUBLE_EQ(GeometricMean({}), 0.0);
+}
+
+TEST(MathStatsTest, EntropyUniformIsLogN) {
+  EXPECT_NEAR(Entropy({1, 1, 1, 1}), std::log(4.0), 1e-12);
+  EXPECT_DOUBLE_EQ(Entropy({5, 0, 0}), 0.0);
+}
+
+TEST(MathStatsTest, MutualInformationIndependentIsZero) {
+  // 2x2 independent joint.
+  std::vector<double> joint{25, 25, 25, 25};
+  EXPECT_NEAR(MutualInformation(joint, 2, 2), 0.0, 1e-9);
+}
+
+TEST(MathStatsTest, MutualInformationPerfectlyDependent) {
+  // X == Y: MI = H(X) = log 2.
+  std::vector<double> joint{50, 0, 0, 50};
+  EXPECT_NEAR(MutualInformation(joint, 2, 2), std::log(2.0), 1e-9);
+}
+
+TEST(MathStatsTest, QError) {
+  EXPECT_DOUBLE_EQ(QError(10, 100), 10.0);
+  EXPECT_DOUBLE_EQ(QError(100, 10), 10.0);
+  EXPECT_DOUBLE_EQ(QError(0, 0), 1.0);  // clamped to 1 tuple
+  EXPECT_DOUBLE_EQ(QError(50, 50), 1.0);
+}
+
+TEST(StringPoolTest, InternIsStable) {
+  StringPool pool;
+  int64_t a = pool.Intern("alpha");
+  int64_t b = pool.Intern("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(pool.Intern("alpha"), a);
+  EXPECT_EQ(pool.Get(a), "alpha");
+  EXPECT_EQ(pool.Lookup("beta"), b);
+  EXPECT_EQ(pool.Lookup("gamma"), -1);
+  EXPECT_EQ(pool.size(), 2u);
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter tp({"Method", "Time"});
+  tp.AddRow({"Postgres", "35,341s"});
+  tp.AddRow({"FJ", "19,116s"});
+  std::string s = tp.ToString();
+  EXPECT_NE(s.find("Method"), std::string::npos);
+  EXPECT_NE(s.find("Postgres"), std::string::npos);
+  EXPECT_NE(s.find("-----"), std::string::npos);
+}
+
+TEST(TablePrinterTest, Formatters) {
+  EXPECT_EQ(TablePrinter::FormatSeconds(0.5), "500.0ms");
+  EXPECT_EQ(TablePrinter::FormatSeconds(2.0), "2.00s");
+  EXPECT_EQ(TablePrinter::FormatCount(1500), "1.5k");
+  EXPECT_EQ(TablePrinter::FormatCount(2.5e6), "2.50M");
+  EXPECT_EQ(TablePrinter::FormatBytes(2048), "2.0KB");
+  EXPECT_EQ(TablePrinter::FormatPercent(0.459), "45.9%");
+}
+
+}  // namespace
+}  // namespace fj

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "exec/true_card.h"
+#include "query/subplan.h"
+#include "workload/imdb_job.h"
+#include "workload/stats_ceb.h"
+
+namespace fj {
+namespace {
+
+StatsCebOptions SmallStats() {
+  StatsCebOptions o;
+  o.scale = 0.04;
+  o.num_queries = 20;
+  o.num_templates = 10;
+  return o;
+}
+
+ImdbJobOptions SmallImdb() {
+  ImdbJobOptions o;
+  o.scale = 0.04;
+  o.num_queries = 20;
+  o.num_templates = 10;
+  return o;
+}
+
+TEST(StatsCebTest, SchemaShapeMatchesPaperTable2) {
+  auto w = MakeStatsCeb(SmallStats());
+  EXPECT_EQ(w->db.TableNames().size(), 8u);
+  EXPECT_EQ(w->db.EquivalentKeyGroups().size(), 2u);
+  EXPECT_EQ(w->db.JoinKeyColumns().size(), 13u);
+  EXPECT_EQ(w->queries.size(), 20u);
+}
+
+TEST(StatsCebTest, QueriesAreConnectedStarOrChain) {
+  auto w = MakeStatsCeb(SmallStats());
+  for (const Query& q : w->queries) {
+    EXPECT_TRUE(q.IsConnected()) << q.ToString();
+    EXPECT_FALSE(q.IsCyclic()) << q.ToString();
+    EXPECT_FALSE(q.HasSelfJoin()) << q.ToString();
+    EXPECT_GE(q.NumTables(), 2u);
+  }
+}
+
+TEST(StatsCebTest, DeterministicPerSeed) {
+  auto w1 = MakeStatsCeb(SmallStats());
+  auto w2 = MakeStatsCeb(SmallStats());
+  ASSERT_EQ(w1->queries.size(), w2->queries.size());
+  for (size_t i = 0; i < w1->queries.size(); ++i) {
+    EXPECT_EQ(w1->queries[i].ToString(), w2->queries[i].ToString());
+  }
+  EXPECT_EQ(w1->db.GetTable("posts").Col("Score").IntAt(5),
+            w2->db.GetTable("posts").Col("Score").IntAt(5));
+}
+
+TEST(StatsCebTest, TrueCardinalitiesSpanOrders) {
+  auto w = MakeStatsCeb(SmallStats());
+  uint64_t lo = std::numeric_limits<uint64_t>::max(), hi = 0;
+  size_t executed = 0;
+  for (size_t i = 0; i < 8 && i < w->queries.size(); ++i) {
+    auto card = TrueCardinality(w->db, w->queries[i]);
+    if (!card.has_value()) continue;
+    ++executed;
+    lo = std::min(lo, *card);
+    hi = std::max(hi, *card);
+  }
+  ASSERT_GT(executed, 4u);
+  EXPECT_GT(hi, lo);
+}
+
+TEST(StatsCebTest, SkewedForeignKeys) {
+  auto w = MakeStatsCeb(SmallStats());
+  const Column& fk = w->db.GetTable("votes").Col("PostId");
+  std::unordered_map<int64_t, uint64_t> counts;
+  for (int64_t v : fk.ints()) {
+    if (v != kNullInt64) ++counts[v];
+  }
+  uint64_t max_count = 0, total = 0;
+  for (const auto& [v, c] : counts) {
+    max_count = std::max(max_count, c);
+    total += c;
+  }
+  double avg = static_cast<double>(total) / static_cast<double>(counts.size());
+  EXPECT_GT(static_cast<double>(max_count), avg * 5.0);
+}
+
+TEST(ImdbJobTest, SchemaShapeMatchesPaperTable2) {
+  auto w = MakeImdbJob(SmallImdb());
+  EXPECT_EQ(w->db.TableNames().size(), 21u);
+  EXPECT_EQ(w->db.EquivalentKeyGroups().size(), 11u);
+  EXPECT_EQ(w->queries.size(), 20u);
+}
+
+TEST(ImdbJobTest, HasCyclicAndSelfJoinAndLike) {
+  ImdbJobOptions o = SmallImdb();
+  o.num_templates = 20;
+  o.num_queries = 40;
+  auto w = MakeImdbJob(o);
+  bool any_cyclic = false, any_self = false, any_like = false;
+  for (const Query& q : w->queries) {
+    EXPECT_TRUE(q.IsConnected()) << q.ToString();
+    any_cyclic |= q.IsCyclic();
+    any_self |= q.HasSelfJoin();
+    for (const auto& ref : q.tables()) {
+      any_like |= q.FilterFor(ref.alias)->HasStringPattern();
+    }
+  }
+  EXPECT_TRUE(any_cyclic);
+  EXPECT_TRUE(any_self);
+  EXPECT_TRUE(any_like);
+}
+
+TEST(ImdbJobTest, SubplanCountsGrow) {
+  auto w = MakeImdbJob(SmallImdb());
+  size_t max_subplans = 0;
+  for (const Query& q : w->queries) {
+    max_subplans = std::max(max_subplans,
+                            EnumerateConnectedSubsets(q, 1).size());
+  }
+  EXPECT_GE(max_subplans, 8u);
+}
+
+TEST(ImdbJobTest, StringColumnsPresent) {
+  auto w = MakeImdbJob(SmallImdb());
+  EXPECT_EQ(w->db.GetTable("title").Col("title").type(), ColumnType::kString);
+  EXPECT_EQ(w->db.GetTable("name").Col("name").type(), ColumnType::kString);
+  EXPECT_GT(w->db.GetTable("keyword").Col("keyword").DistinctCount(), 10);
+}
+
+}  // namespace
+}  // namespace fj
