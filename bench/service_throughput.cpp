@@ -1,0 +1,149 @@
+// EstimatorService throughput: aggregate QPS and tail latency of the
+// thread-pooled, cache-sharded serving layer vs. worker count, single-client
+// vs. 64-client, on the STATS-CEB workload.
+//
+// Each request is what an optimizer actually issues: one batched
+// EstimateSubplans over every connected sub-plan of a query. The cache is
+// warmed first, so the measured regime is the serving hot path (fingerprint
+// + sharded lookup per sub-plan) rather than first-touch model evaluation.
+//
+// Environment knobs: FJ_BENCH_SCALE, FJ_BENCH_QUERIES (see bench_util.h),
+// FJ_BENCH_REQUESTS (total requests per measured point, default 512).
+//
+//   $ ./bench_service_throughput
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "factorjoin/estimator.h"
+#include "service/estimator_service.h"
+
+namespace fj::bench {
+namespace {
+
+struct LoadPoint {
+  size_t workers = 0;
+  size_t clients = 0;
+  double qps = 0.0;
+  double p50_micros = 0.0;
+  double p99_micros = 0.0;
+  double hit_rate = 0.0;
+};
+
+size_t EnvRequests(size_t fallback = 512) {
+  const char* s = std::getenv("FJ_BENCH_REQUESTS");
+  return s != nullptr ? static_cast<size_t>(std::atoll(s)) : fallback;
+}
+
+std::string Fmt(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+/// Drives `total_requests` blocking sub-plan batches from `clients` threads
+/// round-robin over the workload and returns the aggregate numbers.
+LoadPoint RunLoad(EstimatorService& service, const std::vector<Query>& queries,
+                  const std::vector<std::vector<uint64_t>>& masks,
+                  size_t clients, size_t total_requests) {
+  size_t per_client = total_requests / clients;
+  if (per_client == 0) per_client = 1;
+  ServiceStats before = service.Stats();
+  WallTimer timer;
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      for (size_t r = 0; r < per_client; ++r) {
+        size_t i = (c + r) % queries.size();
+        service.EstimateSubplans(queries[i], masks[i]);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  double seconds = timer.Seconds();
+
+  ServiceStats after = service.Stats();
+  LoadPoint point;
+  point.workers = service.options().num_threads;
+  point.clients = clients;
+  point.qps = static_cast<double>(per_client * clients) / seconds;
+  point.p50_micros = after.p50_micros;
+  point.p99_micros = after.p99_micros;
+  uint64_t hits = after.cache.hits - before.cache.hits;
+  uint64_t misses = after.cache.misses - before.cache.misses;
+  point.hit_rate = hits + misses == 0
+                       ? 0.0
+                       : static_cast<double>(hits) /
+                             static_cast<double>(hits + misses);
+  return point;
+}
+
+}  // namespace
+}  // namespace fj::bench
+
+int main() {
+  using namespace fj;
+  using namespace fj::bench;
+
+  auto workload = StatsWorkload(EnvQueries(32));
+  FactorJoinConfig config;
+  FactorJoinEstimator estimator(workload->db, config);
+  std::printf("trained factorjoin in %.1f ms on %s (%zu queries), "
+              "hardware_concurrency=%u\n",
+              estimator.TrainSeconds() * 1e3, workload->name.c_str(),
+              workload->queries.size(), std::thread::hardware_concurrency());
+
+  std::vector<std::vector<uint64_t>> masks;
+  size_t total_subplans = 0;
+  for (const Query& q : workload->queries) {
+    masks.push_back(EnumerateConnectedSubsets(q, 1));
+    total_subplans += masks.back().size();
+  }
+  std::printf("%zu sub-plans across the workload (avg %.1f per query)\n\n",
+              total_subplans,
+              static_cast<double>(total_subplans) /
+                  static_cast<double>(workload->queries.size()));
+
+  size_t requests = EnvRequests();
+  TablePrinter tp({"Workers", "Clients", "QPS", "p50 (us)", "p99 (us)",
+                   "Hit rate"});
+  double qps_1worker = 0.0;
+  double qps_8worker = 0.0;
+  for (size_t workers : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    EstimatorServiceOptions options;
+    options.num_threads = workers;
+    options.queue_capacity = 256;
+    options.cache_capacity = 1 << 18;
+    EstimatorService service(estimator, options);
+
+    // Warm: every sub-plan of every query enters the cache once.
+    for (size_t i = 0; i < workload->queries.size(); ++i) {
+      service.EstimateSubplans(workload->queries[i], masks[i]);
+    }
+
+    for (size_t clients : {size_t{1}, size_t{64}}) {
+      LoadPoint p =
+          RunLoad(service, workload->queries, masks, clients, requests);
+      tp.AddRow({std::to_string(p.workers), std::to_string(p.clients),
+                 Fmt(p.qps, 0),
+                 Fmt(p.p50_micros, 1),
+                 Fmt(p.p99_micros, 1),
+                 TablePrinter::FormatPercent(p.hit_rate)});
+      if (clients == 64 && workers == 1) qps_1worker = p.qps;
+      if (clients == 64 && workers == 8) qps_8worker = p.qps;
+    }
+  }
+  tp.Print();
+
+  double speedup = qps_1worker > 0.0 ? qps_8worker / qps_1worker : 0.0;
+  std::printf("\n64-client aggregate speedup, 8 workers vs 1: %.2fx\n",
+              speedup);
+  if (std::thread::hardware_concurrency() < 8) {
+    std::printf("(note: only %u hardware threads available; worker scaling "
+                "is core-bound on this machine)\n",
+                std::thread::hardware_concurrency());
+  }
+  return 0;
+}

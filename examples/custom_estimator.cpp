@@ -25,7 +25,7 @@ class SquareRootEstimator : public CardinalityEstimator {
 
   std::string Name() const override { return "sqrt-guess"; }
 
-  double Estimate(const Query& query) override {
+  double Estimate(const Query& query) const override {
     double product = 1.0;
     for (const auto& ref : query.tables()) {
       product *= static_cast<double>(db_->GetTable(ref.table).num_rows());

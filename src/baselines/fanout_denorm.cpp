@@ -83,7 +83,7 @@ FanoutDenormEstimator::FanoutDenormEstimator(
   train_seconds_ = timer.Seconds();
 }
 
-double FanoutDenormEstimator::Estimate(const Query& query) {
+double FanoutDenormEstimator::Estimate(const Query& query) const {
   if (query.NumTables() == 1) {
     const TableRef& ref = query.tables()[0];
     double rows = static_cast<double>(db_->GetTable(ref.table).num_rows());

@@ -40,7 +40,7 @@ class FanoutDenormEstimator : public CardinalityEstimator {
                         std::string name, FanoutDenormOptions options = {});
 
   std::string Name() const override { return name_; }
-  double Estimate(const Query& query) override;
+  double Estimate(const Query& query) const override;
   size_t ModelSizeBytes() const override;
   double TrainSeconds() const override { return train_seconds_; }
 

@@ -209,7 +209,7 @@ JoinHistEstimator::HistFactor JoinHistEstimator::JoinStep(
   return out;
 }
 
-double JoinHistEstimator::Estimate(const Query& query) {
+double JoinHistEstimator::Estimate(const Query& query) const {
   if (query.NumTables() == 0) return 0.0;
   std::vector<QueryKeyGroup> groups = query.KeyGroups();
   std::vector<HistFactor> leaves;

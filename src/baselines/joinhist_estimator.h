@@ -39,7 +39,7 @@ class JoinHistEstimator : public CardinalityEstimator {
   JoinHistEstimator(const Database& db, JoinHistOptions options = {});
 
   std::string Name() const override;
-  double Estimate(const Query& query) override;
+  double Estimate(const Query& query) const override;
   size_t ModelSizeBytes() const override;
   double TrainSeconds() const override { return train_seconds_; }
 

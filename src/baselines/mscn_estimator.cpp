@@ -157,7 +157,7 @@ MscnEstimator::MscnEstimator(const Database& db,
   train_seconds_ = timer.Seconds();
 }
 
-double MscnEstimator::Estimate(const Query& query) {
+double MscnEstimator::Estimate(const Query& query) const {
   double y = mlp_->Forward(Featurize(query))[0];
   double card = std::expm1(std::clamp(y, 0.0, 1.2) * log_card_scale_);
   return std::max(card, 1.0);

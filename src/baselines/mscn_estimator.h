@@ -36,7 +36,7 @@ class MscnEstimator : public CardinalityEstimator {
                 MscnOptions options = {});
 
   std::string Name() const override { return "mscn"; }
-  double Estimate(const Query& query) override;
+  double Estimate(const Query& query) const override;
   size_t ModelSizeBytes() const override { return mlp_->MemoryBytes(); }
   double TrainSeconds() const override { return train_seconds_; }
 

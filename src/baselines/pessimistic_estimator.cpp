@@ -65,7 +65,7 @@ BoundFactor PessimisticEstimator::MakeLeafSketch(
   return factor;
 }
 
-double PessimisticEstimator::Estimate(const Query& query) {
+double PessimisticEstimator::Estimate(const Query& query) const {
   if (query.NumTables() == 0) return 0.0;
   std::vector<QueryKeyGroup> groups = query.KeyGroups();
   std::vector<BoundFactor> leaves;

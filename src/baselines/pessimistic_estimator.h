@@ -24,7 +24,7 @@ class PessimisticEstimator : public CardinalityEstimator {
   PessimisticEstimator(const Database& db, PessimisticOptions options = {});
 
   std::string Name() const override { return "pessest"; }
-  double Estimate(const Query& query) override;
+  double Estimate(const Query& query) const override;
   size_t ModelSizeBytes() const override { return sizeof(*this); }
 
  private:

@@ -31,7 +31,7 @@ double PostgresEstimator::FilterSelectivity(const Query& query,
                              ts.columns, *query.FilterFor(alias));
 }
 
-double PostgresEstimator::Estimate(const Query& query) {
+double PostgresEstimator::Estimate(const Query& query) const {
   // Cross product of filtered table sizes ...
   double card = 1.0;
   for (const auto& ref : query.tables()) {

@@ -23,7 +23,7 @@ class PostgresEstimator : public CardinalityEstimator {
                              PostgresEstimatorOptions options = {});
 
   std::string Name() const override { return "postgres"; }
-  double Estimate(const Query& query) override;
+  double Estimate(const Query& query) const override;
   size_t ModelSizeBytes() const override;
   double TrainSeconds() const override { return train_seconds_; }
 

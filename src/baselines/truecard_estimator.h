@@ -3,6 +3,7 @@
 // harness charges it zero planning latency.
 #pragma once
 
+#include <mutex>
 #include <unordered_map>
 
 #include "exec/true_card.h"
@@ -17,23 +18,30 @@ class TrueCardEstimator : public CardinalityEstimator {
 
   std::string Name() const override { return "truecard"; }
 
-  double Estimate(const Query& query) override {
+  double Estimate(const Query& query) const override {
     std::string key = query.ToString();
-    auto it = cache_.find(key);
-    if (it != cache_.end()) return it->second;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = cache_.find(key);
+      if (it != cache_.end()) return it->second;
+    }
+    // Execute outside the lock: concurrent misses on the same query do
+    // redundant work but stay correct (both compute the same value).
     auto card = TrueCardinality(*db_, query);
     // On executor overflow fall back to the cap (still a huge number that
     // steers the optimizer away).
     double value = card.has_value()
                        ? static_cast<double>(*card)
                        : static_cast<double>(TrueCardOptions{}.max_output_tuples);
+    std::lock_guard<std::mutex> lock(mutex_);
     cache_.emplace(std::move(key), value);
     return value;
   }
 
  private:
   const Database* db_;  // not owned
-  std::unordered_map<std::string, double> cache_;
+  mutable std::mutex mutex_;
+  mutable std::unordered_map<std::string, double> cache_;
 };
 
 }  // namespace fj

@@ -140,7 +140,7 @@ UBlockEstimator::UFactor UBlockEstimator::JoinStep(
   return out;
 }
 
-double UBlockEstimator::Estimate(const Query& query) {
+double UBlockEstimator::Estimate(const Query& query) const {
   if (query.NumTables() == 0) return 0.0;
   std::vector<QueryKeyGroup> groups = query.KeyGroups();
   std::vector<UFactor> leaves;

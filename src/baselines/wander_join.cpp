@@ -3,13 +3,14 @@
 #include <algorithm>
 
 #include "query/filter_eval.h"
+#include "util/hash.h"
 #include "util/timer.h"
 
 namespace fj {
 
 WanderJoinEstimator::WanderJoinEstimator(const Database& db,
                                          WanderJoinOptions options)
-    : db_(&db), options_(options), rng_(options.seed) {
+    : db_(&db), options_(options) {
   WallTimer timer;
   // Index every declared join-key column: value -> row ids.
   for (const ColumnRef& ref : db.JoinKeyColumns()) {
@@ -34,7 +35,7 @@ const WanderJoinEstimator::KeyIndex& WanderJoinEstimator::IndexFor(
   return it->second;
 }
 
-double WanderJoinEstimator::Estimate(const Query& query) {
+double WanderJoinEstimator::Estimate(const Query& query) const {
   size_t n = query.NumTables();
   if (n == 0) return 0.0;
   if (n == 1) {
@@ -81,11 +82,17 @@ double WanderJoinEstimator::Estimate(const Query& query) {
   const Table& first_table = db_->GetTable(query.tables()[0].table);
   if (first_table.num_rows() == 0) return 0.0;
 
+  // Walks draw from a per-call generator so Estimate stays const and
+  // thread-safe, and every call on the same query is bit-identical
+  // regardless of what ran before it — Fnv1a64 (not std::hash, which is
+  // implementation-defined) keeps that true across platforms.
+  Rng rng(options_.seed, Fnv1a64(query.ToString()));
+
   double sum = 0.0;
   std::vector<uint32_t> walk_rows(n, 0);
   for (size_t w = 0; w < options_.walks; ++w) {
     double weight = static_cast<double>(first_table.num_rows());
-    uint32_t r0 = static_cast<uint32_t>(rng_.Below(first_table.num_rows()));
+    uint32_t r0 = static_cast<uint32_t>(rng.Below(first_table.num_rows()));
     if (!EvalRow(first_table, *query.FilterFor(query.tables()[0].alias), r0)) {
       continue;
     }
@@ -112,7 +119,7 @@ double WanderJoinEstimator::Estimate(const Query& query) {
         dead = true;
         break;
       }
-      uint32_t pick = it->second[rng_.Below(it->second.size())];
+      uint32_t pick = it->second[rng.Below(it->second.size())];
       weight *= static_cast<double>(it->second.size());
       const Table& to_table = db_->GetTable(query.TableOf(to.alias));
       if (!EvalRow(to_table, *query.FilterFor(to.alias), pick)) {

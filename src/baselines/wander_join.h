@@ -23,7 +23,7 @@ class WanderJoinEstimator : public CardinalityEstimator {
   WanderJoinEstimator(const Database& db, WanderJoinOptions options = {});
 
   std::string Name() const override { return "wjsample"; }
-  double Estimate(const Query& query) override;
+  double Estimate(const Query& query) const override;
   size_t ModelSizeBytes() const override;
   double TrainSeconds() const override { return train_seconds_; }
 
@@ -35,7 +35,6 @@ class WanderJoinEstimator : public CardinalityEstimator {
   const Database* db_;  // not owned
   WanderJoinOptions options_;
   std::unordered_map<ColumnRef, KeyIndex, ColumnRefHash> indexes_;
-  Rng rng_;
   double train_seconds_ = 0.0;
 };
 

@@ -206,7 +206,7 @@ BoundFactor FactorJoinEstimator::MakeLeafFactor(
 }
 
 std::unordered_map<uint64_t, double> FactorJoinEstimator::EstimateSubplans(
-    const Query& query, const std::vector<uint64_t>& masks) {
+    const Query& query, const std::vector<uint64_t>& masks) const {
   std::vector<QueryKeyGroup> groups = query.KeyGroups();
 
   // Leaf factors for every alias (estimated once, reused by every sub-plan —
@@ -276,7 +276,7 @@ std::unordered_map<uint64_t, double> FactorJoinEstimator::EstimateSubplans(
   return out;
 }
 
-double FactorJoinEstimator::Estimate(const Query& query) {
+double FactorJoinEstimator::Estimate(const Query& query) const {
   if (query.NumTables() == 0) return 0.0;
   if (query.NumTables() == 1) {
     const TableRef& ref = query.tables()[0];

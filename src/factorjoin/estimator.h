@@ -53,9 +53,9 @@ class FactorJoinEstimator : public CardinalityEstimator {
                       const std::vector<Query>* workload = nullptr);
 
   std::string Name() const override { return "factorjoin"; }
-  double Estimate(const Query& query) override;
+  double Estimate(const Query& query) const override;
   std::unordered_map<uint64_t, double> EstimateSubplans(
-      const Query& query, const std::vector<uint64_t>& masks) override;
+      const Query& query, const std::vector<uint64_t>& masks) const override;
   size_t ModelSizeBytes() const override;
   double TrainSeconds() const override { return train_seconds_; }
 

@@ -9,6 +9,7 @@
 
 #include "query/predicate.h"
 #include "storage/database.h"
+#include "util/hash.h"
 
 namespace fj {
 
@@ -32,8 +33,8 @@ struct AliasColumn {
 
 struct AliasColumnHash {
   size_t operator()(const AliasColumn& c) const {
-    return std::hash<std::string>()(c.alias) * 1000003u ^
-           std::hash<std::string>()(c.column);
+    return static_cast<size_t>(
+        HashCombine(Fnv1a64(c.alias), Fnv1a64(c.column)));
   }
 };
 
@@ -56,8 +57,36 @@ struct QueryKeyGroup {
   std::vector<std::string> TouchedAliases() const;
 };
 
+/// 128-bit canonical digest of a query's logical content (tables, joins,
+/// filters), insensitive to the order in which they were added. Equal
+/// sub-plans reached from different parent queries digest identically, which
+/// is what makes it usable as a cross-query cache key in the serving layer.
+struct QueryFingerprint {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+
+  bool operator==(const QueryFingerprint& o) const {
+    return lo == o.lo && hi == o.hi;
+  }
+  bool operator!=(const QueryFingerprint& o) const { return !(*this == o); }
+
+  /// Hex rendering for logs/debugging.
+  std::string ToString() const;
+};
+
+struct QueryFingerprintHash {
+  size_t operator()(const QueryFingerprint& f) const {
+    return static_cast<size_t>(f.lo ^ Mix64(f.hi));
+  }
+};
+
 class Query {
  public:
+  /// Alias masks throughout the library are uint64_t bitmasks over tables()
+  /// order, so a query holds at most 64 table occurrences; AddTable throws
+  /// past that.
+  static constexpr size_t kMaxTables = 64;
+
   Query() = default;
 
   /// Adds a table occurrence; alias defaults to the table name.
@@ -110,6 +139,11 @@ class Query {
   /// Adjacency bitmasks: adj[i] has bit j set iff some join condition links
   /// alias i and alias j.
   std::vector<uint64_t> AliasAdjacency() const;
+
+  /// Canonical order-insensitive fingerprint of tables + joins + filters.
+  /// Filters that are Predicate::True() digest the same as absent filters,
+  /// and both orientations of a join condition digest identically.
+  QueryFingerprint Fingerprint() const;
 
   std::string ToString() const;
 

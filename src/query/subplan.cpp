@@ -2,14 +2,28 @@
 
 #include <algorithm>
 #include <bit>
+#include <stdexcept>
+#include <string>
 
 namespace fj {
 
 std::vector<uint64_t> EnumerateConnectedSubsets(const Query& query,
                                                 size_t min_tables) {
   size_t n = query.NumTables();
+  if (n > Query::kMaxTables) {
+    // Query::AddTable already enforces the cap; this guards queries built by
+    // future code paths so a too-wide query can never silently overflow the
+    // uint64_t masks and return garbage subsets.
+    throw std::invalid_argument(
+        "EnumerateConnectedSubsets: " + std::to_string(n) +
+        " aliases exceed the " + std::to_string(Query::kMaxTables) +
+        "-bit mask width");
+  }
   std::vector<uint64_t> adj = query.AliasAdjacency();
   std::vector<uint64_t> result;
+  // Exhaustive 2^n enumeration is only tractable for moderate n; past this
+  // cutoff (far above the paper's 17-way IMDB-JOB maximum) return no
+  // sub-plans rather than looping for hours.
   if (n == 0 || n > 30) return result;
 
   uint64_t limit = uint64_t{1} << n;

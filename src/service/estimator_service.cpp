@@ -1,0 +1,179 @@
+#include "service/estimator_service.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace fj {
+namespace {
+
+// Single-query and batched estimates live in separate cache namespaces:
+// FactorJoin's Estimate (greedy smallest-leaf order) and EstimateSubplans
+// (progressive split-off order) are both valid bounds but can differ for the
+// same sub-plan, so sharing one namespace would make a served value depend
+// on which API populated it first.
+QueryFingerprint BatchKey(const QueryFingerprint& fp) {
+  return {Mix64(fp.lo ^ 0xb4793d1a2c5e6f07ULL),
+          Mix64(fp.hi ^ 0x167f3ac2d4b59e81ULL)};
+}
+
+}  // namespace
+
+EstimatorService::EstimatorService(const CardinalityEstimator& estimator,
+                                   EstimatorServiceOptions options)
+    : estimator_(estimator),
+      options_(options),
+      cache_(options.cache_capacity, options.cache_shards),
+      queue_(options.queue_capacity) {
+  size_t threads = options_.num_threads == 0 ? 1 : options_.num_threads;
+  workers_.reserve(threads);
+  for (size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+EstimatorService::~EstimatorService() { Shutdown(); }
+
+void EstimatorService::Shutdown() {
+  queue_.Close();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+}
+
+std::future<double> EstimatorService::EstimateAsync(Query query) {
+  auto req = std::make_unique<Request>();
+  req->query = std::move(query);
+  std::future<double> result = req->single.get_future();
+  if (!queue_.Push(std::move(req))) {
+    throw std::runtime_error("EstimatorService: submit after shutdown");
+  }
+  return result;
+}
+
+double EstimatorService::Estimate(const Query& query) {
+  return EstimateAsync(query).get();
+}
+
+std::future<std::unordered_map<uint64_t, double>>
+EstimatorService::EstimateSubplansAsync(Query query,
+                                        std::vector<uint64_t> masks) {
+  auto req = std::make_unique<Request>();
+  req->query = std::move(query);
+  req->masks = std::move(masks);
+  req->batched = true;
+  auto result = req->batch.get_future();
+  if (!queue_.Push(std::move(req))) {
+    throw std::runtime_error("EstimatorService: submit after shutdown");
+  }
+  return result;
+}
+
+std::unordered_map<uint64_t, double> EstimatorService::EstimateSubplans(
+    const Query& query, const std::vector<uint64_t>& masks) {
+  return EstimateSubplansAsync(query, masks).get();
+}
+
+void EstimatorService::WorkerLoop() {
+  while (auto req = queue_.Pop()) {
+    Serve(**req);
+  }
+}
+
+void EstimatorService::Serve(Request& req) {
+  // Counters and latency are recorded BEFORE the promise is fulfilled so a
+  // client that just resolved its future observes its own request in Stats().
+  if (req.batched) {
+    try {
+      auto result = ServeBatch(req.query, req.masks);
+      subplan_requests_.fetch_add(1, std::memory_order_relaxed);
+      latency_.Record(req.submitted.Micros());
+      req.batch.set_value(std::move(result));
+    } catch (...) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      latency_.Record(req.submitted.Micros());
+      req.batch.set_exception(std::current_exception());
+    }
+  } else {
+    try {
+      double result = ServeSingle(req.query);
+      requests_.fetch_add(1, std::memory_order_relaxed);
+      latency_.Record(req.submitted.Micros());
+      req.single.set_value(result);
+    } catch (...) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      latency_.Record(req.submitted.Micros());
+      req.single.set_exception(std::current_exception());
+    }
+  }
+}
+
+double EstimatorService::ServeSingle(const Query& query) {
+  if (!options_.cache_enabled) return estimator_.Estimate(query);
+  QueryFingerprint fp = query.Fingerprint();
+  if (auto cached = cache_.Lookup(fp)) return *cached;
+  double estimate = estimator_.Estimate(query);
+  cache_.Insert(fp, estimate);
+  return estimate;
+}
+
+std::unordered_map<uint64_t, double> EstimatorService::ServeBatch(
+    const Query& query, const std::vector<uint64_t>& masks) {
+  std::unordered_map<uint64_t, double> out;
+  out.reserve(masks.size());
+  if (!options_.cache_enabled) {
+    out = estimator_.EstimateSubplans(query, masks);
+    subplans_estimated_.fetch_add(masks.size(), std::memory_order_relaxed);
+    return out;
+  }
+
+  // Resolve each sub-plan against the cache by its canonical fingerprint;
+  // a sub-plan estimated under a *different* parent query still hits. The
+  // cached value is canonical per fingerprint (first writer wins): because
+  // the estimator's join-order tie-breaking follows the parent's alias bit
+  // order, a hit from another parent can differ from what recomputing under
+  // *this* parent would give — but every cached value is a valid bound
+  // produced by the same trained model.
+  std::vector<uint64_t> miss_masks;
+  std::vector<QueryFingerprint> miss_fps;
+  for (uint64_t mask : masks) {
+    QueryFingerprint fp = BatchKey(query.InducedSubquery(mask).Fingerprint());
+    if (auto cached = cache_.Lookup(fp)) {
+      out.emplace(mask, *cached);
+    } else {
+      miss_masks.push_back(mask);
+      miss_fps.push_back(fp);
+    }
+  }
+
+  // One call for all misses keeps the estimator's shared computation
+  // (FactorJoin estimates each leaf factor once for the whole batch).
+  if (!miss_masks.empty()) {
+    std::unordered_map<uint64_t, double> fresh =
+        estimator_.EstimateSubplans(query, miss_masks);
+    uint64_t produced = 0;
+    for (size_t i = 0; i < miss_masks.size(); ++i) {
+      auto it = fresh.find(miss_masks[i]);
+      if (it == fresh.end()) continue;  // estimator skipped the mask
+      out.emplace(miss_masks[i], it->second);
+      cache_.Insert(miss_fps[i], it->second);
+      ++produced;
+    }
+    subplans_estimated_.fetch_add(produced, std::memory_order_relaxed);
+  }
+  return out;
+}
+
+ServiceStats EstimatorService::Stats() const {
+  ServiceStats stats;
+  stats.requests = requests_.load(std::memory_order_relaxed);
+  stats.subplan_requests = subplan_requests_.load(std::memory_order_relaxed);
+  stats.subplans_estimated =
+      subplans_estimated_.load(std::memory_order_relaxed);
+  stats.errors = errors_.load(std::memory_order_relaxed);
+  stats.cache = cache_.Stats();
+  latency_.Snapshot(&stats);
+  return stats;
+}
+
+}  // namespace fj

@@ -1,0 +1,125 @@
+// EstimatorService: a concurrent serving layer over any trained
+// CardinalityEstimator.
+//
+//   clients ──► bounded MPMC queue ──► worker pool ──► sharded LRU cache
+//                                            │              │ miss
+//                                            └──────────────▼
+//                                                  const CardinalityEstimator
+//
+// The service owns a fixed pool of worker threads consuming a bounded
+// request queue (back-pressure: submitters block while the queue is full).
+// Every estimate is keyed by the canonical Query::Fingerprint and served
+// from a sharded LRU cache when possible, so the ~10k sub-plan estimates an
+// optimizer requests per IMDB-JOB query (see query/subplan.h) are computed
+// once and shared across parent queries and across threads. Single-query
+// and batched estimates use disjoint cache namespaces because an
+// estimator's two code paths may compute different (equally valid) bounds
+// for the same sub-plan; within each namespace a request interleaving can
+// never change which API's value is served.
+//
+// The wrapped estimator is taken by const reference: estimation is const on
+// CardinalityEstimator precisely so one trained model can be shared by the
+// whole pool without locking.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "query/query.h"
+#include "service/mpmc_queue.h"
+#include "service/service_stats.h"
+#include "service/sharded_cache.h"
+#include "stats/cardinality_estimator.h"
+#include "util/timer.h"
+
+namespace fj {
+
+struct EstimatorServiceOptions {
+  /// Worker threads consuming the request queue.
+  size_t num_threads = 4;
+  /// Bounded request queue length; submitters block while it is full.
+  size_t queue_capacity = 1024;
+  /// Total cached sub-plan estimates across all shards.
+  size_t cache_capacity = 1 << 16;
+  /// Cache shards (rounded up to a power of two).
+  size_t cache_shards = 16;
+  /// Disable to measure raw estimator throughput.
+  bool cache_enabled = true;
+};
+
+class EstimatorService {
+ public:
+  /// `estimator` must outlive the service and be fully trained; the service
+  /// never mutates it.
+  explicit EstimatorService(const CardinalityEstimator& estimator,
+                            EstimatorServiceOptions options = {});
+
+  /// Drains accepted requests, then joins the workers.
+  ~EstimatorService();
+
+  EstimatorService(const EstimatorService&) = delete;
+  EstimatorService& operator=(const EstimatorService&) = delete;
+
+  /// Enqueues a single-query estimate; the future resolves when a worker has
+  /// served it (from cache or the estimator).
+  std::future<double> EstimateAsync(Query query);
+
+  /// Blocking convenience wrapper around EstimateAsync. Must not be called
+  /// from a worker thread (it would deadlock a single-thread pool).
+  double Estimate(const Query& query);
+
+  /// Enqueues one batched request for all sub-plan masks of `query` (masks
+  /// use Query::tables() bit order, as in EnumerateConnectedSubsets). Cached
+  /// sub-plans are reused; the misses go to the estimator in one
+  /// EstimateSubplans call so progressive sharing (FactorJoin) is preserved.
+  std::future<std::unordered_map<uint64_t, double>> EstimateSubplansAsync(
+      Query query, std::vector<uint64_t> masks);
+
+  /// Blocking convenience wrapper around EstimateSubplansAsync.
+  std::unordered_map<uint64_t, double> EstimateSubplans(
+      const Query& query, const std::vector<uint64_t>& masks);
+
+  /// Rejects new requests, drains accepted ones, joins workers. Idempotent;
+  /// also run by the destructor.
+  void Shutdown();
+
+  ServiceStats Stats() const;
+
+  const CardinalityEstimator& estimator() const { return estimator_; }
+  const EstimatorServiceOptions& options() const { return options_; }
+
+ private:
+  struct Request {
+    Query query;
+    std::vector<uint64_t> masks;  // batched iff non-empty
+    bool batched = false;
+    std::promise<double> single;
+    std::promise<std::unordered_map<uint64_t, double>> batch;
+    WallTimer submitted;  // end-to-end latency starts at enqueue
+  };
+
+  void WorkerLoop();
+  void Serve(Request& req);
+  double ServeSingle(const Query& query);
+  std::unordered_map<uint64_t, double> ServeBatch(
+      const Query& query, const std::vector<uint64_t>& masks);
+
+  const CardinalityEstimator& estimator_;
+  const EstimatorServiceOptions options_;
+  ShardedEstimateCache cache_;
+  MpmcQueue<std::unique_ptr<Request>> queue_;
+  std::vector<std::thread> workers_;
+
+  LatencyRecorder latency_;
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> subplan_requests_{0};
+  std::atomic<uint64_t> subplans_estimated_{0};
+  std::atomic<uint64_t> errors_{0};
+};
+
+}  // namespace fj

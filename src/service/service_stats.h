@@ -1,0 +1,80 @@
+// Point-in-time metrics snapshot of an EstimatorService, plus the latency
+// recorder the workers feed. Latencies are end-to-end (queue wait + compute),
+// the number an optimizer integrating the service actually experiences.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "service/sharded_cache.h"
+
+namespace fj {
+
+struct ServiceStats {
+  /// Single-query estimate requests completed.
+  uint64_t requests = 0;
+  /// Batched sub-plan requests completed.
+  uint64_t subplan_requests = 0;
+  /// Individual sub-plan estimates produced inside batched requests.
+  uint64_t subplans_estimated = 0;
+  /// Requests whose promise was fulfilled with an exception.
+  uint64_t errors = 0;
+
+  CacheStats cache;
+
+  /// End-to-end request latency percentiles over a sliding sample window
+  /// (microseconds). Zero until the first request completes.
+  double p50_micros = 0.0;
+  double p99_micros = 0.0;
+  double max_micros = 0.0;
+};
+
+/// Fixed-window latency reservoir: keeps the most recent kWindow samples and
+/// computes percentiles over them at snapshot time. One mutex is fine — a
+/// push is two writes, orders of magnitude cheaper than the estimate whose
+/// latency it records.
+class LatencyRecorder {
+ public:
+  static constexpr size_t kWindow = 4096;
+
+  void Record(double micros) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (samples_.size() < kWindow) {
+      samples_.push_back(micros);
+    } else {
+      samples_[next_] = micros;
+    }
+    next_ = (next_ + 1) % kWindow;
+    max_ = std::max(max_, micros);
+  }
+
+  /// Fills the latency fields of `stats`.
+  void Snapshot(ServiceStats* stats) const {
+    std::vector<double> sorted;
+    double max_value;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      sorted = samples_;
+      max_value = max_;
+    }
+    if (sorted.empty()) return;
+    std::sort(sorted.begin(), sorted.end());
+    auto percentile = [&](double p) {
+      size_t idx = static_cast<size_t>(p * static_cast<double>(sorted.size() - 1));
+      return sorted[idx];
+    };
+    stats->p50_micros = percentile(0.50);
+    stats->p99_micros = percentile(0.99);
+    stats->max_micros = max_value;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<double> samples_;
+  size_t next_ = 0;
+  double max_ = 0.0;
+};
+
+}  // namespace fj

@@ -1,0 +1,84 @@
+// Sharded LRU cache of sub-plan estimates, keyed by Query::Fingerprint.
+//
+// Sharding (mutex per shard, fingerprint bits pick the shard) keeps the
+// cache off the critical path under a worker pool: threads estimating
+// different sub-plans touch different shards and never serialize on one
+// global lock. Because the fingerprint is canonical, the same sub-plan
+// reached from different parent queries hits the same entry.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "query/query.h"
+
+namespace fj {
+
+/// Aggregate counters across all shards (monotonic except `entries`).
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  size_t entries = 0;
+
+  double HitRate() const {
+    uint64_t lookups = hits + misses;
+    return lookups == 0 ? 0.0 : static_cast<double>(hits) /
+                                    static_cast<double>(lookups);
+  }
+};
+
+class ShardedEstimateCache {
+ public:
+  /// `capacity` is the total entry budget, split evenly across `num_shards`
+  /// (rounded up to a power of two so shard selection is a bit mask).
+  explicit ShardedEstimateCache(size_t capacity, size_t num_shards = 16);
+
+  ShardedEstimateCache(const ShardedEstimateCache&) = delete;
+  ShardedEstimateCache& operator=(const ShardedEstimateCache&) = delete;
+
+  /// Returns the cached estimate and refreshes its LRU position, or nullopt
+  /// on a miss. Counts a hit or miss either way.
+  std::optional<double> Lookup(const QueryFingerprint& key);
+
+  /// Inserts or overwrites; evicts the shard's least-recently-used entry
+  /// when the shard is at capacity.
+  void Insert(const QueryFingerprint& key, double value);
+
+  void Clear();
+
+  CacheStats Stats() const;
+  size_t num_shards() const { return shards_.size(); }
+  size_t capacity() const { return shards_.size() * per_shard_capacity_; }
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    // Front = most recently used. The map stores list iterators, which stay
+    // valid across splice-based LRU refreshes.
+    std::list<std::pair<QueryFingerprint, double>> lru;
+    std::unordered_map<QueryFingerprint,
+                       std::list<std::pair<QueryFingerprint, double>>::iterator,
+                       QueryFingerprintHash>
+        index;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+  };
+
+  Shard& ShardFor(const QueryFingerprint& key) {
+    // The fingerprint is already well mixed; low bits of lo^hi pick a shard.
+    return *shards_[(key.lo ^ key.hi) & shard_mask_];
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  size_t shard_mask_;
+  size_t per_shard_capacity_;
+};
+
+}  // namespace fj

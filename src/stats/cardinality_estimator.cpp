@@ -3,7 +3,7 @@
 namespace fj {
 
 std::unordered_map<uint64_t, double> CardinalityEstimator::EstimateSubplans(
-    const Query& query, const std::vector<uint64_t>& masks) {
+    const Query& query, const std::vector<uint64_t>& masks) const {
   std::unordered_map<uint64_t, double> out;
   out.reserve(masks.size());
   for (uint64_t mask : masks) {

@@ -19,14 +19,19 @@ class CardinalityEstimator {
 
   /// Estimated cardinality of a connected (sub-)query. Single-alias queries
   /// return the filtered base-table cardinality.
-  virtual double Estimate(const Query& query) = 0;
+  ///
+  /// Estimation is const: a trained estimator is an immutable model, safe to
+  /// share across threads (the EstimatorService serves one instance from a
+  /// whole worker pool). Implementations needing internal caches must make
+  /// them thread-safe (see TrueCardEstimator).
+  virtual double Estimate(const Query& query) const = 0;
 
   /// Estimates for all given sub-plan alias masks of `query` (masks use
   /// Query::tables() bit order and include single-alias masks). The default
   /// estimates each sub-plan independently; methods with shared computation
   /// (FactorJoin's progressive algorithm) override this.
   virtual std::unordered_map<uint64_t, double> EstimateSubplans(
-      const Query& query, const std::vector<uint64_t>& masks);
+      const Query& query, const std::vector<uint64_t>& masks) const;
 
   /// Serialized statistics footprint (Figure 6 "model size").
   virtual size_t ModelSizeBytes() const { return 0; }

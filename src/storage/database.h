@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "storage/table.h"
+#include "util/hash.h"
 
 namespace fj {
 
@@ -29,8 +30,8 @@ struct ColumnRef {
 
 struct ColumnRefHash {
   size_t operator()(const ColumnRef& r) const {
-    return std::hash<std::string>()(r.table) * 1000003u ^
-           std::hash<std::string>()(r.column);
+    return static_cast<size_t>(
+        HashCombine(Fnv1a64(r.table), Fnv1a64(r.column)));
   }
 };
 

@@ -1,0 +1,40 @@
+// Shared hashing primitives: a strong 64-bit string hash and an
+// order-sensitive combiner. Used by the query/ struct hashers and by
+// Query::Fingerprint, where weak mixing would translate directly into
+// cache-entry collisions in the serving layer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace fj {
+
+/// SplitMix64 finalizer (Vigna): full-avalanche mixing of a 64-bit value.
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// FNV-1a over bytes, seeded so independent hash streams can be derived from
+/// the same input (Fingerprint uses two streams for its 128 bits).
+inline uint64_t Fnv1a64(std::string_view s, uint64_t seed = 0xcbf29ce484222325ULL) {
+  uint64_t h = seed;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Asymmetric combiner: HashCombine(a, b) != HashCombine(b, a), so
+/// ("a","b") and ("b","a") pairs land in different buckets.
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return Mix64(seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2)));
+}
+
+}  // namespace fj

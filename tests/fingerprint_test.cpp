@@ -1,0 +1,229 @@
+// Query::Fingerprint canonicality — the property the serving layer's cache
+// correctness rests on — plus the struct hashers guarding it against
+// collision-driven cache mixups.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "query/query.h"
+#include "query/subplan.h"
+#include "storage/database.h"
+#include "util/hash.h"
+
+namespace fj {
+namespace {
+
+PredicatePtr AgeFilter() {
+  return Predicate::Cmp("age", CmpOp::kGt, Literal::Int(30));
+}
+
+TEST(FingerprintTest, InsensitiveToConstructionOrder) {
+  Query q1;
+  q1.AddTable("ta", "a").AddTable("tb", "b").AddTable("tc", "c");
+  q1.AddJoin("a", "id", "b", "aid");
+  q1.AddJoin("b", "id", "c", "bid");
+  q1.SetFilter("a", AgeFilter());
+
+  Query q2;
+  q2.AddTable("tc", "c").AddTable("ta", "a").AddTable("tb", "b");
+  q2.SetFilter("a", AgeFilter());
+  q2.AddJoin("b", "id", "c", "bid");
+  q2.AddJoin("a", "id", "b", "aid");
+
+  EXPECT_EQ(q1.Fingerprint(), q2.Fingerprint());
+}
+
+TEST(FingerprintTest, InsensitiveToJoinOrientation) {
+  Query q1;
+  q1.AddTable("ta", "a").AddTable("tb", "b");
+  q1.AddJoin("a", "id", "b", "aid");
+
+  Query q2;
+  q2.AddTable("ta", "a").AddTable("tb", "b");
+  q2.AddJoin("b", "aid", "a", "id");
+
+  EXPECT_EQ(q1.Fingerprint(), q2.Fingerprint());
+}
+
+TEST(FingerprintTest, TrueFilterDigestsLikeNoFilter) {
+  Query q1;
+  q1.AddTable("ta", "a").AddTable("tb", "b");
+  q1.AddJoin("a", "id", "b", "aid");
+
+  Query q2 = q1;
+  q2.SetFilter("a", Predicate::True());
+
+  EXPECT_EQ(q1.Fingerprint(), q2.Fingerprint());
+}
+
+TEST(FingerprintTest, DistinguishesContent) {
+  Query base;
+  base.AddTable("ta", "a").AddTable("tb", "b");
+  base.AddJoin("a", "id", "b", "aid");
+
+  Query filtered = base;
+  filtered.SetFilter("a", AgeFilter());
+  EXPECT_NE(base.Fingerprint(), filtered.Fingerprint());
+
+  Query other_filter = base;
+  other_filter.SetFilter("a", Predicate::Cmp("age", CmpOp::kGt, Literal::Int(31)));
+  EXPECT_NE(filtered.Fingerprint(), other_filter.Fingerprint());
+
+  Query other_alias = base;
+  other_alias.SetFilter("b", AgeFilter());
+  EXPECT_NE(filtered.Fingerprint(), other_alias.Fingerprint());
+
+  Query extra_join = base;
+  extra_join.AddJoin("a", "id2", "b", "aid2");
+  EXPECT_NE(base.Fingerprint(), extra_join.Fingerprint());
+
+  Query other_table;
+  other_table.AddTable("tx", "a").AddTable("tb", "b");
+  other_table.AddJoin("a", "id", "b", "aid");
+  EXPECT_NE(base.Fingerprint(), other_table.Fingerprint());
+}
+
+// The cache-sharing property: the same logical sub-plan induced from two
+// different parent queries must produce identical fingerprints.
+TEST(FingerprintTest, InducedSubqueryRoundTripAcrossParents) {
+  Query parent1;
+  parent1.AddTable("tu", "u").AddTable("to", "o").AddTable("ti", "i");
+  parent1.AddJoin("u", "id", "o", "uid");
+  parent1.AddJoin("o", "iid", "i", "id");
+  parent1.SetFilter("u", AgeFilter());
+
+  // Different parent: different third table, different alias bit positions
+  // and an extra filter, but the {u, o} sub-plan is logically the same.
+  Query parent2b;
+  parent2b.AddTable("tx", "x").AddTable("tu", "u").AddTable("to", "o");
+  parent2b.AddJoin("o", "xid", "x", "id");
+  parent2b.AddJoin("u", "id", "o", "uid");
+  parent2b.SetFilter("u", AgeFilter());
+  parent2b.SetFilter("x", Predicate::Cmp("k", CmpOp::kEq, Literal::Int(7)));
+
+  uint64_t mask1 = 0b011;  // u, o in parent1's bit order
+  uint64_t mask2 = 0b110;  // u, o in parent2b's bit order
+  EXPECT_EQ(parent1.InducedSubquery(mask1).Fingerprint(),
+            parent2b.InducedSubquery(mask2).Fingerprint());
+}
+
+TEST(FingerprintTest, SelfJoinAliasesAreDistinguished) {
+  Query q;
+  q.AddTable("person", "p1").AddTable("person", "p2");
+  q.AddJoin("p1", "id", "p2", "parent_id");
+  q.SetFilter("p1", AgeFilter());
+
+  Query swapped;
+  swapped.AddTable("person", "p1").AddTable("person", "p2");
+  swapped.AddJoin("p1", "id", "p2", "parent_id");
+  swapped.SetFilter("p2", AgeFilter());
+
+  EXPECT_NE(q.Fingerprint(), swapped.Fingerprint());
+
+  // Round-trip: the singleton sub-plans differ from each other (one carries
+  // the filter), and induction matches direct construction.
+  EXPECT_NE(q.InducedSubquery(0b01).Fingerprint(),
+            q.InducedSubquery(0b10).Fingerprint());
+  Query direct;
+  direct.AddTable("person", "p1");
+  direct.SetFilter("p1", AgeFilter());
+  EXPECT_EQ(q.InducedSubquery(0b01).Fingerprint(), direct.Fingerprint());
+}
+
+TEST(FingerprintTest, CyclicTemplateSubplansRoundTrip) {
+  auto triangle = [] {
+    Query q;
+    q.AddTable("ta", "a").AddTable("tb", "b").AddTable("tc", "c");
+    q.AddJoin("a", "id", "b", "aid");
+    q.AddJoin("b", "id", "c", "bid");
+    q.AddJoin("a", "id2", "c", "aid2");
+    return q;
+  };
+  Query q1 = triangle();
+  Query q2 = triangle();
+  ASSERT_TRUE(q1.IsCyclic());
+
+  auto masks = EnumerateConnectedSubsets(q1, 1);
+  ASSERT_EQ(masks.size(), 7u);  // 3 singles + 3 pairs + triangle
+  std::unordered_set<QueryFingerprint, QueryFingerprintHash> seen;
+  for (uint64_t mask : masks) {
+    QueryFingerprint fp1 = q1.InducedSubquery(mask).Fingerprint();
+    QueryFingerprint fp2 = q2.InducedSubquery(mask).Fingerprint();
+    EXPECT_EQ(fp1, fp2);
+    EXPECT_TRUE(seen.insert(fp1).second) << "fingerprint collision between "
+                                            "distinct sub-plans";
+  }
+}
+
+TEST(FingerprintTest, ManyDistinctSubplansNoCollision) {
+  // Chain of 10 tables with per-alias filters: all 54 connected sub-plans
+  // plus filter variants must fingerprint distinctly.
+  Query q;
+  for (int i = 0; i < 10; ++i) {
+    q.AddTable("t" + std::to_string(i), "a" + std::to_string(i));
+  }
+  for (int i = 0; i + 1 < 10; ++i) {
+    q.AddJoin("a" + std::to_string(i), "id", "a" + std::to_string(i + 1),
+              "pid");
+  }
+  std::unordered_set<QueryFingerprint, QueryFingerprintHash> seen;
+  size_t total = 0;
+  for (int variant = 0; variant < 4; ++variant) {
+    Query v = q;
+    if (variant > 0) {
+      v.SetFilter("a0", Predicate::Cmp("x", CmpOp::kGt, Literal::Int(variant)));
+    }
+    for (uint64_t mask : EnumerateConnectedSubsets(v, 1)) {
+      seen.insert(v.InducedSubquery(mask).Fingerprint());
+      ++total;
+    }
+  }
+  // Sub-plans without a0 are shared between variants; everything else is
+  // distinct. 4 variants x 55 sub-plans, 3 x 45 of them duplicates.
+  EXPECT_EQ(seen.size(), total - 3 * 45);
+}
+
+TEST(HashTest, AliasColumnHashIsOrderSensitive) {
+  AliasColumnHash h;
+  EXPECT_NE(h({"a", "b"}), h({"b", "a"}));
+  EXPECT_NE(h({"mc", "movie_id"}), h({"movie_id", "mc"}));
+  // Boundary shifts between the two strings must not collide.
+  EXPECT_NE(h({"ab", "c"}), h({"a", "bc"}));
+}
+
+TEST(HashTest, ColumnRefHashIsOrderSensitive) {
+  ColumnRefHash h;
+  EXPECT_NE(h({"t", "u"}), h({"u", "t"}));
+  EXPECT_NE(h({"posts", "Id"}), h({"Id", "posts"}));
+  EXPECT_NE(h({"ab", "c"}), h({"a", "bc"}));
+}
+
+TEST(HashTest, NoCollisionsAcrossSchemaLikeNames) {
+  // Sweep a realistic namespace of alias/column pairs; any collision here would
+  // surface as a wrong bucket merge in KeyGroups or the fingerprint cache.
+  std::vector<std::string> names;
+  for (char c = 'a'; c <= 'z'; ++c) {
+    names.push_back(std::string(1, c));
+    names.push_back(std::string(1, c) + "_id");
+    names.push_back("t" + std::string(1, c));
+  }
+  AliasColumnHash ach;
+  ColumnRefHash crh;
+  std::unordered_set<size_t> alias_hashes;
+  std::unordered_set<size_t> ref_hashes;
+  size_t pairs = 0;
+  for (const auto& x : names) {
+    for (const auto& y : names) {
+      alias_hashes.insert(ach({x, y}));
+      ref_hashes.insert(crh({x, y}));
+      ++pairs;
+    }
+  }
+  EXPECT_EQ(alias_hashes.size(), pairs);
+  EXPECT_EQ(ref_hashes.size(), pairs);
+}
+
+}  // namespace
+}  // namespace fj

@@ -195,6 +195,30 @@ TEST(SubplanTest, IncludesSingletonsWhenAsked) {
   EXPECT_EQ(masks.size(), 6u);  // 3 singles + 2 pairs + 1 triple
 }
 
+TEST(QueryTest, RejectsMoreThan64Aliases) {
+  // Alias bitmasks are uint64_t; a 65th table occurrence would silently
+  // overflow every mask-based code path, so AddTable must refuse it.
+  Query q;
+  for (size_t i = 0; i < Query::kMaxTables; ++i) {
+    q.AddTable("t" + std::to_string(i));
+  }
+  EXPECT_EQ(q.NumTables(), 64u);
+  EXPECT_THROW(q.AddTable("t64"), std::invalid_argument);
+  EXPECT_EQ(q.NumTables(), 64u);
+}
+
+TEST(SubplanTest, WideQueriesReturnNoSubplansInsteadOfGarbage) {
+  // Past the exhaustive-enumeration cutoff (30 aliases) the enumerator
+  // declines rather than looping for hours or overflowing.
+  Query q;
+  for (int i = 0; i < 40; ++i) q.AddTable("t" + std::to_string(i));
+  for (int i = 0; i + 1 < 40; ++i) {
+    q.AddJoin("t" + std::to_string(i), "id", "t" + std::to_string(i + 1),
+              "pid");
+  }
+  EXPECT_TRUE(EnumerateConnectedSubsets(q, 2).empty());
+}
+
 TEST(QueryTest, ToStringContainsPieces) {
   Query q = ChainQuery();
   q.SetFilter("a", Predicate::Cmp("x", CmpOp::kGt, Literal::Int(0)));
