@@ -8,19 +8,37 @@ namespace fj {
 
 PostgresEstimator::PostgresEstimator(const Database& db,
                                      PostgresEstimatorOptions options)
-    : db_(&db) {
+    : db_(&db), options_(options) {
   WallTimer timer;
-  for (const std::string& name : db.TableNames()) {
-    const Table& table = db.GetTable(name);
-    TableStats ts;
-    ts.rows = table.num_rows();
-    for (const auto& col : table.columns()) {
-      ts.columns.push_back(col->name());
-      ts.histograms.emplace_back(*col, options.histogram_buckets);
-    }
-    stats_.emplace(name, std::move(ts));
-  }
+  for (const std::string& name : db.TableNames()) RebuildTableStats(name);
   train_seconds_ = timer.Seconds();
+}
+
+double PostgresEstimator::RebuildTableStats(const std::string& table_name) {
+  WallTimer timer;
+  const Table& table = db_->GetTable(table_name);
+  TableStats ts;
+  ts.rows = table.num_rows();
+  for (const auto& col : table.columns()) {
+    ts.columns.push_back(col->name());
+    ts.histograms.emplace_back(*col, options_.histogram_buckets);
+  }
+  stats_[table_name] = std::move(ts);
+  return timer.Seconds();
+}
+
+double PostgresEstimator::ApplyInsert(const std::string& table_name,
+                                      size_t /*first_new_row*/) {
+  double seconds = RebuildTableStats(table_name);
+  BumpStatsVersion();
+  return seconds;
+}
+
+double PostgresEstimator::ApplyDelete(const std::string& table_name,
+                                      size_t /*first_deleted_row*/) {
+  double seconds = RebuildTableStats(table_name);
+  BumpStatsVersion();
+  return seconds;
 }
 
 double PostgresEstimator::FilterSelectivity(const Query& query,

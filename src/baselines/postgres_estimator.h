@@ -27,6 +27,20 @@ class PostgresEstimator : public CardinalityEstimator {
   size_t ModelSizeBytes() const override;
   double TrainSeconds() const override { return train_seconds_; }
 
+  /// Histogram stats are cheap to recompute table-locally (ANALYZE-style).
+  bool SupportsUpdates() const override { return true; }
+
+  /// Recomputes the updated table's histograms from its current contents
+  /// (the rows are already appended). Table-local: no other table's stats
+  /// are touched. Bumps StatsVersion().
+  double ApplyInsert(const std::string& table_name,
+                     size_t first_new_row) override;
+
+  /// Same table-local re-ANALYZE after a tail deletion (the table is already
+  /// truncated). Bumps StatsVersion().
+  double ApplyDelete(const std::string& table_name,
+                     size_t first_deleted_row) override;
+
   /// Filter selectivity of one alias (exposed for reuse by other
   /// tradition-style baselines).
   double FilterSelectivity(const Query& query, const std::string& alias) const;
@@ -38,7 +52,12 @@ class PostgresEstimator : public CardinalityEstimator {
     uint64_t rows = 0;
   };
 
+  /// Re-ANALYZE one table (histograms + row count) from its current data.
+  /// Shared by training and both update paths; does not bump the version.
+  double RebuildTableStats(const std::string& table_name);
+
   const Database* db_;  // not owned
+  PostgresEstimatorOptions options_;
   std::unordered_map<std::string, TableStats> stats_;
   double train_seconds_ = 0.0;
 };

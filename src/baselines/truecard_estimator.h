@@ -1,14 +1,23 @@
 // Oracle baseline: returns the true cardinality (computed by executing the
 // query, cached). Represents the paper's TrueCard "optimal" row; the bench
 // harness charges it zero planning latency.
+//
+// Updates: the oracle has no trained state — its "statistics" are the live
+// table plus the memoized results. ApplyInsert/ApplyDelete therefore only
+// drop cached results touching the updated table (the next Estimate
+// re-executes against the current data) and bump the statistics epoch.
 #pragma once
 
+#include <algorithm>
 #include <mutex>
+#include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "exec/true_card.h"
 #include "stats/cardinality_estimator.h"
 #include "storage/database.h"
+#include "util/timer.h"
 
 namespace fj {
 
@@ -23,7 +32,7 @@ class TrueCardEstimator : public CardinalityEstimator {
     {
       std::lock_guard<std::mutex> lock(mutex_);
       auto it = cache_.find(key);
-      if (it != cache_.end()) return it->second;
+      if (it != cache_.end()) return it->second.value;
     }
     // Execute outside the lock: concurrent misses on the same query do
     // redundant work but stay correct (both compute the same value).
@@ -34,14 +43,56 @@ class TrueCardEstimator : public CardinalityEstimator {
                        ? static_cast<double>(*card)
                        : static_cast<double>(TrueCardOptions{}.max_output_tuples);
     std::lock_guard<std::mutex> lock(mutex_);
-    cache_.emplace(std::move(key), value);
+    cache_.emplace(std::move(key), Entry{value, query.BaseTables()});
     return value;
   }
 
+  /// The oracle absorbs any update by re-executing on demand.
+  bool SupportsUpdates() const override { return true; }
+
+  /// Drops memoized results touching `table_name`; subsequent estimates
+  /// re-execute against the already-updated table. Same exclusivity contract
+  /// as every update method: no estimate may run concurrently — an in-flight
+  /// Estimate scans the mutating table (a data race) and could re-memoize a
+  /// pre-update truth after the invalidation ran.
+  double ApplyInsert(const std::string& table_name,
+                     size_t /*first_new_row*/) override {
+    return Invalidate(table_name);
+  }
+
+  /// Same as ApplyInsert: tail deletions are absorbed by re-execution.
+  double ApplyDelete(const std::string& table_name,
+                     size_t /*first_deleted_row*/) override {
+    return Invalidate(table_name);
+  }
+
  private:
+  struct Entry {
+    double value = 0.0;
+    std::vector<std::string> tables;  // base tables the query touches
+  };
+
+  double Invalidate(const std::string& table_name) {
+    WallTimer timer;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (auto it = cache_.begin(); it != cache_.end();) {
+        const auto& tables = it->second.tables;
+        if (std::find(tables.begin(), tables.end(), table_name) !=
+            tables.end()) {
+          it = cache_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    BumpStatsVersion();
+    return timer.Seconds();
+  }
+
   const Database* db_;  // not owned
   mutable std::mutex mutex_;
-  mutable std::unordered_map<std::string, double> cache_;
+  mutable std::unordered_map<std::string, Entry> cache_;
 };
 
 }  // namespace fj

@@ -35,6 +35,40 @@ const WanderJoinEstimator::KeyIndex& WanderJoinEstimator::IndexFor(
   return it->second;
 }
 
+double WanderJoinEstimator::ApplyInsert(const std::string& table_name,
+                                        size_t first_new_row) {
+  WallTimer timer;
+  const Table& table = db_->GetTable(table_name);
+  for (auto& [ref, index] : indexes_) {
+    if (ref.table != table_name) continue;
+    const Column& col = table.Col(ref.column);
+    for (size_t r = first_new_row; r < col.size(); ++r) {
+      int64_t v = col.IntAt(r);
+      if (v != kNullInt64) index[v].push_back(static_cast<uint32_t>(r));
+    }
+  }
+  BumpStatsVersion();
+  return timer.Seconds();
+}
+
+double WanderJoinEstimator::ApplyDelete(const std::string& table_name,
+                                        size_t first_deleted_row) {
+  WallTimer timer;
+  for (auto& [ref, index] : indexes_) {
+    if (ref.table != table_name) continue;
+    for (auto it = index.begin(); it != index.end();) {
+      std::vector<uint32_t>& rows = it->second;
+      // Postings are appended in row order, so they are sorted: cut the tail.
+      auto cut = std::lower_bound(rows.begin(), rows.end(),
+                                  static_cast<uint32_t>(first_deleted_row));
+      rows.erase(cut, rows.end());
+      it = rows.empty() ? index.erase(it) : std::next(it);
+    }
+  }
+  BumpStatsVersion();
+  return timer.Seconds();
+}
+
 double WanderJoinEstimator::Estimate(const Query& query) const {
   size_t n = query.NumTables();
   if (n == 0) return 0.0;

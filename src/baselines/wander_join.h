@@ -27,6 +27,21 @@ class WanderJoinEstimator : public CardinalityEstimator {
   size_t ModelSizeBytes() const override;
   double TrainSeconds() const override { return train_seconds_; }
 
+  /// The per-key indexes are maintained incrementally, like the PK/FK
+  /// indexes of the paper's setup.
+  bool SupportsUpdates() const override { return true; }
+
+  /// Appends the new rows' key values to the updated table's indexes.
+  /// O(|new rows|) and table-local. Bumps StatsVersion().
+  double ApplyInsert(const std::string& table_name,
+                     size_t first_new_row) override;
+
+  /// Prunes row ids >= first_deleted_row from the truncated table's indexes
+  /// (appends keep postings sorted, so each posting list is cut at a binary-
+  /// search point). Table-local. Bumps StatsVersion().
+  double ApplyDelete(const std::string& table_name,
+                     size_t first_deleted_row) override;
+
  private:
   using KeyIndex = std::unordered_map<int64_t, std::vector<uint32_t>>;
 

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <bit>
 #include <stdexcept>
+#include <unordered_set>
 
+#include "query/subplan.h"
 #include "stats/sampling_estimator.h"
 #include "stats/truescan_estimator.h"
 #include "util/timer.h"
@@ -223,55 +225,61 @@ std::unordered_map<uint64_t, double> FactorJoinEstimator::EstimateSubplans(
     cache[uint64_t{1} << i] = leaves[i];
   }
 
-  // Masks ordered by popcount so each sub-plan can reuse a cached sub-factor.
-  std::vector<uint64_t> ordered = masks;
-  std::sort(ordered.begin(), ordered.end(), [](uint64_t a, uint64_t b) {
-    int pa = std::popcount(a), pb = std::popcount(b);
-    if (pa != pb) return pa < pb;
-    return a < b;
-  });
-
-  std::unordered_map<uint64_t, double> out;
-  for (uint64_t mask : ordered) {
-    if (std::popcount(mask) == 1) {
-      out[mask] = cache.at(mask).card;
-      continue;
-    }
-    if (cache.count(mask) > 0) {
-      out[mask] = cache.at(mask).card;
-      continue;
-    }
-    // Split off one alias whose removal keeps a cached, connected remainder
-    // that this alias joins back to.
-    BoundFactor joined;
-    bool done = false;
+  // Canonical decomposition, independent of which masks were requested: the
+  // factor for a mask splits off the lowest-bit alias whose removal keeps
+  // the remainder connected (computing that remainder recursively). A mask's
+  // bound is therefore a function of (query, mask) alone — the serving
+  // layer's cache can recompute an invalidated subset of a batch and still
+  // produce values bit-identical to a full-batch run.
+  std::unordered_set<uint64_t> undecomposable;
+  auto factor_of = [&](auto&& self, uint64_t mask) -> const BoundFactor* {
+    auto it = cache.find(mask);
+    if (it != cache.end()) return &it->second;
+    if (undecomposable.count(mask) > 0) return nullptr;
     uint64_t m = mask;
-    while (m != 0 && !done) {
+    while (m != 0) {
       size_t a = static_cast<size_t>(std::countr_zero(m));
       m &= m - 1;
       uint64_t rest = mask & ~(uint64_t{1} << a);
-      auto it = cache.find(rest);
-      if (it == cache.end()) continue;
       if ((adj[a] & rest) == 0) continue;
+      if (!ConnectedAliasMask(rest, adj)) continue;
+      const BoundFactor* rf = self(self, rest);
+      if (rf == nullptr) continue;
       // Connecting query key groups: groups with bound state on both sides.
       std::vector<int> connecting;
       for (const auto& [gid, gb] : leaves[a].groups) {
-        if (it->second.groups.count(gid) > 0) connecting.push_back(gid);
+        if (rf->groups.count(gid) > 0) connecting.push_back(gid);
       }
       if (connecting.empty()) continue;
-      joined = JoinBoundFactors(it->second, leaves[a], connecting);
-      done = true;
+      BoundFactor joined = JoinBoundFactors(*rf, leaves[a], connecting);
+      return &(cache[mask] = std::move(joined));
     }
-    if (!done) {
-      // No cached remainder (can happen when the caller's mask list skips
-      // intermediate subsets): estimate this mask standalone.
+    undecomposable.insert(mask);
+    return nullptr;
+  };
+
+  uint64_t all = query.NumTables() >= 64
+                     ? ~uint64_t{0}
+                     : (uint64_t{1} << query.NumTables()) - 1;
+  std::unordered_map<uint64_t, double> out;
+  for (uint64_t mask : masks) {
+    if ((mask & ~all) != 0) {
+      throw std::out_of_range(
+          "FactorJoin::EstimateSubplans: mask has bits past the query's "
+          "alias count");
+    }
+    const BoundFactor* factor = factor_of(factor_of, mask);
+    if (factor == nullptr) {
+      // No pairwise decomposition (e.g. a disconnected requested mask):
+      // estimate this mask standalone.
       out[mask] = Estimate(query.InducedSubquery(mask));
       continue;
     }
     // Floor at one tuple: a zero bound reflects estimator blind spots (e.g.
-    // sparse samples), not proven emptiness.
-    out[mask] = std::max(joined.card, 1.0);
-    cache[mask] = std::move(joined);
+    // sparse samples), not proven emptiness. Single aliases report their
+    // filtered cardinality unfloored, as before.
+    out[mask] = std::popcount(mask) == 1 ? factor->card
+                                         : std::max(factor->card, 1.0);
   }
   return out;
 }
@@ -332,6 +340,11 @@ double FactorJoinEstimator::ApplyInsert(const std::string& table_name,
                                         size_t first_new_row) {
   WallTimer timer;
   const Table& table = db_->GetTable(table_name);
+  if (first_new_row > table.num_rows()) {
+    throw std::invalid_argument(
+        "FactorJoin::ApplyInsert: first_new_row is past the end of " +
+        table_name + " — rows must be appended before the call");
+  }
 
   // Update bin summaries of this table's join-key columns.
   for (auto& [ref, stats] : bin_stats_) {
@@ -351,6 +364,33 @@ double FactorJoinEstimator::ApplyInsert(const std::string& table_name,
   } else {
     est->Refresh(table);
   }
+  BumpStatsVersion();
+  return timer.Seconds();
+}
+
+double FactorJoinEstimator::ApplyDelete(const std::string& table_name,
+                                        size_t first_deleted_row) {
+  WallTimer timer;
+  const Table& table = db_->GetTable(table_name);
+  if (table.num_rows() > first_deleted_row) {
+    throw std::invalid_argument(
+        "FactorJoin::ApplyDelete: table must already be truncated to "
+        "first_deleted_row rows (see Table::Truncate)");
+  }
+
+  // Rebuild this table's per-bin summaries from the retained rows: exact
+  // (MFV/NDV per bin do not drift), table-local, and still no rebinning —
+  // the group binnings stay fixed exactly as for inserts.
+  for (auto& [ref, stats] : bin_stats_) {
+    if (ref.table != table_name) continue;
+    stats = ColumnBinStats(table.Col(ref.column),
+                           group_binnings_[static_cast<size_t>(
+                               column_to_group_.at(ref))]);
+  }
+
+  // Refresh the single-table model on the truncated table.
+  estimators_.at(table_name)->Refresh(table);
+  BumpStatsVersion();
   return timer.Seconds();
 }
 

@@ -13,7 +13,13 @@
 // appendix cases 4-5).
 //
 // Incremental updates (Section 4.3) fold newly appended rows into the bin
-// summaries and the single-table models without rebinning.
+// summaries and the single-table models without rebinning; tail deletions
+// are folded in table-locally (see ApplyDelete). Every update bumps the
+// inherited StatsVersion() epoch.
+//
+// Thread-safety: after training, all const methods are safe to call
+// concurrently from any number of threads. ApplyInsert/ApplyDelete require
+// exclusive access — no estimate may be in flight while they run.
 #pragma once
 
 #include <memory>
@@ -48,27 +54,56 @@ struct FactorJoinConfig {
 class FactorJoinEstimator : public CardinalityEstimator {
  public:
   /// Trains on `db` (which must outlive the estimator). `workload`, when
-  /// given, drives the workload-aware bin budget split.
+  /// given, drives the workload-aware bin budget split. Training is the only
+  /// phase that reads other tables; afterwards updates are table-local.
   FactorJoinEstimator(const Database& db, FactorJoinConfig config,
                       const std::vector<Query>* workload = nullptr);
 
   std::string Name() const override { return "factorjoin"; }
+
+  /// Greedy smallest-leaf-first bound (Equation 5). Thread-safe and
+  /// deterministic: concurrent calls on the same trained model return
+  /// bit-identical results. Must not run concurrently with an update.
   double Estimate(const Query& query) const override;
+
+  /// Progressive sub-plan estimation (Section 5.2): leaf factors are built
+  /// once and shared across all masks. Same thread-safety contract as
+  /// Estimate. Note the two code paths may produce different (equally valid)
+  /// bounds for the same sub-plan — see EstimatorService's cache namespaces.
   std::unordered_map<uint64_t, double> EstimateSubplans(
       const Query& query, const std::vector<uint64_t>& masks) const override;
+
   size_t ModelSizeBytes() const override;
   double TrainSeconds() const override { return train_seconds_; }
 
+  /// FactorJoin supports both incremental inserts and tail deletions.
+  bool SupportsUpdates() const override { return true; }
+
   /// Incremental update after rows were appended to `table_name`:
-  /// `first_new_row` is the index of the first appended row. Returns the
-  /// update wall time in seconds.
-  double ApplyInsert(const std::string& table_name, size_t first_new_row);
+  /// `first_new_row` is the index of the first appended row. O(|new rows|):
+  /// folds the new key values into the per-bin summaries (bins stay fixed —
+  /// no rebinning) and incrementally updates the single-table model
+  /// (BayesNet CPT counts; other kinds refresh). Returns the update wall
+  /// time in seconds. Requires exclusive access: quiesce concurrent
+  /// estimates first. Bumps StatsVersion() exactly once.
+  double ApplyInsert(const std::string& table_name,
+                     size_t first_new_row) override;
+
+  /// Tail deletion: the table has already been truncated to
+  /// `first_deleted_row` rows (Table::Truncate). Table-local O(|table|):
+  /// rebuilds this table's per-bin summaries from the retained rows (exact —
+  /// MFV counts do not drift) and refreshes its single-table model. No
+  /// rebinning, no other table is touched. Returns the update wall time in
+  /// seconds. Requires exclusive access. Bumps StatsVersion() exactly once.
+  double ApplyDelete(const std::string& table_name,
+                     size_t first_deleted_row) override;
 
   /// The shared binning of the group that `ref` belongs to (nullptr if `ref`
-  /// is not a join key).
+  /// is not a join key). Thread-safe after training.
   const Binning* BinningFor(const ColumnRef& ref) const;
 
   /// Offline per-bin summaries of a join-key column (for tests/baselines).
+  /// The pointer is invalidated by ApplyDelete on the same table.
   const ColumnBinStats* BinStatsFor(const ColumnRef& ref) const;
 
   const FactorJoinConfig& config() const { return config_; }

@@ -125,6 +125,18 @@ std::vector<uint64_t> Query::AliasAdjacency() const {
   return adj;
 }
 
+std::vector<std::string> Query::BaseTables(uint64_t alias_mask) const {
+  std::vector<std::string> out;
+  for (size_t i = 0; i < tables_.size(); ++i) {
+    if ((alias_mask & (uint64_t{1} << i)) == 0) continue;
+    const std::string& table = tables_[i].table;
+    if (std::find(out.begin(), out.end(), table) == out.end()) {
+      out.push_back(table);
+    }
+  }
+  return out;
+}
+
 bool Query::IsConnected() const {
   if (tables_.empty()) return false;
   if (tables_.size() == 1) return true;

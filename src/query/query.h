@@ -140,6 +140,13 @@ class Query {
   /// alias i and alias j.
   std::vector<uint64_t> AliasAdjacency() const;
 
+  /// Distinct base-table names among the aliases selected by `alias_mask`
+  /// (tables() bit order; the default mask selects every alias). Self-joined
+  /// tables appear once, in first-occurrence order. This is what the serving
+  /// layer tags cache entries with so a data update to one base table can
+  /// invalidate exactly the cached sub-plans that touch it.
+  std::vector<std::string> BaseTables(uint64_t alias_mask = ~uint64_t{0}) const;
+
   /// Canonical order-insensitive fingerprint of tables + joins + filters.
   /// Filters that are Predicate::True() digest the same as absent filters,
   /// and both orientations of a join condition digest identically.

@@ -7,6 +7,25 @@
 
 namespace fj {
 
+bool ConnectedAliasMask(uint64_t mask, const std::vector<uint64_t>& adj) {
+  if (mask == 0) return false;
+  uint64_t start = mask & (~mask + 1);  // lowest set bit
+  uint64_t reached = start;
+  uint64_t frontier = start;
+  while (frontier != 0) {
+    uint64_t next = 0;
+    uint64_t f = frontier;
+    while (f != 0) {
+      size_t i = static_cast<size_t>(std::countr_zero(f));
+      f &= f - 1;
+      next |= adj[i] & mask;
+    }
+    frontier = next & ~reached;
+    reached |= next;
+  }
+  return reached == mask;
+}
+
 std::vector<uint64_t> EnumerateConnectedSubsets(const Query& query,
                                                 size_t min_tables) {
   size_t n = query.NumTables();
@@ -30,22 +49,7 @@ std::vector<uint64_t> EnumerateConnectedSubsets(const Query& query,
   for (uint64_t mask = 1; mask < limit; ++mask) {
     size_t bits = static_cast<size_t>(std::popcount(mask));
     if (bits < min_tables) continue;
-    // BFS connectivity restricted to `mask`.
-    uint64_t start = mask & (~mask + 1);  // lowest set bit
-    uint64_t reached = start;
-    uint64_t frontier = start;
-    while (frontier != 0) {
-      uint64_t next = 0;
-      uint64_t f = frontier;
-      while (f != 0) {
-        size_t i = static_cast<size_t>(std::countr_zero(f));
-        f &= f - 1;
-        next |= adj[i] & mask;
-      }
-      frontier = next & ~reached;
-      reached |= next;
-    }
-    if (reached == mask) result.push_back(mask);
+    if (ConnectedAliasMask(mask, adj)) result.push_back(mask);
   }
   std::stable_sort(result.begin(), result.end(),
                    [](uint64_t a, uint64_t b) {

@@ -11,6 +11,11 @@
 
 namespace fj {
 
+/// True when the aliases in `mask` form a connected join graph under the
+/// adjacency bitmasks `adj` (Query::AliasAdjacency). Every bit of `mask`
+/// must be a valid index into `adj`; the empty mask is not connected.
+bool ConnectedAliasMask(uint64_t mask, const std::vector<uint64_t>& adj);
+
 /// Bitmasks (over Query::tables() order) of all connected alias subsets with
 /// at least `min_tables` members, ordered by popcount then value so that
 /// smaller sub-plans come first (the order progressive estimation consumes).

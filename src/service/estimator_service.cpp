@@ -1,5 +1,6 @@
 #include "service/estimator_service.h"
 
+#include <bit>
 #include <stdexcept>
 #include <utility>
 
@@ -22,7 +23,7 @@ EstimatorService::EstimatorService(const CardinalityEstimator& estimator,
                                    EstimatorServiceOptions options)
     : estimator_(estimator),
       options_(options),
-      cache_(options.cache_capacity, options.cache_shards),
+      cache_(options.cache_capacity, options.cache_shards, &epochs_),
       queue_(options.queue_capacity) {
   size_t threads = options_.num_threads == 0 ? 1 : options_.num_threads;
   workers_.reserve(threads);
@@ -45,7 +46,9 @@ std::future<double> EstimatorService::EstimateAsync(Query query) {
   auto req = std::make_unique<Request>();
   req->query = std::move(query);
   std::future<double> result = req->single.get_future();
+  pending_.fetch_add(1, std::memory_order_acq_rel);
   if (!queue_.Push(std::move(req))) {
+    pending_.fetch_sub(1, std::memory_order_acq_rel);
     throw std::runtime_error("EstimatorService: submit after shutdown");
   }
   return result;
@@ -63,7 +66,9 @@ EstimatorService::EstimateSubplansAsync(Query query,
   req->masks = std::move(masks);
   req->batched = true;
   auto result = req->batch.get_future();
+  pending_.fetch_add(1, std::memory_order_acq_rel);
   if (!queue_.Push(std::move(req))) {
+    pending_.fetch_sub(1, std::memory_order_acq_rel);
     throw std::runtime_error("EstimatorService: submit after shutdown");
   }
   return result;
@@ -77,7 +82,20 @@ std::unordered_map<uint64_t, double> EstimatorService::EstimateSubplans(
 void EstimatorService::WorkerLoop() {
   while (auto req = queue_.Pop()) {
     Serve(**req);
+    // The request counts as pending until after its promise is fulfilled,
+    // so Drain() returning means every accepted future is ready.
+    if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(drain_mu_);
+      drained_.notify_all();
+    }
   }
+}
+
+void EstimatorService::Drain() {
+  std::unique_lock<std::mutex> lock(drain_mu_);
+  drained_.wait(lock, [&] {
+    return pending_.load(std::memory_order_acquire) == 0;
+  });
 }
 
 void EstimatorService::Serve(Request& req) {
@@ -108,12 +126,24 @@ void EstimatorService::Serve(Request& req) {
   }
 }
 
+uint64_t EstimatorService::NotifyUpdate(const std::string& table_name) {
+  updates_notified_.fetch_add(1, std::memory_order_relaxed);
+  return epochs_.NotifyUpdate(table_name);
+}
+
+void EstimatorService::InvalidateAll() { cache_.Clear(); }
+
 double EstimatorService::ServeSingle(const Query& query) {
   if (!options_.cache_enabled) return estimator_.Estimate(query);
   QueryFingerprint fp = query.Fingerprint();
   if (auto cached = cache_.Lookup(fp)) return *cached;
+  // Snapshot the epoch BEFORE computing: if an update lands while the
+  // estimator runs, the inserted entry is tagged with the pre-update epoch
+  // and dies on its next lookup instead of serving a stale estimate forever.
+  uint64_t epoch = epochs_.Epoch();
+  uint64_t table_bits = epochs_.BitsFor(query.BaseTables());
   double estimate = estimator_.Estimate(query);
-  cache_.Insert(fp, estimate);
+  cache_.Insert(fp, estimate, table_bits, epoch);
   return estimate;
 }
 
@@ -134,6 +164,9 @@ std::unordered_map<uint64_t, double> EstimatorService::ServeBatch(
   // order, a hit from another parent can differ from what recomputing under
   // *this* parent would give — but every cached value is a valid bound
   // produced by the same trained model.
+  // Epoch snapshot before any estimation (see ServeSingle): entries
+  // inserted below are invalidated by any update racing this batch.
+  uint64_t epoch = epochs_.Epoch();
   std::vector<uint64_t> miss_masks;
   std::vector<QueryFingerprint> miss_fps;
   for (uint64_t mask : masks) {
@@ -151,12 +184,25 @@ std::unordered_map<uint64_t, double> EstimatorService::ServeBatch(
   if (!miss_masks.empty()) {
     std::unordered_map<uint64_t, double> fresh =
         estimator_.EstimateSubplans(query, miss_masks);
+    // Table bits per alias, resolved once per batch: the per-entry loop
+    // below must stay free of registry locks and allocations (a batch can
+    // carry ~10k masks).
+    std::vector<uint64_t> alias_bits(query.NumTables());
+    for (size_t i = 0; i < query.NumTables(); ++i) {
+      alias_bits[i] = epochs_.BitsFor(query.BaseTables(uint64_t{1} << i));
+    }
     uint64_t produced = 0;
     for (size_t i = 0; i < miss_masks.size(); ++i) {
       auto it = fresh.find(miss_masks[i]);
       if (it == fresh.end()) continue;  // estimator skipped the mask
       out.emplace(miss_masks[i], it->second);
-      cache_.Insert(miss_fps[i], it->second);
+      uint64_t table_bits = 0;
+      uint64_t m = miss_masks[i];
+      while (m != 0) {
+        table_bits |= alias_bits[static_cast<size_t>(std::countr_zero(m))];
+        m &= m - 1;
+      }
+      cache_.Insert(miss_fps[i], it->second, table_bits, epoch);
       ++produced;
     }
     subplans_estimated_.fetch_add(produced, std::memory_order_relaxed);
@@ -171,6 +217,8 @@ ServiceStats EstimatorService::Stats() const {
   stats.subplans_estimated =
       subplans_estimated_.load(std::memory_order_relaxed);
   stats.errors = errors_.load(std::memory_order_relaxed);
+  stats.updates_notified = updates_notified_.load(std::memory_order_relaxed);
+  stats.epoch = epochs_.Epoch();
   stats.cache = cache_.Stats();
   latency_.Snapshot(&stats);
   return stats;

@@ -20,12 +20,22 @@
 // The wrapped estimator is taken by const reference: estimation is const on
 // CardinalityEstimator precisely so one trained model can be shared by the
 // whole pool without locking.
+//
+// Data updates (versioned statistics): cache entries are tagged with the
+// statistics epoch they were computed under and the set of base tables
+// their sub-plan touches. After updating the estimator (ApplyInsert /
+// ApplyDelete), call NotifyUpdate(table) — it bumps the epoch and lazily
+// invalidates exactly the entries touching that table, preserving the hit
+// rate of everything else. The full protocol and its consistency guarantees
+// are documented in docs/ARCHITECTURE.md.
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -34,6 +44,7 @@
 #include "service/mpmc_queue.h"
 #include "service/service_stats.h"
 #include "service/sharded_cache.h"
+#include "service/table_epochs.h"
 #include "stats/cardinality_estimator.h"
 #include "util/timer.h"
 
@@ -55,7 +66,7 @@ struct EstimatorServiceOptions {
 class EstimatorService {
  public:
   /// `estimator` must outlive the service and be fully trained; the service
-  /// never mutates it.
+  /// never mutates it. Starts the worker pool immediately.
   explicit EstimatorService(const CardinalityEstimator& estimator,
                             EstimatorServiceOptions options = {});
 
@@ -66,7 +77,8 @@ class EstimatorService {
   EstimatorService& operator=(const EstimatorService&) = delete;
 
   /// Enqueues a single-query estimate; the future resolves when a worker has
-  /// served it (from cache or the estimator).
+  /// served it (from cache or the estimator). Thread-safe; blocks while the
+  /// queue is full; throws std::runtime_error after Shutdown().
   std::future<double> EstimateAsync(Query query);
 
   /// Blocking convenience wrapper around EstimateAsync. Must not be called
@@ -77,6 +89,7 @@ class EstimatorService {
   /// use Query::tables() bit order, as in EnumerateConnectedSubsets). Cached
   /// sub-plans are reused; the misses go to the estimator in one
   /// EstimateSubplans call so progressive sharing (FactorJoin) is preserved.
+  /// Thread-safe; same blocking/shutdown behavior as EstimateAsync.
   std::future<std::unordered_map<uint64_t, double>> EstimateSubplansAsync(
       Query query, std::vector<uint64_t> masks);
 
@@ -84,10 +97,41 @@ class EstimatorService {
   std::unordered_map<uint64_t, double> EstimateSubplans(
       const Query& query, const std::vector<uint64_t>& masks);
 
+  /// Blocks until every request accepted so far has been served (queued and
+  /// in-flight alike). The quiesce primitive of the update protocol: stop
+  /// submitting, Drain(), then mutate the estimator — the estimator's
+  /// ApplyInsert/ApplyDelete require that no estimate runs concurrently,
+  /// and workers touch the estimator only while serving. Thread-safe; does
+  /// not reject or pause new submissions itself (that is the caller's side
+  /// of the contract), and must not be called from a worker thread.
+  void Drain();
+
+  /// Records a data update to `table_name` and returns the new statistics
+  /// epoch. Call AFTER the estimator's ApplyInsert/ApplyDelete completed
+  /// (with estimates quiesced around the mutation — see Drain()): cached
+  /// entries touching the table are then lazily invalidated on their next
+  /// lookup, while entries for disjoint sub-plans keep hitting — no global
+  /// clear, no stop-the-world. Thread-safe; estimates served after
+  /// NotifyUpdate returns are computed from the updated statistics (or from
+  /// cache entries inserted after the update). See docs/ARCHITECTURE.md.
+  uint64_t NotifyUpdate(const std::string& table_name);
+
+  /// Current statistics epoch (number of NotifyUpdate calls so far).
+  /// Thread-safe.
+  uint64_t Epoch() const { return epochs_.Epoch(); }
+
+  /// Stop-the-world fallback: drops every cached estimate regardless of the
+  /// tables it touches. Prefer NotifyUpdate — kept for measuring what
+  /// targeted invalidation buys (bench/service_updates.cpp) and for
+  /// estimator swaps the epoch protocol cannot express. Thread-safe.
+  void InvalidateAll();
+
   /// Rejects new requests, drains accepted ones, joins workers. Idempotent;
   /// also run by the destructor.
   void Shutdown();
 
+  /// Point-in-time metrics snapshot (request counts, cache hit/invalidation
+  /// counters, latency percentiles, current epoch). Thread-safe.
   ServiceStats Stats() const;
 
   const CardinalityEstimator& estimator() const { return estimator_; }
@@ -111,14 +155,22 @@ class EstimatorService {
 
   const CardinalityEstimator& estimator_;
   const EstimatorServiceOptions options_;
+  TableEpochRegistry epochs_;  // must outlive cache_ (cache_ reads it)
   ShardedEstimateCache cache_;
   MpmcQueue<std::unique_ptr<Request>> queue_;
   std::vector<std::thread> workers_;
+
+  // Requests accepted but not yet served (queued + in-flight); Drain()
+  // waits for it to reach zero.
+  std::atomic<uint64_t> pending_{0};
+  std::mutex drain_mu_;
+  std::condition_variable drained_;
 
   LatencyRecorder latency_;
   std::atomic<uint64_t> requests_{0};
   std::atomic<uint64_t> subplan_requests_{0};
   std::atomic<uint64_t> subplans_estimated_{0};
+  std::atomic<uint64_t> updates_notified_{0};
   std::atomic<uint64_t> errors_{0};
 };
 

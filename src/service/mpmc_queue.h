@@ -22,7 +22,8 @@ class MpmcQueue {
   MpmcQueue& operator=(const MpmcQueue&) = delete;
 
   /// Blocks while the queue is full. Returns false (dropping `item`) if the
-  /// queue was closed before space became available.
+  /// queue was closed before space became available. Thread-safe: any number
+  /// of producers may push concurrently with consumers and Close().
   bool Push(T item) {
     std::unique_lock<std::mutex> lock(mu_);
     not_full_.wait(lock,
@@ -35,7 +36,8 @@ class MpmcQueue {
   }
 
   /// Blocks while the queue is empty. Returns nullopt once the queue is
-  /// closed AND drained, so consumers finish all accepted work before exiting.
+  /// closed AND drained, so consumers finish all accepted work before
+  /// exiting. Thread-safe for any number of concurrent consumers.
   std::optional<T> Pop() {
     std::unique_lock<std::mutex> lock(mu_);
     not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
@@ -48,7 +50,7 @@ class MpmcQueue {
   }
 
   /// After Close(), Push rejects new items and Pop drains the backlog then
-  /// returns nullopt. Idempotent.
+  /// returns nullopt. Idempotent and thread-safe.
   void Close() {
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -58,11 +60,14 @@ class MpmcQueue {
     not_full_.notify_all();
   }
 
+  /// Current backlog length. Thread-safe; a snapshot that may be stale by
+  /// the time the caller acts on it.
   size_t Size() const {
     std::lock_guard<std::mutex> lock(mu_);
     return items_.size();
   }
 
+  /// True once Close() was called. Thread-safe.
   bool Closed() const {
     std::lock_guard<std::mutex> lock(mu_);
     return closed_;

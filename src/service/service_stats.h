@@ -21,6 +21,12 @@ struct ServiceStats {
   uint64_t subplans_estimated = 0;
   /// Requests whose promise was fulfilled with an exception.
   uint64_t errors = 0;
+  /// NotifyUpdate calls received (data-update notifications).
+  uint64_t updates_notified = 0;
+  /// Statistics epoch at snapshot time (== updates_notified unless callers
+  /// raced the snapshot). Cache entries older than a touched table's epoch
+  /// are lazily invalidated; see CacheStats::invalidations.
+  uint64_t epoch = 0;
 
   CacheStats cache;
 
@@ -39,6 +45,8 @@ class LatencyRecorder {
  public:
   static constexpr size_t kWindow = 4096;
 
+  /// Appends one end-to-end latency sample. Thread-safe (one short-lived
+  /// mutex); called by every worker after fulfilling a request.
   void Record(double micros) {
     std::lock_guard<std::mutex> lock(mu_);
     if (samples_.size() < kWindow) {
@@ -50,7 +58,8 @@ class LatencyRecorder {
     max_ = std::max(max_, micros);
   }
 
-  /// Fills the latency fields of `stats`.
+  /// Fills the latency fields of `stats`. Thread-safe; copies the window
+  /// under the lock and sorts outside it.
   void Snapshot(ServiceStats* stats) const {
     std::vector<double> sorted;
     double max_value;

@@ -4,8 +4,9 @@
 
 namespace fj {
 
-ShardedEstimateCache::ShardedEstimateCache(size_t capacity,
-                                           size_t num_shards) {
+ShardedEstimateCache::ShardedEstimateCache(size_t capacity, size_t num_shards,
+                                           const TableEpochRegistry* epochs)
+    : epochs_(epochs) {
   size_t shards = std::bit_ceil(num_shards == 0 ? size_t{1} : num_shards);
   shard_mask_ = shards - 1;
   per_shard_capacity_ = (capacity + shards - 1) / shards;
@@ -24,17 +25,28 @@ std::optional<double> ShardedEstimateCache::Lookup(const QueryFingerprint& key) 
     ++shard.misses;
     return std::nullopt;
   }
+  const CachedEstimate& entry = it->second->second;
+  if (epochs_ != nullptr &&
+      epochs_->IsStale(entry.table_bits, entry.epoch)) {
+    // Lazy invalidation: the entry predates an update to a table it touches.
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+    ++shard.invalidations;
+    ++shard.misses;
+    return std::nullopt;
+  }
   ++shard.hits;
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-  return it->second->second;
+  return entry.value;
 }
 
-void ShardedEstimateCache::Insert(const QueryFingerprint& key, double value) {
+void ShardedEstimateCache::Insert(const QueryFingerprint& key, double value,
+                                  uint64_t table_bits, uint64_t epoch) {
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.index.find(key);
   if (it != shard.index.end()) {
-    it->second->second = value;
+    it->second->second = CachedEstimate{value, epoch, table_bits};
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return;
   }
@@ -43,7 +55,7 @@ void ShardedEstimateCache::Insert(const QueryFingerprint& key, double value) {
     shard.lru.pop_back();
     ++shard.evictions;
   }
-  shard.lru.emplace_front(key, value);
+  shard.lru.emplace_front(key, CachedEstimate{value, epoch, table_bits});
   shard.index.emplace(key, shard.lru.begin());
 }
 
@@ -62,6 +74,7 @@ CacheStats ShardedEstimateCache::Stats() const {
     stats.hits += shard->hits;
     stats.misses += shard->misses;
     stats.evictions += shard->evictions;
+    stats.invalidations += shard->invalidations;
     stats.entries += shard->lru.size();
   }
   return stats;

@@ -1,5 +1,7 @@
 #include "stats/cardinality_estimator.h"
 
+#include <stdexcept>
+
 namespace fj {
 
 std::unordered_map<uint64_t, double> CardinalityEstimator::EstimateSubplans(
@@ -10,6 +12,20 @@ std::unordered_map<uint64_t, double> CardinalityEstimator::EstimateSubplans(
     out[mask] = Estimate(query.InducedSubquery(mask));
   }
   return out;
+}
+
+double CardinalityEstimator::ApplyInsert(const std::string& table_name,
+                                         size_t /*first_new_row*/) {
+  throw std::logic_error(Name() +
+                         " does not support incremental inserts (table " +
+                         table_name + "); retrain instead");
+}
+
+double CardinalityEstimator::ApplyDelete(const std::string& table_name,
+                                         size_t /*first_deleted_row*/) {
+  throw std::logic_error(Name() +
+                         " does not support incremental deletes (table " +
+                         table_name + "); retrain instead");
 }
 
 }  // namespace fj

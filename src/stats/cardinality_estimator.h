@@ -1,7 +1,21 @@
 // Interface every join-cardinality estimation method implements (FactorJoin
 // and all baselines), so the optimizer harness can inject any of them.
+//
+// The interface has two halves with different concurrency contracts:
+//
+//  - Estimation (`Estimate`, `EstimateSubplans`) is const: a trained
+//    estimator is an immutable model, safe to share across threads (the
+//    EstimatorService serves one instance from a whole worker pool).
+//  - Updates (`ApplyInsert`, `ApplyDelete`) are mutating and require
+//    exclusive access: no estimate may run concurrently with an update.
+//    Every successful update bumps the estimator's statistics epoch
+//    (`StatsVersion`) — the estimator-side changelog counter. Note that
+//    serving-layer cache invalidation is NOT driven by this counter: an
+//    EstimatorService tracks its own per-table epochs and must be told
+//    about updates explicitly via NotifyUpdate(table).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <unordered_map>
@@ -13,7 +27,17 @@ namespace fj {
 
 class CardinalityEstimator {
  public:
+  CardinalityEstimator() = default;
   virtual ~CardinalityEstimator() = default;
+
+  // Copies and moves carry the statistics epoch along (std::atomic members
+  // would otherwise delete the implicit operations of every subclass).
+  CardinalityEstimator(const CardinalityEstimator& o)
+      : stats_version_(o.StatsVersion()) {}
+  CardinalityEstimator& operator=(const CardinalityEstimator& o) {
+    stats_version_.store(o.StatsVersion(), std::memory_order_release);
+    return *this;
+  }
 
   virtual std::string Name() const = 0;
 
@@ -38,6 +62,58 @@ class CardinalityEstimator {
 
   /// Offline construction time (Figure 6 "training time").
   virtual double TrainSeconds() const { return 0.0; }
+
+  // ------------------------------------------------------------- updates
+  //
+  // Data-update protocol (paper Section 4.3 / Table 5, extended to deletes):
+  //
+  //   inserts:  append rows to the table, then call
+  //             ApplyInsert(table, first_new_row);
+  //   deletes:  Table::Truncate(first_deleted_row), then call
+  //             ApplyDelete(table, first_deleted_row).
+  //
+  // Both calls require exclusive access to the estimator (quiesce in-flight
+  // estimates first) and bump StatsVersion() exactly once on success. When
+  // serving through an EstimatorService, follow the estimator update with
+  // EstimatorService::NotifyUpdate(table) so cached estimates touching the
+  // table are invalidated (see docs/ARCHITECTURE.md for the full protocol).
+
+  /// True when ApplyInsert/ApplyDelete are implemented. Methods whose model
+  /// fundamentally requires retraining (learned denormalized models such as
+  /// MSCN) return false and throw from the update entry points.
+  virtual bool SupportsUpdates() const { return false; }
+
+  /// Folds rows [first_new_row, num_rows()) of `table_name` — already
+  /// appended to the underlying table — into the statistics. Returns the
+  /// update wall time in seconds. Requires exclusive access (no concurrent
+  /// estimates). Default: throws std::logic_error.
+  virtual double ApplyInsert(const std::string& table_name,
+                             size_t first_new_row);
+
+  /// Folds a tail deletion into the statistics: the underlying table has
+  /// already been truncated to `first_deleted_row` rows (Table::Truncate).
+  /// Returns the update wall time in seconds. Requires exclusive access (no
+  /// concurrent estimates). Default: throws std::logic_error.
+  virtual double ApplyDelete(const std::string& table_name,
+                             size_t first_deleted_row);
+
+  /// Monotonically increasing statistics epoch: 0 after training, bumped by
+  /// every successful ApplyInsert/ApplyDelete. Thread-safe (atomic read).
+  /// This is the estimator's own changelog (for tests, monitoring, and
+  /// callers correlating model versions); it does NOT substitute for
+  /// EstimatorService::NotifyUpdate, which drives cache invalidation.
+  uint64_t StatsVersion() const {
+    return stats_version_.load(std::memory_order_acquire);
+  }
+
+ protected:
+  /// Called by implementations at the end of every successful update.
+  void BumpStatsVersion() {
+    stats_version_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+ private:
+  std::atomic<uint64_t> stats_version_{0};
 };
 
 }  // namespace fj

@@ -39,6 +39,13 @@ void Column::AppendNull() {
   cached_distinct_ = -1;
 }
 
+void Column::Truncate(size_t new_size) {
+  if (new_size >= ints_.size()) return;
+  ints_.resize(new_size);
+  if (type_ == ColumnType::kDouble) doubles_.resize(new_size);
+  cached_distinct_ = -1;
+}
+
 int64_t Column::DistinctCount() const {
   if (cached_distinct_ >= 0) return cached_distinct_;
   std::unordered_set<int64_t> seen;

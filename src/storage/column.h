@@ -38,6 +38,11 @@ class Column {
   void AppendString(std::string_view s);
   void AppendNull();
 
+  /// Tail deletion: drops rows [new_size, size()). No-op when new_size >=
+  /// size(). String-pool entries that become unreferenced are retained (ids
+  /// stay stable); the cached distinct count is invalidated.
+  void Truncate(size_t new_size);
+
   /// Integer code of row r (dictionary id for strings, fixed-point for
   /// doubles, kNullInt64 for null).
   int64_t IntAt(size_t r) const { return ints_[r]; }

@@ -28,6 +28,10 @@ Column* Table::MutableCol(const std::string& column_name) {
   return columns_[it->second].get();
 }
 
+void Table::Truncate(size_t new_num_rows) {
+  for (auto& c : columns_) c->Truncate(new_num_rows);
+}
+
 size_t Table::MemoryBytes() const {
   size_t bytes = 0;
   for (const auto& c : columns_) bytes += c->MemoryBytes();

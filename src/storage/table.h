@@ -28,6 +28,12 @@ class Table {
     return index_.count(column_name) > 0;
   }
 
+  /// Tail deletion: truncates every column to `new_num_rows` rows, dropping
+  /// rows [new_num_rows, num_rows()). No-op when new_num_rows >= num_rows().
+  /// The estimator update protocol (CardinalityEstimator::ApplyDelete) is
+  /// defined over exactly this operation.
+  void Truncate(size_t new_num_rows);
+
   size_t num_rows() const {
     return columns_.empty() ? 0 : columns_.front()->size();
   }

@@ -219,6 +219,25 @@ TEST(SubplanTest, WideQueriesReturnNoSubplansInsteadOfGarbage) {
   EXPECT_TRUE(EnumerateConnectedSubsets(q, 2).empty());
 }
 
+TEST(QueryTest, BaseTablesDeduplicatesAndRespectsMask) {
+  Query q = ChainQuery();
+  auto all = q.BaseTables();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0], "ta");
+  EXPECT_EQ(all[1], "tb");
+  EXPECT_EQ(all[2], "tc");
+  auto prefix = q.BaseTables(0b011);
+  ASSERT_EQ(prefix.size(), 2u);
+  EXPECT_EQ(prefix[0], "ta");
+  EXPECT_EQ(prefix[1], "tb");
+
+  // Self join: the shared base table appears once.
+  Query self;
+  self.AddTable("ta", "a1").AddTable("ta", "a2");
+  self.AddJoin("a1", "id", "a2", "id");
+  EXPECT_EQ(self.BaseTables().size(), 1u);
+}
+
 TEST(QueryTest, ToStringContainsPieces) {
   Query q = ChainQuery();
   q.SetFilter("a", Predicate::Cmp("x", CmpOp::kGt, Literal::Int(0)));

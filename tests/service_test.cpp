@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <future>
 #include <thread>
 #include <vector>
@@ -14,6 +15,7 @@
 #include "service/estimator_service.h"
 #include "service/mpmc_queue.h"
 #include "service/sharded_cache.h"
+#include "service/table_epochs.h"
 #include "storage/database.h"
 
 namespace fj {
@@ -325,6 +327,196 @@ TEST(ServiceTest, StatsTrackLatencyAndHitRate) {
   EXPECT_GT(stats.p50_micros, 0.0);
   EXPECT_GE(stats.p99_micros, stats.p50_micros);
   EXPECT_GE(stats.max_micros, stats.p99_micros);
+}
+
+// ---------------------------------------------------------------------------
+// Versioned statistics: epoch registry, tagged cache entries, and the
+// ApplyInsert -> NotifyUpdate protocol.
+
+// Appends `count` drastically skewed orders rows; returns the first new row.
+size_t AppendSkewedOrders(Database* db, int count) {
+  Table* orders = db->MutableTable("orders");
+  size_t first = orders->num_rows();
+  for (int i = 0; i < count; ++i) {
+    orders->MutableCol("user_id")->AppendInt(1);
+    orders->MutableCol("item_id")->AppendInt(3);
+    orders->MutableCol("amount")->AppendInt(7);
+  }
+  return first;
+}
+
+TEST(TableEpochRegistryTest, PerTableEpochsDriveStaleness) {
+  TableEpochRegistry reg;
+  EXPECT_EQ(reg.Epoch(), 0u);
+  uint64_t users = reg.BitsFor({"users"});
+  uint64_t orders = reg.BitsFor({"orders"});
+  uint64_t both = reg.BitsFor({"users", "orders"});
+  EXPECT_EQ(both, users | orders);
+  EXPECT_NE(users, orders);
+  EXPECT_EQ(reg.NumRegisteredTables(), 2u);
+
+  // An entry tagged with epoch 0 goes stale only when a touched table moves.
+  EXPECT_FALSE(reg.IsStale(users, 0));
+  EXPECT_EQ(reg.NotifyUpdate("orders"), 1u);
+  EXPECT_FALSE(reg.IsStale(users, 0));
+  EXPECT_TRUE(reg.IsStale(orders, 0));
+  EXPECT_TRUE(reg.IsStale(both, 0));
+  // Entries created at the current epoch are fresh again.
+  EXPECT_FALSE(reg.IsStale(orders, reg.Epoch()));
+}
+
+TEST(ShardedCacheTest, StaleEntriesAreLazilyInvalidated) {
+  TableEpochRegistry reg;
+  ShardedEstimateCache cache(64, 4, &reg);
+  Query qa;
+  qa.AddTable("users");
+  Query qb;
+  qb.AddTable("items");
+  cache.Insert(qa.Fingerprint(), 1.0, reg.BitsFor({"users"}), reg.Epoch());
+  cache.Insert(qb.Fingerprint(), 2.0, reg.BitsFor({"items"}), reg.Epoch());
+
+  reg.NotifyUpdate("users");
+  EXPECT_FALSE(cache.Lookup(qa.Fingerprint()).has_value());
+  EXPECT_EQ(cache.Lookup(qb.Fingerprint()).value(), 2.0);
+  CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.invalidations, 1u);
+  EXPECT_EQ(stats.entries, 1u);  // the stale entry was erased
+
+  // Re-inserting at the current epoch serves again.
+  cache.Insert(qa.Fingerprint(), 3.0, reg.BitsFor({"users"}), reg.Epoch());
+  EXPECT_EQ(cache.Lookup(qa.Fingerprint()).value(), 3.0);
+}
+
+// The acceptance-criteria test: after ApplyInsert + NotifyUpdate, a served
+// estimate is bit-identical to the estimator's fresh result — no stale hit.
+TEST(ServiceTest, EstimateAfterInsertAndNotifyIsFresh) {
+  Database db = MakeDb();
+  FactorJoinEstimator estimator = MakeEstimator(db);
+  EstimatorService service(estimator, {.num_threads = 2});
+  Query q = ChainQuery(20, 250);
+  double before = service.Estimate(q);
+  EXPECT_EQ(service.Estimate(q), before);  // warm: served from cache
+
+  size_t first = AppendSkewedOrders(&db, 3000);
+  // Update protocol: quiesce (nothing in flight here), update the estimator,
+  // then notify the service.
+  estimator.ApplyInsert("orders", first);
+  service.NotifyUpdate("orders");
+
+  double fresh = estimator.Estimate(q);
+  EXPECT_NE(fresh, before) << "insert was drastic enough to move the bound";
+  EXPECT_EQ(service.Estimate(q), fresh);
+  // And the fresh value is cached again.
+  EXPECT_EQ(service.Estimate(q), fresh);
+}
+
+TEST(ServiceTest, UnrelatedEntriesSurviveInvalidation) {
+  Database db = MakeDb();
+  FactorJoinEstimator estimator = MakeEstimator(db);
+  EstimatorService service(estimator, {.num_threads = 2});
+
+  Query users_q;
+  users_q.AddTable("users", "u");
+  users_q.SetFilter("u", Predicate::Cmp("age", CmpOp::kGt, Literal::Int(40)));
+  Query items_q;
+  items_q.AddTable("items", "i");
+  items_q.SetFilter("i", Predicate::Cmp("price", CmpOp::kLt, Literal::Int(50)));
+  service.Estimate(users_q);
+  service.Estimate(items_q);
+
+  Table* users = db.MutableTable("users");
+  size_t first = users->num_rows();
+  for (int i = 0; i < 200; ++i) {
+    users->MutableCol("id")->AppendInt(static_cast<int64_t>(first + i));
+    users->MutableCol("age")->AppendInt(50);
+  }
+  estimator.ApplyInsert("users", first);
+  service.NotifyUpdate("users");
+
+  // The items entry is untouched by the users update: it must still hit.
+  ServiceStats s1 = service.Stats();
+  EXPECT_EQ(service.Estimate(items_q), estimator.Estimate(items_q));
+  ServiceStats s2 = service.Stats();
+  EXPECT_EQ(s2.cache.hits, s1.cache.hits + 1);
+  EXPECT_EQ(s2.cache.misses, s1.cache.misses);
+  EXPECT_EQ(s2.cache.invalidations, 0u);
+
+  // The users entry is stale: lazily invalidated, then served fresh.
+  EXPECT_EQ(service.Estimate(users_q), estimator.Estimate(users_q));
+  ServiceStats s3 = service.Stats();
+  EXPECT_EQ(s3.cache.misses, s2.cache.misses + 1);
+  EXPECT_EQ(s3.cache.invalidations, 1u);
+}
+
+// Hit-rate retention on the batch path: only sub-plans touching the updated
+// table are invalidated; the rest of the warm batch keeps hitting.
+TEST(ServiceTest, BatchInvalidationIsTargeted) {
+  Database db = MakeDb();
+  FactorJoinEstimator estimator = MakeEstimator(db);
+  EstimatorService service(estimator, {.num_threads = 2});
+  Query q = ChainQuery(20, 250);
+  std::vector<uint64_t> masks = EnumerateConnectedSubsets(q, 1);
+  ASSERT_EQ(masks.size(), 6u);  // {u},{o},{i},{uo},{oi},{uoi}
+  service.EstimateSubplans(q, masks);
+
+  Table* items = db.MutableTable("items");
+  size_t first = items->num_rows();
+  for (int i = 0; i < 300; ++i) {
+    items->MutableCol("id")->AppendInt(static_cast<int64_t>(first + i));
+    items->MutableCol("price")->AppendInt(10);
+  }
+  estimator.ApplyInsert("items", first);
+  service.NotifyUpdate("items");
+
+  auto fresh = estimator.EstimateSubplans(q, masks);
+  ServiceStats before = service.Stats();
+  auto served = service.EstimateSubplans(q, masks);
+  for (uint64_t mask : masks) {
+    EXPECT_EQ(served.at(mask), fresh.at(mask)) << "mask " << mask;
+  }
+  ServiceStats after = service.Stats();
+  // {u}, {o}, {u,o} don't touch items: retained and hit. {i}, {o,i},
+  // {u,o,i} touch items: lazily invalidated and recomputed.
+  EXPECT_EQ(after.cache.hits, before.cache.hits + 3);
+  EXPECT_EQ(after.cache.misses, before.cache.misses + 3);
+  EXPECT_EQ(after.cache.invalidations - before.cache.invalidations, 3u);
+}
+
+TEST(ServiceTest, NotifyUpdateBumpsEpochAndCounters) {
+  Database db = MakeDb();
+  FactorJoinEstimator estimator = MakeEstimator(db);
+  EstimatorService service(estimator, {.num_threads = 1});
+  EXPECT_EQ(service.Epoch(), 0u);
+  EXPECT_EQ(service.NotifyUpdate("orders"), 1u);
+  EXPECT_EQ(service.NotifyUpdate("users"), 2u);
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.epoch, 2u);
+  EXPECT_EQ(stats.updates_notified, 2u);
+}
+
+TEST(ServiceTest, DrainWaitsForAllAcceptedRequests) {
+  Database db = MakeDb();
+  FactorJoinEstimator estimator = MakeEstimator(db);
+  EstimatorService service(estimator, {.num_threads = 2});
+  std::vector<std::future<double>> futures;
+  std::vector<Query> queries = MakeWorkload(16);
+  for (const Query& q : queries) futures.push_back(service.EstimateAsync(q));
+  service.Drain();
+  for (auto& f : futures) {
+    EXPECT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  }
+  service.Drain();  // idle drain returns immediately
+}
+
+TEST(ServiceTest, InvalidateAllDropsEverything) {
+  Database db = MakeDb();
+  FactorJoinEstimator estimator = MakeEstimator(db);
+  EstimatorService service(estimator, {.num_threads = 2});
+  service.Estimate(ChainQuery(20, 250));
+  service.Estimate(ChainQuery(25, 300));
+  EXPECT_EQ(service.Stats().cache.entries, 2u);
+  service.InvalidateAll();
+  EXPECT_EQ(service.Stats().cache.entries, 0u);
 }
 
 TEST(ServiceTest, CacheDisabledStillCorrect) {

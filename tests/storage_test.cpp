@@ -137,6 +137,26 @@ TEST(DatabaseTest, JoinKeyColumnsDeduplicated) {
   EXPECT_EQ(db.JoinKeyColumns().size(), 3u);
 }
 
+TEST(TableTest, TruncateDropsTailRows) {
+  Table t("t");
+  Column* i = t.AddColumn("i", ColumnType::kInt64);
+  Column* d = t.AddColumn("d", ColumnType::kDouble);
+  Column* s = t.AddColumn("s", ColumnType::kString);
+  for (int r = 0; r < 10; ++r) {
+    i->AppendInt(r);
+    d->AppendDouble(r * 0.5);
+    s->AppendString(r % 2 == 0 ? "even" : "odd");
+  }
+  EXPECT_EQ(i->DistinctCount(), 10);
+  t.Truncate(4);
+  EXPECT_EQ(t.num_rows(), 4u);
+  EXPECT_EQ(i->DistinctCount(), 4);  // cache invalidated
+  EXPECT_EQ(d->DoubleAt(3), 1.5);
+  EXPECT_EQ(s->StringAt(1), "odd");  // dictionary ids stay stable
+  t.Truncate(9);  // growing target is a no-op
+  EXPECT_EQ(t.num_rows(), 4u);
+}
+
 TEST(DatabaseTest, MemoryAccounting) {
   Database db;
   Table* a = db.AddTable("a");

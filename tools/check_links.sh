@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Docs link check: fails on dead *relative* links in README.md and docs/*.md.
+# External (http/https/mailto) and pure-anchor links are skipped; anchors on
+# relative links are stripped before the existence check. Run from anywhere:
+#
+#   $ tools/check_links.sh
+#
+# Registered as the ctest test `docs_link_check` and run by CI.
+set -u
+cd "$(dirname "$0")/.."
+
+status=0
+checked=0
+for f in README.md docs/*.md; do
+  [ -e "$f" ] || continue
+  dir=$(dirname "$f")
+  targets=$(grep -oE '\]\([^)]+\)' "$f" | sed -E 's/^\]\(//; s/\)$//' || true)
+  while IFS= read -r target; do
+    [ -z "$target" ] && continue
+    case "$target" in
+      http://* | https://* | mailto:* | '#'*) continue ;;
+    esac
+    path="${target%%#*}"
+    [ -z "$path" ] && continue
+    checked=$((checked + 1))
+    if [ ! -e "$dir/$path" ]; then
+      echo "DEAD LINK: $f -> $target"
+      status=1
+    fi
+  done <<EOF
+$targets
+EOF
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "link check passed ($checked relative links)"
+else
+  echo "link check FAILED"
+fi
+exit $status
