@@ -1,0 +1,200 @@
+// Remote estimation overhead: in-process EstimatorService throughput vs the
+// same service behind EstimatorServer/EstimatorClient over a loopback TCP
+// socket and a Unix-domain socket.
+//
+// Each request is one batched EstimateSubplans over every connected
+// sub-plan of a STATS-CEB query, against a warm cache — the serving hot
+// path, where protocol + socket overhead is the largest *relative* cost.
+// All three modes use the same pipelined driver (a window of async
+// requests in flight, harvested in submission order), so the comparison
+// isolates the wire, not the submission style. The remote path must
+// sustain >= 50% of in-process throughput (acceptance criterion; numbers
+// recorded in docs/BENCHMARKS.md).
+//
+// Environment knobs: FJ_BENCH_SCALE, FJ_BENCH_QUERIES (bench_util.h),
+// FJ_BENCH_REQUESTS (default 2000), FJ_NET_WINDOW (outstanding requests,
+// default 32).
+//
+//   $ ./bench_net_throughput
+#include <algorithm>
+#include <cstdio>
+#include <deque>
+#include <functional>
+#include <future>
+#include <vector>
+
+#include "bench_util.h"
+#include "factorjoin/estimator.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "service/estimator_service.h"
+
+namespace fj::bench {
+namespace {
+
+size_t EnvSize(const char* name, size_t fallback) {
+  const char* s = std::getenv(name);
+  return s != nullptr ? static_cast<size_t>(std::atoll(s)) : fallback;
+}
+
+struct RunResult {
+  double qps = 0.0;
+  double subplans_per_sec = 0.0;
+  double p50_micros = 0.0;
+  double p99_micros = 0.0;
+};
+
+using SubmitFn = std::function<std::future<std::unordered_map<uint64_t, double>>(
+    const Query&, const std::vector<uint64_t>&)>;
+
+/// Drives `requests` pipelined batches with `window` outstanding and
+/// returns client-observed throughput and latency percentiles.
+RunResult RunPipelined(const std::vector<Query>& queries,
+                       const std::vector<std::vector<uint64_t>>& masks,
+                       size_t requests, size_t window,
+                       const SubmitFn& submit) {
+  struct InFlight {
+    std::future<std::unordered_map<uint64_t, double>> future;
+    WallTimer submitted;
+  };
+  std::deque<InFlight> in_flight;
+  std::vector<double> latencies;
+  latencies.reserve(requests);
+  size_t total_subplans = 0;
+
+  WallTimer timer;
+  for (size_t r = 0; r < requests; ++r) {
+    size_t i = r % queries.size();
+    total_subplans += masks[i].size();
+    in_flight.push_back({submit(queries[i], masks[i]), WallTimer()});
+    if (in_flight.size() >= window) {
+      in_flight.front().future.get();
+      latencies.push_back(in_flight.front().submitted.Micros());
+      in_flight.pop_front();
+    }
+  }
+  while (!in_flight.empty()) {
+    in_flight.front().future.get();
+    latencies.push_back(in_flight.front().submitted.Micros());
+    in_flight.pop_front();
+  }
+  double seconds = timer.Seconds();
+
+  std::sort(latencies.begin(), latencies.end());
+  auto percentile = [&](double p) {
+    if (latencies.empty()) return 0.0;
+    size_t idx =
+        static_cast<size_t>(p * static_cast<double>(latencies.size() - 1));
+    return latencies[idx];
+  };
+  RunResult result;
+  result.qps = static_cast<double>(requests) / seconds;
+  result.subplans_per_sec = static_cast<double>(total_subplans) / seconds;
+  result.p50_micros = percentile(0.50);
+  result.p99_micros = percentile(0.99);
+  return result;
+}
+
+std::string Fmt(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+}  // namespace
+}  // namespace fj::bench
+
+int main() {
+  using namespace fj;
+  using namespace fj::bench;
+
+  auto workload = StatsWorkload(EnvQueries(16));
+  FactorJoinConfig config;
+  FactorJoinEstimator estimator(workload->db, config);
+  std::printf("trained factorjoin in %.1f ms on %s (%zu queries)\n",
+              estimator.TrainSeconds() * 1e3, workload->name.c_str(),
+              workload->queries.size());
+
+  std::vector<std::vector<uint64_t>> masks;
+  size_t total = 0;
+  for (const Query& q : workload->queries) {
+    masks.push_back(EnumerateConnectedSubsets(q, 1));
+    total += masks.back().size();
+  }
+  size_t requests = EnvSize("FJ_BENCH_REQUESTS", 2000);
+  size_t window = EnvSize("FJ_NET_WINDOW", 32);
+  std::printf("%zu sub-plans/workload pass, %zu requests, window %zu\n\n",
+              total, requests, window);
+
+  EstimatorServiceOptions service_options;
+  service_options.num_threads = 4;
+  service_options.cache_capacity = 1 << 18;
+  EstimatorService service(estimator, service_options);
+  // Warm: the measured regime is the cached hot path in all three modes.
+  for (size_t i = 0; i < workload->queries.size(); ++i) {
+    service.EstimateSubplans(workload->queries[i], masks[i]);
+  }
+
+  TablePrinter tp({"Mode", "Req/s", "Sub-plans/s", "p50 (us)", "p99 (us)",
+                   "vs in-process"});
+  double inproc_qps = 0.0;
+
+  {
+    RunResult r = RunPipelined(
+        workload->queries, masks, requests, window,
+        [&](const Query& q, const std::vector<uint64_t>& m) {
+          return service.EstimateSubplansAsync(q, m);
+        });
+    inproc_qps = r.qps;
+    tp.AddRow({"in-process", Fmt(r.qps, 0), Fmt(r.subplans_per_sec, 0),
+               Fmt(r.p50_micros, 1), Fmt(r.p99_micros, 1), "-"});
+  }
+
+  double tcp_ratio = 0.0;
+  double unix_ratio = 0.0;
+  {
+    net::EstimatorServerOptions server_options;
+    server_options.endpoint.port = 0;  // ephemeral
+    net::EstimatorServer server(service, server_options);
+    server.Start();
+    net::EstimatorClientOptions client_options;
+    client_options.endpoint = server.endpoint();
+    net::EstimatorClient client(client_options);
+    client.Connect();
+    RunResult r = RunPipelined(
+        workload->queries, masks, requests, window,
+        [&](const Query& q, const std::vector<uint64_t>& m) {
+          return client.EstimateSubplansAsync(q, m);
+        });
+    tcp_ratio = r.qps / inproc_qps;
+    tp.AddRow({"loopback tcp", Fmt(r.qps, 0), Fmt(r.subplans_per_sec, 0),
+               Fmt(r.p50_micros, 1), Fmt(r.p99_micros, 1),
+               TablePrinter::FormatPercent(tcp_ratio)});
+  }
+  {
+    net::EstimatorServerOptions server_options;
+    server_options.endpoint.unix_path = "/tmp/fj_bench_net.sock";
+    net::EstimatorServer server(service, server_options);
+    server.Start();
+    net::EstimatorClientOptions client_options;
+    client_options.endpoint = server.endpoint();
+    net::EstimatorClient client(client_options);
+    client.Connect();
+    RunResult r = RunPipelined(
+        workload->queries, masks, requests, window,
+        [&](const Query& q, const std::vector<uint64_t>& m) {
+          return client.EstimateSubplansAsync(q, m);
+        });
+    unix_ratio = r.qps / inproc_qps;
+    tp.AddRow({"unix socket", Fmt(r.qps, 0), Fmt(r.subplans_per_sec, 0),
+               Fmt(r.p50_micros, 1), Fmt(r.p99_micros, 1),
+               TablePrinter::FormatPercent(unix_ratio)});
+  }
+  tp.Print();
+
+  double best = std::max(tcp_ratio, unix_ratio);
+  std::printf("\nbest remote mode sustains %.0f%% of in-process throughput "
+              "(acceptance: >= 50%%): %s\n",
+              best * 100.0, best >= 0.5 ? "PASS" : "FAIL");
+  return best >= 0.5 ? 0 : 1;
+}

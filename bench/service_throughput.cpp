@@ -11,6 +11,9 @@
 // FJ_BENCH_REQUESTS (total requests per measured point, default 512).
 //
 //   $ ./bench_service_throughput
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <thread>
 #include <vector>
@@ -29,6 +32,9 @@ struct LoadPoint {
   double p50_micros = 0.0;
   double p99_micros = 0.0;
   double hit_rate = 0.0;
+  /// Peak of the pending-requests gauge (queued + in-flight) sampled
+  /// during the run — how deep the service's backlog actually got.
+  uint64_t max_pending = 0;
 };
 
 size_t EnvRequests(size_t fallback = 512) {
@@ -51,6 +57,7 @@ LoadPoint RunLoad(EstimatorService& service, const std::vector<Query>& queries,
   if (per_client == 0) per_client = 1;
   ServiceStats before = service.Stats();
   WallTimer timer;
+  std::atomic<size_t> finished{0};
   std::vector<std::thread> threads;
   threads.reserve(clients);
   for (size_t c = 0; c < clients; ++c) {
@@ -59,7 +66,14 @@ LoadPoint RunLoad(EstimatorService& service, const std::vector<Query>& queries,
         size_t i = (c + r) % queries.size();
         service.EstimateSubplans(queries[i], masks[i]);
       }
+      finished.fetch_add(1);
     });
+  }
+  // Sample the backlog gauge while the clients run.
+  uint64_t max_pending = 0;
+  while (finished.load() < clients) {
+    max_pending = std::max(max_pending, service.Stats().pending_requests);
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
   }
   for (auto& t : threads) t.join();
   double seconds = timer.Seconds();
@@ -77,6 +91,7 @@ LoadPoint RunLoad(EstimatorService& service, const std::vector<Query>& queries,
                        ? 0.0
                        : static_cast<double>(hits) /
                              static_cast<double>(hits + misses);
+  point.max_pending = max_pending;
   return point;
 }
 
@@ -108,7 +123,7 @@ int main() {
 
   size_t requests = EnvRequests();
   TablePrinter tp({"Workers", "Clients", "QPS", "p50 (us)", "p99 (us)",
-                   "Hit rate"});
+                   "Hit rate", "Peak pending"});
   double qps_1worker = 0.0;
   double qps_8worker = 0.0;
   for (size_t workers : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
@@ -130,7 +145,8 @@ int main() {
                  Fmt(p.qps, 0),
                  Fmt(p.p50_micros, 1),
                  Fmt(p.p99_micros, 1),
-                 TablePrinter::FormatPercent(p.hit_rate)});
+                 TablePrinter::FormatPercent(p.hit_rate),
+                 std::to_string(p.max_pending)});
       if (clients == 64 && workers == 1) qps_1worker = p.qps;
       if (clients == 64 && workers == 8) qps_8worker = p.qps;
     }

@@ -1,0 +1,282 @@
+#include "net/client.h"
+
+#include <chrono>
+#include <utility>
+
+namespace fj::net {
+
+EstimatorClient::EstimatorClient(EstimatorClientOptions options)
+    : options_(std::move(options)) {}
+
+EstimatorClient::~EstimatorClient() { Disconnect(); }
+
+void EstimatorClient::Connect() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ConnectLocked();
+}
+
+void EstimatorClient::Disconnect() {
+  std::lock_guard<std::mutex> lock(mu_);
+  DisconnectLocked("client disconnected");
+}
+
+void EstimatorClient::ConnectLocked() {
+  if (connected_.load()) return;
+  // A previous connection may have died: reap its receiver and fd first.
+  if (fd_ >= 0) {
+    ShutdownSocket(fd_);
+    if (receiver_.joinable()) receiver_.join();
+    CloseSocket(fd_);
+    fd_ = -1;
+  }
+
+  int attempts = options_.reconnect_attempts < 1 ? 1
+                                                 : options_.reconnect_attempts;
+  int fd = -1;
+  for (int attempt = 1;; ++attempt) {
+    try {
+      fd = ConnectSocket(options_.endpoint);
+      break;
+    } catch (const NetError&) {
+      if (attempt >= attempts) throw;
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(options_.reconnect_backoff_ms));
+    }
+  }
+
+  // Handshake, synchronously, before the receiver takes over the socket.
+  if (!WriteFrame(fd, MsgType::kHello, 0, EncodeHello({}))) {
+    CloseSocket(fd);
+    throw NetError("connection closed during handshake");
+  }
+  std::optional<Frame> ack;
+  try {
+    ack = ReadFrame(fd, options_.max_frame_bytes);
+  } catch (...) {
+    CloseSocket(fd);
+    throw;
+  }
+  if (!ack.has_value()) {
+    CloseSocket(fd);
+    throw NetError("connection closed during handshake");
+  }
+  if (ack->type == MsgType::kError) {
+    std::string message = DecodeError(ack->body);
+    CloseSocket(fd);
+    throw ProtocolError("server rejected handshake: " + message);
+  }
+  if (ack->type != MsgType::kHelloAck) {
+    CloseSocket(fd);
+    throw ProtocolError("expected hello ack");
+  }
+  Hello hello;
+  try {
+    hello = DecodeHello(ack->body);
+  } catch (...) {
+    CloseSocket(fd);
+    throw;
+  }
+  if (hello.version != kProtocolVersion) {
+    CloseSocket(fd);
+    throw ProtocolError("server speaks protocol version " +
+                        std::to_string(hello.version) + ", client speaks " +
+                        std::to_string(kProtocolVersion));
+  }
+
+  fd_ = fd;
+  connected_.store(true);
+  receiver_ = std::thread([this, fd] { ReceiverLoop(fd); });
+}
+
+void EstimatorClient::DisconnectLocked(const char* reason) {
+  if (fd_ >= 0) {
+    ShutdownSocket(fd_);
+    if (receiver_.joinable()) receiver_.join();
+    CloseSocket(fd_);
+    fd_ = -1;
+  }
+  connected_.store(false);
+  FailAllPending(reason);
+}
+
+void EstimatorClient::ReceiverLoop(int fd) {
+  const char* reason = "connection lost";
+  try {
+    while (auto frame = ReadFrame(fd, options_.max_frame_bytes)) {
+      if (frame->request_id == 0) {
+        // Connection-level error: the server is about to drop us.
+        reason = "connection closed by server";
+        break;
+      }
+      PendingPtr pending;
+      {
+        std::lock_guard<std::mutex> lock(pending_mu_);
+        auto it = pending_.find(frame->request_id);
+        if (it != pending_.end()) {
+          pending = std::move(it->second);
+          pending_.erase(it);
+        }
+      }
+      // Responses for ids we no longer track (failed by an earlier
+      // disconnect) are dropped.
+      if (pending != nullptr) Complete(*pending, *frame);
+    }
+  } catch (const ProtocolError&) {
+    reason = "malformed frame from server";
+  }
+  connected_.store(false);
+  FailAllPending(reason);
+}
+
+void EstimatorClient::FailAllPending(const char* reason) {
+  std::unordered_map<uint64_t, PendingPtr> failed;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    failed.swap(pending_);
+  }
+  for (auto& [id, pending] : failed) {
+    auto error = std::make_exception_ptr(NetError(reason));
+    switch (pending->expect) {
+      case MsgType::kEstimateResp:
+        pending->single.set_exception(error);
+        break;
+      case MsgType::kSubplansResp:
+        pending->batch.set_exception(error);
+        break;
+      case MsgType::kNotifyUpdateResp:
+        pending->epoch.set_exception(error);
+        break;
+      case MsgType::kStatsResp:
+        pending->stats.set_exception(error);
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+void EstimatorClient::Complete(Pending& pending, const Frame& frame) {
+  try {
+    if (frame.type == MsgType::kError) {
+      throw RemoteError(DecodeError(frame.body));
+    }
+    if (frame.type != pending.expect) {
+      throw ProtocolError("response type does not match request");
+    }
+    switch (pending.expect) {
+      case MsgType::kEstimateResp:
+        pending.single.set_value(DecodeEstimateResp(frame.body));
+        return;
+      case MsgType::kSubplansResp:
+        pending.batch.set_value(DecodeSubplansResp(frame.body));
+        return;
+      case MsgType::kNotifyUpdateResp:
+        pending.epoch.set_value(DecodeNotifyUpdateResp(frame.body));
+        return;
+      case MsgType::kStatsResp:
+        pending.stats.set_value(DecodeServiceStats(frame.body));
+        return;
+      default:
+        throw ProtocolError("unexpected pending type");
+    }
+  } catch (...) {
+    auto error = std::current_exception();
+    switch (pending.expect) {
+      case MsgType::kEstimateResp:
+        pending.single.set_exception(error);
+        break;
+      case MsgType::kSubplansResp:
+        pending.batch.set_exception(error);
+        break;
+      case MsgType::kNotifyUpdateResp:
+        pending.epoch.set_exception(error);
+        break;
+      case MsgType::kStatsResp:
+        pending.stats.set_exception(error);
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+void EstimatorClient::Send(MsgType type, std::vector<uint8_t> body,
+                           uint64_t id, PendingPtr pending) {
+  bool sent = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Reconnect (if needed) BEFORE registering the op: ConnectLocked joins
+    // a dying receiver, whose FailAllPending sweep must not be able to
+    // swipe this not-yet-sent request. Registration still precedes the
+    // write, so a response racing the send always finds its op. Lock order
+    // mu_ -> pending_mu_; the receiver only ever takes pending_mu_.
+    ConnectLocked();
+    {
+      std::lock_guard<std::mutex> pending_lock(pending_mu_);
+      pending_.emplace(id, std::move(pending));
+    }
+    sent = WriteFrame(fd_, type, id, body);
+  }
+  if (!sent) {
+    // The op may already have been failed by the receiver noticing the
+    // same dead connection; erasing it here keeps exactly one outcome.
+    {
+      std::lock_guard<std::mutex> lock(pending_mu_);
+      pending_.erase(id);
+    }
+    connected_.store(false);  // the next request redials
+    throw NetError("connection lost while sending request");
+  }
+}
+
+std::future<double> EstimatorClient::EstimateAsync(const Query& query) {
+  auto pending = std::make_unique<Pending>();
+  pending->expect = MsgType::kEstimateResp;
+  std::future<double> future = pending->single.get_future();
+  uint64_t id = next_id_.fetch_add(1);
+  Send(MsgType::kEstimateReq, EncodeEstimateReq(query), id,
+       std::move(pending));
+  return future;
+}
+
+double EstimatorClient::Estimate(const Query& query) {
+  return EstimateAsync(query).get();
+}
+
+std::future<std::unordered_map<uint64_t, double>>
+EstimatorClient::EstimateSubplansAsync(const Query& query,
+                                       const std::vector<uint64_t>& masks) {
+  auto pending = std::make_unique<Pending>();
+  pending->expect = MsgType::kSubplansResp;
+  auto future = pending->batch.get_future();
+  uint64_t id = next_id_.fetch_add(1);
+  Send(MsgType::kSubplansReq, EncodeSubplansReq(query, masks), id,
+       std::move(pending));
+  return future;
+}
+
+std::unordered_map<uint64_t, double> EstimatorClient::EstimateSubplans(
+    const Query& query, const std::vector<uint64_t>& masks) {
+  return EstimateSubplansAsync(query, masks).get();
+}
+
+uint64_t EstimatorClient::NotifyUpdate(const std::string& table) {
+  auto pending = std::make_unique<Pending>();
+  pending->expect = MsgType::kNotifyUpdateResp;
+  auto future = pending->epoch.get_future();
+  uint64_t id = next_id_.fetch_add(1);
+  Send(MsgType::kNotifyUpdateReq, EncodeNotifyUpdateReq(table), id,
+       std::move(pending));
+  return future.get();
+}
+
+ServiceStats EstimatorClient::Stats() {
+  auto pending = std::make_unique<Pending>();
+  pending->expect = MsgType::kStatsResp;
+  auto future = pending->stats.get_future();
+  uint64_t id = next_id_.fetch_add(1);
+  Send(MsgType::kStatsReq, {}, id, std::move(pending));
+  return future.get();
+}
+
+}  // namespace fj::net

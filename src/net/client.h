@@ -1,0 +1,131 @@
+// EstimatorClient: the optimizer-process side of remote estimation.
+//
+// Mirrors the EstimatorService API (Estimate, EstimateSubplans,
+// NotifyUpdate, Stats) over one framed socket connection, plus the two
+// things a remote client needs that an in-process service does not:
+//
+//  * Pipelining. EstimateAsync / EstimateSubplansAsync assign a request id,
+//    register a pending promise, and send without waiting; any number of
+//    requests can be outstanding on the one connection, and a background
+//    receiver thread correlates responses (which the server sends in
+//    completion order) back to their futures. One pipelined client can keep
+//    a whole server worker pool busy — the blocking wrappers are just
+//    submit + get.
+//
+//  * Reconnect-on-failure. A lost connection fails every outstanding future
+//    with NetError, and the next request (or an explicit Connect()) dials
+//    again — with options.reconnect_attempts × backoff — and re-runs the
+//    protocol handshake. Requests are never silently retried: a failed
+//    NotifyUpdate must surface, not double-bump the epoch.
+//
+// Thread-safe: any number of threads may issue requests concurrently; sends
+// are serialized on one mutex, receives happen on the receiver thread.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "net/protocol.h"
+#include "net/socket.h"
+
+namespace fj::net {
+
+/// A per-request failure the *server* reported (estimator exception,
+/// service shutdown); the connection itself is still healthy.
+class RemoteError : public std::runtime_error {
+ public:
+  explicit RemoteError(const std::string& what)
+      : std::runtime_error("remote: " + what) {}
+};
+
+struct EstimatorClientOptions {
+  Endpoint endpoint;
+  uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Dial attempts per (re)connect before giving up with NetError.
+  int reconnect_attempts = 3;
+  /// Sleep between dial attempts.
+  int reconnect_backoff_ms = 50;
+};
+
+class EstimatorClient {
+ public:
+  /// Does not dial; the first request (or Connect()) does.
+  explicit EstimatorClient(EstimatorClientOptions options);
+  ~EstimatorClient();
+
+  EstimatorClient(const EstimatorClient&) = delete;
+  EstimatorClient& operator=(const EstimatorClient&) = delete;
+
+  /// Dials and handshakes if not connected. Throws NetError after
+  /// reconnect_attempts failures and ProtocolError on a handshake the
+  /// server rejects. Idempotent while connected.
+  void Connect();
+
+  /// Fails outstanding requests with NetError and closes. Idempotent.
+  void Disconnect();
+
+  bool IsConnected() const { return connected_.load(); }
+
+  /// Pipelined single estimate. The future throws RemoteError (server-side
+  /// failure) or NetError (connection lost before the response).
+  std::future<double> EstimateAsync(const Query& query);
+  double Estimate(const Query& query);
+
+  /// Pipelined batched sub-plan estimates (masks in Query::tables() bit
+  /// order, exactly like EstimatorService::EstimateSubplans).
+  std::future<std::unordered_map<uint64_t, double>> EstimateSubplansAsync(
+      const Query& query, const std::vector<uint64_t>& masks);
+  std::unordered_map<uint64_t, double> EstimateSubplans(
+      const Query& query, const std::vector<uint64_t>& masks);
+
+  /// Remote cache invalidation: bumps the server's statistics epoch for
+  /// `table` and returns the new epoch (the estimator mutation itself is
+  /// server-local; see docs/ARCHITECTURE.md).
+  uint64_t NotifyUpdate(const std::string& table);
+
+  /// Snapshot of the remote service's metrics.
+  ServiceStats Stats();
+
+ private:
+  /// One outstanding request: which response type it expects and the
+  /// promise to fulfill. Exactly one promise is active, per `expect`.
+  struct Pending {
+    MsgType expect;
+    std::promise<double> single;
+    std::promise<std::unordered_map<uint64_t, double>> batch;
+    std::promise<uint64_t> epoch;
+    std::promise<ServiceStats> stats;
+  };
+  using PendingPtr = std::unique_ptr<Pending>;
+
+  /// Registers a pending op and sends the frame; on send failure the
+  /// pending op is failed and NetError is thrown.
+  void Send(MsgType type, std::vector<uint8_t> body, uint64_t id,
+            PendingPtr pending);
+  void ConnectLocked();
+  void DisconnectLocked(const char* reason);
+  void ReceiverLoop(int fd);
+  void FailAllPending(const char* reason);
+  /// Fulfills (or fails, for kError) one pending op from a response frame.
+  static void Complete(Pending& pending, const Frame& frame);
+
+  const EstimatorClientOptions options_;
+
+  // Guards fd_/receiver_ lifecycle and serializes frame writes so two
+  // threads can't interleave the bytes of their frames.
+  std::mutex mu_;
+  int fd_ = -1;
+  std::thread receiver_;
+  std::atomic<bool> connected_{false};
+
+  std::mutex pending_mu_;
+  std::unordered_map<uint64_t, PendingPtr> pending_;
+  std::atomic<uint64_t> next_id_{1};
+};
+
+}  // namespace fj::net

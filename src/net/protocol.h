@@ -1,0 +1,133 @@
+// The versioned binary wire protocol between EstimatorClient and
+// EstimatorServer.
+//
+// Framing: every message is one length-prefixed frame
+//
+//   u32 payload_length | u8 message_type | u64 request_id | body...
+//
+// with `payload_length` counting everything after itself. Frames longer
+// than a configured maximum are rejected before allocation, so a malicious
+// length prefix cannot OOM the peer.
+//
+// Handshake: the first frame on a connection must be kHello carrying the
+// protocol magic and version; the server answers kHelloAck (echoing its
+// version) or closes after a kError frame. Anything else — wrong magic,
+// unsupported version, a request before the handshake — is a protocol
+// error, and the connection is dropped without touching the service.
+//
+// Request/response: requests carry a client-chosen nonzero request_id;
+// the response (or per-request kError) echoes it. Responses may arrive in
+// any order — the server answers in completion order, clients correlate by
+// id. request_id 0 is reserved for connection-level messages (handshake
+// frames and fatal kError).
+//
+// Body encodings build on ByteWriter/ByteReader (util/bytes.h) and the
+// query serializer (query/serialize.h); all multi-byte integers are
+// little-endian and doubles are bit-exact, making remote estimates
+// bit-identical to in-process ones.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "query/query.h"
+#include "query/serialize.h"
+#include "service/service_stats.h"
+#include "util/bytes.h"
+
+namespace fj::net {
+
+/// Malformed frame or message; alias of the serializer's error so one catch
+/// handles both decoding layers.
+using ProtocolError = SerializeError;
+
+/// "FJN" + version byte of the *magic*, not the protocol (the protocol
+/// version is negotiated separately in the hello body).
+inline constexpr uint32_t kProtocolMagic = 0x464A4E31;  // "FJN1"
+inline constexpr uint16_t kProtocolVersion = 1;
+
+/// Frames larger than this are rejected at the length prefix (both sides).
+inline constexpr uint32_t kDefaultMaxFrameBytes = 64u << 20;
+
+enum class MsgType : uint8_t {
+  kHello = 1,
+  kHelloAck = 2,
+  kEstimateReq = 3,       // body: Query
+  kEstimateResp = 4,      // body: f64 estimate
+  kSubplansReq = 5,       // body: Query, u32 n, u64 mask × n
+  kSubplansResp = 6,      // body: u32 n, (u64 mask, f64 estimate) × n
+  kNotifyUpdateReq = 7,   // body: str table
+  kNotifyUpdateResp = 8,  // body: u64 epoch
+  kStatsReq = 9,          // body: empty
+  kStatsResp = 10,        // body: ServiceStats (see EncodeServiceStats)
+  kError = 11,            // body: str message; request-scoped iff id != 0
+};
+
+/// One decoded frame: header plus still-encoded body bytes.
+struct Frame {
+  MsgType type = MsgType::kError;
+  uint64_t request_id = 0;
+  std::vector<uint8_t> body;
+};
+
+/// Encodes a complete frame (length prefix included) ready for the socket.
+std::vector<uint8_t> EncodeFrame(MsgType type, uint64_t request_id,
+                                 const std::vector<uint8_t>& body);
+
+/// Reads one frame from `fd`. Returns nullopt on orderly EOF / closed
+/// socket; throws ProtocolError when the peer sends an oversized length
+/// prefix. `max_frame_bytes` bounds the allocation.
+std::optional<Frame> ReadFrame(int fd, uint32_t max_frame_bytes);
+
+/// Writes one frame to `fd`; false when the peer is gone.
+bool WriteFrame(int fd, MsgType type, uint64_t request_id,
+                const std::vector<uint8_t>& body);
+
+// ---------------------------------------------------------------- handshake
+
+struct Hello {
+  uint32_t magic = kProtocolMagic;
+  uint16_t version = kProtocolVersion;
+};
+
+std::vector<uint8_t> EncodeHello(const Hello& hello);
+/// Throws ProtocolError on wrong magic (the peer is not speaking this
+/// protocol at all); an unsupported-but-well-formed version is returned for
+/// the caller to reject with a useful message.
+Hello DecodeHello(const std::vector<uint8_t>& body);
+
+// ------------------------------------------------------------- body codecs
+
+std::vector<uint8_t> EncodeEstimateReq(const Query& query);
+Query DecodeEstimateReq(const std::vector<uint8_t>& body);
+
+std::vector<uint8_t> EncodeEstimateResp(double estimate);
+double DecodeEstimateResp(const std::vector<uint8_t>& body);
+
+std::vector<uint8_t> EncodeSubplansReq(const Query& query,
+                                       const std::vector<uint64_t>& masks);
+struct SubplansReq {
+  Query query;
+  std::vector<uint64_t> masks;
+};
+SubplansReq DecodeSubplansReq(const std::vector<uint8_t>& body);
+
+std::vector<uint8_t> EncodeSubplansResp(
+    const std::unordered_map<uint64_t, double>& estimates);
+std::unordered_map<uint64_t, double> DecodeSubplansResp(
+    const std::vector<uint8_t>& body);
+
+std::vector<uint8_t> EncodeNotifyUpdateReq(const std::string& table);
+std::string DecodeNotifyUpdateReq(const std::vector<uint8_t>& body);
+
+std::vector<uint8_t> EncodeNotifyUpdateResp(uint64_t epoch);
+uint64_t DecodeNotifyUpdateResp(const std::vector<uint8_t>& body);
+
+std::vector<uint8_t> EncodeServiceStats(const ServiceStats& stats);
+ServiceStats DecodeServiceStats(const std::vector<uint8_t>& body);
+
+std::vector<uint8_t> EncodeError(const std::string& message);
+std::string DecodeError(const std::vector<uint8_t>& body);
+
+}  // namespace fj::net

@@ -1,0 +1,253 @@
+#include "net/server.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace fj::net {
+namespace {
+
+std::string ExceptionMessage(std::exception_ptr e) {
+  try {
+    std::rethrow_exception(std::move(e));
+  } catch (const std::exception& ex) {
+    return ex.what();
+  } catch (...) {
+    return "unknown error";
+  }
+}
+
+}  // namespace
+
+EstimatorServer::EstimatorServer(EstimatorService& service,
+                                 EstimatorServerOptions options)
+    : service_(service), options_(std::move(options)) {}
+
+EstimatorServer::~EstimatorServer() { Stop(); }
+
+void EstimatorServer::Start() {
+  if (started_.exchange(true)) {
+    throw std::logic_error("EstimatorServer: already started");
+  }
+  listener_ = std::make_unique<ListenSocket>(options_.endpoint);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+}
+
+void EstimatorServer::Stop() {
+  if (!started_.load() || stopping_.exchange(true)) return;
+  // listener_ can be null if Start()'s bind threw after setting started_.
+  if (listener_ != nullptr) listener_->Close();
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  std::vector<ConnectionPtr> connections;
+  {
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    connections.swap(connections_);
+  }
+  for (const ConnectionPtr& conn : connections) {
+    // Wakes the reader out of RecvAll; the reader then closes the outbox,
+    // which lets the writer (and any worker blocked on a full outbox) go.
+    ShutdownSocket(conn->fd);
+  }
+  for (const ConnectionPtr& conn : connections) {
+    if (conn->reader.joinable()) conn->reader.join();
+    if (conn->writer.joinable()) conn->writer.join();
+    CloseSocket(conn->fd);
+  }
+  // Completion callbacks still in flight capture `this` (for the error
+  // counter) and their connection. The connections are shared_ptr-kept
+  // alive by the callbacks; the server must not be destroyed under them —
+  // wait for every dispatched request to finish. Their responses land in
+  // closed outboxes and are dropped.
+  service_.Drain();
+}
+
+Endpoint EstimatorServer::endpoint() const {
+  Endpoint ep = options_.endpoint;
+  if (!ep.IsUnix() && listener_) ep.port = listener_->port();
+  return ep;
+}
+
+uint16_t EstimatorServer::port() const {
+  return listener_ ? listener_->port() : options_.endpoint.port;
+}
+
+ServerStats EstimatorServer::Stats() const {
+  ServerStats stats;
+  stats.connections_accepted = connections_accepted_.load();
+  stats.connections_rejected = connections_rejected_.load();
+  stats.frames_received = frames_received_.load();
+  stats.responses_sent = responses_sent_.load();
+  stats.protocol_errors = protocol_errors_.load();
+  stats.request_errors = request_errors_.load();
+  {
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    stats.connections_active = connections_.size();
+  }
+  return stats;
+}
+
+void EstimatorServer::ReapFinished() {
+  std::vector<ConnectionPtr> finished;
+  {
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    auto it = connections_.begin();
+    while (it != connections_.end()) {
+      if ((*it)->done.load()) {
+        finished.push_back(*it);
+        it = connections_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (const ConnectionPtr& conn : finished) {
+    if (conn->reader.joinable()) conn->reader.join();
+    if (conn->writer.joinable()) conn->writer.join();
+    CloseSocket(conn->fd);
+  }
+}
+
+void EstimatorServer::AcceptLoop() {
+  while (!stopping_.load()) {
+    int fd = listener_->Accept();
+    if (fd < 0) {
+      if (stopping_.load()) break;
+      continue;  // transient accept failure
+    }
+    ReapFinished();
+    auto conn = std::make_shared<Connection>(fd, options_.outbox_capacity);
+    {
+      std::lock_guard<std::mutex> lock(connections_mu_);
+      if (connections_.size() >= options_.max_clients) {
+        connections_rejected_.fetch_add(1);
+        CloseSocket(fd);
+        continue;
+      }
+      connections_.push_back(conn);
+    }
+    connections_accepted_.fetch_add(1);
+    conn->writer = std::thread([this, conn] { WriterLoop(conn); });
+    conn->reader = std::thread([this, conn] { ReaderLoop(conn); });
+  }
+}
+
+void EstimatorServer::SendError(const ConnectionPtr& conn,
+                                uint64_t request_id,
+                                const std::string& message) {
+  conn->Send(EncodeFrame(MsgType::kError, request_id, EncodeError(message)));
+}
+
+void EstimatorServer::ReaderLoop(ConnectionPtr conn) {
+  try {
+    // Handshake: the first frame must be a kHello with our magic; answer
+    // with kHelloAck. A version we don't speak gets a useful error.
+    std::optional<Frame> first = ReadFrame(conn->fd, options_.max_frame_bytes);
+    if (first.has_value()) {
+      if (first->type != MsgType::kHello) {
+        throw ProtocolError("expected hello before requests");
+      }
+      Hello hello = DecodeHello(first->body);
+      if (hello.version != kProtocolVersion) {
+        throw ProtocolError(
+            "unsupported protocol version " + std::to_string(hello.version) +
+            " (server speaks " + std::to_string(kProtocolVersion) + ")");
+      }
+      conn->Send(EncodeFrame(MsgType::kHelloAck, first->request_id,
+                             EncodeHello({})));
+      while (auto frame = ReadFrame(conn->fd, options_.max_frame_bytes)) {
+        frames_received_.fetch_add(1);
+        Dispatch(conn, *frame);
+      }
+    }
+  } catch (const ProtocolError& e) {
+    protocol_errors_.fetch_add(1);
+    SendError(conn, 0, e.what());
+  } catch (const std::exception& e) {
+    // e.g. the service rejected a submit after Shutdown(): tell the client
+    // and drop the connection; other connections are unaffected.
+    SendError(conn, 0, e.what());
+  }
+  // Drop this connection: no more responses will be queued (in-flight
+  // callbacks see a closed outbox and drop theirs), a worker blocked
+  // pushing to a full outbox is released, and the writer — which owns the
+  // socket shutdown so queued frames (like the error above) still flush —
+  // drains and exits.
+  conn->outbox.Close();
+  conn->done.store(true);
+}
+
+void EstimatorServer::WriterLoop(ConnectionPtr conn) {
+  while (auto frame = conn->outbox.Pop()) {
+    if (!SendAll(conn->fd, frame->data(), frame->size())) {
+      // Peer stopped reading: wake the reader so the connection tears down,
+      // then keep draining the outbox so completion callbacks never block
+      // on a dead connection.
+      ShutdownSocket(conn->fd);
+      while (conn->outbox.Pop().has_value()) {
+      }
+      return;
+    }
+    responses_sent_.fetch_add(1);
+  }
+  // Outbox closed by the reader and fully flushed: now end the connection
+  // so the peer sees EOF only after the last queued frame.
+  ShutdownSocket(conn->fd);
+}
+
+void EstimatorServer::Dispatch(const ConnectionPtr& conn, const Frame& frame) {
+  if (frame.request_id == 0) {
+    throw ProtocolError("requests must carry a nonzero request id");
+  }
+  const uint64_t id = frame.request_id;
+  switch (frame.type) {
+    case MsgType::kEstimateReq: {
+      Query query = DecodeEstimateReq(frame.body);
+      service_.EstimateAsync(
+          std::move(query),
+          [this, conn, id](double estimate, std::exception_ptr error) {
+            if (error != nullptr) {
+              request_errors_.fetch_add(1);
+              SendError(conn, id, ExceptionMessage(std::move(error)));
+            } else {
+              conn->Send(EncodeFrame(MsgType::kEstimateResp, id,
+                                     EncodeEstimateResp(estimate)));
+            }
+          });
+      return;
+    }
+    case MsgType::kSubplansReq: {
+      SubplansReq req = DecodeSubplansReq(frame.body);
+      service_.EstimateSubplansAsync(
+          std::move(req.query), std::move(req.masks),
+          [this, conn, id](std::unordered_map<uint64_t, double> estimates,
+                           std::exception_ptr error) {
+            if (error != nullptr) {
+              request_errors_.fetch_add(1);
+              SendError(conn, id, ExceptionMessage(std::move(error)));
+            } else {
+              conn->Send(EncodeFrame(MsgType::kSubplansResp, id,
+                                     EncodeSubplansResp(estimates)));
+            }
+          });
+      return;
+    }
+    case MsgType::kNotifyUpdateReq: {
+      // Remote NotifyUpdate covers the cache-invalidation half of the
+      // update protocol; mutating the estimator itself stays a server-local
+      // operation (see docs/ARCHITECTURE.md).
+      uint64_t epoch = service_.NotifyUpdate(DecodeNotifyUpdateReq(frame.body));
+      conn->Send(EncodeFrame(MsgType::kNotifyUpdateResp, id,
+                             EncodeNotifyUpdateResp(epoch)));
+      return;
+    }
+    case MsgType::kStatsReq: {
+      conn->Send(EncodeFrame(MsgType::kStatsResp, id,
+                             EncodeServiceStats(service_.Stats())));
+      return;
+    }
+    default:
+      throw ProtocolError("unexpected message type from client");
+  }
+}
+
+}  // namespace fj::net

@@ -1,0 +1,155 @@
+// EstimatorServer: the remote front end of an EstimatorService.
+//
+//   clients ──► accept loop ──► per-connection reader ──► EstimatorService
+//                                        │ decode              │ async
+//                                        ▼                     ▼ (worker)
+//                               per-connection writer ◄── completion
+//                                        │ outbox queue        callback
+//                                        ▼
+//                                     socket
+//
+// One TCP (or Unix-domain) listener, N concurrent client connections. Each
+// connection gets a reader thread (frame decode + dispatch) and a writer
+// thread (response frames). Estimation is dispatched through the service's
+// callback variants of EstimateAsync/EstimateSubplansAsync, so decoding the
+// next request never blocks on estimating the previous one, and responses
+// are written in *completion* order with request-id correlation — a
+// pipelined client keeps every service worker busy from a single
+// connection.
+//
+// Back-pressure composes: the service's bounded queue blocks the reader
+// thread when the pool is saturated (stalling that client's decode, not
+// other connections), and each connection's bounded outbox drops responses
+// only after the peer stopped reading and the connection is being torn
+// down.
+//
+// Failure containment: a malformed or oversized frame terminates only the
+// offending connection (after a best-effort connection-level kError); an
+// estimator exception is returned as a per-request kError. Neither crashes
+// the server or affects other clients.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "net/protocol.h"
+#include "net/socket.h"
+#include "service/estimator_service.h"
+#include "service/mpmc_queue.h"
+
+namespace fj::net {
+
+struct EstimatorServerOptions {
+  /// Listen address. TCP port 0 binds an ephemeral port — read it back via
+  /// port() after Start(). Set endpoint.unix_path for a Unix-domain socket.
+  Endpoint endpoint;
+  /// Connections beyond this are accepted and immediately closed.
+  size_t max_clients = 64;
+  /// Frames with a larger length prefix are rejected (protocol error).
+  uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Encoded responses buffered per connection before the writer drains
+  /// them; service workers block on a full outbox (slow-client
+  /// back-pressure) until the connection closes.
+  size_t outbox_capacity = 1024;
+};
+
+/// Monotonic counters; `connections_active` is a gauge.
+struct ServerStats {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_rejected = 0;
+  uint64_t connections_active = 0;
+  uint64_t frames_received = 0;
+  uint64_t responses_sent = 0;
+  /// Connections dropped for malformed frames / failed handshakes.
+  uint64_t protocol_errors = 0;
+  /// Per-request kError responses (estimator exceptions reported remotely).
+  uint64_t request_errors = 0;
+};
+
+class EstimatorServer {
+ public:
+  /// `service` must outlive the server; the wrapped estimator stays owned by
+  /// the caller (train first, then serve).
+  explicit EstimatorServer(EstimatorService& service,
+                           EstimatorServerOptions options = {});
+
+  /// Stops and joins everything still running.
+  ~EstimatorServer();
+
+  EstimatorServer(const EstimatorServer&) = delete;
+  EstimatorServer& operator=(const EstimatorServer&) = delete;
+
+  /// Binds, listens, and starts the accept loop. Throws NetError when the
+  /// endpoint cannot be bound; throws std::logic_error when already started.
+  void Start();
+
+  /// Closes the listener and every connection, joins all threads, and
+  /// drains the service so no completion callback can outlive the server.
+  /// In-flight requests already dispatched complete on the service; their
+  /// responses are dropped. Idempotent; must not be called from a service
+  /// worker thread (it drains the pool).
+  void Stop();
+
+  /// The endpoint actually bound (TCP port 0 resolved). Valid after Start().
+  Endpoint endpoint() const;
+  uint16_t port() const;
+
+  ServerStats Stats() const;
+
+ private:
+  // One client connection. Held by shared_ptr from the reader thread, the
+  // connection list, and every in-flight completion callback, so a response
+  // arriving after disconnect finds a live (if closed) outbox instead of a
+  // dangling pointer.
+  struct Connection {
+    explicit Connection(int fd_in, size_t outbox_capacity)
+        : fd(fd_in), outbox(outbox_capacity) {}
+    int fd;
+    MpmcQueue<std::vector<uint8_t>> outbox;
+    std::thread reader;
+    std::thread writer;
+    std::atomic<bool> done{false};  // reader exited; reapable
+
+    /// Enqueues an encoded frame for the writer; drops it (returns false)
+    /// once the connection is closing.
+    bool Send(std::vector<uint8_t> frame) {
+      return outbox.Push(std::move(frame));
+    }
+  };
+  using ConnectionPtr = std::shared_ptr<Connection>;
+
+  void AcceptLoop();
+  void ReaderLoop(ConnectionPtr conn);
+  void WriterLoop(ConnectionPtr conn);
+  /// Handles one decoded request frame; throws ProtocolError upward on
+  /// malformed bodies.
+  void Dispatch(const ConnectionPtr& conn, const Frame& frame);
+  void SendError(const ConnectionPtr& conn, uint64_t request_id,
+                 const std::string& message);
+  /// Joins and forgets connections whose reader has exited.
+  void ReapFinished();
+
+  EstimatorService& service_;
+  const EstimatorServerOptions options_;
+
+  std::unique_ptr<ListenSocket> listener_;
+  std::thread accept_thread_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopping_{false};
+
+  mutable std::mutex connections_mu_;
+  std::vector<ConnectionPtr> connections_;
+
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> connections_rejected_{0};
+  std::atomic<uint64_t> frames_received_{0};
+  std::atomic<uint64_t> responses_sent_{0};
+  std::atomic<uint64_t> protocol_errors_{0};
+  std::atomic<uint64_t> request_errors_{0};
+};
+
+}  // namespace fj::net

@@ -1,0 +1,230 @@
+#include "query/serialize.h"
+
+namespace fj {
+namespace {
+
+// Deep enough for any real optimizer filter; shallow enough that decoding
+// adversarial input cannot overflow the stack.
+constexpr size_t kMaxPredicateDepth = 128;
+
+PredicatePtr DecodePredicateAt(ByteReader* r, size_t depth);
+
+std::vector<PredicatePtr> DecodeChildren(ByteReader* r, size_t depth) {
+  uint32_t n = r->U32();
+  std::vector<PredicatePtr> children;
+  // No reserve: n is untrusted; each child consumes at least one byte, so
+  // growth is bounded by the buffer size.
+  for (uint32_t i = 0; i < n; ++i) {
+    children.push_back(DecodePredicateAt(r, depth));
+  }
+  return children;
+}
+
+PredicatePtr DecodePredicateAt(ByteReader* r, size_t depth) {
+  if (depth > kMaxPredicateDepth) {
+    throw SerializeError("predicate nesting too deep");
+  }
+  auto kind = static_cast<Predicate::Kind>(r->U8());
+  switch (kind) {
+    case Predicate::Kind::kTrue:
+      return Predicate::True();
+    case Predicate::Kind::kCompare: {
+      std::string column = r->Str();
+      auto op = static_cast<CmpOp>(r->U8());
+      if (op < CmpOp::kEq || op > CmpOp::kGe) {
+        throw SerializeError("unknown comparison op");
+      }
+      return Predicate::Cmp(std::move(column), op, DecodeLiteral(r));
+    }
+    case Predicate::Kind::kBetween: {
+      std::string column = r->Str();
+      Literal lo = DecodeLiteral(r);
+      Literal hi = DecodeLiteral(r);
+      return Predicate::Between(std::move(column), std::move(lo),
+                                std::move(hi));
+    }
+    case Predicate::Kind::kIn: {
+      std::string column = r->Str();
+      uint32_t n = r->U32();
+      std::vector<Literal> values;
+      for (uint32_t i = 0; i < n; ++i) values.push_back(DecodeLiteral(r));
+      return Predicate::In(std::move(column), std::move(values));
+    }
+    case Predicate::Kind::kLike: {
+      std::string column = r->Str();
+      return Predicate::Like(std::move(column), r->Str());
+    }
+    case Predicate::Kind::kNotLike: {
+      std::string column = r->Str();
+      return Predicate::NotLike(std::move(column), r->Str());
+    }
+    case Predicate::Kind::kIsNull:
+      return Predicate::IsNull(r->Str());
+    case Predicate::Kind::kIsNotNull:
+      return Predicate::IsNotNull(r->Str());
+    case Predicate::Kind::kAnd:
+      return Predicate::And(DecodeChildren(r, depth + 1));
+    case Predicate::Kind::kOr:
+      return Predicate::Or(DecodeChildren(r, depth + 1));
+    case Predicate::Kind::kNot:
+      return Predicate::Not(DecodePredicateAt(r, depth + 1));
+  }
+  throw SerializeError("unknown predicate kind");
+}
+
+}  // namespace
+
+void EncodeLiteral(const Literal& lit, ByteWriter* w) {
+  w->U8(static_cast<uint8_t>(lit.type));
+  switch (lit.type) {
+    case ColumnType::kInt64:
+      w->I64(lit.i);
+      break;
+    case ColumnType::kDouble:
+      w->F64(lit.d);
+      break;
+    case ColumnType::kString:
+      w->Str(lit.s);
+      break;
+  }
+}
+
+Literal DecodeLiteral(ByteReader* r) {
+  auto type = static_cast<ColumnType>(r->U8());
+  switch (type) {
+    case ColumnType::kInt64:
+      return Literal::Int(r->I64());
+    case ColumnType::kDouble:
+      return Literal::Double(r->F64());
+    case ColumnType::kString:
+      return Literal::Str(r->Str());
+  }
+  throw SerializeError("unknown literal type");
+}
+
+void EncodePredicate(const Predicate& pred, ByteWriter* w) {
+  w->U8(static_cast<uint8_t>(pred.kind()));
+  switch (pred.kind()) {
+    case Predicate::Kind::kTrue:
+      break;
+    case Predicate::Kind::kCompare:
+      w->Str(pred.column());
+      w->U8(static_cast<uint8_t>(pred.op()));
+      EncodeLiteral(pred.value(), w);
+      break;
+    case Predicate::Kind::kBetween:
+      w->Str(pred.column());
+      EncodeLiteral(pred.lo(), w);
+      EncodeLiteral(pred.hi(), w);
+      break;
+    case Predicate::Kind::kIn:
+      w->Str(pred.column());
+      w->U32(static_cast<uint32_t>(pred.set().size()));
+      for (const Literal& v : pred.set()) EncodeLiteral(v, w);
+      break;
+    case Predicate::Kind::kLike:
+    case Predicate::Kind::kNotLike:
+      w->Str(pred.column());
+      w->Str(pred.pattern());
+      break;
+    case Predicate::Kind::kIsNull:
+    case Predicate::Kind::kIsNotNull:
+      w->Str(pred.column());
+      break;
+    case Predicate::Kind::kAnd:
+    case Predicate::Kind::kOr:
+      w->U32(static_cast<uint32_t>(pred.children().size()));
+      for (const PredicatePtr& c : pred.children()) EncodePredicate(*c, w);
+      break;
+    case Predicate::Kind::kNot:
+      EncodePredicate(*pred.children().front(), w);
+      break;
+  }
+}
+
+PredicatePtr DecodePredicate(ByteReader* r) {
+  return DecodePredicateAt(r, 0);
+}
+
+void EncodeQuery(const Query& query, ByteWriter* w) {
+  w->U32(static_cast<uint32_t>(query.tables().size()));
+  for (const TableRef& t : query.tables()) {
+    w->Str(t.alias);
+    w->Str(t.table);
+  }
+  w->U32(static_cast<uint32_t>(query.joins().size()));
+  for (const JoinCondition& j : query.joins()) {
+    w->Str(j.left.alias);
+    w->Str(j.left.column);
+    w->Str(j.right.alias);
+    w->Str(j.right.column);
+  }
+  // Filters in tables() order: deterministic bytes for equal queries.
+  uint32_t num_filters = 0;
+  for (const TableRef& t : query.tables()) {
+    if (query.HasFilter(t.alias)) ++num_filters;
+  }
+  w->U32(num_filters);
+  for (const TableRef& t : query.tables()) {
+    if (!query.HasFilter(t.alias)) continue;
+    w->Str(t.alias);
+    EncodePredicate(*query.FilterFor(t.alias), w);
+  }
+}
+
+Query DecodeQuery(ByteReader* r) {
+  Query query;
+  uint32_t num_tables = r->U32();
+  if (num_tables > Query::kMaxTables) {
+    throw SerializeError("too many tables in query");
+  }
+  for (uint32_t i = 0; i < num_tables; ++i) {
+    std::string alias = r->Str();
+    std::string table = r->Str();
+    // AddTable throws std::invalid_argument on duplicate aliases; surface
+    // malformed input uniformly as SerializeError.
+    try {
+      query.AddTable(table, alias);
+    } catch (const std::exception& e) {
+      throw SerializeError(e.what());
+    }
+  }
+  uint32_t num_joins = r->U32();
+  for (uint32_t i = 0; i < num_joins; ++i) {
+    std::string a1 = r->Str();
+    std::string c1 = r->Str();
+    std::string a2 = r->Str();
+    std::string c2 = r->Str();
+    try {
+      query.AddJoin(a1, c1, a2, c2);
+    } catch (const std::exception& e) {
+      throw SerializeError(e.what());
+    }
+  }
+  uint32_t num_filters = r->U32();
+  for (uint32_t i = 0; i < num_filters; ++i) {
+    std::string alias = r->Str();
+    PredicatePtr pred = DecodePredicate(r);
+    try {
+      query.SetFilter(alias, std::move(pred));
+    } catch (const std::exception& e) {
+      throw SerializeError(e.what());
+    }
+  }
+  return query;
+}
+
+std::vector<uint8_t> SerializeQuery(const Query& query) {
+  ByteWriter w;
+  EncodeQuery(query, &w);
+  return w.Take();
+}
+
+Query DeserializeQuery(const std::vector<uint8_t>& bytes) {
+  ByteReader r(bytes);
+  Query query = DecodeQuery(&r);
+  r.ExpectEnd();
+  return query;
+}
+
+}  // namespace fj

@@ -1,0 +1,42 @@
+// Binary serialization of queries and predicates: the Query half of the
+// wire protocol (net/protocol.h), kept here so the format lives next to the
+// structures it encodes and round-trips can be tested without sockets.
+//
+// The encoding preserves the query's *construction*, not just its canonical
+// content: table order, aliases, join orientation, and the full predicate
+// tree all round-trip losslessly, so a decoded query fingerprints and
+// renders (ToString) identically to the original — including bit-exact
+// double literals. Decoders accept untrusted bytes: malformed or truncated
+// input throws SerializeError and never crashes.
+#pragma once
+
+#include "query/query.h"
+#include "util/bytes.h"
+
+namespace fj {
+
+/// Appends the predicate tree to `w`.
+void EncodePredicate(const Predicate& pred, ByteWriter* w);
+
+/// Decodes one predicate tree. Throws SerializeError on malformed input
+/// (unknown kinds, truncation, or nesting deeper than an internal limit).
+PredicatePtr DecodePredicate(ByteReader* r);
+
+/// Appends the literal to `w` (type tag + payload; doubles bit-exact).
+void EncodeLiteral(const Literal& lit, ByteWriter* w);
+Literal DecodeLiteral(ByteReader* r);
+
+/// Appends tables (with aliases), joins, and per-alias filters to `w`.
+/// Filters are written in tables() order so equal queries encode to equal
+/// bytes regardless of filter-map iteration order.
+void EncodeQuery(const Query& query, ByteWriter* w);
+
+/// Decodes one query. Throws SerializeError on malformed input.
+Query DecodeQuery(ByteReader* r);
+
+/// Convenience: one value per buffer (Decode* verifies the buffer is fully
+/// consumed).
+std::vector<uint8_t> SerializeQuery(const Query& query);
+Query DeserializeQuery(const std::vector<uint8_t>& bytes);
+
+}  // namespace fj

@@ -27,8 +27,10 @@ EstimatorService::EstimatorService(const CardinalityEstimator& estimator,
       queue_(options.queue_capacity) {
   size_t threads = options_.num_threads == 0 ? 1 : options_.num_threads;
   workers_.reserve(threads);
+  worker_ids_.reserve(threads);
   for (size_t i = 0; i < threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
+    worker_ids_.push_back(workers_.back().get_id());
   }
 }
 
@@ -42,19 +44,46 @@ void EstimatorService::Shutdown() {
   workers_.clear();
 }
 
-std::future<double> EstimatorService::EstimateAsync(Query query) {
-  auto req = std::make_unique<Request>();
-  req->query = std::move(query);
-  std::future<double> result = req->single.get_future();
+void EstimatorService::Submit(std::unique_ptr<Request> req) {
   pending_.fetch_add(1, std::memory_order_acq_rel);
   if (!queue_.Push(std::move(req))) {
     pending_.fetch_sub(1, std::memory_order_acq_rel);
     throw std::runtime_error("EstimatorService: submit after shutdown");
   }
+}
+
+void EstimatorService::ThrowIfWorkerThread(const char* what) const {
+  std::thread::id self = std::this_thread::get_id();
+  for (std::thread::id id : worker_ids_) {
+    if (id == self) {
+      throw std::logic_error(
+          std::string("EstimatorService::") + what +
+          " called from a service worker thread (e.g. inside a completion "
+          "callback or a re-entrant estimator): the call would wait on the "
+          "pool it is running on and deadlock a single-thread pool. Use the "
+          "Async variants from workers, or move the blocking call off the "
+          "service's threads.");
+    }
+  }
+}
+
+std::future<double> EstimatorService::EstimateAsync(Query query) {
+  auto req = std::make_unique<Request>();
+  req->query = std::move(query);
+  std::future<double> result = req->single.get_future();
+  Submit(std::move(req));
   return result;
 }
 
+void EstimatorService::EstimateAsync(Query query, EstimateCallback done) {
+  auto req = std::make_unique<Request>();
+  req->query = std::move(query);
+  req->single_cb = std::move(done);
+  Submit(std::move(req));
+}
+
 double EstimatorService::Estimate(const Query& query) {
+  ThrowIfWorkerThread("Estimate");
   return EstimateAsync(query).get();
 }
 
@@ -66,16 +95,24 @@ EstimatorService::EstimateSubplansAsync(Query query,
   req->masks = std::move(masks);
   req->batched = true;
   auto result = req->batch.get_future();
-  pending_.fetch_add(1, std::memory_order_acq_rel);
-  if (!queue_.Push(std::move(req))) {
-    pending_.fetch_sub(1, std::memory_order_acq_rel);
-    throw std::runtime_error("EstimatorService: submit after shutdown");
-  }
+  Submit(std::move(req));
   return result;
+}
+
+void EstimatorService::EstimateSubplansAsync(Query query,
+                                             std::vector<uint64_t> masks,
+                                             SubplansCallback done) {
+  auto req = std::make_unique<Request>();
+  req->query = std::move(query);
+  req->masks = std::move(masks);
+  req->batched = true;
+  req->batch_cb = std::move(done);
+  Submit(std::move(req));
 }
 
 std::unordered_map<uint64_t, double> EstimatorService::EstimateSubplans(
     const Query& query, const std::vector<uint64_t>& masks) {
+  ThrowIfWorkerThread("EstimateSubplans");
   return EstimateSubplansAsync(query, masks).get();
 }
 
@@ -92,6 +129,7 @@ void EstimatorService::WorkerLoop() {
 }
 
 void EstimatorService::Drain() {
+  ThrowIfWorkerThread("Drain");
   std::unique_lock<std::mutex> lock(drain_mu_);
   drained_.wait(lock, [&] {
     return pending_.load(std::memory_order_acquire) == 0;
@@ -101,27 +139,44 @@ void EstimatorService::Drain() {
 void EstimatorService::Serve(Request& req) {
   // Counters and latency are recorded BEFORE the promise is fulfilled so a
   // client that just resolved its future observes its own request in Stats().
+  // Completion (callback or promise) happens OUTSIDE the try blocks:
+  // estimation errors must flow through the error argument, and a throwing
+  // callback must not re-enter the error path and be invoked twice.
   if (req.batched) {
+    std::unordered_map<uint64_t, double> result;
+    std::exception_ptr error;
     try {
-      auto result = ServeBatch(req.query, req.masks);
+      result = ServeBatch(req.query, req.masks);
       subplan_requests_.fetch_add(1, std::memory_order_relaxed);
-      latency_.Record(req.submitted.Micros());
-      req.batch.set_value(std::move(result));
     } catch (...) {
       errors_.fetch_add(1, std::memory_order_relaxed);
-      latency_.Record(req.submitted.Micros());
-      req.batch.set_exception(std::current_exception());
+      error = std::current_exception();
+    }
+    latency_.Record(req.submitted.Micros());
+    if (req.batch_cb) {
+      req.batch_cb(std::move(result), error);
+    } else if (error != nullptr) {
+      req.batch.set_exception(error);
+    } else {
+      req.batch.set_value(std::move(result));
     }
   } else {
+    double result = 0.0;
+    std::exception_ptr error;
     try {
-      double result = ServeSingle(req.query);
+      result = ServeSingle(req.query);
       requests_.fetch_add(1, std::memory_order_relaxed);
-      latency_.Record(req.submitted.Micros());
-      req.single.set_value(result);
     } catch (...) {
       errors_.fetch_add(1, std::memory_order_relaxed);
-      latency_.Record(req.submitted.Micros());
-      req.single.set_exception(std::current_exception());
+      error = std::current_exception();
+    }
+    latency_.Record(req.submitted.Micros());
+    if (req.single_cb) {
+      req.single_cb(result, error);
+    } else if (error != nullptr) {
+      req.single.set_exception(error);
+    } else {
+      req.single.set_value(result);
     }
   }
 }
@@ -219,6 +274,8 @@ ServiceStats EstimatorService::Stats() const {
   stats.errors = errors_.load(std::memory_order_relaxed);
   stats.updates_notified = updates_notified_.load(std::memory_order_relaxed);
   stats.epoch = epochs_.Epoch();
+  stats.pending_requests = pending_.load(std::memory_order_acquire);
+  stats.queue_depth = queue_.Size();
   stats.cache = cache_.Stats();
   latency_.Snapshot(&stats);
   return stats;

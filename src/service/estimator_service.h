@@ -33,6 +33,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -76,13 +77,30 @@ class EstimatorService {
   EstimatorService(const EstimatorService&) = delete;
   EstimatorService& operator=(const EstimatorService&) = delete;
 
+  /// Completion callbacks for the callback-dispatch variants below: exactly
+  /// one of (value, error) is meaningful — `error` is nullptr on success.
+  /// Callbacks run ON A WORKER THREAD right after the request is served;
+  /// they must be quick, must not throw, and must not call the service's
+  /// blocking APIs (Estimate/EstimateSubplans/Drain — the worker-thread
+  /// guard turns that deadlock into std::logic_error). This is the hook the
+  /// remote front end (net/server.h) uses to write responses in completion
+  /// order without parking a thread per outstanding future.
+  using EstimateCallback = std::function<void(double, std::exception_ptr)>;
+  using SubplansCallback = std::function<void(
+      std::unordered_map<uint64_t, double>, std::exception_ptr)>;
+
   /// Enqueues a single-query estimate; the future resolves when a worker has
   /// served it (from cache or the estimator). Thread-safe; blocks while the
   /// queue is full; throws std::runtime_error after Shutdown().
   std::future<double> EstimateAsync(Query query);
 
-  /// Blocking convenience wrapper around EstimateAsync. Must not be called
-  /// from a worker thread (it would deadlock a single-thread pool).
+  /// Callback-dispatch variant: `done` is invoked on the serving worker
+  /// instead of fulfilling a future. Same blocking/shutdown behavior.
+  void EstimateAsync(Query query, EstimateCallback done);
+
+  /// Blocking convenience wrapper around EstimateAsync. Throws
+  /// std::logic_error when called from one of the service's own worker
+  /// threads (it would deadlock a single-thread pool).
   double Estimate(const Query& query);
 
   /// Enqueues one batched request for all sub-plan masks of `query` (masks
@@ -93,7 +111,12 @@ class EstimatorService {
   std::future<std::unordered_map<uint64_t, double>> EstimateSubplansAsync(
       Query query, std::vector<uint64_t> masks);
 
-  /// Blocking convenience wrapper around EstimateSubplansAsync.
+  /// Callback-dispatch variant of the batched API (see EstimateCallback).
+  void EstimateSubplansAsync(Query query, std::vector<uint64_t> masks,
+                             SubplansCallback done);
+
+  /// Blocking convenience wrapper around EstimateSubplansAsync. Throws
+  /// std::logic_error when called from a service worker thread.
   std::unordered_map<uint64_t, double> EstimateSubplans(
       const Query& query, const std::vector<uint64_t>& masks);
 
@@ -103,7 +126,8 @@ class EstimatorService {
   /// ApplyInsert/ApplyDelete require that no estimate runs concurrently,
   /// and workers touch the estimator only while serving. Thread-safe; does
   /// not reject or pause new submissions itself (that is the caller's side
-  /// of the contract), and must not be called from a worker thread.
+  /// of the contract). Throws std::logic_error when called from a service
+  /// worker thread (it would wait on itself).
   void Drain();
 
   /// Records a data update to `table_name` and returns the new statistics
@@ -144,9 +168,17 @@ class EstimatorService {
     bool batched = false;
     std::promise<double> single;
     std::promise<std::unordered_map<uint64_t, double>> batch;
+    // When set, the matching callback is invoked on the worker instead of
+    // the promise being fulfilled.
+    EstimateCallback single_cb;
+    SubplansCallback batch_cb;
     WallTimer submitted;  // end-to-end latency starts at enqueue
   };
 
+  void Submit(std::unique_ptr<Request> req);
+  /// Throws std::logic_error when the calling thread is one of the
+  /// service's workers; `what` names the offending API in the message.
+  void ThrowIfWorkerThread(const char* what) const;
   void WorkerLoop();
   void Serve(Request& req);
   double ServeSingle(const Query& query);
@@ -159,6 +191,8 @@ class EstimatorService {
   ShardedEstimateCache cache_;
   MpmcQueue<std::unique_ptr<Request>> queue_;
   std::vector<std::thread> workers_;
+  // Immutable after construction; read by the worker-thread guard.
+  std::vector<std::thread::id> worker_ids_;
 
   // Requests accepted but not yet served (queued + in-flight); Drain()
   // waits for it to reach zero.

@@ -27,6 +27,12 @@ struct ServiceStats {
   /// raced the snapshot). Cache entries older than a touched table's epoch
   /// are lazily invalidated; see CacheStats::invalidations.
   uint64_t epoch = 0;
+  /// Gauge: requests accepted but not yet served at snapshot time (queued
+  /// plus in-flight on workers) — what Drain() waits to reach zero.
+  uint64_t pending_requests = 0;
+  /// Gauge: requests sitting in the queue, not yet picked up by a worker.
+  /// pending_requests - queue_depth approximates in-flight work.
+  uint64_t queue_depth = 0;
 
   CacheStats cache;
 

@@ -1,0 +1,127 @@
+// Byte-buffer serialization primitives shared by the wire protocol
+// (net/protocol.h) and the query serializer (query/serialize.h).
+//
+// Encoding is explicit little-endian with fixed-width integers and
+// bit-exact doubles (IEEE-754 bits round-trip through uint64_t), so a value
+// serialized on one host decodes bit-identically on another — the property
+// the remote-estimation acceptance tests rely on.
+//
+// ByteReader is written for untrusted input: every read is bounds-checked
+// and throws SerializeError instead of reading past the buffer, and counts
+// decoded from the wire are never trusted for pre-allocation.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace fj {
+
+/// Thrown on any malformed, truncated, or out-of-range wire input.
+class SerializeError : public std::runtime_error {
+ public:
+  explicit SerializeError(const std::string& what)
+      : std::runtime_error("serialize: " + what) {}
+};
+
+/// Appends primitive values to a growing byte buffer (little-endian).
+class ByteWriter {
+ public:
+  void U8(uint8_t v) { buf_.push_back(v); }
+
+  void U16(uint16_t v) { AppendLe(v); }
+  void U32(uint32_t v) { AppendLe(v); }
+  void U64(uint64_t v) { AppendLe(v); }
+  void I64(int64_t v) { AppendLe(static_cast<uint64_t>(v)); }
+
+  /// Bit-exact: the double's IEEE-754 bits, not a decimal rendering.
+  void F64(double v) { AppendLe(std::bit_cast<uint64_t>(v)); }
+
+  /// u32 length prefix + raw bytes.
+  void Str(const std::string& s) {
+    if (s.size() > UINT32_MAX) throw SerializeError("string too long");
+    buf_.reserve(buf_.size() + 4 + s.size());
+    U32(static_cast<uint32_t>(s.size()));
+    Raw(s.data(), s.size());
+  }
+
+  void Raw(const void* data, size_t n) {
+    if (n == 0) return;
+    const auto* p = static_cast<const uint8_t*>(data);
+    buf_.insert(buf_.end(), p, p + n);
+  }
+
+  const std::vector<uint8_t>& bytes() const { return buf_; }
+  std::vector<uint8_t> Take() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  template <typename T>
+  void AppendLe(T v) {
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  std::vector<uint8_t> buf_;
+};
+
+/// Reads primitive values from a byte span; every read is bounds-checked.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit ByteReader(const std::vector<uint8_t>& buf)
+      : ByteReader(buf.data(), buf.size()) {}
+
+  uint8_t U8() {
+    Need(1);
+    return data_[pos_++];
+  }
+  uint16_t U16() { return ReadLe<uint16_t>(); }
+  uint32_t U32() { return ReadLe<uint32_t>(); }
+  uint64_t U64() { return ReadLe<uint64_t>(); }
+  int64_t I64() { return static_cast<int64_t>(ReadLe<uint64_t>()); }
+  double F64() { return std::bit_cast<double>(ReadLe<uint64_t>()); }
+
+  std::string Str() {
+    uint32_t n = U32();
+    Need(n);
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  size_t remaining() const { return size_ - pos_; }
+  bool AtEnd() const { return pos_ == size_; }
+
+  /// Decoders call this after consuming a complete value: trailing garbage
+  /// is as malformed as a truncated buffer.
+  void ExpectEnd() const {
+    if (!AtEnd()) throw SerializeError("trailing bytes after value");
+  }
+
+ private:
+  void Need(size_t n) const {
+    if (size_ - pos_ < n) throw SerializeError("truncated input");
+  }
+
+  template <typename T>
+  T ReadLe() {
+    Need(sizeof(T));
+    T v = 0;
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      v = static_cast<T>(v | (static_cast<T>(data_[pos_ + i]) << (8 * i)));
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace fj

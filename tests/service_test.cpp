@@ -4,9 +4,11 @@
 // contention.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <future>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -492,6 +494,190 @@ TEST(ServiceTest, NotifyUpdateBumpsEpochAndCounters) {
   ServiceStats stats = service.Stats();
   EXPECT_EQ(stats.epoch, 2u);
   EXPECT_EQ(stats.updates_notified, 2u);
+}
+
+// Drain() must be callable while other threads keep submitting: each call
+// returns once everything accepted *before some point during the call* is
+// served, and nothing deadlocks or crashes.
+TEST(ServiceTest, DrainRacesConcurrentSubmitters) {
+  Database db = MakeDb();
+  FactorJoinEstimator estimator = MakeEstimator(db);
+  EstimatorService service(estimator,
+                           {.num_threads = 4, .queue_capacity = 16});
+  std::vector<Query> queries = MakeWorkload(8);
+
+  constexpr int kSubmitters = 4;
+  constexpr int kPerSubmitter = 60;
+  std::atomic<bool> stop_draining{false};
+  std::vector<std::thread> submitters;
+  std::vector<std::vector<std::future<double>>> futures(kSubmitters);
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&, s] {
+      for (int i = 0; i < kPerSubmitter; ++i) {
+        futures[static_cast<size_t>(s)].push_back(
+            service.EstimateAsync(queries[static_cast<size_t>(i) %
+                                          queries.size()]));
+      }
+    });
+  }
+  std::thread drainer([&] {
+    while (!stop_draining.load()) service.Drain();
+  });
+  for (auto& t : submitters) t.join();
+  stop_draining.store(true);
+  drainer.join();
+
+  // Everything submitted resolves; a final drain leaves nothing pending.
+  service.Drain();
+  for (auto& per_submitter : futures) {
+    for (auto& f : per_submitter) {
+      EXPECT_EQ(f.wait_for(std::chrono::seconds(0)),
+                std::future_status::ready);
+      EXPECT_NO_THROW(f.get());
+    }
+  }
+  EXPECT_EQ(service.Stats().pending_requests, 0u);
+}
+
+// Shutdown() while submitters are mid-burst: every future obtained before
+// the submit that threw must resolve (accepted work is drained), every
+// submit after the close throws, and nothing hangs.
+TEST(ServiceTest, ShutdownRacesInFlightSubmitters) {
+  Database db = MakeDb();
+  FactorJoinEstimator estimator = MakeEstimator(db);
+  EstimatorService service(estimator,
+                           {.num_threads = 2, .queue_capacity = 8});
+  std::vector<Query> queries = MakeWorkload(8);
+
+  constexpr int kSubmitters = 4;
+  std::atomic<uint64_t> accepted{0};
+  std::atomic<uint64_t> rejected{0};
+  std::vector<std::thread> submitters;
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&, s] {
+      for (int i = 0; i < 200; ++i) {
+        try {
+          auto f = service.EstimateAsync(
+              queries[static_cast<size_t>(s + i) % queries.size()]);
+          accepted.fetch_add(1);
+          // Accepted before shutdown completed => must be served, not
+          // abandoned.
+          EXPECT_NO_THROW(f.get());
+        } catch (const std::runtime_error&) {
+          rejected.fetch_add(1);
+          break;  // queue closed: every later submit would throw too
+        }
+      }
+    });
+  }
+  // Let the burst get going, then slam the door.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  service.Shutdown();
+  for (auto& t : submitters) t.join();
+
+  EXPECT_GT(accepted.load(), 0u);
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.requests + stats.errors, accepted.load());
+  EXPECT_EQ(stats.pending_requests, 0u);
+  EXPECT_THROW(service.Estimate(queries[0]), std::runtime_error);
+}
+
+// The worker-thread guard: blocking APIs called from a worker (here: from
+// inside a completion callback, which runs on one) must throw immediately
+// instead of silently deadlocking the pool.
+TEST(ServiceTest, BlockingCallsFromWorkerThreadThrow) {
+  Database db = MakeDb();
+  FactorJoinEstimator estimator = MakeEstimator(db);
+  EstimatorService service(estimator, {.num_threads = 1});
+  Query q = ChainQuery(30, 250);
+
+  std::promise<void> done;
+  std::string estimate_msg, subplans_msg, drain_msg;
+  service.EstimateAsync(q, [&](double, std::exception_ptr) {
+    try {
+      service.Estimate(q);
+    } catch (const std::logic_error& e) {
+      estimate_msg = e.what();
+    }
+    try {
+      service.EstimateSubplans(q, {0b1});
+    } catch (const std::logic_error& e) {
+      subplans_msg = e.what();
+    }
+    try {
+      service.Drain();
+    } catch (const std::logic_error& e) {
+      drain_msg = e.what();
+    }
+    done.set_value();
+  });
+  done.get_future().get();
+  EXPECT_NE(estimate_msg.find("worker thread"), std::string::npos)
+      << estimate_msg;
+  EXPECT_NE(subplans_msg.find("worker thread"), std::string::npos);
+  EXPECT_NE(drain_msg.find("worker thread"), std::string::npos);
+  // From a non-worker thread the same calls still work.
+  EXPECT_NO_THROW(service.Estimate(q));
+}
+
+TEST(ServiceTest, CallbackVariantsMatchFutureVariants) {
+  Database db = MakeDb();
+  FactorJoinEstimator estimator = MakeEstimator(db);
+  EstimatorService service(estimator, {.num_threads = 2});
+  Query q = ChainQuery(25, 300);
+  std::vector<uint64_t> masks = EnumerateConnectedSubsets(q, 1);
+
+  std::promise<double> single;
+  service.EstimateAsync(q, [&](double value, std::exception_ptr error) {
+    ASSERT_EQ(error, nullptr);
+    single.set_value(value);
+  });
+  EXPECT_EQ(single.get_future().get(), estimator.Estimate(q));
+
+  std::promise<std::unordered_map<uint64_t, double>> batch;
+  service.EstimateSubplansAsync(
+      q, masks,
+      [&](std::unordered_map<uint64_t, double> values,
+          std::exception_ptr error) {
+        ASSERT_EQ(error, nullptr);
+        batch.set_value(std::move(values));
+      });
+  auto served = batch.get_future().get();
+  auto direct = estimator.EstimateSubplans(q, masks);
+  for (uint64_t mask : masks) EXPECT_EQ(served.at(mask), direct.at(mask));
+
+  // Error path: the callback receives the exception instead of a value.
+  Query bad;
+  bad.AddTable("users", "u").AddTable("items", "i");
+  std::promise<std::exception_ptr> failed;
+  service.EstimateAsync(bad, [&](double, std::exception_ptr error) {
+    failed.set_value(error);
+  });
+  std::exception_ptr error = failed.get_future().get();
+  ASSERT_NE(error, nullptr);
+  EXPECT_THROW(std::rethrow_exception(error), std::invalid_argument);
+}
+
+TEST(ServiceTest, PendingGaugeRisesAndDrainsToZero) {
+  Database db = MakeDb();
+  FactorJoinEstimator estimator = MakeEstimator(db);
+  EstimatorService service(estimator, {.num_threads = 1});
+  std::vector<std::future<double>> futures;
+  for (int i = 0; i < 16; ++i) {
+    futures.push_back(service.EstimateAsync(ChainQuery(20 + i, 300)));
+  }
+  // With one worker and 16 requests just submitted, the gauge must be
+  // visible above zero at some point before the backlog drains.
+  uint64_t peak = 0;
+  for (int i = 0; i < 1000 && peak == 0; ++i) {
+    peak = std::max(peak, service.Stats().pending_requests);
+  }
+  service.Drain();
+  EXPECT_GT(peak, 0u);
+  ServiceStats drained = service.Stats();
+  EXPECT_EQ(drained.pending_requests, 0u);
+  EXPECT_EQ(drained.queue_depth, 0u);
+  for (auto& f : futures) f.get();
 }
 
 TEST(ServiceTest, DrainWaitsForAllAcceptedRequests) {

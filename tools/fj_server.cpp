@@ -1,0 +1,122 @@
+// fj_server: train a FactorJoin model on a synthetic workload and serve
+// cardinality estimates to remote optimizer processes over the wire
+// protocol (src/net/).
+//
+//   $ ./fj_server --workload imdb --port 9977
+//   fj_server: listening on 127.0.0.1:9977
+//
+// A client in another process (./fj_client, or any EstimatorClient) then
+// issues Estimate / EstimateSubplans / NotifyUpdate / Stats requests.
+// Because the workload generators are deterministic per seed, a client
+// started with the same --workload/--scale/--queries/--bins/--seed flags
+// (shared via tools/workload_flags.h) can rebuild the identical database
+// and verify remote estimates bit-for-bit against a locally trained model
+// (fj_client --verify).
+//
+// Runs until SIGINT/SIGTERM, then prints service + server stats.
+#include <csignal>
+#include <cstdio>
+#include <ctime>
+#include <string>
+
+#include "factorjoin/estimator.h"
+#include "net/server.h"
+#include "service/estimator_service.h"
+#include "workload_flags.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleStop(int) { g_stop = 1; }
+
+struct Args {
+  fj::tools::WorkloadFlags common;
+  size_t threads = 4;
+};
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr, "usage: %s [flags]\n%s  --threads N             service worker threads (default 4)\n",
+               argv0, fj::tools::kWorkloadFlagsUsage);
+}
+
+bool Parse(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    int consumed = fj::tools::TryParseWorkloadFlag(argc, argv, &i,
+                                                   &args->common);
+    if (consumed == 1) continue;
+    if (consumed == -1) {
+      Usage(argv[0]);
+      return false;
+    }
+    std::string flag = argv[i];
+    if (flag == "--threads" && i + 1 < argc) {
+      args->threads = static_cast<size_t>(std::atoll(argv[++i]));
+    } else {
+      Usage(argv[0]);
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!Parse(argc, argv, &args)) return 2;
+
+  auto workload = fj::tools::MakeFlaggedWorkload(args.common);
+  fj::FactorJoinConfig config;
+  config.num_bins = static_cast<uint32_t>(args.common.bins);
+  fj::FactorJoinEstimator estimator(workload->db, config);
+  std::printf("fj_server: trained factorjoin on %s in %.1f ms\n",
+              workload->name.c_str(), estimator.TrainSeconds() * 1e3);
+
+  fj::EstimatorServiceOptions service_options;
+  service_options.num_threads = args.threads;
+  fj::EstimatorService service(estimator, service_options);
+
+  fj::net::EstimatorServerOptions server_options;
+  server_options.endpoint = fj::tools::EndpointFromFlags(args.common);
+  fj::net::EstimatorServer server(service, server_options);
+  try {
+    server.Start();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fj_server: %s\n", e.what());
+    return 1;
+  }
+  // The "listening on" line is the startup contract scripts wait for
+  // (tools/net_smoke.sh greps it for the resolved ephemeral port).
+  std::printf("fj_server: listening on %s\n",
+              server.endpoint().ToString().c_str());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleStop);
+  std::signal(SIGTERM, HandleStop);
+  while (g_stop == 0) {
+    // Sleep in 200ms slices so a signal is noticed promptly even on
+    // platforms where it doesn't interrupt the sleep.
+    struct timespec ts = {0, 200 * 1000 * 1000};
+    nanosleep(&ts, nullptr);
+  }
+
+  server.Stop();
+  fj::ServiceStats stats = service.Stats();
+  fj::net::ServerStats net = server.Stats();
+  std::printf(
+      "fj_server: served requests=%llu subplan_requests=%llu "
+      "hit_rate=%.0f%% errors=%llu\n",
+      static_cast<unsigned long long>(stats.requests),
+      static_cast<unsigned long long>(stats.subplan_requests),
+      stats.cache.HitRate() * 100.0,
+      static_cast<unsigned long long>(stats.errors));
+  std::printf(
+      "fj_server: connections=%llu frames=%llu responses=%llu "
+      "protocol_errors=%llu\n",
+      static_cast<unsigned long long>(net.connections_accepted),
+      static_cast<unsigned long long>(net.frames_received),
+      static_cast<unsigned long long>(net.responses_sent),
+      static_cast<unsigned long long>(net.protocol_errors));
+  return 0;
+}

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Loopback smoke test of the remote-estimation binaries: start fj_server on
+# an ephemeral port, connect fj_client --verify from a second process, and
+# require bit-identical estimates. Registered as the ctest "net_smoke" test.
+#
+#   usage: net_smoke.sh <path-to-fj_server> <path-to-fj_client>
+set -euo pipefail
+
+SERVER_BIN=${1:?usage: net_smoke.sh <fj_server> <fj_client>}
+CLIENT_BIN=${2:?usage: net_smoke.sh <fj_server> <fj_client>}
+
+# Small IMDB-JOB-style workload (the acceptance scenario: cyclic templates,
+# self joins, LIKE) — both sides must use identical flags so the client can
+# rebuild the server's deterministic workload and model.
+WORKLOAD_FLAGS=(--workload imdb --scale 0.05 --queries 3 --bins 32)
+
+WORKDIR=$(mktemp -d)
+SERVER_LOG="$WORKDIR/server.log"
+SERVER_PID=""
+
+cleanup() {
+  if [[ -n "$SERVER_PID" ]] && kill -0 "$SERVER_PID" 2>/dev/null; then
+    kill "$SERVER_PID" 2>/dev/null || true
+    wait "$SERVER_PID" 2>/dev/null || true
+  fi
+  rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+"$SERVER_BIN" "${WORKLOAD_FLAGS[@]}" --port 0 > "$SERVER_LOG" 2>&1 &
+SERVER_PID=$!
+
+# Wait for the startup line and extract the ephemeral port.
+PORT=""
+for _ in $(seq 1 600); do
+  if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+    echo "net_smoke: server exited early:" >&2
+    cat "$SERVER_LOG" >&2
+    exit 1
+  fi
+  PORT=$(sed -n 's/^fj_server: listening on .*:\([0-9]\{1,\}\)$/\1/p' "$SERVER_LOG" | head -n1)
+  [[ -n "$PORT" ]] && break
+  sleep 0.1
+done
+if [[ -z "$PORT" ]]; then
+  echo "net_smoke: server never reported a listening port:" >&2
+  cat "$SERVER_LOG" >&2
+  exit 1
+fi
+echo "net_smoke: server (pid $SERVER_PID) listening on port $PORT"
+
+# Second process: remote estimates must be bit-identical to a locally
+# trained in-process service.
+"$CLIENT_BIN" "${WORKLOAD_FLAGS[@]}" --port "$PORT" --verify
+
+kill "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+echo "net_smoke: server log:"
+cat "$SERVER_LOG"
+echo "net_smoke: OK"

@@ -1,0 +1,107 @@
+// Flags shared by fj_server and fj_client. The --verify contract depends
+// on both binaries deriving the *identical* deterministic workload and
+// model from the same flag values, so the flag set, defaults, and
+// workload construction live here, once.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "net/socket.h"
+#include "workload/imdb_job.h"
+#include "workload/stats_ceb.h"
+
+namespace fj::tools {
+
+struct WorkloadFlags {
+  std::string workload = "stats";
+  double scale = 0.1;
+  size_t queries = 16;
+  size_t bins = 64;
+  uint64_t seed = 0;  // 0: workload default
+  std::string host = "127.0.0.1";
+  int port = 9977;
+  std::string unix_path;
+};
+
+inline constexpr const char* kWorkloadFlagsUsage =
+    "  --workload stats|imdb   synthetic workload (default stats)\n"
+    "  --scale S               database scale factor (default 0.1)\n"
+    "  --queries N             queries to generate (default 16)\n"
+    "  --bins K                FactorJoin bins (default 64)\n"
+    "  --seed N                workload seed (default: workload's)\n"
+    "  --host H                TCP host (default 127.0.0.1)\n"
+    "  --port P                TCP port; 0 = ephemeral (default 9977)\n"
+    "  --unix PATH             Unix-domain socket instead of TCP\n";
+
+/// Tries to consume argv[*i] (advancing past its value) as one of the
+/// shared flags. Returns 1 when consumed, 0 when the flag is not a shared
+/// one (the caller may have tool-specific flags), -1 on a missing value.
+inline int TryParseWorkloadFlag(int argc, char** argv, int* i,
+                                WorkloadFlags* flags) {
+  std::string flag = argv[*i];
+  auto next = [&]() -> const char* {
+    return *i + 1 < argc ? argv[++*i] : nullptr;
+  };
+  const char* v = nullptr;
+  if (flag == "--workload") {
+    if ((v = next()) == nullptr) return -1;
+    flags->workload = v;
+  } else if (flag == "--scale") {
+    if ((v = next()) == nullptr) return -1;
+    flags->scale = std::atof(v);
+  } else if (flag == "--queries") {
+    if ((v = next()) == nullptr) return -1;
+    flags->queries = static_cast<size_t>(std::atoll(v));
+  } else if (flag == "--bins") {
+    if ((v = next()) == nullptr) return -1;
+    flags->bins = static_cast<size_t>(std::atoll(v));
+  } else if (flag == "--seed") {
+    if ((v = next()) == nullptr) return -1;
+    flags->seed = static_cast<uint64_t>(std::atoll(v));
+  } else if (flag == "--host") {
+    if ((v = next()) == nullptr) return -1;
+    flags->host = v;
+  } else if (flag == "--port") {
+    if ((v = next()) == nullptr) return -1;
+    flags->port = std::atoi(v);
+  } else if (flag == "--unix") {
+    if ((v = next()) == nullptr) return -1;
+    flags->unix_path = v;
+  } else {
+    return 0;
+  }
+  return 1;
+}
+
+/// The deterministic workload both sides must agree on.
+inline std::unique_ptr<Workload> MakeFlaggedWorkload(
+    const WorkloadFlags& flags) {
+  if (flags.workload == "imdb") {
+    ImdbJobOptions o;
+    o.scale = flags.scale;
+    o.num_queries = flags.queries;
+    if (flags.seed != 0) o.seed = flags.seed;
+    return MakeImdbJob(o);
+  }
+  StatsCebOptions o;
+  o.scale = flags.scale;
+  o.num_queries = flags.queries;
+  if (flags.seed != 0) o.seed = flags.seed;
+  return MakeStatsCeb(o);
+}
+
+inline net::Endpoint EndpointFromFlags(const WorkloadFlags& flags) {
+  net::Endpoint endpoint;
+  if (!flags.unix_path.empty()) {
+    endpoint.unix_path = flags.unix_path;
+  } else {
+    endpoint.host = flags.host;
+    endpoint.port = static_cast<uint16_t>(flags.port);
+  }
+  return endpoint;
+}
+
+}  // namespace fj::tools
