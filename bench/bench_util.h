@@ -6,6 +6,12 @@
 // Environment knobs (all optional):
 //   FJ_BENCH_SCALE    data scale factor        (default 0.3)
 //   FJ_BENCH_QUERIES  queries per workload     (default: paper counts)
+//
+// Machine-readable output: every harness that accepts `--json <path>` (or
+// `--json=<path>`) additionally writes its headline numbers as a flat JSON
+// metric list via JsonReport, so the perf trajectory is trackable across
+// PRs (CI uploads the files as artifacts; docs/BENCHMARKS.md records the
+// before/after numbers).
 #pragma once
 
 #include <cstdio>
@@ -30,9 +36,104 @@ inline double EnvScale(double fallback = 0.15) {
   return s != nullptr ? std::atof(s) : fallback;
 }
 
+/// Flat JSON metric sink behind the shared `--json <path>` flag.
+///
+///   JsonReport report = JsonReport::FromArgs(argc, argv, "micro_latency");
+///   report.Add("progressive_ms_per_pass", 2.9, "ms");
+///   report.Write();  // no-op when --json was not given
+///
+/// Output shape (stable across benches, one object per metric):
+///   {"benchmark": "micro_latency", "metrics": [
+///     {"name": "progressive_ms_per_pass", "value": 2.9, "unit": "ms"}]}
+class JsonReport {
+ public:
+  /// Scans argv for `--json <path>` / `--json=<path>`. Unrelated arguments
+  /// are ignored, so harnesses with their own flags can share argv.
+  static JsonReport FromArgs(int argc, char** argv, std::string benchmark) {
+    JsonReport report;
+    report.benchmark_ = std::move(benchmark);
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg == "--json" && i + 1 < argc) {
+        report.path_ = argv[i + 1];
+      } else if (arg.rfind("--json=", 0) == 0) {
+        report.path_ = arg.substr(7);
+      }
+    }
+    return report;
+  }
+
+  bool enabled() const { return !path_.empty(); }
+
+  void Add(const std::string& name, double value, std::string unit = "") {
+    metrics_.push_back(Metric{name, value, std::move(unit)});
+  }
+
+  /// Writes the report; exits non-zero on I/O failure so CI notices a
+  /// missing artifact. No-op when --json was not given.
+  void Write() const {
+    if (!enabled()) return;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "JsonReport: cannot open %s\n", path_.c_str());
+      std::exit(1);
+    }
+    std::fprintf(f, "{\"benchmark\": \"%s\", \"metrics\": [",
+                 Escaped(benchmark_).c_str());
+    for (size_t i = 0; i < metrics_.size(); ++i) {
+      std::fprintf(f, "%s\n  {\"name\": \"%s\", \"value\": %.17g",
+                   i == 0 ? "" : ",", Escaped(metrics_[i].name).c_str(),
+                   metrics_[i].value);
+      if (!metrics_[i].unit.empty()) {
+        std::fprintf(f, ", \"unit\": \"%s\"", Escaped(metrics_[i].unit).c_str());
+      }
+      std::fprintf(f, "}");
+    }
+    std::fprintf(f, "\n]}\n");
+    std::fclose(f);
+    std::printf("wrote %zu metrics to %s\n", metrics_.size(), path_.c_str());
+  }
+
+ private:
+  struct Metric {
+    std::string name;
+    double value;
+    std::string unit;
+  };
+
+  static std::string Escaped(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (static_cast<unsigned char>(c) < 0x20) continue;  // control chars
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string benchmark_;
+  std::string path_;
+  std::vector<Metric> metrics_;
+};
+
 inline size_t EnvQueries(size_t fallback) {
   const char* s = std::getenv("FJ_BENCH_QUERIES");
   return s != nullptr ? static_cast<size_t>(std::atoll(s)) : fallback;
+}
+
+/// Keeps `value` observable so the compiler cannot delete a benchmarked
+/// computation whose result is otherwise unused.
+template <typename T>
+inline void DoNotOptimizeAway(T&& value) {
+  asm volatile("" : : "g"(value) : "memory");
+}
+
+/// Fixed-precision number formatting for table cells.
+inline std::string Fmt(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
 }
 
 inline std::unique_ptr<Workload> StatsWorkload(

@@ -2,8 +2,20 @@
 // estimate ~10,000 sub-plan queries within one second (Section 6.2).
 // Measures per-sub-plan estimation latency of FactorJoin's progressive
 // algorithm vs estimating every sub-plan independently (the >10x saving of
-// Section 5.2), and vs PessEst's per-estimate cost.
-#include <benchmark/benchmark.h>
+// Section 5.2), vs the shared-leaf session path (PrepareSubplans, what the
+// serving layer's batch splitter runs per chunk), and vs Postgres/PessEst
+// per-estimate costs.
+//
+// Self-timed passes over the whole workload (no external benchmark library):
+// each case is warmed once, then repeated until kMinSeconds of wall time or
+// kMaxPasses passes, whichever comes first. Deterministic workload; numbers
+// vary with the machine but ratios are stable.
+//
+// Environment knobs: FJ_BENCH_SCALE, FJ_BENCH_QUERIES (bench_util.h).
+// `--json out.json` writes the headline metrics machine-readably.
+//
+//   $ ./bench_micro_latency [--json micro.json]
+#include <functional>
 
 #include "baselines/pessimistic_estimator.h"
 #include "baselines/postgres_estimator.h"
@@ -15,95 +27,129 @@ using namespace fj::bench;
 
 namespace {
 
-struct Context {
-  std::unique_ptr<Workload> workload;
-  std::unique_ptr<FactorJoinEstimator> factorjoin;
-  std::unique_ptr<PostgresEstimator> postgres;
-  std::unique_ptr<PessimisticEstimator> pessest;
-  std::vector<std::vector<uint64_t>> masks;  // per query
+constexpr double kMinSeconds = 0.4;
+constexpr int kMaxPasses = 200;
+
+struct CaseResult {
+  double ms_per_pass = 0.0;
+  double subplans_per_sec = 0.0;
 };
 
-Context* GetContext() {
-  static Context* ctx = [] {
-    auto* c = new Context();
-    ImdbJobOptions o;
-    o.scale = EnvScale();
-    o.num_queries = 30;
-    c->workload = MakeImdbJob(o);
-    c->factorjoin = MakeFactorJoinImdb(c->workload->db);
-    c->postgres = std::make_unique<PostgresEstimator>(c->workload->db);
-    c->pessest = std::make_unique<PessimisticEstimator>(c->workload->db);
-    for (const Query& q : c->workload->queries) {
-      c->masks.push_back(EnumerateConnectedSubsets(q, 1));
-    }
-    return c;
-  }();
-  return ctx;
+/// Times `pass` (one full-workload sweep producing `subplans_per_pass`
+/// estimates): one warmup, then repeat to kMinSeconds / kMaxPasses.
+CaseResult TimeCase(size_t subplans_per_pass,
+                    const std::function<void()>& pass) {
+  pass();  // warmup
+  WallTimer timer;
+  int passes = 0;
+  do {
+    pass();
+    ++passes;
+  } while (timer.Seconds() < kMinSeconds && passes < kMaxPasses);
+  double seconds = timer.Seconds();
+  CaseResult result;
+  result.ms_per_pass = seconds / passes * 1e3;
+  result.subplans_per_sec =
+      static_cast<double>(subplans_per_pass) * passes / seconds;
+  return result;
 }
 
-void BM_FactorJoinProgressive(benchmark::State& state) {
-  Context* c = GetContext();
-  size_t subplans = 0;
-  for (auto _ : state) {
-    for (size_t i = 0; i < c->workload->queries.size(); ++i) {
-      auto cards = c->factorjoin->EstimateSubplans(c->workload->queries[i],
-                                                   c->masks[i]);
-      benchmark::DoNotOptimize(cards);
-      subplans += c->masks[i].size();
-    }
-  }
-  state.SetItemsProcessed(static_cast<int64_t>(subplans));
-}
-BENCHMARK(BM_FactorJoinProgressive)->Unit(benchmark::kMillisecond);
-
-void BM_FactorJoinIndependent(benchmark::State& state) {
-  Context* c = GetContext();
-  size_t subplans = 0;
-  for (auto _ : state) {
-    for (size_t i = 0; i < c->workload->queries.size(); ++i) {
-      const Query& q = c->workload->queries[i];
-      for (uint64_t mask : c->masks[i]) {
-        double card = c->factorjoin->Estimate(q.InducedSubquery(mask));
-        benchmark::DoNotOptimize(card);
-        ++subplans;
-      }
-    }
-  }
-  state.SetItemsProcessed(static_cast<int64_t>(subplans));
-}
-BENCHMARK(BM_FactorJoinIndependent)->Unit(benchmark::kMillisecond);
-
-void BM_PostgresSubplans(benchmark::State& state) {
-  Context* c = GetContext();
-  size_t subplans = 0;
-  for (auto _ : state) {
-    for (size_t i = 0; i < c->workload->queries.size(); ++i) {
-      auto cards = c->postgres->EstimateSubplans(c->workload->queries[i],
-                                                 c->masks[i]);
-      benchmark::DoNotOptimize(cards);
-      subplans += c->masks[i].size();
-    }
-  }
-  state.SetItemsProcessed(static_cast<int64_t>(subplans));
-}
-BENCHMARK(BM_PostgresSubplans)->Unit(benchmark::kMillisecond);
-
-void BM_PessEstSubplans(benchmark::State& state) {
-  Context* c = GetContext();
-  // PessEst is orders of magnitude slower; only the first few queries.
-  size_t subplans = 0;
-  for (auto _ : state) {
-    for (size_t i = 0; i < 3 && i < c->workload->queries.size(); ++i) {
-      auto cards = c->pessest->EstimateSubplans(c->workload->queries[i],
-                                                c->masks[i]);
-      benchmark::DoNotOptimize(cards);
-      subplans += c->masks[i].size();
-    }
-  }
-  state.SetItemsProcessed(static_cast<int64_t>(subplans));
-}
-BENCHMARK(BM_PessEstSubplans)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  JsonReport report = JsonReport::FromArgs(argc, argv, "micro_latency");
+
+  ImdbJobOptions options;
+  options.scale = EnvScale();
+  options.num_queries = EnvQueries(30);
+  auto workload = MakeImdbJob(options);
+  auto factorjoin = MakeFactorJoinImdb(workload->db);
+  PostgresEstimator postgres(workload->db);
+  PessimisticEstimator pessest(workload->db);
+
+  std::vector<std::vector<uint64_t>> masks;
+  size_t total_subplans = 0;
+  for (const Query& q : workload->queries) {
+    masks.push_back(EnumerateConnectedSubsets(q, 1));
+    total_subplans += masks.back().size();
+  }
+  std::printf("%s: %zu queries, %zu sub-plans per pass (scale %.2f)\n\n",
+              workload->name.c_str(), workload->queries.size(),
+              total_subplans, options.scale);
+
+  const auto& queries = workload->queries;
+
+  // Progressive batches: the optimizer-facing EstimateSubplans hot path
+  // (cold — leaf factors rebuilt per batch).
+  CaseResult progressive = TimeCase(total_subplans, [&] {
+    for (size_t i = 0; i < queries.size(); ++i) {
+      auto cards = factorjoin->EstimateSubplans(queries[i], masks[i]);
+      DoNotOptimizeAway(cards.size());
+    }
+  });
+
+  // Shared-leaf session: leaves prepared once per query, masks estimated
+  // against them — the per-chunk cost of the service's batch splitter.
+  CaseResult session = TimeCase(total_subplans, [&] {
+    for (size_t i = 0; i < queries.size(); ++i) {
+      auto s = factorjoin->PrepareSubplans(queries[i]);
+      auto cards = s->EstimateSubplans(masks[i]);
+      DoNotOptimizeAway(cards.size());
+    }
+  });
+
+  // Every sub-plan independently (the >10x saving of Section 5.2).
+  CaseResult independent = TimeCase(total_subplans, [&] {
+    for (size_t i = 0; i < queries.size(); ++i) {
+      for (uint64_t mask : masks[i]) {
+        DoNotOptimizeAway(
+            factorjoin->Estimate(queries[i].InducedSubquery(mask)));
+      }
+    }
+  });
+
+  CaseResult pg = TimeCase(total_subplans, [&] {
+    for (size_t i = 0; i < queries.size(); ++i) {
+      auto cards = postgres.EstimateSubplans(queries[i], masks[i]);
+      DoNotOptimizeAway(cards.size());
+    }
+  });
+
+  // PessEst is orders of magnitude slower; only the first few queries.
+  size_t pessest_queries = std::min<size_t>(3, queries.size());
+  size_t pessest_subplans = 0;
+  for (size_t i = 0; i < pessest_queries; ++i) {
+    pessest_subplans += masks[i].size();
+  }
+  CaseResult pe = TimeCase(pessest_subplans, [&] {
+    for (size_t i = 0; i < pessest_queries; ++i) {
+      auto cards = pessest.EstimateSubplans(queries[i], masks[i]);
+      DoNotOptimizeAway(cards.size());
+    }
+  });
+
+  TablePrinter tp({"Case", "ms/pass", "Sub-plans/s"});
+  tp.AddRow({"factorjoin progressive", Fmt(progressive.ms_per_pass, 2),
+             Fmt(progressive.subplans_per_sec, 0)});
+  tp.AddRow({"factorjoin session (shared leaves)", Fmt(session.ms_per_pass, 2),
+             Fmt(session.subplans_per_sec, 0)});
+  tp.AddRow({"factorjoin independent", Fmt(independent.ms_per_pass, 2),
+             Fmt(independent.subplans_per_sec, 0)});
+  tp.AddRow({"postgres", Fmt(pg.ms_per_pass, 2), Fmt(pg.subplans_per_sec, 0)});
+  tp.AddRow({"pessest (3 queries)", Fmt(pe.ms_per_pass, 2),
+             Fmt(pe.subplans_per_sec, 0)});
+  tp.Print();
+  std::printf("\nprogressive vs independent speedup: %.1fx\n",
+              independent.ms_per_pass / progressive.ms_per_pass);
+
+  report.Add("progressive_ms_per_pass", progressive.ms_per_pass, "ms");
+  report.Add("progressive_subplans_per_sec", progressive.subplans_per_sec,
+             "1/s");
+  report.Add("session_ms_per_pass", session.ms_per_pass, "ms");
+  report.Add("independent_ms_per_pass", independent.ms_per_pass, "ms");
+  report.Add("postgres_ms_per_pass", pg.ms_per_pass, "ms");
+  report.Add("pessest_ms_per_pass", pe.ms_per_pass, "ms");
+  report.Write();
+  return 0;
+}

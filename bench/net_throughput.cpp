@@ -13,9 +13,9 @@
 //
 // Environment knobs: FJ_BENCH_SCALE, FJ_BENCH_QUERIES (bench_util.h),
 // FJ_BENCH_REQUESTS (default 2000), FJ_NET_WINDOW (outstanding requests,
-// default 32).
+// default 32). `--json out.json` writes the headline metrics.
 //
-//   $ ./bench_net_throughput
+//   $ ./bench_net_throughput [--json net.json]
 #include <algorithm>
 #include <cstdio>
 #include <deque>
@@ -95,18 +95,14 @@ RunResult RunPipelined(const std::vector<Query>& queries,
   return result;
 }
 
-std::string Fmt(double value, int digits) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
-  return buf;
-}
 
 }  // namespace
 }  // namespace fj::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fj;
   using namespace fj::bench;
+  JsonReport report = JsonReport::FromArgs(argc, argv, "net_throughput");
 
   auto workload = StatsWorkload(EnvQueries(16));
   FactorJoinConfig config;
@@ -148,6 +144,7 @@ int main() {
     inproc_qps = r.qps;
     tp.AddRow({"in-process", Fmt(r.qps, 0), Fmt(r.subplans_per_sec, 0),
                Fmt(r.p50_micros, 1), Fmt(r.p99_micros, 1), "-"});
+    report.Add("inprocess_qps", r.qps, "1/s");
   }
 
   double tcp_ratio = 0.0;
@@ -170,6 +167,8 @@ int main() {
     tp.AddRow({"loopback tcp", Fmt(r.qps, 0), Fmt(r.subplans_per_sec, 0),
                Fmt(r.p50_micros, 1), Fmt(r.p99_micros, 1),
                TablePrinter::FormatPercent(tcp_ratio)});
+    report.Add("tcp_qps", r.qps, "1/s");
+    report.Add("tcp_vs_inprocess", tcp_ratio);
   }
   {
     net::EstimatorServerOptions server_options;
@@ -189,6 +188,8 @@ int main() {
     tp.AddRow({"unix socket", Fmt(r.qps, 0), Fmt(r.subplans_per_sec, 0),
                Fmt(r.p50_micros, 1), Fmt(r.p99_micros, 1),
                TablePrinter::FormatPercent(unix_ratio)});
+    report.Add("unix_qps", r.qps, "1/s");
+    report.Add("unix_vs_inprocess", unix_ratio);
   }
   tp.Print();
 
@@ -196,5 +197,7 @@ int main() {
   std::printf("\nbest remote mode sustains %.0f%% of in-process throughput "
               "(acceptance: >= 50%%): %s\n",
               best * 100.0, best >= 0.5 ? "PASS" : "FAIL");
+  report.Add("best_remote_vs_inprocess", best);
+  report.Write();
   return best >= 0.5 ? 0 : 1;
 }

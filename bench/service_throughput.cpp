@@ -7,10 +7,16 @@
 // warmed first, so the measured regime is the serving hot path (fingerprint
 // + sharded lookup per sub-plan) rather than first-touch model evaluation.
 //
+// A second section measures COLD multi-join sub-plan batches (cache
+// disabled): raw estimator batch throughput through the service, with and
+// without batch-aware splitting (EstimatorServiceOptions::
+// split_batch_min_masks) — the number the arena/kernel hot-path work moves.
+//
 // Environment knobs: FJ_BENCH_SCALE, FJ_BENCH_QUERIES (see bench_util.h),
 // FJ_BENCH_REQUESTS (total requests per measured point, default 512).
+// `--json out.json` writes the headline metrics machine-readably.
 //
-//   $ ./bench_service_throughput
+//   $ ./bench_service_throughput [--json service.json]
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -42,11 +48,6 @@ size_t EnvRequests(size_t fallback = 512) {
   return s != nullptr ? static_cast<size_t>(std::atoll(s)) : fallback;
 }
 
-std::string Fmt(double value, int digits) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
-  return buf;
-}
 
 /// Drives `total_requests` blocking sub-plan batches from `clients` threads
 /// round-robin over the workload and returns the aggregate numbers.
@@ -98,9 +99,10 @@ LoadPoint RunLoad(EstimatorService& service, const std::vector<Query>& queries,
 }  // namespace
 }  // namespace fj::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fj;
   using namespace fj::bench;
+  JsonReport report = JsonReport::FromArgs(argc, argv, "service_throughput");
 
   auto workload = StatsWorkload(EnvQueries(32));
   FactorJoinConfig config;
@@ -149,6 +151,9 @@ int main() {
                  std::to_string(p.max_pending)});
       if (clients == 64 && workers == 1) qps_1worker = p.qps;
       if (clients == 64 && workers == 8) qps_8worker = p.qps;
+      report.Add("warm_qps_w" + std::to_string(workers) + "_c" +
+                     std::to_string(clients),
+                 p.qps, "1/s");
     }
   }
   tp.Print();
@@ -161,5 +166,50 @@ int main() {
                 "is core-bound on this machine)\n",
                 std::thread::hardware_concurrency());
   }
+
+  // ---- Cold multi-join sub-plan batches (cache disabled): the estimator
+  // hot path behind the serving layer, the regime the arena/kernel work
+  // targets. Split off vs on isolates batch-aware scheduling (parallel
+  // gains require idle workers, i.e. more cores than clients keep busy).
+  std::printf("\ncold multi-join batches (cache disabled, %zu requests):\n",
+              requests / 4);
+  TablePrinter cold_tp({"Split", "Batches/s", "Sub-plans/s", "p99 (us)"});
+  double cold_qps_nosplit = 0.0;
+  for (bool split : {false, true}) {
+    EstimatorServiceOptions options;
+    options.num_threads = 4;
+    options.cache_enabled = false;
+    options.split_batch_min_masks = split ? 8 : 0;
+    EstimatorService service(estimator, options);
+    LoadPoint p = RunLoad(service, workload->queries, masks, 8, requests / 4);
+    double subplans_per_sec =
+        p.qps * static_cast<double>(total_subplans) /
+        static_cast<double>(workload->queries.size());
+    cold_tp.AddRow({split ? "on" : "off", Fmt(p.qps, 0),
+                    Fmt(subplans_per_sec, 0), Fmt(p.p99_micros, 1)});
+    if (!split) {
+      cold_qps_nosplit = p.qps;
+    } else if (cold_qps_nosplit > 0.0) {
+      std::printf("  split vs unsplit: %.2fx (parallel gains need idle "
+                  "cores)\n", p.qps / cold_qps_nosplit);
+      report.Add("cold_split_vs_nosplit", p.qps / cold_qps_nosplit);
+    }
+    report.Add(split ? "cold_batches_per_sec_split"
+                     : "cold_batches_per_sec_nosplit",
+               p.qps, "1/s");
+    report.Add(split ? "cold_subplans_per_sec_split"
+                     : "cold_subplans_per_sec_nosplit",
+               subplans_per_sec, "1/s");
+    if (split) {
+      ServiceStats stats = service.Stats();
+      std::printf("  (split %llu batches into %llu chunks)\n",
+                  static_cast<unsigned long long>(stats.batches_split),
+                  static_cast<unsigned long long>(stats.split_chunks));
+    }
+  }
+  cold_tp.Print();
+
+  report.Add("warm_speedup_8v1_workers", speedup);
+  report.Write();
   return 0;
 }

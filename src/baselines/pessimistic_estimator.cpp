@@ -3,6 +3,7 @@
 #include <bit>
 #include <unordered_map>
 
+#include "factorjoin/kernels.h"
 #include "query/filter_eval.h"
 
 namespace fj {
@@ -21,7 +22,7 @@ PessimisticEstimator::PessimisticEstimator(const Database& db,
 
 BoundFactor PessimisticEstimator::MakeLeafSketch(
     const Query& query, size_t alias_idx,
-    const std::vector<QueryKeyGroup>& groups) const {
+    const std::vector<QueryKeyGroup>& groups, FactorArena* arena) const {
   const TableRef& ref = query.tables()[alias_idx];
   const Table& table = db_->GetTable(ref.table);
 
@@ -43,22 +44,20 @@ BoundFactor PessimisticEstimator::MakeLeafSketch(
         int64_t v = col.IntAt(r);
         if (v != kNullInt64) ++degrees[v];
       }
-      GroupBound gb;
-      gb.mass.assign(options_.partitions, 0.0);
-      gb.mfv.assign(options_.partitions, 0.0);
+      double* mass = arena->AllocZeroed(options_.partitions);
+      double* mfv = arena->AllocZeroed(options_.partitions);
       for (const auto& [v, d] : degrees) {
         uint32_t p = HashPartition(v, options_.partitions);
-        gb.mass[p] += static_cast<double>(d);
-        gb.mfv[p] = std::max(gb.mfv[p], static_cast<double>(d));
+        mass[p] += static_cast<double>(d);
+        mfv[p] = std::max(mfv[p], static_cast<double>(d));
       }
-      auto it = factor.groups.find(static_cast<int>(g));
-      if (it == factor.groups.end()) {
-        factor.groups[static_cast<int>(g)] = std::move(gb);
+      GroupSpan* existing = factor.FindGroup(static_cast<int>(g));
+      if (existing == nullptr) {
+        factor.groups.push_back(GroupSpan{static_cast<int>(g),
+                                          options_.partitions, mass, mfv});
       } else {
-        for (uint32_t p = 0; p < options_.partitions; ++p) {
-          it->second.mass[p] = std::min(it->second.mass[p], gb.mass[p]);
-          it->second.mfv[p] = std::min(it->second.mfv[p], gb.mfv[p]);
-        }
+        kernels::MinInto(existing->mass, mass, options_.partitions);
+        kernels::MinInto(existing->mfv, mfv, options_.partitions);
       }
     }
   }
@@ -68,9 +67,11 @@ BoundFactor PessimisticEstimator::MakeLeafSketch(
 double PessimisticEstimator::Estimate(const Query& query) const {
   if (query.NumTables() == 0) return 0.0;
   std::vector<QueryKeyGroup> groups = query.KeyGroups();
+  FactorArena arena;
   std::vector<BoundFactor> leaves;
+  leaves.reserve(query.NumTables());
   for (size_t i = 0; i < query.NumTables(); ++i) {
-    leaves.push_back(MakeLeafSketch(query, i, groups));
+    leaves.push_back(MakeLeafSketch(query, i, groups, &arena));
   }
   if (query.NumTables() == 1) return leaves[0].card;
 
@@ -100,11 +101,11 @@ double PessimisticEstimator::Estimate(const Query& query) const {
       throw std::invalid_argument("pessest: disconnected join graph");
     }
     std::vector<int> connecting;
-    for (const auto& [gid, gb] : leaves[static_cast<size_t>(best)].groups) {
-      if (current.groups.count(gid) > 0) connecting.push_back(gid);
+    for (const GroupSpan& g : leaves[static_cast<size_t>(best)].groups) {
+      if (current.FindGroup(g.gid) != nullptr) connecting.push_back(g.gid);
     }
     current = JoinBoundFactors(current, leaves[static_cast<size_t>(best)],
-                               connecting);
+                               connecting, &arena);
     remaining &= ~(uint64_t{1} << best);
   }
   return current.card;

@@ -28,8 +28,11 @@ class PessimisticEstimator : public CardinalityEstimator {
   size_t ModelSizeBytes() const override { return sizeof(*this); }
 
  private:
+  /// Per-bin sketch arrays are allocated from `arena` (one per Estimate
+  /// call), matching the flat factor layout of factor.h.
   BoundFactor MakeLeafSketch(const Query& query, size_t alias_idx,
-                             const std::vector<QueryKeyGroup>& groups) const;
+                             const std::vector<QueryKeyGroup>& groups,
+                             FactorArena* arena) const;
 
   const Database* db_;  // not owned
   PessimisticOptions options_;

@@ -32,6 +32,14 @@ class ColumnBinStats {
   /// Number of distinct values inside `bin`.
   uint64_t DistinctCount(uint32_t bin) const { return ndvs_[bin]; }
 
+  /// Contiguous per-bin total counts (length num_bins()). The estimation
+  /// kernels stream over these arrays directly instead of calling the
+  /// per-bin accessors above; the pointer is invalidated by updates.
+  const std::vector<uint64_t>& totals() const { return totals_; }
+
+  /// Contiguous per-bin MFV counts V* (length num_bins()); see totals().
+  const std::vector<uint64_t>& mfvs() const { return mfvs_; }
+
   /// Largest MFV over all bins (used to propagate MFV bounds across joins).
   uint64_t MaxMfv() const;
 

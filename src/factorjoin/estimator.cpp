@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "factorjoin/kernels.h"
 #include "query/subplan.h"
 #include "stats/sampling_estimator.h"
 #include "stats/truescan_estimator.h"
@@ -135,7 +136,7 @@ int FactorJoinEstimator::GlobalGroupOf(const Query& query,
 
 BoundFactor FactorJoinEstimator::MakeLeafFactor(
     const Query& query, size_t alias_idx,
-    const std::vector<QueryKeyGroup>& groups) const {
+    const std::vector<QueryKeyGroup>& groups, FactorArena* arena) const {
   const TableRef& ref = query.tables()[alias_idx];
   const TableEstimator& est = *estimators_.at(ref.table);
 
@@ -167,41 +168,40 @@ BoundFactor FactorJoinEstimator::MakeLeafFactor(
   BoundFactor factor;
   factor.alias_mask = uint64_t{1} << alias_idx;
   factor.card = std::max(dists.filtered_rows, 0.0);
+  factor.groups.reserve(keys.size());
 
+  // `keys` is ordered by ascending query_group (outer loop over groups), so
+  // appending keeps factor.groups sorted; a repeated group id (two columns
+  // of one alias in the same group) always finds its earlier span.
   for (size_t i = 0; i < keys.size(); ++i) {
     const AliasKey& k = keys[i];
-    GroupBound gb;
-    gb.mass = dists.masses[i];
-    gb.mfv.resize(k.binning->num_bins());
-    double mass_sum = 0.0;
-    for (double m : gb.mass) mass_sum += m;
-    for (uint32_t b = 0; b < k.binning->num_bins(); ++b) {
-      gb.mfv[b] = static_cast<double>(std::max<uint64_t>(k.stats->MfvCount(b), 1));
-      if (mass_sum <= 0.0 && factor.card > 0.0 && k.stats->total_rows() > 0) {
-        // The estimator saw no matching rows (tiny sample + selective
-        // filter): back off to the key's unconditioned shape scaled to the
-        // filtered-cardinality estimate.
-        gb.mass[b] = factor.card *
-                     static_cast<double>(k.stats->TotalCount(b)) /
-                     static_cast<double>(k.stats->total_rows());
-      }
-      // The estimated per-bin mass can never exceed the bin's (exact) total
-      // count; clamping tightens sampling noise without hurting validity.
-      gb.mass[b] = std::min(gb.mass[b],
-                            static_cast<double>(k.stats->TotalCount(b)));
-    }
-    auto it = factor.groups.find(k.query_group);
-    if (it == factor.groups.end()) {
-      factor.groups[k.query_group] = std::move(gb);
+    uint32_t bins = k.binning->num_bins();
+    double* mass = arena->Alloc(bins);
+    const std::vector<double>& src = dists.masses[i];
+    size_t copy = std::min<size_t>(src.size(), bins);
+    std::copy_n(src.data(), copy, mass);
+    std::fill(mass + copy, mass + bins, 0.0);
+    double mass_sum = kernels::Sum(mass, bins);
+    double* mfv = arena->Alloc(bins);
+    // Per-bin finalize against the column's contiguous bin summaries:
+    // offline V* (>=1) as the MFV bound; back off to the key's
+    // unconditioned shape scaled to the filtered-cardinality estimate when
+    // the single-table estimator saw no matching rows (tiny sample +
+    // selective filter); clamp each bin's mass by its exact total count
+    // (tightens sampling noise without hurting validity).
+    kernels::LeafFinalize(mass, mfv, k.stats->totals().data(),
+                          k.stats->mfvs().data(), bins, mass_sum, factor.card,
+                          k.stats->total_rows());
+    GroupSpan* existing = factor.FindGroup(k.query_group);
+    if (existing == nullptr) {
+      factor.groups.push_back(
+          GroupSpan{k.query_group, bins, mass, mfv});
     } else {
       // Two columns of the same alias in one group (intra-alias equality):
       // keep the elementwise minimum, a valid bound for the conjunction.
-      GroupBound& existing = it->second;
-      size_t bins = std::min(existing.mass.size(), gb.mass.size());
-      for (size_t b = 0; b < bins; ++b) {
-        existing.mass[b] = std::min(existing.mass[b], gb.mass[b]);
-        existing.mfv[b] = std::min(existing.mfv[b], gb.mfv[b]);
-      }
+      uint32_t merged = std::min(existing->bins, bins);
+      kernels::MinInto(existing->mass, mass, merged);
+      kernels::MinInto(existing->mfv, mfv, merged);
     }
   }
   return factor;
@@ -212,26 +212,44 @@ std::unordered_map<uint64_t, double> FactorJoinEstimator::EstimateSubplans(
   std::vector<QueryKeyGroup> groups = query.KeyGroups();
 
   // Leaf factors for every alias (estimated once, reused by every sub-plan —
-  // the heart of the progressive algorithm's saving).
+  // the heart of the progressive algorithm's saving). One arena backs every
+  // per-bin array the call produces, leaves and joined factors alike.
+  FactorArena arena;
   std::vector<BoundFactor> leaves;
   leaves.reserve(query.NumTables());
   for (size_t i = 0; i < query.NumTables(); ++i) {
-    leaves.push_back(MakeLeafFactor(query, i, groups));
+    leaves.push_back(MakeLeafFactor(query, i, groups, &arena));
   }
 
   std::vector<uint64_t> adj = query.AliasAdjacency();
+  return EstimateSubplansWithLeaves(query, masks, leaves, adj, &arena);
+}
+
+std::unordered_map<uint64_t, double>
+FactorJoinEstimator::EstimateSubplansWithLeaves(
+    const Query& query, const std::vector<uint64_t>& masks,
+    const std::vector<BoundFactor>& leaves, const std::vector<uint64_t>& adj,
+    FactorArena* arena) const {
+  // Factors are span headers over arena memory, so the cache holds them by
+  // value: seeding it with the leaves copies a few words per group, not the
+  // per-bin data. Sized upfront — each requested mask caches at most one
+  // decomposition factor.
   std::unordered_map<uint64_t, BoundFactor> cache;
-  for (size_t i = 0; i < query.NumTables(); ++i) {
-    cache[uint64_t{1} << i] = leaves[i];
+  cache.reserve(masks.size() + leaves.size());
+  for (size_t i = 0; i < leaves.size(); ++i) {
+    cache.emplace(uint64_t{1} << i, leaves[i]);
   }
 
   // Canonical decomposition, independent of which masks were requested: the
   // factor for a mask splits off the lowest-bit alias whose removal keeps
   // the remainder connected (computing that remainder recursively). A mask's
   // bound is therefore a function of (query, mask) alone — the serving
-  // layer's cache can recompute an invalidated subset of a batch and still
-  // produce values bit-identical to a full-batch run.
+  // layer's cache can recompute an invalidated subset of a batch, and the
+  // batch splitter can chunk one mask set across workers, both still
+  // producing values bit-identical to a full-batch run.
   std::unordered_set<uint64_t> undecomposable;
+  undecomposable.reserve(masks.size());
+  std::vector<int> connecting;  // reused across join steps
   auto factor_of = [&](auto&& self, uint64_t mask) -> const BoundFactor* {
     auto it = cache.find(mask);
     if (it != cache.end()) return &it->second;
@@ -246,12 +264,12 @@ std::unordered_map<uint64_t, double> FactorJoinEstimator::EstimateSubplans(
       const BoundFactor* rf = self(self, rest);
       if (rf == nullptr) continue;
       // Connecting query key groups: groups with bound state on both sides.
-      std::vector<int> connecting;
-      for (const auto& [gid, gb] : leaves[a].groups) {
-        if (rf->groups.count(gid) > 0) connecting.push_back(gid);
+      connecting.clear();
+      for (const GroupSpan& g : leaves[a].groups) {
+        if (rf->FindGroup(g.gid) != nullptr) connecting.push_back(g.gid);
       }
       if (connecting.empty()) continue;
-      BoundFactor joined = JoinBoundFactors(*rf, leaves[a], connecting);
+      BoundFactor joined = JoinBoundFactors(*rf, leaves[a], connecting, arena);
       return &(cache[mask] = std::move(joined));
     }
     undecomposable.insert(mask);
@@ -262,6 +280,7 @@ std::unordered_map<uint64_t, double> FactorJoinEstimator::EstimateSubplans(
                      ? ~uint64_t{0}
                      : (uint64_t{1} << query.NumTables()) - 1;
   std::unordered_map<uint64_t, double> out;
+  out.reserve(masks.size());
   for (uint64_t mask : masks) {
     if ((mask & ~all) != 0) {
       throw std::out_of_range(
@@ -284,6 +303,41 @@ std::unordered_map<uint64_t, double> FactorJoinEstimator::EstimateSubplans(
   return out;
 }
 
+/// Shared-leaf session: the leaves (and their arena) live as long as the
+/// session; every EstimateSubplans call joins against them with a private
+/// arena, so concurrent chunked calls never touch shared mutable state.
+class FactorJoinEstimator::Session : public CardinalityEstimator::SubplanSession {
+ public:
+  Session(const FactorJoinEstimator* owner, Query query)
+      : owner_(owner), query_(std::move(query)) {
+    std::vector<QueryKeyGroup> groups = query_.KeyGroups();
+    adj_ = query_.AliasAdjacency();
+    leaves_.reserve(query_.NumTables());
+    for (size_t i = 0; i < query_.NumTables(); ++i) {
+      leaves_.push_back(owner_->MakeLeafFactor(query_, i, groups, &arena_));
+    }
+  }
+
+  std::unordered_map<uint64_t, double> EstimateSubplans(
+      const std::vector<uint64_t>& masks) const override {
+    FactorArena join_arena;
+    return owner_->EstimateSubplansWithLeaves(query_, masks, leaves_, adj_,
+                                              &join_arena);
+  }
+
+ private:
+  const FactorJoinEstimator* owner_;  // not owned; must outlive the session
+  Query query_;
+  std::vector<uint64_t> adj_;
+  FactorArena arena_;  // owns the leaves' per-bin arrays
+  std::vector<BoundFactor> leaves_;
+};
+
+std::unique_ptr<CardinalityEstimator::SubplanSession>
+FactorJoinEstimator::PrepareSubplans(const Query& query) const {
+  return std::make_unique<Session>(this, query);
+}
+
 double FactorJoinEstimator::Estimate(const Query& query) const {
   if (query.NumTables() == 0) return 0.0;
   if (query.NumTables() == 1) {
@@ -294,9 +348,11 @@ double FactorJoinEstimator::Estimate(const Query& query) const {
   std::vector<QueryKeyGroup> groups = query.KeyGroups();
   std::vector<uint64_t> adj = query.AliasAdjacency();
 
+  FactorArena arena;
   std::vector<BoundFactor> leaves;
+  leaves.reserve(query.NumTables());
   for (size_t i = 0; i < query.NumTables(); ++i) {
-    leaves.push_back(MakeLeafFactor(query, i, groups));
+    leaves.push_back(MakeLeafFactor(query, i, groups, &arena));
   }
 
   // Greedy left-deep accumulation starting from the smallest leaf.
@@ -309,6 +365,7 @@ double FactorJoinEstimator::Estimate(const Query& query) const {
                             ? ~uint64_t{0}
                             : (uint64_t{1} << query.NumTables()) - 1) &
                        ~current.alias_mask;
+  std::vector<int> connecting;
   while (remaining != 0) {
     // Next connected alias with the smallest leaf bound.
     int best = -1;
@@ -325,12 +382,12 @@ double FactorJoinEstimator::Estimate(const Query& query) const {
       throw std::invalid_argument("FactorJoin: disconnected join graph: " +
                                   query.ToString());
     }
-    std::vector<int> connecting;
-    for (const auto& [gid, gb] : leaves[static_cast<size_t>(best)].groups) {
-      if (current.groups.count(gid) > 0) connecting.push_back(gid);
+    connecting.clear();
+    for (const GroupSpan& g : leaves[static_cast<size_t>(best)].groups) {
+      if (current.FindGroup(g.gid) != nullptr) connecting.push_back(g.gid);
     }
     current = JoinBoundFactors(current, leaves[static_cast<size_t>(best)],
-                               connecting);
+                               connecting, &arena);
     remaining &= ~(uint64_t{1} << best);
   }
   return std::max(current.card, 1.0);

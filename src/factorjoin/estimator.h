@@ -27,6 +27,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "factorjoin/arena.h"
 #include "factorjoin/bin_stats.h"
 #include "factorjoin/binning.h"
 #include "factorjoin/factor.h"
@@ -73,6 +74,16 @@ class FactorJoinEstimator : public CardinalityEstimator {
   std::unordered_map<uint64_t, double> EstimateSubplans(
       const Query& query, const std::vector<uint64_t>& masks) const override;
 
+  /// Shared-leaf batch session: builds every leaf factor of `query` once
+  /// (the expensive, mask-independent part) into a session-owned arena;
+  /// EstimateSubplans calls on the session then run the progressive
+  /// decomposition against the shared leaves with a per-call join arena.
+  /// Thread-safe and bit-identical to EstimateSubplans on any mask subset
+  /// (the decomposition is canonical) — the serving layer uses this to
+  /// split one large batch across its worker pool.
+  std::unique_ptr<SubplanSession> PrepareSubplans(
+      const Query& query) const override;
+
   size_t ModelSizeBytes() const override;
   double TrainSeconds() const override { return train_seconds_; }
 
@@ -110,11 +121,23 @@ class FactorJoinEstimator : public CardinalityEstimator {
   size_t num_key_groups() const { return group_binnings_.size(); }
 
  private:
-  /// Builds the leaf bound factor for one alias of `query`.
-  /// `group_ids[i]` = query key-group index; the factor covers every group
-  /// with a member column on this alias.
+  class Session;  // SubplanSession sharing leaf factors across chunks
+
+  /// Builds the leaf bound factor for one alias of `query`, with every
+  /// per-bin array allocated from `arena`. The factor covers every query
+  /// key group with a member column on this alias.
   BoundFactor MakeLeafFactor(const Query& query, size_t alias_idx,
-                             const std::vector<QueryKeyGroup>& groups) const;
+                             const std::vector<QueryKeyGroup>& groups,
+                             FactorArena* arena) const;
+
+  /// Progressive canonical decomposition over prebuilt leaf factors (the
+  /// shared core of EstimateSubplans and Session::EstimateSubplans).
+  /// Joined factors are allocated from `arena`; `leaves` may live in a
+  /// different arena that outlives the call.
+  std::unordered_map<uint64_t, double> EstimateSubplansWithLeaves(
+      const Query& query, const std::vector<uint64_t>& masks,
+      const std::vector<BoundFactor>& leaves, const std::vector<uint64_t>& adj,
+      FactorArena* arena) const;
 
   /// Maps a query key group to the global group id (via any member column).
   int GlobalGroupOf(const Query& query, const QueryKeyGroup& group) const;

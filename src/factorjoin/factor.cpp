@@ -1,48 +1,60 @@
 #include "factorjoin/factor.h"
 
 #include <algorithm>
-#include <cmath>
 #include <stdexcept>
+
+#include "factorjoin/kernels.h"
 
 namespace fj {
 namespace {
 
-double MaxOf(const std::vector<double>& v) {
-  double m = 1.0;
-  for (double x : v) m = std::max(m, x);
-  return m;
+const GroupSpan& GroupOrThrow(const BoundFactor& f, int gid) {
+  const GroupSpan* g = f.FindGroup(gid);
+  if (g == nullptr) {
+    throw std::out_of_range(
+        "JoinBoundFactors: connecting group missing from a factor");
+  }
+  return *g;
 }
 
-// Rescales a mass vector so it sums to `target` (no-op if current sum is 0).
-void RescaleTo(std::vector<double>* mass, double target) {
-  double sum = 0.0;
-  for (double m : *mass) sum += m;
-  if (sum <= 0.0) return;
-  double f = target / sum;
-  for (double& m : *mass) m *= f;
+/// Rescaled-and-propagated copy of a carried group: mass rescaled to the
+/// joined cardinality, MFV multiplied by the other side's duplication bound
+/// and clamped by the result size.
+GroupSpan ScaledCopy(const GroupSpan& src, double card, double dup,
+                     FactorArena* arena) {
+  GroupSpan g;
+  g.gid = src.gid;
+  g.bins = src.bins;
+  g.mass = arena->AllocCopy(src.mass, src.bins);
+  kernels::RescaleTo(g.mass, g.bins, card);
+  g.mfv = arena->Alloc(src.bins);
+  kernels::ScaleMfv(g.mfv, src.mfv, src.bins, dup, std::max(card, 1.0));
+  return g;
 }
 
 }  // namespace
 
-double GroupJoinBound(const GroupBound& left, const GroupBound& right) {
-  size_t bins = std::min(left.mass.size(), right.mass.size());
-  double bound = 0.0;
-  for (size_t b = 0; b < bins; ++b) {
-    double ml = std::max(left.mass[b], 0.0);
-    double mr = std::max(right.mass[b], 0.0);
-    if (ml == 0.0 || mr == 0.0) continue;
-    double vl = std::max(left.mfv[b], 1.0);
-    double vr = std::max(right.mfv[b], 1.0);
-    // Equation 5, additionally clamped by the per-bin cross product (always
-    // a valid upper bound, and much tighter when a filter left only a few
-    // rows in the bin while the offline MFV is large).
-    bound += std::min(std::min(ml * vr, mr * vl), ml * mr);
+GroupSpan MakeGroupSpan(int gid, const std::vector<double>& mass,
+                        const std::vector<double>& mfv, FactorArena* arena) {
+  if (mass.size() != mfv.size()) {
+    throw std::invalid_argument("MakeGroupSpan: mass/mfv length mismatch");
   }
-  return bound;
+  GroupSpan g;
+  g.gid = gid;
+  g.bins = static_cast<uint32_t>(mass.size());
+  g.mass = arena->AllocCopy(mass.data(), mass.size());
+  g.mfv = arena->AllocCopy(mfv.data(), mfv.size());
+  return g;
+}
+
+double GroupJoinBound(const GroupSpan& left, const GroupSpan& right) {
+  size_t bins = std::min(left.bins, right.bins);
+  return kernels::JoinBound(left.mass, left.mfv, right.mass, right.mfv, bins);
 }
 
 BoundFactor JoinBoundFactors(const BoundFactor& left, const BoundFactor& right,
-                             const std::vector<int>& connecting_groups) {
+                             const std::vector<int>& connecting_groups,
+                             FactorArena* arena) {
   if (connecting_groups.empty()) {
     throw std::invalid_argument("JoinBoundFactors: no connecting key group");
   }
@@ -51,9 +63,8 @@ BoundFactor JoinBoundFactors(const BoundFactor& left, const BoundFactor& right,
   int best_group = connecting_groups.front();
   double best_bound = -1.0;
   for (int g : connecting_groups) {
-    const GroupBound& gl = left.groups.at(g);
-    const GroupBound& gr = right.groups.at(g);
-    double bound = GroupJoinBound(gl, gr);
+    double bound =
+        GroupJoinBound(GroupOrThrow(left, g), GroupOrThrow(right, g));
     if (best_bound < 0.0 || bound < best_bound) {
       best_bound = bound;
       best_group = g;
@@ -65,78 +76,71 @@ BoundFactor JoinBoundFactors(const BoundFactor& left, const BoundFactor& right,
   BoundFactor out;
   out.alias_mask = left.alias_mask | right.alias_mask;
   out.card = card;
+  out.groups.reserve(left.groups.size() + right.groups.size());
 
-  const GroupBound& gl_star = left.groups.at(best_group);
-  const GroupBound& gr_star = right.groups.at(best_group);
+  const GroupSpan& gl_star = GroupOrThrow(left, best_group);
+  const GroupSpan& gr_star = GroupOrThrow(right, best_group);
   // Duplication factors: joining on g*, one left tuple matches at most
   // max_b mfvR[b] right tuples and vice versa.
-  double dup_from_right = MaxOf(gr_star.mfv);
-  double dup_from_left = MaxOf(gl_star.mfv);
+  double dup_from_right = kernels::MaxOr1(gr_star.mfv, gr_star.bins);
+  double dup_from_left = kernels::MaxOr1(gl_star.mfv, gl_star.bins);
 
-  // g*: per-bin bound terms become the joined mass; MFV multiplies.
-  {
-    size_t bins = std::min(gl_star.mass.size(), gr_star.mass.size());
-    GroupBound g;
-    g.mass.resize(bins);
-    g.mfv.resize(bins);
-    for (size_t b = 0; b < bins; ++b) {
-      double ml = std::max(gl_star.mass[b], 0.0);
-      double mr = std::max(gr_star.mass[b], 0.0);
-      double vl = std::max(gl_star.mfv[b], 1.0);
-      double vr = std::max(gr_star.mfv[b], 1.0);
-      g.mass[b] = (ml == 0.0 || mr == 0.0)
-                      ? 0.0
-                      : std::min(std::min(ml * vr, mr * vl), ml * mr);
-      // No single key value can repeat more often than the whole result.
-      g.mfv[b] = std::min(vl * vr, std::max(card, 1.0));
-    }
-    // Keep the factor internally consistent with the (possibly clamped) card.
-    RescaleTo(&g.mass, card);
-    out.groups[best_group] = std::move(g);
-  }
-
-  // Remaining groups.
-  auto scaled_copy = [&](const GroupBound& src, double old_card,
-                         double dup) {
-    GroupBound g;
-    g.mass = src.mass;
-    RescaleTo(&g.mass, card);
-    (void)old_card;
-    g.mfv.resize(src.mfv.size());
-    for (size_t b = 0; b < src.mfv.size(); ++b) {
-      // Duplication bound, clamped by the result size (a value cannot occur
-      // more often than there are tuples).
-      g.mfv[b] = std::min(std::max(src.mfv[b], 1.0) * dup,
-                          std::max(card, 1.0));
-    }
-    return g;
+  auto is_connecting = [&](int gid) {
+    return std::find(connecting_groups.begin(), connecting_groups.end(),
+                     gid) != connecting_groups.end();
   };
 
-  for (const auto& [gid, gb] : left.groups) {
-    if (gid == best_group) continue;
-    bool connecting = std::find(connecting_groups.begin(),
-                                connecting_groups.end(),
-                                gid) != connecting_groups.end();
-    GroupBound gl = scaled_copy(gb, left.card, dup_from_right);
-    if (connecting) {
-      // Present on both sides: take the elementwise min of both rescaled
-      // views (each is an upper-bound-flavored estimate of the same
-      // distribution in the join result).
-      GroupBound gr = scaled_copy(right.groups.at(gid), right.card,
-                                  dup_from_left);
-      size_t bins = std::min(gl.mass.size(), gr.mass.size());
-      gl.mass.resize(bins);
-      gl.mfv.resize(bins);
-      for (size_t b = 0; b < bins; ++b) {
-        gl.mass[b] = std::min(gl.mass[b], gr.mass[b]);
-        gl.mfv[b] = std::min(gl.mfv[b], gr.mfv[b]);
-      }
+  // Merge the two sorted group indexes; the output stays sorted by gid.
+  size_t li = 0, ri = 0;
+  while (li < left.groups.size() || ri < right.groups.size()) {
+    const GroupSpan* lg =
+        li < left.groups.size() ? &left.groups[li] : nullptr;
+    const GroupSpan* rg =
+        ri < right.groups.size() ? &right.groups[ri] : nullptr;
+    int gid = lg != nullptr && (rg == nullptr || lg->gid <= rg->gid)
+                  ? lg->gid
+                  : rg->gid;
+    bool on_left = lg != nullptr && lg->gid == gid;
+    bool on_right = rg != nullptr && rg->gid == gid;
+    if (on_left) ++li;
+    if (on_right) ++ri;
+
+    if (gid == best_group) {
+      // g*: per-bin bound terms become the joined mass; MFV multiplies,
+      // clamped by the result size (no single key value can repeat more
+      // often than the whole result).
+      GroupSpan g;
+      g.gid = gid;
+      g.bins = std::min(gl_star.bins, gr_star.bins);
+      g.mass = arena->Alloc(g.bins);
+      g.mfv = arena->Alloc(g.bins);
+      kernels::JoinStarGroup(gl_star.mass, gl_star.mfv, gr_star.mass,
+                             gr_star.mfv, g.bins, std::max(card, 1.0),
+                             g.mass, g.mfv);
+      // Keep the factor internally consistent with the (possibly clamped)
+      // card.
+      kernels::RescaleTo(g.mass, g.bins, card);
+      out.groups.push_back(g);
+      continue;
     }
-    out.groups[gid] = std::move(gl);
-  }
-  for (const auto& [gid, gb] : right.groups) {
-    if (gid == best_group || out.groups.count(gid) > 0) continue;
-    out.groups[gid] = scaled_copy(gb, right.card, dup_from_left);
+    if (on_left) {
+      GroupSpan g = ScaledCopy(*lg, card, dup_from_right, arena);
+      if (on_right && is_connecting(gid)) {
+        // Present on both sides: take the elementwise min of both rescaled
+        // views (each is an upper-bound-flavored estimate of the same
+        // distribution in the join result).
+        GroupSpan gr = ScaledCopy(*rg, card, dup_from_left, arena);
+        uint32_t bins = std::min(g.bins, gr.bins);
+        kernels::MinInto(g.mass, gr.mass, bins);
+        kernels::MinInto(g.mfv, gr.mfv, bins);
+        g.bins = bins;
+      }
+      out.groups.push_back(g);
+      continue;
+    }
+    // Right-only group: mass rescaled to the new cardinality, MFV
+    // multiplied by the left side's maximal duplication factor.
+    out.groups.push_back(ScaledCopy(*rg, card, dup_from_left, arena));
   }
   return out;
 }

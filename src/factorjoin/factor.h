@@ -10,22 +10,37 @@
 // caches the new per-bin masses and MFV bounds, which is exactly the
 // "joining factor graphs" step of the progressive sub-plan estimation
 // (Section 5.2).
+//
+// Layout: a factor is a structure-of-arrays view into a FactorArena — each
+// key group is a GroupSpan whose mass/mfv arrays live in arena memory owned
+// by the enclosing Estimate/EstimateSubplans call, and the group ids form a
+// small dense index sorted ascending. Copying a factor copies only the span
+// headers (a few words per group), never the per-bin data; the spans stay
+// valid for the arena's lifetime. The per-bin arithmetic itself lives in
+// kernels.h and is bit-identical to the former std::map<int, GroupBound>
+// implementation (pinned by golden_estimates_test.cpp).
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <vector>
+
+#include "factorjoin/arena.h"
 
 namespace fj {
 
-/// Per-key-group bound state inside a factor.
-struct GroupBound {
+/// Per-key-group bound state inside a factor: contiguous per-bin arrays in
+/// arena memory.
+struct GroupSpan {
+  /// Query-level key-group index.
+  int gid = 0;
+  /// Number of bins in both arrays.
+  uint32_t bins = 0;
   /// mass[b]: expected number of tuples whose group key falls in bin b,
   /// conditioned on all filters of the factor's aliases. Sums to ~card.
-  std::vector<double> mass;
+  double* mass = nullptr;
   /// mfv[b]: upper bound on the count of any single key value in bin b
   /// (offline V* for leaf factors; products of V* after joins). >= 1.
-  std::vector<double> mfv;
+  double* mfv = nullptr;
 };
 
 /// A factor over a set of aliases (identified by bitmask in the enclosing
@@ -34,17 +49,39 @@ struct BoundFactor {
   uint64_t alias_mask = 0;
   /// Upper bound (probabilistic) on the sub-plan's cardinality.
   double card = 0.0;
-  /// Keyed by the query-level key-group index.
-  std::map<int, GroupBound> groups;
+  /// Sorted ascending by gid; small (one entry per key group the factor's
+  /// aliases participate in).
+  std::vector<GroupSpan> groups;
+
+  /// The span for `gid`, or nullptr. Linear scan — the group count per
+  /// factor is a handful, far below the break-even of a binary search.
+  const GroupSpan* FindGroup(int gid) const {
+    for (const GroupSpan& g : groups) {
+      if (g.gid == gid) return &g;
+    }
+    return nullptr;
+  }
+  GroupSpan* FindGroup(int gid) {
+    return const_cast<GroupSpan*>(
+        static_cast<const BoundFactor*>(this)->FindGroup(gid));
+  }
 };
+
+/// Builds a GroupSpan in `arena` from explicit per-bin values (tests and
+/// leaf construction; `mass` and `mfv` must have equal length).
+GroupSpan MakeGroupSpan(int gid, const std::vector<double>& mass,
+                        const std::vector<double>& mfv, FactorArena* arena);
 
 /// Equation 5 for one key group: sum over bins of
 ///   min(massL[b] * mfvR[b], massR[b] * mfvL[b]).
 /// (Equivalent to min(massL/mfvL, massR/mfvR) * mfvL * mfvR.)
-double GroupJoinBound(const GroupBound& left, const GroupBound& right);
+double GroupJoinBound(const GroupSpan& left, const GroupSpan& right);
 
-/// Joins two factors. `connecting_groups` must be the key-group ids present
-/// in both factors (at least one). Produces the joined factor:
+/// Joins two factors, allocating the joined factor's per-bin arrays from
+/// `arena` (which must be the arena of the enclosing call; inputs may live
+/// in a different, longer-lived arena — e.g. shared leaf factors).
+/// `connecting_groups` must be the key-group ids present in both factors
+/// (at least one). Produces the joined factor:
 ///   card       = min over connecting groups of GroupJoinBound, further
 ///                clamped by the cross-product bound card_L * card_R;
 ///   g* (argmin) gets per-bin masses equal to its per-bin bound terms and
@@ -55,6 +92,7 @@ double GroupJoinBound(const GroupBound& left, const GroupBound& right);
 ///                multiplied by the other side's maximal duplication factor
 ///                (max over bins of its g* MFV).
 BoundFactor JoinBoundFactors(const BoundFactor& left, const BoundFactor& right,
-                             const std::vector<int>& connecting_groups);
+                             const std::vector<int>& connecting_groups,
+                             FactorArena* arena);
 
 }  // namespace fj

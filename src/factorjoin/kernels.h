@@ -1,0 +1,66 @@
+// Branch-free per-bin kernels of the bound-factor hot path. Every loop in
+// MakeLeafFactor / JoinBoundFactors / GroupJoinBound that touches per-bin
+// data lives here, operating on the contiguous arena spans of factor.h so
+// the compiler can auto-vectorize the elementwise work.
+//
+// BIT-EXACTNESS CONTRACT: each kernel evaluates exactly the expression tree
+// of the pre-arena implementation, bin by bin, and every reduction
+// accumulates strictly in bin order — results are bit-identical to the old
+// std::map<int, GroupBound> code path (pinned by golden_estimates_test.cpp).
+// Do not reassociate the sums or "simplify" the min/max chains: a faster
+// kernel that moves one ulp is a broken kernel.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fj::kernels {
+
+/// Sum of x[0..n), accumulated strictly in index order.
+double Sum(const double* x, size_t n);
+
+/// max(1.0, max_b x[b]) — a factor's maximal duplication bound.
+double MaxOr1(const double* x, size_t n);
+
+/// Rescales x so it sums to `target` (no-op if the current sum is <= 0).
+void RescaleTo(double* x, size_t n, double target);
+
+/// Equation 5 for one key group over contiguous arrays: sum over bins of
+///   min(min(mass_l*mfv_r, mass_r*mfv_l), mass_l*mass_r)
+/// with masses clamped >= 0, MFVs clamped >= 1, and bins where either mass
+/// is zero contributing nothing.
+double JoinBound(const double* mass_l, const double* mfv_l,
+                 const double* mass_r, const double* mfv_r, size_t n);
+
+/// Per-bin outputs of the winning (g*) group of a join: out_mass[b] is the
+/// Equation 5 bound term of bin b, out_mfv[b] = min(mfv_l*mfv_r, card_cap)
+/// where card_cap = max(card, 1) (no key value repeats more often than the
+/// whole result). Call RescaleTo(out_mass, n, card) afterwards, as the join
+/// does, to keep the factor consistent with the clamped cardinality.
+void JoinStarGroup(const double* mass_l, const double* mfv_l,
+                   const double* mass_r, const double* mfv_r, size_t n,
+                   double card_cap, double* out_mass, double* out_mfv);
+
+/// MFV propagation to a group carried across a join:
+///   out[b] = min(max(src[b], 1) * dup, cap).
+void ScaleMfv(double* out, const double* src, size_t n, double dup,
+              double cap);
+
+/// Elementwise a[b] = min(a[b], b_arr[b]) — the conjunction merge used for
+/// intra-alias duplicate groups and two-sided carried groups.
+void MinInto(double* a, const double* b_arr, size_t n);
+
+/// Leaf-factor per-bin finalize over a column's bin summaries (contiguous
+/// totals/mfvs arrays from ColumnBinStats):
+///   mfv[b]  = max(mfvs[b], 1)                       (as double)
+///   mass[b] = card * totals[b] / total_rows          when backing off
+///             (mass_sum <= 0, card > 0, total_rows > 0: the single-table
+///             estimator saw no matching rows — fall back to the key's
+///             unconditioned shape scaled to the filtered cardinality)
+///   mass[b] = min(mass[b], totals[b])                (per-bin clamp: the
+///             estimate can never exceed the bin's exact total)
+void LeafFinalize(double* mass, double* mfv, const uint64_t* totals,
+                  const uint64_t* mfvs, size_t n, double mass_sum,
+                  double card, uint64_t total_rows);
+
+}  // namespace fj::kernels

@@ -1,5 +1,6 @@
 #include "query/filter_eval.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/like_match.h"
@@ -108,18 +109,384 @@ bool EvalRow(const Table& table, const Predicate& pred, size_t r) {
   return false;
 }
 
+CompiledPredicate::CompiledPredicate(const Table& table,
+                                     const Predicate& pred) {
+  nodes_.reserve(4);
+  Compile(table, pred);
+}
+
+uint32_t CompiledPredicate::Compile(const Table& table, const Predicate& pred) {
+  using Kind = Predicate::Kind;
+  uint32_t idx = static_cast<uint32_t>(nodes_.size());
+  nodes_.emplace_back();
+  Node n;  // built locally: recursion below may reallocate nodes_
+  n.kind = pred.kind();
+
+  // Mirrors CompareLeaf's per-row literal coercion, done once: int columns
+  // llround double literals, double columns widen int literals, string
+  // equality resolves the literal to its dictionary code (-1 when the value
+  // never occurs — such a comparison can only match negatively).
+  auto resolve = [](const Column& col, const Literal& lit, CmpOp op,
+                    int64_t* i, double* d, std::string* text) {
+    switch (col.type()) {
+      case ColumnType::kString:
+        if (op == CmpOp::kEq || op == CmpOp::kNe) {
+          *i = col.pool()->Lookup(lit.s);
+        } else {
+          *text = lit.s;
+        }
+        break;
+      case ColumnType::kDouble:
+        *d = lit.type == ColumnType::kDouble ? lit.d
+                                             : static_cast<double>(lit.i);
+        break;
+      case ColumnType::kInt64:
+        *i = lit.type == ColumnType::kDouble
+                 ? static_cast<int64_t>(std::llround(lit.d))
+                 : lit.i;
+        break;
+    }
+  };
+
+  switch (pred.kind()) {
+    case Kind::kTrue:
+      break;
+    case Kind::kCompare:
+      n.col = &table.Col(pred.column());
+      n.op = pred.op();
+      resolve(*n.col, pred.value(), n.op, &n.i, &n.d, &n.text);
+      break;
+    case Kind::kBetween:
+      n.col = &table.Col(pred.column());
+      resolve(*n.col, pred.lo(), CmpOp::kGe, &n.i, &n.d, &n.text);
+      resolve(*n.col, pred.hi(), CmpOp::kLe, &n.i_hi, &n.d_hi, &n.text_hi);
+      break;
+    case Kind::kIn:
+      n.col = &table.Col(pred.column());
+      for (const Literal& lit : pred.set()) {
+        int64_t i = 0;
+        double d = 0.0;
+        std::string unused;
+        resolve(*n.col, lit, CmpOp::kEq, &i, &d, &unused);
+        if (n.col->type() == ColumnType::kDouble) {
+          n.set_doubles.push_back(d);
+        } else {
+          n.set_ints.push_back(i);
+        }
+      }
+      break;
+    case Kind::kLike:
+    case Kind::kNotLike:
+      n.col = &table.Col(pred.column());
+      ClassifyLike(pred.pattern(), *n.col, &n);
+      break;
+    case Kind::kIsNull:
+    case Kind::kIsNotNull:
+      n.col = &table.Col(pred.column());
+      break;
+    case Kind::kAnd:
+    case Kind::kOr:
+    case Kind::kNot: {
+      std::vector<uint32_t> kids;
+      kids.reserve(pred.children().size());
+      for (const auto& c : pred.children()) {
+        kids.push_back(Compile(table, *c));
+      }
+      // Short-circuit the cheap tests first: predicates are pure, so the
+      // evaluation ORDER of an AND/OR's children never changes the result —
+      // but running integer compares before LIKE scans means most rows
+      // never reach the string matcher. Stable sort keeps compile
+      // deterministic among equal-cost children.
+      if (pred.kind() != Kind::kNot) {
+        std::stable_sort(kids.begin(), kids.end(),
+                         [this](uint32_t a, uint32_t b) {
+                           return EvalCost(a) < EvalCost(b);
+                         });
+      }
+      n.child_begin = static_cast<uint32_t>(children_.size());
+      n.child_count = static_cast<uint32_t>(kids.size());
+      children_.insert(children_.end(), kids.begin(), kids.end());
+      break;
+    }
+  }
+  nodes_[idx] = std::move(n);
+  return idx;
+}
+
+void CompiledPredicate::ClassifyLike(const std::string& pattern,
+                                     const Column& col, Node* n) {
+  n->like_class = LikeClass::kGenericLike;
+  n->text = pattern;  // generic fallback keeps the full pattern
+  if (pattern.find('_') != std::string::npos) return;
+  size_t first = pattern.find('%');
+  if (first == std::string::npos) {
+    // No wildcards at all: LIKE degenerates to string equality, which on a
+    // dictionary column is one integer compare against the resolved code.
+    n->like_class = LikeClass::kExact;
+    n->i = col.type() == ColumnType::kString && col.pool() != nullptr
+               ? col.pool()->Lookup(pattern)
+               : -1;
+    return;
+  }
+  size_t last = pattern.rfind('%');
+  std::string head = pattern.substr(0, first);
+  std::string tail = pattern.substr(last + 1);
+  // Everything between the outermost '%'s must be wildcard-free and either
+  // empty or a single run bounded by '%' on both sides ("%needle%") for the
+  // fast classes; anything else (e.g. "a%b%c") stays generic.
+  std::string middle = pattern.substr(first, last - first + 1);
+  size_t inner_segments = 0;
+  std::string needle;
+  for (size_t i = 0; i < middle.size();) {
+    if (middle[i] == '%') {
+      ++i;
+      continue;
+    }
+    size_t j = middle.find('%', i);
+    if (j == std::string::npos) return;  // cannot happen (middle ends in %)
+    ++inner_segments;
+    needle = middle.substr(i, j - i);
+    i = j;
+  }
+  if (inner_segments > 1) return;
+  if (inner_segments == 1) {
+    if (!head.empty() || !tail.empty()) return;  // "a%b%c" shapes
+    n->like_class = LikeClass::kContains;
+    n->text = std::move(needle);
+    return;
+  }
+  if (head.empty() && tail.empty()) {
+    n->like_class = LikeClass::kAnyText;
+  } else if (tail.empty()) {
+    n->like_class = LikeClass::kPrefix;
+    n->text = std::move(head);
+  } else if (head.empty()) {
+    n->like_class = LikeClass::kSuffix;
+    n->text = std::move(tail);
+  } else {
+    n->like_class = LikeClass::kEdges;
+    n->text = std::move(head);
+    n->text_hi = std::move(tail);
+  }
+}
+
+bool CompiledPredicate::EvalLike(const Node& n, size_t r) const {
+  const Column& col = *n.col;
+  switch (n.like_class) {
+    case LikeClass::kAnyText:
+      return true;
+    case LikeClass::kExact:
+      return n.i >= 0 && col.IntAt(r) == n.i;
+    case LikeClass::kPrefix: {
+      const std::string& s = col.StringAt(r);
+      return std::string_view(s).starts_with(n.text);
+    }
+    case LikeClass::kSuffix: {
+      const std::string& s = col.StringAt(r);
+      return std::string_view(s).ends_with(n.text);
+    }
+    case LikeClass::kContains:
+      return col.StringAt(r).find(n.text) != std::string::npos;
+    case LikeClass::kEdges: {
+      const std::string& s = col.StringAt(r);
+      return s.size() >= n.text.size() + n.text_hi.size() &&
+             std::string_view(s).starts_with(n.text) &&
+             std::string_view(s).ends_with(n.text_hi);
+    }
+    case LikeClass::kGenericLike:
+      return LikeMatch(col.StringAt(r), n.text);
+  }
+  return false;
+}
+
+int CompiledPredicate::EvalCost(uint32_t idx) const {
+  using Kind = Predicate::Kind;
+  const Node& n = nodes_[idx];
+  switch (n.kind) {
+    case Kind::kTrue:
+      return 0;
+    case Kind::kIsNull:
+    case Kind::kIsNotNull:
+      return 1;
+    case Kind::kCompare:
+      // String equality is an integer code compare after resolution; string
+      // ordering walks the text per row.
+      if (n.col->type() == ColumnType::kString && n.op != CmpOp::kEq &&
+          n.op != CmpOp::kNe) {
+        return 8;
+      }
+      return 1;
+    case Kind::kBetween:
+      return n.col->type() == ColumnType::kString ? 10 : 2;
+    case Kind::kIn:
+      return 3;
+    case Kind::kLike:
+    case Kind::kNotLike:
+      switch (n.like_class) {
+        case LikeClass::kAnyText:
+        case LikeClass::kExact:
+          return 1;
+        case LikeClass::kGenericLike:
+          return 20;
+        default:
+          return 6;  // one find/starts_with/ends_with pass over the text
+      }
+    case Kind::kAnd:
+    case Kind::kOr:
+    case Kind::kNot: {
+      int cost = 2;
+      for (uint32_t c = 0; c < n.child_count; ++c) {
+        cost += EvalCost(children_[n.child_begin + c]);
+      }
+      return cost;
+    }
+  }
+  return 100;
+}
+
+bool CompiledPredicate::EvalCompare(const Node& n, size_t r) const {
+  const Column& col = *n.col;
+  if (col.IsNull(r)) return false;
+  switch (col.type()) {
+    case ColumnType::kString: {
+      if (n.op == CmpOp::kEq || n.op == CmpOp::kNe) {
+        bool eq = n.i >= 0 && col.IntAt(r) == n.i;
+        return n.op == CmpOp::kEq ? eq : !eq;
+      }
+      int cmp = col.StringAt(r).compare(n.text);
+      switch (n.op) {
+        case CmpOp::kLt: return cmp < 0;
+        case CmpOp::kLe: return cmp <= 0;
+        case CmpOp::kGt: return cmp > 0;
+        case CmpOp::kGe: return cmp >= 0;
+        default: return false;
+      }
+    }
+    case ColumnType::kDouble: {
+      double v = col.DoubleAt(r);
+      switch (n.op) {
+        case CmpOp::kEq: return v == n.d;
+        case CmpOp::kNe: return v != n.d;
+        case CmpOp::kLt: return v < n.d;
+        case CmpOp::kLe: return v <= n.d;
+        case CmpOp::kGt: return v > n.d;
+        case CmpOp::kGe: return v >= n.d;
+      }
+      return false;
+    }
+    case ColumnType::kInt64: {
+      int64_t v = col.IntAt(r);
+      switch (n.op) {
+        case CmpOp::kEq: return v == n.i;
+        case CmpOp::kNe: return v != n.i;
+        case CmpOp::kLt: return v < n.i;
+        case CmpOp::kLe: return v <= n.i;
+        case CmpOp::kGt: return v > n.i;
+        case CmpOp::kGe: return v >= n.i;
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+bool CompiledPredicate::EvalNode(uint32_t idx, size_t r) const {
+  using Kind = Predicate::Kind;
+  const Node& n = nodes_[idx];
+  switch (n.kind) {
+    case Kind::kTrue:
+      return true;
+    case Kind::kCompare:
+      return EvalCompare(n, r);
+    case Kind::kBetween: {
+      const Column& col = *n.col;
+      if (col.IsNull(r)) return false;
+      switch (col.type()) {
+        case ColumnType::kString: {
+          const std::string& v = col.StringAt(r);
+          return v.compare(n.text) >= 0 && v.compare(n.text_hi) <= 0;
+        }
+        case ColumnType::kDouble: {
+          double v = col.DoubleAt(r);
+          return v >= n.d && v <= n.d_hi;
+        }
+        case ColumnType::kInt64: {
+          int64_t v = col.IntAt(r);
+          return v >= n.i && v <= n.i_hi;
+        }
+      }
+      return false;
+    }
+    case Kind::kIn: {
+      const Column& col = *n.col;
+      if (col.IsNull(r)) return false;
+      if (col.type() == ColumnType::kDouble) {
+        double v = col.DoubleAt(r);
+        for (double x : n.set_doubles) {
+          if (v == x) return true;
+        }
+        return false;
+      }
+      int64_t v = col.IntAt(r);  // value, or dictionary code for strings
+      if (col.type() == ColumnType::kString) {
+        // A code of -1 marks a literal absent from the dictionary: it can
+        // never match (CompareLeaf's `code >= 0` guard).
+        for (int64_t x : n.set_ints) {
+          if (x >= 0 && v == x) return true;
+        }
+        return false;
+      }
+      for (int64_t x : n.set_ints) {
+        if (v == x) return true;
+      }
+      return false;
+    }
+    case Kind::kLike: {
+      const Column& col = *n.col;
+      if (col.IsNull(r) || col.type() != ColumnType::kString) return false;
+      return EvalLike(n, r);
+    }
+    case Kind::kNotLike: {
+      const Column& col = *n.col;
+      if (col.IsNull(r) || col.type() != ColumnType::kString) return false;
+      return !EvalLike(n, r);
+    }
+    case Kind::kIsNull:
+      return n.col->IsNull(r);
+    case Kind::kIsNotNull:
+      return !n.col->IsNull(r);
+    case Kind::kAnd:
+      for (uint32_t c = 0; c < n.child_count; ++c) {
+        if (!EvalNode(children_[n.child_begin + c], r)) return false;
+      }
+      return true;
+    case Kind::kOr:
+      for (uint32_t c = 0; c < n.child_count; ++c) {
+        if (EvalNode(children_[n.child_begin + c], r)) return true;
+      }
+      return false;
+    case Kind::kNot:
+      return !EvalNode(children_[n.child_begin], r);
+  }
+  return false;
+}
+
 std::vector<uint8_t> EvalBitmap(const Table& table, const Predicate& pred) {
   std::vector<uint8_t> bits(table.num_rows());
+  if (table.num_rows() == 0) return bits;
+  CompiledPredicate compiled(table, pred);
   for (size_t r = 0; r < table.num_rows(); ++r) {
-    bits[r] = EvalRow(table, pred, r) ? 1 : 0;
+    bits[r] = compiled.Eval(r) ? 1 : 0;
   }
   return bits;
 }
 
 std::vector<uint32_t> EvalSelection(const Table& table, const Predicate& pred) {
   std::vector<uint32_t> sel;
+  if (table.num_rows() == 0) return sel;
+  CompiledPredicate compiled(table, pred);
   for (size_t r = 0; r < table.num_rows(); ++r) {
-    if (EvalRow(table, pred, r)) sel.push_back(static_cast<uint32_t>(r));
+    if (compiled.Eval(r)) sel.push_back(static_cast<uint32_t>(r));
   }
   return sel;
 }
@@ -127,16 +494,20 @@ std::vector<uint32_t> EvalSelection(const Table& table, const Predicate& pred) {
 std::vector<uint32_t> EvalOnRows(const Table& table, const Predicate& pred,
                                  const std::vector<uint32_t>& rows) {
   std::vector<uint32_t> sel;
+  if (rows.empty()) return sel;
+  CompiledPredicate compiled(table, pred);
   for (uint32_t r : rows) {
-    if (EvalRow(table, pred, r)) sel.push_back(r);
+    if (compiled.Eval(r)) sel.push_back(r);
   }
   return sel;
 }
 
 size_t CountMatches(const Table& table, const Predicate& pred) {
   size_t n = 0;
+  if (table.num_rows() == 0) return n;
+  CompiledPredicate compiled(table, pred);
   for (size_t r = 0; r < table.num_rows(); ++r) {
-    if (EvalRow(table, pred, r)) ++n;
+    if (compiled.Eval(r)) ++n;
   }
   return n;
 }

@@ -1,8 +1,9 @@
 // Predicate evaluation against a Table: row-at-a-time checks, full-table
-// bitmaps and selection vectors.
+// bitmaps and selection vectors, and a compiled form for scan loops.
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "query/predicate.h"
@@ -12,6 +13,76 @@ namespace fj {
 
 /// Returns true iff row `r` of `table` satisfies `pred`.
 bool EvalRow(const Table& table, const Predicate& pred, size_t r);
+
+/// A predicate resolved against a fixed table for repeated row evaluation:
+/// column names are bound to Column pointers, string literals to dictionary
+/// codes, and literal type coercions are done ONCE at compile time instead
+/// of per row — EvalRow redoes a string-keyed column lookup (and, for
+/// string equality, a dictionary probe) per predicate node per row, which
+/// dominates sample scans in the estimation hot path.
+///
+/// Eval(r) returns exactly what EvalRow(table, pred, r) returns for every
+/// row (the golden estimate tests pin this transitively). The compiled form
+/// borrows the table's columns (the table must outlive it) but copies
+/// everything it needs from the predicate; it is immutable after
+/// construction and safe to share across threads.
+class CompiledPredicate {
+ public:
+  /// Resolves `pred` against `table`; throws std::out_of_range on a column
+  /// name the table does not have (EvalRow would throw the same on the
+  /// first evaluated row).
+  CompiledPredicate(const Table& table, const Predicate& pred);
+
+  /// True iff row `r` satisfies the predicate.
+  bool Eval(size_t r) const { return EvalNode(0, r); }
+
+ private:
+  /// Compile-time classification of a LIKE pattern into the common shapes
+  /// that admit an O(|text|) (or O(1)) check; kGenericLike falls back to
+  /// the full backtracking matcher. Every class is boolean-identical to
+  /// LikeMatch on the original pattern.
+  enum class LikeClass : uint8_t {
+    kGenericLike,  // pattern has '_' or an unhandled '%' structure
+    kAnyText,      // "%", "%%", ... — matches every non-null string
+    kExact,        // no wildcards — dictionary-code equality
+    kPrefix,       // "needle%..%"
+    kSuffix,       // "%..%needle"
+    kContains,     // "%..%needle%..%"
+    kEdges,        // "head%..%tail"
+  };
+
+  struct Node {
+    Predicate::Kind kind = Predicate::Kind::kTrue;
+    CmpOp op = CmpOp::kEq;
+    LikeClass like_class = LikeClass::kGenericLike;
+    const Column* col = nullptr;  // borrowed from the table
+    // Resolved right-hand sides (which are used depends on kind and column
+    // type): `i`/`i_hi` for int comparisons and string equality codes
+    // (-1 = literal absent from the dictionary, never matches), `d`/`d_hi`
+    // for double comparisons, `text`/`text_hi` for string ordering
+    // comparisons and LIKE patterns.
+    int64_t i = 0, i_hi = 0;
+    double d = 0.0, d_hi = 0.0;
+    std::string text, text_hi;
+    std::vector<int64_t> set_ints;   // IN: int values or string codes
+    std::vector<double> set_doubles; // IN over a double column
+    uint32_t child_begin = 0, child_count = 0;  // kAnd/kOr/kNot
+  };
+
+  uint32_t Compile(const Table& table, const Predicate& pred);
+  /// Static per-row cost rank of a compiled subtree, used to order AND/OR
+  /// children cheapest-first (a pure-predicate reordering: the short-circuit
+  /// RESULT is order-independent, only the work done per row changes).
+  int EvalCost(uint32_t idx) const;
+  bool EvalNode(uint32_t idx, size_t r) const;
+  bool EvalCompare(const Node& n, size_t r) const;
+  bool EvalLike(const Node& n, size_t r) const;
+  static void ClassifyLike(const std::string& pattern, const Column& col,
+                           Node* n);
+
+  std::vector<Node> nodes_;       // nodes_[0] is the root
+  std::vector<uint32_t> children_;
+};
 
 /// One byte per row, 1 = match.
 std::vector<uint8_t> EvalBitmap(const Table& table, const Predicate& pred);

@@ -23,7 +23,8 @@ EstimatorService::EstimatorService(const CardinalityEstimator& estimator,
                                    EstimatorServiceOptions options)
     : estimator_(estimator),
       options_(options),
-      cache_(options.cache_capacity, options.cache_shards, &epochs_),
+      cache_(options.cache_capacity, options.cache_shards, &epochs_,
+             options.cost_aware_eviction),
       queue_(options.queue_capacity) {
   size_t threads = options_.num_threads == 0 ? 1 : options_.num_threads;
   workers_.reserve(threads);
@@ -118,10 +119,14 @@ std::unordered_map<uint64_t, double> EstimatorService::EstimateSubplans(
 
 void EstimatorService::WorkerLoop() {
   while (auto req = queue_.Pop()) {
+    // Internal split helpers are not client requests: they never counted
+    // into pending_, so they must not decrement it either.
+    bool helper = (*req)->split != nullptr;
     Serve(**req);
     // The request counts as pending until after its promise is fulfilled,
     // so Drain() returning means every accepted future is ready.
-    if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    if (!helper &&
+        pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       std::lock_guard<std::mutex> lock(drain_mu_);
       drained_.notify_all();
     }
@@ -136,7 +141,99 @@ void EstimatorService::Drain() {
   });
 }
 
+void EstimatorService::SplitJob::RunChunks() {
+  for (;;) {
+    size_t i = next.fetch_add(1, std::memory_order_acq_rel);
+    if (i >= chunks.size()) return;
+    try {
+      results[i] = session->EstimateSubplans(chunks[i]);
+    } catch (...) {
+      errors[i] = std::current_exception();
+    }
+    if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == chunks.size()) {
+      std::lock_guard<std::mutex> lock(mu);
+      finished.notify_all();
+    }
+  }
+}
+
+void EstimatorService::SplitJob::Wait() {
+  std::unique_lock<std::mutex> lock(mu);
+  finished.wait(lock, [&] {
+    return done.load(std::memory_order_acquire) == chunks.size();
+  });
+}
+
+std::unordered_map<uint64_t, double> EstimatorService::EstimateMisses(
+    const Query& query, const std::vector<uint64_t>& miss_masks) {
+  size_t threshold = options_.split_batch_min_masks;
+  size_t workers = workers_.size();
+  if (threshold == 0 || workers < 2 || miss_masks.size() < threshold) {
+    return estimator_.EstimateSubplans(query, miss_masks);
+  }
+  // Chunking pays only when the estimator can front-load the shared
+  // (mask-independent) work; estimators without a session keep the
+  // single-call path.
+  std::unique_ptr<CardinalityEstimator::SubplanSession> session =
+      estimator_.PrepareSubplans(query);
+  if (session == nullptr) {
+    return estimator_.EstimateSubplans(query, miss_masks);
+  }
+  size_t chunk_target = std::max<size_t>(threshold / 2, 1);
+  size_t num_chunks = std::min(workers, miss_masks.size() / chunk_target);
+  if (num_chunks < 2) {
+    return estimator_.EstimateSubplans(query, miss_masks);
+  }
+
+  auto job = std::make_shared<SplitJob>();
+  job->session = session.get();
+  job->chunks.resize(num_chunks);
+  job->results.resize(num_chunks);
+  job->errors.resize(num_chunks);
+  size_t per_chunk = (miss_masks.size() + num_chunks - 1) / num_chunks;
+  for (size_t c = 0; c < num_chunks; ++c) {
+    // Clamp both ends: with ceil-divided chunk sizes the last chunks can
+    // start past the end (e.g. 5 masks over 4 chunks of 2) and simply come
+    // out empty.
+    size_t begin = std::min(c * per_chunk, miss_masks.size());
+    size_t end = std::min(begin + per_chunk, miss_masks.size());
+    job->chunks[c].assign(miss_masks.begin() + static_cast<long>(begin),
+                          miss_masks.begin() + static_cast<long>(end));
+  }
+  batches_split_.fetch_add(1, std::memory_order_relaxed);
+  split_chunks_.fetch_add(num_chunks, std::memory_order_relaxed);
+
+  // Offer helper tasks to idle workers — best effort (TryPush): if the
+  // queue is full or closed, the serving worker simply runs those chunks
+  // itself, so splitting can never block or deadlock. Helpers are NOT
+  // counted in pending_: the gauge (and Drain) tracks client requests, and
+  // the parent request stays pending until every chunk finished — once all
+  // parents are served, leftover helpers are claim-nothing no-ops.
+  for (size_t h = 0; h + 1 < num_chunks; ++h) {
+    auto helper = std::make_unique<Request>();
+    helper->split = job;
+    if (!queue_.TryPush(std::move(helper))) break;
+  }
+  job->RunChunks();
+  job->Wait();
+
+  std::unordered_map<uint64_t, double> merged;
+  merged.reserve(miss_masks.size());
+  for (size_t c = 0; c < num_chunks; ++c) {
+    if (job->errors[c] != nullptr) std::rethrow_exception(job->errors[c]);
+    merged.merge(job->results[c]);
+  }
+  return merged;
+}
+
 void EstimatorService::Serve(Request& req) {
+  if (req.split != nullptr) {
+    // Batch-split helper: join the job's work-claiming loop. Completion
+    // bookkeeping (promise/callback/stats) belongs to the serving worker of
+    // the parent request.
+    req.split->RunChunks();
+    return;
+  }
   // Counters and latency are recorded BEFORE the promise is fulfilled so a
   // client that just resolved its future observes its own request in Stats().
   // Completion (callback or promise) happens OUTSIDE the try blocks:
@@ -197,8 +294,9 @@ double EstimatorService::ServeSingle(const Query& query) {
   // and dies on its next lookup instead of serving a stale estimate forever.
   uint64_t epoch = epochs_.Epoch();
   uint64_t table_bits = epochs_.BitsFor(query.BaseTables());
+  WallTimer compute;
   double estimate = estimator_.Estimate(query);
-  cache_.Insert(fp, estimate, table_bits, epoch);
+  cache_.Insert(fp, estimate, table_bits, epoch, compute.Micros());
   return estimate;
 }
 
@@ -207,7 +305,7 @@ std::unordered_map<uint64_t, double> EstimatorService::ServeBatch(
   std::unordered_map<uint64_t, double> out;
   out.reserve(masks.size());
   if (!options_.cache_enabled) {
-    out = estimator_.EstimateSubplans(query, masks);
+    out = EstimateMisses(query, masks);
     subplans_estimated_.fetch_add(masks.size(), std::memory_order_relaxed);
     return out;
   }
@@ -234,11 +332,19 @@ std::unordered_map<uint64_t, double> EstimatorService::ServeBatch(
     }
   }
 
-  // One call for all misses keeps the estimator's shared computation
-  // (FactorJoin estimates each leaf factor once for the whole batch).
+  // The misses go to the estimator together so its shared computation is
+  // preserved (FactorJoin estimates each leaf factor once for the whole
+  // batch); EstimateMisses splits a large miss set into per-worker chunks
+  // that still share one leaf computation via PrepareSubplans.
   if (!miss_masks.empty()) {
+    WallTimer compute;
     std::unordered_map<uint64_t, double> fresh =
-        estimator_.EstimateSubplans(query, miss_masks);
+        EstimateMisses(query, miss_masks);
+    // Per-entry recompute cost for cost-aware eviction: the batch's shared
+    // computation makes per-mask attribution meaningless, so every entry
+    // carries the amortized cost.
+    double cost_micros = compute.Micros() /
+                         static_cast<double>(miss_masks.size());
     // Table bits per alias, resolved once per batch: the per-entry loop
     // below must stay free of registry locks and allocations (a batch can
     // carry ~10k masks).
@@ -257,7 +363,7 @@ std::unordered_map<uint64_t, double> EstimatorService::ServeBatch(
         table_bits |= alias_bits[static_cast<size_t>(std::countr_zero(m))];
         m &= m - 1;
       }
-      cache_.Insert(miss_fps[i], it->second, table_bits, epoch);
+      cache_.Insert(miss_fps[i], it->second, table_bits, epoch, cost_micros);
       ++produced;
     }
     subplans_estimated_.fetch_add(produced, std::memory_order_relaxed);
@@ -272,6 +378,8 @@ ServiceStats EstimatorService::Stats() const {
   stats.subplans_estimated =
       subplans_estimated_.load(std::memory_order_relaxed);
   stats.errors = errors_.load(std::memory_order_relaxed);
+  stats.batches_split = batches_split_.load(std::memory_order_relaxed);
+  stats.split_chunks = split_chunks_.load(std::memory_order_relaxed);
   stats.updates_notified = updates_notified_.load(std::memory_order_relaxed);
   stats.epoch = epochs_.Epoch();
   stats.pending_requests = pending_.load(std::memory_order_acquire);

@@ -62,6 +62,20 @@ struct EstimatorServiceOptions {
   size_t cache_shards = 16;
   /// Disable to measure raw estimator throughput.
   bool cache_enabled = true;
+  /// Batch-aware scheduling: a batched request whose cache-missed mask count
+  /// reaches this threshold is split into per-worker chunks sharing one
+  /// leaf-factor computation (CardinalityEstimator::PrepareSubplans), so a
+  /// 10k-sub-plan batch stops monopolizing a single worker slot. Chunks are
+  /// offered to idle workers and claimed work-stealing style; the serving
+  /// worker always makes progress itself, so splitting never deadlocks even
+  /// on a loaded single-worker pool. 0 disables splitting. Split results
+  /// are bit-identical to the unsplit batch (the estimator's canonical
+  /// decomposition is mask-set independent).
+  size_t split_batch_min_masks = 512;
+  /// Weight cache eviction by recorded estimation latency (see
+  /// ShardedEstimateCache): victims are picked among the least-recently-used
+  /// tail by cheapest-to-recompute first.
+  bool cost_aware_eviction = false;
 };
 
 class EstimatorService {
@@ -162,6 +176,27 @@ class EstimatorService {
   const EstimatorServiceOptions& options() const { return options_; }
 
  private:
+  /// Shared state of one split batch: contiguous mask chunks claimed by an
+  /// atomic cursor (work stealing — idle workers help, the serving worker
+  /// claims until empty so progress never depends on anyone else), results
+  /// and errors per chunk, and a latch the serving worker waits on.
+  struct SplitJob {
+    const CardinalityEstimator::SubplanSession* session = nullptr;
+    std::vector<std::vector<uint64_t>> chunks;
+    std::vector<std::unordered_map<uint64_t, double>> results;
+    std::vector<std::exception_ptr> errors;
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    std::mutex mu;
+    std::condition_variable finished;
+
+    /// Claims and runs chunks until none are left. Safe to call from any
+    /// number of threads.
+    void RunChunks();
+    /// Blocks until every chunk completed (call after RunChunks returned).
+    void Wait();
+  };
+
   struct Request {
     Query query;
     std::vector<uint64_t> masks;  // batched iff non-empty
@@ -172,6 +207,9 @@ class EstimatorService {
     // the promise being fulfilled.
     EstimateCallback single_cb;
     SubplansCallback batch_cb;
+    // Internal helper request: the worker joins this split job instead of
+    // serving a client request (no promise, no stats).
+    std::shared_ptr<SplitJob> split;
     WallTimer submitted;  // end-to-end latency starts at enqueue
   };
 
@@ -184,6 +222,10 @@ class EstimatorService {
   double ServeSingle(const Query& query);
   std::unordered_map<uint64_t, double> ServeBatch(
       const Query& query, const std::vector<uint64_t>& masks);
+  /// Estimates the cache-missed masks of a batch, splitting across workers
+  /// when the batch is large enough (see split_batch_min_masks).
+  std::unordered_map<uint64_t, double> EstimateMisses(
+      const Query& query, const std::vector<uint64_t>& miss_masks);
 
   const CardinalityEstimator& estimator_;
   const EstimatorServiceOptions options_;
@@ -206,6 +248,8 @@ class EstimatorService {
   std::atomic<uint64_t> subplans_estimated_{0};
   std::atomic<uint64_t> updates_notified_{0};
   std::atomic<uint64_t> errors_{0};
+  std::atomic<uint64_t> batches_split_{0};
+  std::atomic<uint64_t> split_chunks_{0};
 };
 
 }  // namespace fj

@@ -21,17 +21,28 @@ struct ServiceStats {
   uint64_t subplans_estimated = 0;
   /// Requests whose promise was fulfilled with an exception.
   uint64_t errors = 0;
+  /// Batched requests whose cache-miss set was split into per-worker chunks
+  /// (batch-aware scheduling; see
+  /// EstimatorServiceOptions::split_batch_min_masks).
+  uint64_t batches_split = 0;
+  /// Total chunks produced by split batches (avg chunk fan-out =
+  /// split_chunks / batches_split).
+  uint64_t split_chunks = 0;
   /// NotifyUpdate calls received (data-update notifications).
   uint64_t updates_notified = 0;
   /// Statistics epoch at snapshot time (== updates_notified unless callers
   /// raced the snapshot). Cache entries older than a touched table's epoch
   /// are lazily invalidated; see CacheStats::invalidations.
   uint64_t epoch = 0;
-  /// Gauge: requests accepted but not yet served at snapshot time (queued
-  /// plus in-flight on workers) — what Drain() waits to reach zero.
+  /// Gauge: client requests accepted but not yet served at snapshot time
+  /// (queued plus in-flight on workers) — what Drain() waits to reach zero.
+  /// Internal batch-split helper tasks are excluded: a split batch counts
+  /// once, as its parent request, until every chunk finished.
   uint64_t pending_requests = 0;
-  /// Gauge: requests sitting in the queue, not yet picked up by a worker.
-  /// pending_requests - queue_depth approximates in-flight work.
+  /// Gauge: entries sitting in the queue, not yet picked up by a worker.
+  /// pending_requests - queue_depth approximates in-flight work; while a
+  /// large batch is being split, short-lived internal helper tasks can
+  /// appear here without a matching pending request.
   uint64_t queue_depth = 0;
 
   CacheStats cache;

@@ -94,6 +94,7 @@ void BayesNetEstimator::Train() {
     }
   }
   NormalizeCpts();
+  RebuildInferenceCaches();
 
   fallback_ = std::make_unique<SamplingEstimator>(
       *table_, options_.fallback_sample_rate, options_.seed);
@@ -128,119 +129,232 @@ void BayesNetEstimator::NormalizeCpts() {
   }
 }
 
-std::optional<std::vector<std::vector<double>>> BayesNetEstimator::BuildEvidence(
+void BayesNetEstimator::RebuildInferenceCaches() {
+  size_t n = nodes_.size();
+  children_ = tree_.Children();
+  order_ = tree_.TopologicalOrder();
+  component_root_.assign(n, -1);
+  for (int vi : order_) {
+    size_t v = static_cast<size_t>(vi);
+    int parent = tree_.parent[v];
+    component_root_[v] =
+        parent < 0 ? vi : component_root_[static_cast<size_t>(parent)];
+  }
+  card_offset_.assign(n, 0);
+  msg_offset_.assign(n, 0);
+  total_cards_ = 0;
+  total_msg_ = 0;
+  for (size_t v = 0; v < n; ++v) {
+    card_offset_[v] = total_cards_;
+    total_cards_ += nodes_[v].cards;
+    msg_offset_[v] = total_msg_;
+    int parent = tree_.parent[v];
+    if (parent >= 0) total_msg_ += nodes_[static_cast<size_t>(parent)].cards;
+  }
+
+  // No-evidence memos: run the full propagation once with all-ones evidence
+  // (every subtree marked touched disables the memo shortcuts) and keep its
+  // internal state. A query-time run reuses these for untouched subtrees —
+  // the loops that would recompute them are deterministic, so the copied
+  // doubles are bit-identical to what the full run would produce.
+  std::vector<double> ones(total_cards_, 1.0);
+  std::vector<uint8_t> all_touched(n, 1);
+  lambda0_ = ones;
+  msg0_.assign(total_msg_, 0.0);
+  beliefs0_ = PropagateImpl(ones, all_touched, nullptr, lambda0_, msg0_);
+}
+
+std::optional<BayesNetEstimator::Evidence> BayesNetEstimator::BuildEvidence(
     const Predicate& filter) const {
   std::vector<const Predicate*> leaves;
   if (!CollectConjunctiveLeaves(filter, &leaves)) return std::nullopt;
 
-  std::vector<std::vector<double>> evidence(nodes_.size());
-  for (size_t v = 0; v < nodes_.size(); ++v) {
-    evidence[v].assign(nodes_[v].cards, 1.0);
-    // Filtered rows must be non-null on... no: filters only constrain
-    // mentioned columns; unconstrained columns keep weight 1 everywhere.
-  }
+  // Filters only constrain mentioned columns; unconstrained columns keep
+  // weight 1 everywhere (and stay eligible for the no-evidence memos).
+  Evidence evidence;
+  evidence.weights.assign(total_cards_, 1.0);
+  evidence.touched.assign(nodes_.size(), 0);
   for (const Predicate* leaf : leaves) {
     auto it = column_to_node_.find(leaf->column());
     if (it == column_to_node_.end()) return std::nullopt;
     size_t v = it->second;
     auto w = nodes_[v].discretizer.LeafEvidence(table_->Col(leaf->column()), *leaf);
     if (!w.has_value()) return std::nullopt;
-    for (size_t i = 0; i < evidence[v].size(); ++i) evidence[v][i] *= (*w)[i];
+    double* slice = evidence.weights.data() + card_offset_[v];
+    for (size_t i = 0; i < w->size(); ++i) slice[i] *= (*w)[i];
+    evidence.touched[v] = 1;
   }
   return evidence;
 }
 
 BayesNetEstimator::Beliefs BayesNetEstimator::Propagate(
-    const std::vector<std::vector<double>>& evidence) const {
+    const Evidence& evidence, const std::vector<size_t>* target_nodes) const {
+  size_t n = nodes_.size();
+  // subtree_touched[v]: the filter constrains v or some descendant — the
+  // gate for every memo shortcut. Children precede parents in reverse
+  // topological order, so one backward sweep suffices.
+  std::vector<uint8_t> subtree_touched = evidence.touched;
+  for (auto it = order_.rbegin(); it != order_.rend(); ++it) {
+    size_t v = static_cast<size_t>(*it);
+    for (int c : children_[v]) {
+      if (subtree_touched[static_cast<size_t>(c)]) subtree_touched[v] = 1;
+    }
+  }
+  // Downward-pass scope: the targets' ancestor chains plus every root
+  // (component Z is a sum over root beliefs).
+  std::vector<uint8_t> need_belief;
+  if (target_nodes != nullptr) {
+    need_belief.assign(n, 0);
+    for (size_t v = 0; v < n; ++v) {
+      if (tree_.parent[v] < 0) need_belief[v] = 1;
+    }
+    for (size_t t : *target_nodes) {
+      for (int v = static_cast<int>(t); v >= 0; v = tree_.parent[static_cast<size_t>(v)]) {
+        if (need_belief[static_cast<size_t>(v)]) break;  // chain already marked
+        need_belief[static_cast<size_t>(v)] = 1;
+      }
+    }
+  }
+  std::vector<double> lambda = evidence.weights;
+  std::vector<double> msg_up(total_msg_, 0.0);
+  Beliefs out = PropagateImpl(evidence.weights, subtree_touched,
+                              target_nodes != nullptr ? &need_belief : nullptr,
+                              lambda, msg_up);
+  // Untouched components never entered the passes: their beliefs and Z are
+  // exactly the no-evidence memos.
+  for (size_t v = 0; v < n; ++v) {
+    if (subtree_touched[static_cast<size_t>(component_root_[v])]) continue;
+    std::copy_n(beliefs0_.beliefs.begin() + static_cast<long>(card_offset_[v]),
+                nodes_[v].cards,
+                out.beliefs.begin() + static_cast<long>(card_offset_[v]));
+  }
+  return out;
+}
+
+BayesNetEstimator::Beliefs BayesNetEstimator::PropagateImpl(
+    const std::vector<double>& evidence,
+    const std::vector<uint8_t>& subtree_touched,
+    const std::vector<uint8_t>* need_belief, std::vector<double>& lambda,
+    std::vector<double>& msg_up) const {
   size_t n = nodes_.size();
   Beliefs out;
-  out.node_beliefs.resize(n);
-
-  auto children = tree_.Children();
-  auto order = tree_.TopologicalOrder();
+  out.beliefs.assign(total_cards_, 0.0);
 
   // Upward pass (reverse topological order, so every child is finalized
   // before its parent): lambda_v = evidence_v * prod(child messages), and
-  // msg_up[c][j] = sum_i P(c=i | parent=j) * lambda_c(i).
-  std::vector<std::vector<double>> lambda(n);
-  std::vector<std::vector<double>> msg_up(n);  // message v -> parent(v)
-  for (size_t v = 0; v < n; ++v) lambda[v] = evidence[v];
-  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+  // msg_up[c][j] = sum_i P(c=i | parent=j) * lambda_c(i). All scratch
+  // buffers are flat slices (card_offset_ / msg_offset_); nodes of entirely
+  // untouched components are skipped, untouched nodes inside a touched
+  // component copy their memoized lambda/message instead of recomputing.
+  for (auto it = order_.rbegin(); it != order_.rend(); ++it) {
     size_t v = static_cast<size_t>(*it);
-    for (int c : children[v]) {
-      size_t cc = static_cast<size_t>(c);
-      const auto& cpt = nodes_[cc].cpt;
-      uint32_t card = nodes_[cc].cards;
-      uint32_t pcard = nodes_[v].cards;
-      msg_up[cc].assign(pcard, 0.0);
-      for (uint32_t j = 0; j < pcard; ++j) {
-        double s = 0.0;
-        for (uint32_t i = 0; i < card; ++i) {
-          s += cpt[static_cast<size_t>(j) * card + i] * lambda[cc][i];
-        }
-        msg_up[cc][j] = s;
+    if (!subtree_touched[static_cast<size_t>(component_root_[v])]) continue;
+    if (!subtree_touched[v]) {
+      std::copy_n(lambda0_.begin() + static_cast<long>(card_offset_[v]),
+                  nodes_[v].cards,
+                  lambda.begin() + static_cast<long>(card_offset_[v]));
+      if (tree_.parent[v] >= 0) {
+        size_t plen =
+            nodes_[static_cast<size_t>(tree_.parent[v])].cards;
+        std::copy_n(msg0_.begin() + static_cast<long>(msg_offset_[v]), plen,
+                    msg_up.begin() + static_cast<long>(msg_offset_[v]));
       }
-      for (uint32_t j = 0; j < pcard; ++j) lambda[v][j] *= msg_up[cc][j];
+      continue;
+    }
+    for (int c : children_[v]) {
+      size_t cc = static_cast<size_t>(c);
+      double* msg = msg_up.data() + msg_offset_[cc];
+      double* lambda_v = lambda.data() + card_offset_[v];
+      uint32_t pcard = nodes_[v].cards;
+      if (subtree_touched[cc]) {
+        const double* cpt = nodes_[cc].cpt.data();
+        const double* lambda_c = lambda.data() + card_offset_[cc];
+        uint32_t card = nodes_[cc].cards;
+        for (uint32_t j = 0; j < pcard; ++j) {
+          double s = 0.0;
+          const double* row = cpt + static_cast<size_t>(j) * card;
+          for (uint32_t i = 0; i < card; ++i) {
+            s += row[i] * lambda_c[i];
+          }
+          msg[j] = s;
+        }
+      }
+      // else: msg already holds the memoized no-evidence message (copied
+      // when the untouched child was visited — children precede parents).
+      for (uint32_t j = 0; j < pcard; ++j) lambda_v[j] *= msg[j];
     }
   }
 
   // Downward pass (topological): pi and beliefs.
-  std::vector<std::vector<double>> pi(n);
+  std::vector<double> pi(total_cards_, 0.0);
+  std::vector<double> excl;  // parent belief excluding v; reused per node
   out.component_z.assign(n, 1.0);
-  std::vector<double> root_z(n, 1.0);
-  for (int vi : order) {
+  for (int vi : order_) {
     size_t v = static_cast<size_t>(vi);
+    if (!subtree_touched[static_cast<size_t>(component_root_[v])]) continue;
+    // Downward scope: beliefs are only materialized for the caller's target
+    // chains (pi of an ancestor is always computed before its descendants
+    // because targets mark their whole ancestor chain).
+    if (need_belief != nullptr && !(*need_belief)[v]) continue;
     int parent = tree_.parent[v];
+    double* pi_v = pi.data() + card_offset_[v];
     if (parent < 0) {
-      pi[v] = nodes_[v].cpt;  // root prior
+      // Root prior.
+      std::copy(nodes_[v].cpt.begin(), nodes_[v].cpt.end(), pi_v);
     } else {
       size_t p = static_cast<size_t>(parent);
+      const double* pi_p = pi.data() + card_offset_[p];
+      const double* ev_p = evidence.data() + card_offset_[p];
       // belief at parent excluding v's upward contribution.
-      std::vector<double> excl(nodes_[p].cards);
+      excl.assign(nodes_[p].cards, 0.0);
       for (uint32_t j = 0; j < nodes_[p].cards; ++j) {
-        double b = pi[p][j] * evidence[p][j];
-        for (int s : children[p]) {
+        double b = pi_p[j] * ev_p[j];
+        for (int s : children_[p]) {
           if (s == vi) continue;
-          b *= msg_up[static_cast<size_t>(s)][j];
+          b *= msg_up[msg_offset_[static_cast<size_t>(s)] + j];
         }
         excl[j] = b;
       }
-      const auto& cpt = nodes_[v].cpt;
+      const double* cpt = nodes_[v].cpt.data();
       uint32_t card = nodes_[v].cards;
-      pi[v].assign(card, 0.0);
       for (uint32_t j = 0; j < nodes_[p].cards; ++j) {
         if (excl[j] == 0.0) continue;
+        const double* row = cpt + static_cast<size_t>(j) * card;
         for (uint32_t i = 0; i < card; ++i) {
-          pi[v][i] += cpt[static_cast<size_t>(j) * card + i] * excl[j];
+          pi_v[i] += row[i] * excl[j];
         }
       }
     }
-    out.node_beliefs[v].resize(nodes_[v].cards);
+    const double* lambda_v = lambda.data() + card_offset_[v];
+    double* belief_v = out.beliefs.data() + card_offset_[v];
     for (uint32_t i = 0; i < nodes_[v].cards; ++i) {
-      out.node_beliefs[v][i] = pi[v][i] * lambda[v][i];
+      belief_v[i] = pi_v[i] * lambda_v[i];
     }
   }
 
-  // Component Z values: at each root, Z = sum of beliefs; propagate the root's
-  // component id to descendants.
-  std::vector<int> component_root(n, -1);
-  for (int vi : order) {
-    size_t v = static_cast<size_t>(vi);
-    int parent = tree_.parent[v];
-    component_root[v] = parent < 0 ? vi : component_root[static_cast<size_t>(parent)];
-  }
+  // Component Z values: at each root, Z = sum of beliefs; descendants read
+  // their component's Z through the cached component root.
   std::vector<double> z_of_root(n, 1.0);
   out.total_z = 1.0;
   for (size_t v = 0; v < n; ++v) {
     if (tree_.parent[v] < 0) {
-      double z = 0.0;
-      for (double b : out.node_beliefs[v]) z += b;
+      double z;
+      if (!subtree_touched[v]) {
+        // Untouched component (query path only; the train-time run marks
+        // everything touched): its Z is the memoized no-evidence Z — the
+        // same summation over the same doubles.
+        z = beliefs0_.component_z[v];
+      } else {
+        z = 0.0;
+        const double* belief_v = out.beliefs.data() + card_offset_[v];
+        for (uint32_t i = 0; i < nodes_[v].cards; ++i) z += belief_v[i];
+      }
       z_of_root[v] = z;
       out.total_z *= z;
     }
   }
   for (size_t v = 0; v < n; ++v) {
-    out.component_z[v] = z_of_root[static_cast<size_t>(component_root[v])];
+    out.component_z[v] = z_of_root[static_cast<size_t>(component_root_[v])];
   }
   return out;
 }
@@ -248,7 +362,9 @@ BayesNetEstimator::Beliefs BayesNetEstimator::Propagate(
 double BayesNetEstimator::EstimateFilteredRows(const Predicate& filter) const {
   auto evidence = BuildEvidence(filter);
   if (!evidence.has_value()) return fallback_->EstimateFilteredRows(filter);
-  Beliefs beliefs = Propagate(*evidence);
+  // Only Z is consumed: restrict the downward pass to the roots.
+  std::vector<size_t> no_targets;
+  Beliefs beliefs = Propagate(*evidence, &no_targets);
   return beliefs.total_z * static_cast<double>(table_->num_rows());
 }
 
@@ -257,19 +373,26 @@ KeyDistResult BayesNetEstimator::EstimateKeyDists(
   auto evidence = BuildEvidence(filter);
   if (!evidence.has_value()) return fallback_->EstimateKeyDists(filter, keys);
 
-  Beliefs beliefs = Propagate(*evidence);
+  // Restrict the downward pass to the requested key nodes (their ancestor
+  // chains): other beliefs would never be read.
+  std::vector<size_t> targets;
+  targets.reserve(keys.size());
+  for (const KeyDistRequest& key : keys) {
+    auto it = column_to_node_.find(key.column);
+    if (it == column_to_node_.end()) {
+      throw std::logic_error("BayesNetEstimator: unknown key column " +
+                             key.column);
+    }
+    targets.push_back(it->second);
+  }
+  Beliefs beliefs = Propagate(*evidence, &targets);
   double n = static_cast<double>(table_->num_rows());
 
   KeyDistResult result;
   result.filtered_rows = beliefs.total_z * n;
   result.masses.resize(keys.size());
   for (size_t i = 0; i < keys.size(); ++i) {
-    auto it = column_to_node_.find(keys[i].column);
-    if (it == column_to_node_.end()) {
-      throw std::logic_error("BayesNetEstimator: unknown key column " +
-                             keys[i].column);
-    }
-    size_t v = it->second;
+    size_t v = targets[i];
     const Node& node = nodes_[v];
     if (!node.discretizer.is_external() ||
         node.cards != keys[i].binning->num_bins() + 1) {
@@ -282,9 +405,10 @@ KeyDistResult BayesNetEstimator::EstimateKeyDists(
     double other_z = beliefs.component_z[v] > 0.0
                          ? beliefs.total_z / beliefs.component_z[v]
                          : 0.0;
+    const double* belief_v = beliefs.beliefs.data() + card_offset_[v];
     result.masses[i].assign(keys[i].binning->num_bins(), 0.0);
     for (uint32_t b = 0; b < keys[i].binning->num_bins(); ++b) {
-      result.masses[i][b] = beliefs.node_beliefs[v][b] * other_z * n;
+      result.masses[i][b] = belief_v[b] * other_z * n;
     }
     // The null category (last) is dropped: nulls never join.
   }
@@ -319,6 +443,9 @@ void BayesNetEstimator::IncrementalUpdate(const Table& table,
     }
   }
   NormalizeCpts();
+  // CPTs changed, so the no-evidence propagation memos must be recomputed
+  // (structure and offsets are unchanged, but the cached doubles are not).
+  RebuildInferenceCaches();
   fallback_->Refresh(table);
 }
 

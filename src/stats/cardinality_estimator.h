@@ -17,6 +17,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -56,6 +57,37 @@ class CardinalityEstimator {
   /// (FactorJoin's progressive algorithm) override this.
   virtual std::unordered_map<uint64_t, double> EstimateSubplans(
       const Query& query, const std::vector<uint64_t>& masks) const;
+
+  /// Reusable per-query sub-plan estimation state (see PrepareSubplans):
+  /// the expensive mask-independent work — FactorJoin's leaf factors — is
+  /// computed once at construction and shared by every EstimateSubplans
+  /// call on the session.
+  class SubplanSession {
+   public:
+    virtual ~SubplanSession() = default;
+
+    /// Estimates the given masks against the prepared state. Thread-safe:
+    /// any number of threads may call concurrently on one session, and the
+    /// values are bit-identical to a single EstimateSubplans(query, masks)
+    /// call with any superset of the masks (the serving layer splits one
+    /// large batch across workers and merges the chunk results relying on
+    /// exactly this).
+    virtual std::unordered_map<uint64_t, double> EstimateSubplans(
+        const std::vector<uint64_t>& masks) const = 0;
+  };
+
+  /// Prepares shared state for estimating many sub-plan masks of `query`,
+  /// so a large batch can be chunked across threads without redoing the
+  /// mask-independent work per chunk. Returns nullptr when the method has
+  /// no shared computation worth preparing (the default — callers must fall
+  /// back to EstimateSubplans). The session borrows the estimator and must
+  /// not outlive it; like estimation it must not run concurrently with
+  /// ApplyInsert/ApplyDelete.
+  virtual std::unique_ptr<SubplanSession> PrepareSubplans(
+      const Query& query) const {
+    (void)query;
+    return nullptr;
+  }
 
   /// Serialized statistics footprint (Figure 6 "model size").
   virtual size_t ModelSizeBytes() const { return 0; }

@@ -13,6 +13,10 @@ SamplingEstimator::SamplingEstimator(const Table& table, double rate,
 }
 
 void SamplingEstimator::DrawSample() {
+  {
+    std::lock_guard<std::mutex> lock(bin_codes_mu_);
+    bin_codes_.clear();  // codes are per sample row; the rows change
+  }
   sample_rows_.clear();
   size_t n = table_->num_rows();
   size_t target = std::max<size_t>(static_cast<size_t>(rate_ * static_cast<double>(n)), 1);
@@ -30,8 +34,11 @@ void SamplingEstimator::DrawSample() {
 
 double SamplingEstimator::EstimateFilteredRows(const Predicate& filter) const {
   size_t hits = 0;
-  for (uint32_t r : sample_rows_) {
-    if (EvalRow(*table_, filter, r)) ++hits;
+  if (!sample_rows_.empty()) {
+    CompiledPredicate compiled(*table_, filter);
+    for (uint32_t r : sample_rows_) {
+      if (compiled.Eval(r)) ++hits;
+    }
   }
   // Zero hits bound selectivity below ~1/|sample|, they do not prove
   // emptiness; report half a sample row to avoid catastrophic
@@ -39,23 +46,53 @@ double SamplingEstimator::EstimateFilteredRows(const Predicate& filter) const {
   return std::max(static_cast<double>(hits), 0.5) * scale_;
 }
 
+const std::vector<uint32_t>& SamplingEstimator::BinCodesFor(
+    const Column& col, const Binning& binning) const {
+  auto key = std::make_pair(&col, &binning);
+  {
+    std::lock_guard<std::mutex> lock(bin_codes_mu_);
+    auto it = bin_codes_.find(key);
+    if (it != bin_codes_.end()) return it->second;
+  }
+  // Build outside the lock (two racing threads may both build; the first
+  // insert wins and they are identical anyway — BinOf is pure).
+  std::vector<uint32_t> codes;
+  codes.reserve(sample_rows_.size());
+  for (uint32_t r : sample_rows_) {
+    int64_t v = col.IntAt(r);
+    codes.push_back(v == kNullInt64 ? kNullBin : binning.BinOf(v));
+  }
+  std::lock_guard<std::mutex> lock(bin_codes_mu_);
+  return bin_codes_.emplace(key, std::move(codes)).first->second;
+}
+
 KeyDistResult SamplingEstimator::EstimateKeyDists(
     const Predicate& filter, const std::vector<KeyDistRequest>& keys) const {
   KeyDistResult result;
   result.masses.resize(keys.size());
-  std::vector<const Column*> cols(keys.size());
   for (size_t i = 0; i < keys.size(); ++i) {
-    cols[i] = &table_->Col(keys[i].column);
     result.masses[i].assign(keys[i].binning->num_bins(), 0.0);
   }
   size_t hits = 0;
-  for (uint32_t r : sample_rows_) {
-    if (!EvalRow(*table_, filter, r)) continue;
-    ++hits;
+  if (!sample_rows_.empty()) {
+    // Two hoists out of the row loop, neither moving a single bit: the
+    // filter is compiled once (EvalRow redoes per-node column-name lookups
+    // every row), and each key's per-sample-row bin codes come from the
+    // memo (Binning::BinOf hash probes become array loads).
+    CompiledPredicate compiled(*table_, filter);
+    std::vector<const uint32_t*> codes(keys.size());
     for (size_t i = 0; i < keys.size(); ++i) {
-      int64_t code = cols[i]->IntAt(r);
-      if (code == kNullInt64) continue;
-      result.masses[i][keys[i].binning->BinOf(code)] += scale_;
+      codes[i] = BinCodesFor(table_->Col(keys[i].column),
+                             *keys[i].binning).data();
+    }
+    for (size_t j = 0; j < sample_rows_.size(); ++j) {
+      if (!compiled.Eval(sample_rows_[j])) continue;
+      ++hits;
+      for (size_t i = 0; i < keys.size(); ++i) {
+        uint32_t b = codes[i][j];
+        if (b == kNullBin) continue;
+        result.masses[i][b] += scale_;
+      }
     }
   }
   result.filtered_rows = std::max(static_cast<double>(hits), 0.5) * scale_;

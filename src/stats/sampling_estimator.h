@@ -4,6 +4,10 @@
 // including LIKE and disjunctions — the estimator used for IMDB-JOB.
 #pragma once
 
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <utility>
 #include <vector>
 
 #include "stats/table_estimator.h"
@@ -29,13 +33,31 @@ class SamplingEstimator : public TableEstimator {
   double rate() const { return rate_; }
 
  private:
+  /// Sentinel bin code for a null sample value (nulls never join).
+  static constexpr uint32_t kNullBin = UINT32_MAX;
+
   void DrawSample();
+
+  /// Per-sample-row bin codes of `col` under `binning`, memoized per
+  /// (column, binning) pair. Binning::BinOf is pure, so the memo changes no
+  /// estimate — it only replaces a hash probe per (row, key) in the
+  /// EstimateKeyDists scan with an array load. Thread-safe (estimation is
+  /// concurrent); invalidated when a fresh sample is drawn.
+  const std::vector<uint32_t>& BinCodesFor(const Column& col,
+                                           const Binning& binning) const;
 
   const Table* table_;  // not owned; must outlive the estimator
   double rate_;
   uint64_t seed_;
   std::vector<uint32_t> sample_rows_;
   double scale_ = 1.0;  // table rows / sample rows
+
+  // std::map keeps node (and thus reference) stability while other threads
+  // insert; entries are small relative to the sample itself.
+  mutable std::mutex bin_codes_mu_;
+  mutable std::map<std::pair<const Column*, const Binning*>,
+                   std::vector<uint32_t>>
+      bin_codes_;
 };
 
 }  // namespace fj

@@ -17,8 +17,10 @@ KeyDistResult TrueScanEstimator::EstimateKeyDists(
     cols[i] = &table_->Col(keys[i].column);
     result.masses[i].assign(keys[i].binning->num_bins(), 0.0);
   }
+  if (table_->num_rows() == 0) return result;
+  CompiledPredicate compiled(*table_, filter);
   for (size_t r = 0; r < table_->num_rows(); ++r) {
-    if (!EvalRow(*table_, filter, r)) continue;
+    if (!compiled.Eval(r)) continue;
     result.filtered_rows += 1.0;
     for (size_t i = 0; i < keys.size(); ++i) {
       int64_t code = cols[i]->IntAt(r);

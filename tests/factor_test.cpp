@@ -1,23 +1,34 @@
 #include <gtest/gtest.h>
 
+#include <map>
+#include <vector>
+
+#include "factorjoin/arena.h"
 #include "factorjoin/factor.h"
 
 namespace fj {
 namespace {
 
+GroupSpan Span(FactorArena* arena, std::vector<double> mass,
+               std::vector<double> mfv, int gid = 0) {
+  return MakeGroupSpan(gid, mass, mfv, arena);
+}
+
 // Figure 5 worked example: bin1 of A.id has total 16 and MFV 8; bin1 of B.Aid
 // has total 24 and MFV 6. The paper derives the bound
 // min(16/8, 24/6) * 8 * 6 = 96 for the true per-bin join size 83.
 TEST(FactorTest, Figure5Bound) {
-  GroupBound a{{16.0}, {8.0}};
-  GroupBound b{{24.0}, {6.0}};
+  FactorArena arena;
+  GroupSpan a = Span(&arena, {16.0}, {8.0});
+  GroupSpan b = Span(&arena, {24.0}, {6.0});
   EXPECT_DOUBLE_EQ(GroupJoinBound(a, b), 96.0);
   EXPECT_GE(GroupJoinBound(a, b), 83.0);
 }
 
 TEST(FactorTest, BoundIsSymmetric) {
-  GroupBound a{{10.0, 5.0}, {2.0, 5.0}};
-  GroupBound b{{7.0, 9.0}, {3.0, 1.0}};
+  FactorArena arena;
+  GroupSpan a = Span(&arena, {10.0, 5.0}, {2.0, 5.0});
+  GroupSpan b = Span(&arena, {7.0, 9.0}, {3.0, 1.0});
   EXPECT_DOUBLE_EQ(GroupJoinBound(a, b), GroupJoinBound(b, a));
 }
 
@@ -26,15 +37,17 @@ TEST(FactorTest, ExactWhenZeroVariance) {
   // total = ndv * mfv the bound equals the exact join size
   // ndv * mfvA * mfvB when ndv matches.
   // A: 4 values x 3 each = 12; B: same 4 values x 2 each = 8.
-  GroupBound a{{12.0}, {3.0}};
-  GroupBound b{{8.0}, {2.0}};
+  FactorArena arena;
+  GroupSpan a = Span(&arena, {12.0}, {3.0});
+  GroupSpan b = Span(&arena, {8.0}, {2.0});
   // Exact join: 4 values * 3 * 2 = 24. Bound: min(12*2, 8*3) = 24.
   EXPECT_DOUBLE_EQ(GroupJoinBound(a, b), 24.0);
 }
 
 TEST(FactorTest, EmptyBinContributesNothing) {
-  GroupBound a{{0.0, 10.0}, {1.0, 2.0}};
-  GroupBound b{{5.0, 10.0}, {1.0, 2.0}};
+  FactorArena arena;
+  GroupSpan a = Span(&arena, {0.0, 10.0}, {1.0, 2.0});
+  GroupSpan b = Span(&arena, {5.0, 10.0}, {1.0, 2.0});
   // Bin 0: left mass 0 -> no contribution. Bin 1: min(10*2, 10*2) = 20.
   EXPECT_DOUBLE_EQ(GroupJoinBound(a, b), 20.0);
 }
@@ -60,99 +73,163 @@ TEST(FactorTest, BoundNeverBelowDisjointExact) {
       mfv_a = std::max(mfv_a, s.a_counts[i]);
       mfv_b = std::max(mfv_b, s.b_counts[i]);
     }
-    GroupBound a{{total_a}, {mfv_a}};
-    GroupBound b{{total_b}, {mfv_b}};
+    FactorArena arena;
+    GroupSpan a = Span(&arena, {total_a}, {mfv_a});
+    GroupSpan b = Span(&arena, {total_b}, {mfv_b});
     EXPECT_GE(GroupJoinBound(a, b), exact);
   }
 }
 
+struct GroupInit {
+  std::vector<double> mass;
+  std::vector<double> mfv;
+};
+
 BoundFactor MakeFactor(uint64_t mask, double card,
-                       std::map<int, GroupBound> groups) {
+                       std::map<int, GroupInit> groups, FactorArena* arena) {
   BoundFactor f;
   f.alias_mask = mask;
   f.card = card;
-  f.groups = std::move(groups);
+  for (const auto& [gid, init] : groups) {
+    f.groups.push_back(MakeGroupSpan(gid, init.mass, init.mfv, arena));
+  }
   return f;
 }
 
+std::vector<double> MassOf(const BoundFactor& f, int gid) {
+  const GroupSpan* g = f.FindGroup(gid);
+  EXPECT_NE(g, nullptr);
+  return std::vector<double>(g->mass, g->mass + g->bins);
+}
+
+std::vector<double> MfvOf(const BoundFactor& f, int gid) {
+  const GroupSpan* g = f.FindGroup(gid);
+  EXPECT_NE(g, nullptr);
+  return std::vector<double>(g->mfv, g->mfv + g->bins);
+}
+
 TEST(FactorJoinStepTest, JoinPicksTightestGroup) {
+  FactorArena arena;
   // Two connecting groups; group 1 gives a smaller bound.
   BoundFactor left = MakeFactor(0b01, 20.0,
-                                {{0, GroupBound{{20.0}, {4.0}}},
-                                 {1, GroupBound{{20.0}, {1.0}}}});
+                                {{0, {{20.0}, {4.0}}}, {1, {{20.0}, {1.0}}}},
+                                &arena);
   BoundFactor right = MakeFactor(0b10, 30.0,
-                                 {{0, GroupBound{{30.0}, {5.0}}},
-                                  {1, GroupBound{{30.0}, {1.0}}}});
+                                 {{0, {{30.0}, {5.0}}}, {1, {{30.0}, {1.0}}}},
+                                 &arena);
   // Group 0 bound: min(20*5, 30*4) = 100. Group 1: min(20*1, 30*1) = 20.
-  BoundFactor joined = JoinBoundFactors(left, right, {0, 1});
+  BoundFactor joined = JoinBoundFactors(left, right, {0, 1}, &arena);
   EXPECT_DOUBLE_EQ(joined.card, 20.0);
   EXPECT_EQ(joined.alias_mask, 0b11u);
 }
 
 TEST(FactorJoinStepTest, CrossProductClamp) {
-  BoundFactor left = MakeFactor(0b01, 3.0, {{0, GroupBound{{3.0}, {100.0}}}});
-  BoundFactor right = MakeFactor(0b10, 4.0, {{0, GroupBound{{4.0}, {100.0}}}});
+  FactorArena arena;
+  BoundFactor left = MakeFactor(0b01, 3.0, {{0, {{3.0}, {100.0}}}}, &arena);
+  BoundFactor right = MakeFactor(0b10, 4.0, {{0, {{4.0}, {100.0}}}}, &arena);
   // Group bound min(3*100, 4*100) = 300, but |A x B| = 12 caps it.
-  BoundFactor joined = JoinBoundFactors(left, right, {0});
+  BoundFactor joined = JoinBoundFactors(left, right, {0}, &arena);
   EXPECT_DOUBLE_EQ(joined.card, 12.0);
 }
 
 TEST(FactorJoinStepTest, JoinedMassSumsToCard) {
-  BoundFactor left = MakeFactor(
-      0b01, 16.0, {{0, GroupBound{{10.0, 6.0}, {4.0, 2.0}}}});
-  BoundFactor right = MakeFactor(
-      0b10, 24.0, {{0, GroupBound{{12.0, 12.0}, {6.0, 3.0}}}});
-  BoundFactor joined = JoinBoundFactors(left, right, {0});
+  FactorArena arena;
+  BoundFactor left =
+      MakeFactor(0b01, 16.0, {{0, {{10.0, 6.0}, {4.0, 2.0}}}}, &arena);
+  BoundFactor right =
+      MakeFactor(0b10, 24.0, {{0, {{12.0, 12.0}, {6.0, 3.0}}}}, &arena);
+  BoundFactor joined = JoinBoundFactors(left, right, {0}, &arena);
   double sum = 0.0;
-  for (double m : joined.groups.at(0).mass) sum += m;
+  for (double m : MassOf(joined, 0)) sum += m;
   EXPECT_NEAR(sum, joined.card, 1e-9);
 }
 
 TEST(FactorJoinStepTest, MfvMultipliesOnJoinedGroup) {
-  BoundFactor left = MakeFactor(0b01, 16.0, {{0, GroupBound{{16.0}, {8.0}}}});
-  BoundFactor right = MakeFactor(0b10, 24.0, {{0, GroupBound{{24.0}, {6.0}}}});
-  BoundFactor joined = JoinBoundFactors(left, right, {0});
-  EXPECT_DOUBLE_EQ(joined.groups.at(0).mfv[0], 48.0);
+  FactorArena arena;
+  BoundFactor left = MakeFactor(0b01, 16.0, {{0, {{16.0}, {8.0}}}}, &arena);
+  BoundFactor right = MakeFactor(0b10, 24.0, {{0, {{24.0}, {6.0}}}}, &arena);
+  BoundFactor joined = JoinBoundFactors(left, right, {0}, &arena);
+  EXPECT_DOUBLE_EQ(MfvOf(joined, 0)[0], 48.0);
   EXPECT_DOUBLE_EQ(joined.card, 96.0);  // Figure 5 again, through the join
 }
 
 TEST(FactorJoinStepTest, CarriedGroupRescaledAndMfvPropagated) {
+  FactorArena arena;
   // Left has a second group (id 7) not involved in the join; its mass must be
   // rescaled to the new cardinality and its MFV multiplied by the right
   // side's max duplication.
   BoundFactor left = MakeFactor(0b01, 10.0,
-                                {{0, GroupBound{{10.0}, {2.0}}},
-                                 {7, GroupBound{{4.0, 6.0}, {3.0, 2.0}}}});
-  BoundFactor right = MakeFactor(0b10, 5.0, {{0, GroupBound{{5.0}, {5.0}}}});
-  BoundFactor joined = JoinBoundFactors(left, right, {0});
+                                {{0, {{10.0}, {2.0}}},
+                                 {7, {{4.0, 6.0}, {3.0, 2.0}}}},
+                                &arena);
+  BoundFactor right = MakeFactor(0b10, 5.0, {{0, {{5.0}, {5.0}}}}, &arena);
+  BoundFactor joined = JoinBoundFactors(left, right, {0}, &arena);
   // card = min(10*5, 5*2) = 10.
   EXPECT_DOUBLE_EQ(joined.card, 10.0);
-  const GroupBound& carried = joined.groups.at(7);
-  EXPECT_NEAR(carried.mass[0] + carried.mass[1], 10.0, 1e-9);
+  std::vector<double> mass = MassOf(joined, 7);
+  std::vector<double> mfv = MfvOf(joined, 7);
+  EXPECT_NEAR(mass[0] + mass[1], 10.0, 1e-9);
   // Original ratio 4:6 preserved.
-  EXPECT_NEAR(carried.mass[0] / carried.mass[1], 4.0 / 6.0, 1e-9);
+  EXPECT_NEAR(mass[0] / mass[1], 4.0 / 6.0, 1e-9);
   // MFV multiplied by right's max MFV (5), clamped by the result size (10):
   // 3*5 = 15 -> 10, 2*5 = 10 -> 10.
-  EXPECT_DOUBLE_EQ(carried.mfv[0], 10.0);
-  EXPECT_DOUBLE_EQ(carried.mfv[1], 10.0);
+  EXPECT_DOUBLE_EQ(mfv[0], 10.0);
+  EXPECT_DOUBLE_EQ(mfv[1], 10.0);
 }
 
 TEST(FactorJoinStepTest, ThreeWayStarMatchesSequentialBound) {
+  FactorArena arena;
   // Star join A.id = B.aid = C.aid, one bin (appendix Case 2 shape).
-  BoundFactor a = MakeFactor(0b001, 16.0, {{0, GroupBound{{16.0}, {8.0}}}});
-  BoundFactor b = MakeFactor(0b010, 24.0, {{0, GroupBound{{24.0}, {6.0}}}});
-  BoundFactor c = MakeFactor(0b100, 10.0, {{0, GroupBound{{10.0}, {2.0}}}});
-  BoundFactor ab = JoinBoundFactors(a, b, {0});
-  BoundFactor abc = JoinBoundFactors(ab, c, {0});
+  BoundFactor a = MakeFactor(0b001, 16.0, {{0, {{16.0}, {8.0}}}}, &arena);
+  BoundFactor b = MakeFactor(0b010, 24.0, {{0, {{24.0}, {6.0}}}}, &arena);
+  BoundFactor c = MakeFactor(0b100, 10.0, {{0, {{10.0}, {2.0}}}}, &arena);
+  BoundFactor ab = JoinBoundFactors(a, b, {0}, &arena);
+  BoundFactor abc = JoinBoundFactors(ab, c, {0}, &arena);
   // ab: card 96, mfv 48. abc: min(96*2, 10*48) = 192.
   EXPECT_DOUBLE_EQ(abc.card, 192.0);
   EXPECT_EQ(abc.alias_mask, 0b111u);
 }
 
 TEST(FactorJoinStepTest, ThrowsWithoutConnectingGroup) {
-  BoundFactor a = MakeFactor(0b01, 5.0, {{0, GroupBound{{5.0}, {1.0}}}});
-  BoundFactor b = MakeFactor(0b10, 5.0, {{1, GroupBound{{5.0}, {1.0}}}});
-  EXPECT_THROW(JoinBoundFactors(a, b, {}), std::invalid_argument);
+  FactorArena arena;
+  BoundFactor a = MakeFactor(0b01, 5.0, {{0, {{5.0}, {1.0}}}}, &arena);
+  BoundFactor b = MakeFactor(0b10, 5.0, {{1, {{5.0}, {1.0}}}}, &arena);
+  EXPECT_THROW(JoinBoundFactors(a, b, {}, &arena), std::invalid_argument);
+}
+
+TEST(FactorJoinStepTest, GroupIndexStaysSortedAfterJoin) {
+  FactorArena arena;
+  BoundFactor left = MakeFactor(0b01, 10.0,
+                                {{1, {{10.0}, {2.0}}}, {5, {{10.0}, {1.0}}}},
+                                &arena);
+  BoundFactor right = MakeFactor(0b10, 8.0,
+                                 {{1, {{8.0}, {2.0}}}, {3, {{8.0}, {4.0}}}},
+                                 &arena);
+  BoundFactor joined = JoinBoundFactors(left, right, {1}, &arena);
+  ASSERT_EQ(joined.groups.size(), 3u);
+  EXPECT_EQ(joined.groups[0].gid, 1);
+  EXPECT_EQ(joined.groups[1].gid, 3);
+  EXPECT_EQ(joined.groups[2].gid, 5);
+}
+
+TEST(FactorArenaTest, SpansStayValidAcrossGrowth) {
+  FactorArena arena;
+  double* first = arena.Alloc(4);
+  for (int i = 0; i < 4; ++i) first[i] = static_cast<double>(i);
+  // Force several new blocks.
+  for (int i = 0; i < 64; ++i) arena.Alloc(FactorArena::kBlockDoubles / 2);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(first[i], static_cast<double>(i));
+  }
+  EXPECT_GT(arena.num_blocks(), 1u);
+}
+
+TEST(FactorArenaTest, OversizedAllocationGetsDedicatedBlock) {
+  FactorArena arena;
+  double* big = arena.AllocZeroed(FactorArena::kBlockDoubles * 3);
+  EXPECT_NE(big, nullptr);
+  EXPECT_DOUBLE_EQ(big[FactorArena::kBlockDoubles * 3 - 1], 0.0);
+  EXPECT_EQ(arena.allocated_doubles(), FactorArena::kBlockDoubles * 3);
 }
 
 }  // namespace

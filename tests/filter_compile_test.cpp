@@ -1,0 +1,160 @@
+// CompiledPredicate must return exactly what EvalRow returns for every row
+// and every predicate class — the compiled form powers the estimation hot
+// path (sample scans), so a single divergent boolean would silently move
+// estimates. Covers every Predicate::Kind, every LIKE specialization class,
+// nulls, type coercions, and the evaluation-order-insensitive AND/OR
+// reordering.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "query/filter_eval.h"
+#include "query/predicate.h"
+#include "storage/table.h"
+
+namespace fj {
+namespace {
+
+Table MakeTable() {
+  Table t("t");
+  Column* i = t.AddColumn("i", ColumnType::kInt64);
+  Column* d = t.AddColumn("d", ColumnType::kDouble);
+  Column* s = t.AddColumn("s", ColumnType::kString);
+  std::vector<std::string> words = {"apple",  "apricot", "banana", "grape",
+                                    "grapefruit", "melon", "",     "pineapple",
+                                    "ape",    "nap"};
+  for (int r = 0; r < 64; ++r) {
+    if (r % 13 == 7) {
+      i->AppendNull();
+    } else {
+      i->AppendInt((r * 7) % 23 - 5);
+    }
+    if (r % 11 == 3) {
+      d->AppendNull();
+    } else {
+      d->AppendDouble(static_cast<double>(r) * 0.75 - 10.0);
+    }
+    if (r % 9 == 5) {
+      s->AppendNull();
+    } else {
+      s->AppendString(words[static_cast<size_t>(r) % words.size()]);
+    }
+  }
+  return t;
+}
+
+void ExpectEquivalent(const Table& t, const PredicatePtr& p,
+                      const std::string& what) {
+  CompiledPredicate compiled(t, *p);
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    EXPECT_EQ(compiled.Eval(r), EvalRow(t, *p, r))
+        << what << " diverges at row " << r;
+  }
+}
+
+TEST(FilterCompileTest, ComparisonsAllTypesAllOps) {
+  Table t = MakeTable();
+  for (CmpOp op : {CmpOp::kEq, CmpOp::kNe, CmpOp::kLt, CmpOp::kLe, CmpOp::kGt,
+                   CmpOp::kGe}) {
+    ExpectEquivalent(t, Predicate::Cmp("i", op, Literal::Int(4)), "int cmp");
+    // Double literal against int column exercises the llround coercion.
+    ExpectEquivalent(t, Predicate::Cmp("i", op, Literal::Double(3.6)),
+                     "int cmp double lit");
+    ExpectEquivalent(t, Predicate::Cmp("d", op, Literal::Double(5.25)),
+                     "double cmp");
+    ExpectEquivalent(t, Predicate::Cmp("d", op, Literal::Int(2)),
+                     "double cmp int lit");
+    ExpectEquivalent(t, Predicate::Cmp("s", op, Literal::Str("grape")),
+                     "string cmp");
+    ExpectEquivalent(t, Predicate::Cmp("s", op, Literal::Str("zzz-absent")),
+                     "string cmp absent literal");
+  }
+}
+
+TEST(FilterCompileTest, BetweenInNullChecks) {
+  Table t = MakeTable();
+  ExpectEquivalent(t, Predicate::Between("i", Literal::Int(-2), Literal::Int(9)),
+                   "int between");
+  ExpectEquivalent(
+      t, Predicate::Between("d", Literal::Double(-4.5), Literal::Int(20)),
+      "double between mixed literals");
+  ExpectEquivalent(
+      t, Predicate::Between("s", Literal::Str("ape"), Literal::Str("melon")),
+      "string between");
+  ExpectEquivalent(t,
+                   Predicate::In("i", {Literal::Int(1), Literal::Int(4),
+                                       Literal::Double(6.2)}),
+                   "int in");
+  ExpectEquivalent(t,
+                   Predicate::In("d", {Literal::Double(-10.0),
+                                       Literal::Int(5)}),
+                   "double in");
+  ExpectEquivalent(t,
+                   Predicate::In("s", {Literal::Str("banana"),
+                                       Literal::Str("zzz-absent"),
+                                       Literal::Str("nap")}),
+                   "string in");
+  ExpectEquivalent(t, Predicate::IsNull("i"), "is null");
+  ExpectEquivalent(t, Predicate::IsNotNull("s"), "is not null");
+}
+
+TEST(FilterCompileTest, LikeSpecializationClasses) {
+  Table t = MakeTable();
+  // One pattern per LikeClass, plus generic fallbacks.
+  std::vector<std::string> patterns = {
+      "grape",        // exact
+      "%",            // any
+      "%%",           // any (repeated %)
+      "ape%",         // prefix
+      "%ape",         // suffix
+      "%ape%",        // contains
+      "%%ape%%",      // contains with doubled %
+      "a%e",          // edges
+      "gr%fruit",     // edges
+      "a%p%e",        // generic: two inner runs
+      "_ap",          // generic: underscore
+      "%a_p%",        // generic
+      "",             // exact empty pattern
+      "zzz-absent",   // exact, literal not in dictionary
+  };
+  for (const std::string& p : patterns) {
+    ExpectEquivalent(t, Predicate::Like("s", p), "LIKE " + p);
+    ExpectEquivalent(t, Predicate::NotLike("s", p), "NOT LIKE " + p);
+  }
+}
+
+TEST(FilterCompileTest, BooleanCombinatorsReorderSafely) {
+  Table t = MakeTable();
+  // Expensive LIKE first in the source order: compilation reorders it after
+  // the cheap integer compare without changing any result.
+  std::vector<PredicatePtr> and_kids;
+  and_kids.push_back(Predicate::Like("s", "%ape%"));
+  and_kids.push_back(Predicate::Cmp("i", CmpOp::kGt, Literal::Int(0)));
+  ExpectEquivalent(t, Predicate::And(std::move(and_kids)),
+                   "and with reorder");
+
+  std::vector<PredicatePtr> inner_or;
+  inner_or.push_back(Predicate::Cmp("d", CmpOp::kLt, Literal::Double(0.0)));
+  inner_or.push_back(Predicate::IsNull("i"));
+  std::vector<PredicatePtr> outer_or;
+  outer_or.push_back(Predicate::Like("s", "%ape%"));
+  outer_or.push_back(Predicate::Or(std::move(inner_or)));
+  ExpectEquivalent(t, Predicate::Or(std::move(outer_or)), "nested or");
+
+  std::vector<PredicatePtr> not_and;
+  not_and.push_back(Predicate::Cmp("i", CmpOp::kGe, Literal::Int(2)));
+  not_and.push_back(Predicate::NotLike("s", "gr%"));
+  ExpectEquivalent(t, Predicate::Not(Predicate::And(std::move(not_and))),
+                   "not of and");
+  ExpectEquivalent(t, Predicate::True(), "true");
+}
+
+TEST(FilterCompileTest, MissingColumnThrowsAtCompile) {
+  Table t = MakeTable();
+  PredicatePtr p = Predicate::Cmp("absent", CmpOp::kEq, Literal::Int(1));
+  EXPECT_THROW(CompiledPredicate(t, *p), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace fj

@@ -1,0 +1,153 @@
+// Golden-value regression pinning Estimate / EstimateSubplans bit patterns
+// across the five estimator configurations of estimator_updates_test.cpp.
+//
+// The constants were captured from the pre-arena implementation (heap
+// std::map<int, GroupBound> factors); the flat arena/kernel hot path must
+// reproduce them BIT FOR BIT — a performance refactor must not move a single
+// ulp. If an estimator's math ever changes on purpose, re-capture by
+// printing std::bit_cast<uint64_t>(value) for the cases below (the workload
+// builder in golden_workload.h must stay frozen).
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "baselines/postgres_estimator.h"
+#include "baselines/truecard_estimator.h"
+#include "baselines/wander_join.h"
+#include "factorjoin/estimator.h"
+#include "golden_workload.h"
+
+namespace fj {
+namespace {
+
+using golden::MakeGoldenDb;
+using golden::ThreeWayMasks;
+using golden::ThreeWayQuery;
+using golden::TwoWayQuery;
+
+struct GoldenRecord {
+  std::string name;
+  uint64_t estimate_two_way;
+  uint64_t estimate_three_way;
+  // One entry per mask of ThreeWayMasks(), in enumeration order.
+  std::vector<uint64_t> subplans_three_way;
+};
+
+// Captured 2026-07-26 from the pre-arena implementation (see file comment).
+const std::vector<GoldenRecord>& Goldens() {
+  static const std::vector<GoldenRecord> goldens = {
+      {"factorjoin-bayesnet",
+       0x40a76d6e88c5852dULL,  // 2998.7158872342175
+       0x40aead94773e6a58ULL,  // 3926.7899722580732
+       {0x40717b829e2c1dfaULL, 0x40af2b9b6732f6cbULL, 0x406113a64bcfd4b8ULL,
+        0x40af2916d919f50bULL, 0x40aead94773e6a58ULL, 0x40aead94773e6a58ULL}},
+      {"factorjoin-sampling",
+       0x4072c00000000000ULL,  // 300
+       0x409127df24f66ac8ULL,  // 1097.9679144385027
+       {0x406e000000000000ULL, 0x40ad380000000000ULL, 0x405ac92492492492ULL,
+        0x40ab300000000000ULL, 0x4092700000000000ULL, 0x409127df24f66ac8ULL}},
+      {"postgres",
+       0x40a6440000000000ULL,  // 2850
+       0x40a1a4cb43958106ULL,  // 2258.3969999999999
+       {0x4071900000000000ULL, 0x40af2c0000000000ULL, 0x405e36db6db6db6eULL,
+        0x40a5e5f333333333ULL, 0x40a91d999999999aULL, 0x40a1a4cb43958106ULL}},
+      {"wanderjoin",
+       0x4092000000000000ULL,  // 1152
+       0x40a0700000000000ULL,  // 2104
+       {0x4071900000000000ULL, 0x40af2c0000000000ULL, 0x405f800000000000ULL,
+        0x409e800000000000ULL, 0x40ab8a0000000000ULL, 0x40a0700000000000ULL}},
+      {"truecard",
+       0x40a3a80000000000ULL,  // 2516
+       0x40a4700000000000ULL,  // 2616
+       {0x4071900000000000ULL, 0x40af2c0000000000ULL, 0x405f800000000000ULL,
+        0x40a83e0000000000ULL, 0x40aa460000000000ULL, 0x40a4700000000000ULL}}};
+  return goldens;
+}
+
+const GoldenRecord& GoldenFor(const std::string& name) {
+  for (const GoldenRecord& g : Goldens()) {
+    if (g.name == name) return g;
+  }
+  ADD_FAILURE() << "no golden record named " << name;
+  static GoldenRecord empty;
+  return empty;
+}
+
+// EXPECT with bit-level diagnostics: on mismatch prints both bit patterns so
+// a legitimate re-capture is a copy-paste away.
+void ExpectBits(uint64_t want, double got, const std::string& what) {
+  uint64_t bits = std::bit_cast<uint64_t>(got);
+  EXPECT_EQ(want, bits) << what << ": golden " << std::hexfloat
+                        << std::bit_cast<double>(want) << " got " << got
+                        << std::defaultfloat << " (bits 0x" << std::hex << bits
+                        << ")";
+}
+
+void CheckGolden(const CardinalityEstimator& est, const std::string& name) {
+  const GoldenRecord& golden = GoldenFor(name);
+  Query q2 = TwoWayQuery();
+  Query q3 = ThreeWayQuery();
+  std::vector<uint64_t> masks = ThreeWayMasks();
+  ASSERT_EQ(golden.subplans_three_way.size(), masks.size())
+      << name << ": mask enumeration changed; goldens need re-capture";
+
+  ExpectBits(golden.estimate_two_way, est.Estimate(q2), name + "/two-way");
+  ExpectBits(golden.estimate_three_way, est.Estimate(q3),
+             name + "/three-way");
+  auto subs = est.EstimateSubplans(q3, masks);
+  for (size_t i = 0; i < masks.size(); ++i) {
+    ExpectBits(golden.subplans_three_way[i], subs.at(masks[i]),
+               name + "/subplan mask " + std::to_string(masks[i]));
+  }
+
+  // The progressive path must be independent of the requested mask set
+  // (canonical decomposition): every mask alone reproduces the batch value.
+  for (size_t i = 0; i < masks.size(); ++i) {
+    auto solo = est.EstimateSubplans(q3, {masks[i]});
+    ExpectBits(golden.subplans_three_way[i], solo.at(masks[i]),
+               name + "/solo mask " + std::to_string(masks[i]));
+  }
+}
+
+TEST(GoldenEstimatesTest, FactorJoinBayesNet) {
+  Database db = MakeGoldenDb();
+  FactorJoinConfig cfg;
+  cfg.num_bins = 32;
+  cfg.estimator = TableEstimatorKind::kBayesNet;
+  FactorJoinEstimator est(db, cfg);
+  CheckGolden(est, "factorjoin-bayesnet");
+}
+
+TEST(GoldenEstimatesTest, FactorJoinSampling) {
+  Database db = MakeGoldenDb();
+  FactorJoinConfig cfg;
+  cfg.num_bins = 32;
+  cfg.estimator = TableEstimatorKind::kSampling;
+  cfg.sampling_rate = 0.05;
+  FactorJoinEstimator est(db, cfg);
+  CheckGolden(est, "factorjoin-sampling");
+}
+
+TEST(GoldenEstimatesTest, Postgres) {
+  Database db = MakeGoldenDb();
+  PostgresEstimator est(db);
+  CheckGolden(est, "postgres");
+}
+
+TEST(GoldenEstimatesTest, WanderJoin) {
+  Database db = MakeGoldenDb();
+  WanderJoinEstimator est(db);
+  CheckGolden(est, "wanderjoin");
+}
+
+TEST(GoldenEstimatesTest, TrueCard) {
+  Database db = MakeGoldenDb();
+  TrueCardEstimator est(db);
+  CheckGolden(est, "truecard");
+}
+
+}  // namespace
+}  // namespace fj

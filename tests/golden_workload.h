@@ -1,0 +1,79 @@
+// Deterministic database + queries shared by the golden-value regression
+// test (golden_estimates_test.cpp) and any tool that re-captures the golden
+// constants. The data generator must never change: the recorded bit patterns
+// pin the estimators' arithmetic, and regenerating them is only legitimate
+// when an estimator's MATH changes on purpose (not its data layout).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "query/query.h"
+#include "query/subplan.h"
+#include "storage/database.h"
+
+namespace fj::golden {
+
+/// Three-table chain schema (users -< orders >- products) with skewed join
+/// keys, exercising multi-join factor propagation, carried groups, and the
+/// per-bin backoff/clamp paths of MakeLeafFactor.
+inline Database MakeGoldenDb() {
+  Database db;
+  Table* users = db.AddTable("users");
+  Column* u_id = users->AddColumn("id", ColumnType::kInt64);
+  Column* u_age = users->AddColumn("age", ColumnType::kInt64);
+  for (int i = 0; i < 400; ++i) {
+    u_id->AppendInt(i);
+    u_age->AppendInt(18 + (i * 7) % 60);
+  }
+  Table* orders = db.AddTable("orders");
+  Column* o_user = orders->AddColumn("user_id", ColumnType::kInt64);
+  Column* o_product = orders->AddColumn("product_id", ColumnType::kInt64);
+  Column* o_amount = orders->AddColumn("amount", ColumnType::kInt64);
+  for (int i = 0; i < 5000; ++i) {
+    int user = (i * i + 13 * i) % 400;
+    user = user % (1 + user % 40);  // skew toward low ids
+    o_user->AppendInt(user);
+    o_product->AppendInt((i * 31 + (i % 7) * 11) % 150);
+    o_amount->AppendInt((i * 37) % 500);
+  }
+  Table* products = db.AddTable("products");
+  Column* p_id = products->AddColumn("id", ColumnType::kInt64);
+  Column* p_price = products->AddColumn("price", ColumnType::kInt64);
+  for (int i = 0; i < 150; ++i) {
+    p_id->AppendInt(i);
+    p_price->AppendInt((i * 53) % 900);
+  }
+  db.AddJoinRelation({"users", "id"}, {"orders", "user_id"});
+  db.AddJoinRelation({"products", "id"}, {"orders", "product_id"});
+  return db;
+}
+
+/// Two-alias join with filters on both sides (the update test's shape).
+inline Query TwoWayQuery() {
+  Query q;
+  q.AddTable("users", "u").AddTable("orders", "o");
+  q.AddJoin("u", "id", "o", "user_id");
+  q.SetFilter("u", Predicate::Cmp("age", CmpOp::kGt, Literal::Int(20)));
+  q.SetFilter("o", Predicate::Cmp("amount", CmpOp::kLt, Literal::Int(300)));
+  return q;
+}
+
+/// Three-alias chain touching both key groups, filters on every alias.
+inline Query ThreeWayQuery() {
+  Query q;
+  q.AddTable("users", "u").AddTable("orders", "o").AddTable("products", "p");
+  q.AddJoin("u", "id", "o", "user_id");
+  q.AddJoin("o", "product_id", "p", "id");
+  q.SetFilter("u", Predicate::Cmp("age", CmpOp::kLt, Literal::Int(60)));
+  q.SetFilter("o", Predicate::Cmp("amount", CmpOp::kGt, Literal::Int(100)));
+  q.SetFilter("p", Predicate::Cmp("price", CmpOp::kLt, Literal::Int(700)));
+  return q;
+}
+
+/// All connected sub-plan masks of ThreeWayQuery in deterministic order.
+inline std::vector<uint64_t> ThreeWayMasks() {
+  return EnumerateConnectedSubsets(ThreeWayQuery(), 1);
+}
+
+}  // namespace fj::golden
