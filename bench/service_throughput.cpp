@@ -12,6 +12,12 @@
 // without batch-aware splitting (EstimatorServiceOptions::
 // split_batch_min_masks) — the number the arena/kernel hot-path work moves.
 //
+// A third section measures COLD START: training a model from scratch vs
+// restoring it from a snapshot (stats/snapshot.h — the fj_server
+// --load-model path), plus the snapshot's exact serialized size. A fourth
+// drives a multi-model ModelRegistry (clients round-robin across models)
+// to show per-model serving throughput under shared hardware.
+//
 // Environment knobs: FJ_BENCH_SCALE, FJ_BENCH_QUERIES (see bench_util.h),
 // FJ_BENCH_REQUESTS (total requests per measured point, default 512).
 // `--json out.json` writes the headline metrics machine-readably.
@@ -21,12 +27,15 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "bench_util.h"
 #include "factorjoin/estimator.h"
 #include "service/estimator_service.h"
+#include "service/model_registry.h"
+#include "stats/snapshot.h"
 
 namespace fj::bench {
 namespace {
@@ -208,6 +217,94 @@ int main(int argc, char** argv) {
     }
   }
   cold_tp.Print();
+
+  // ---- Cold start: train from scratch vs restore a snapshot (the
+  // fj_server --load-model path). Load skips binning, scans, and model
+  // training entirely — it only decodes and re-wires state — so serving
+  // can restart in milliseconds on models that took seconds to train.
+  std::printf("\ncold start (train vs snapshot load):\n");
+  {
+    WallTimer train_timer;
+    FactorJoinEstimator fresh(workload->db, config);
+    double train_ms = train_timer.Seconds() * 1e3;
+
+    WallTimer serialize_timer;
+    std::vector<uint8_t> snapshot = SerializeEstimator(estimator);
+    double serialize_ms = serialize_timer.Seconds() * 1e3;
+
+    WallTimer load_timer;
+    std::unique_ptr<CardinalityEstimator> loaded =
+        DeserializeEstimator(workload->db, snapshot);
+    double load_ms = load_timer.Seconds() * 1e3;
+
+    TablePrinter cs_tp({"Path", "ms"});
+    cs_tp.AddRow({"train from scratch", Fmt(train_ms, 1)});
+    cs_tp.AddRow({"serialize (save)", Fmt(serialize_ms, 1)});
+    cs_tp.AddRow({"deserialize (load)", Fmt(load_ms, 1)});
+    cs_tp.Print();
+    std::printf("  snapshot: %zu bytes (exact model size %zu bytes); "
+                "load is %.1fx faster than retraining\n",
+                snapshot.size(), estimator.ModelSizeBytes(),
+                load_ms > 0.0 ? train_ms / load_ms : 0.0);
+    report.Add("coldstart_train_ms", train_ms, "ms");
+    report.Add("coldstart_load_ms", load_ms, "ms");
+    report.Add("coldstart_train_over_load",
+               load_ms > 0.0 ? train_ms / load_ms : 0.0);
+    report.Add("snapshot_bytes", static_cast<double>(snapshot.size()), "B");
+  }
+
+  // ---- Multi-model serving: one ModelRegistry fronting N copies of the
+  // model (each its own service, cache, and epochs — the fj_server
+  // --load-model deployment), 64 clients round-robin across models. Warm
+  // caches, 2 workers per model: how much aggregate throughput costs as
+  // one server fans out over more models on fixed hardware.
+  std::printf("\nmulti-model serving (64 clients round-robin, warm):\n");
+  {
+    std::vector<uint8_t> snapshot = SerializeEstimator(estimator);
+    TablePrinter mm_tp({"Models", "Aggregate QPS", "Per-model QPS"});
+    for (size_t num_models : {size_t{1}, size_t{2}, size_t{4}}) {
+      ModelRegistry registry;
+      std::vector<EstimatorService*> services;
+      for (size_t m = 0; m < num_models; ++m) {
+        EstimatorServiceOptions options;
+        options.num_threads = 2;
+        options.queue_capacity = 256;
+        options.cache_capacity = 1 << 18;
+        std::string name = "m";
+        name += std::to_string(m);
+        services.push_back(&registry.AddModel(
+            name, DeserializeEstimator(workload->db, snapshot), options));
+      }
+      for (EstimatorService* service : services) {
+        for (size_t i = 0; i < workload->queries.size(); ++i) {
+          service->EstimateSubplans(workload->queries[i], masks[i]);
+        }
+      }
+      size_t clients = 64;
+      size_t per_client = std::max<size_t>(requests / clients, 1);
+      WallTimer timer;
+      std::vector<std::thread> threads;
+      threads.reserve(clients);
+      for (size_t c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+          for (size_t r = 0; r < per_client; ++r) {
+            size_t i = (c + r) % workload->queries.size();
+            services[(c + r) % services.size()]->EstimateSubplans(
+                workload->queries[i], masks[i]);
+          }
+        });
+      }
+      for (auto& t : threads) t.join();
+      double qps =
+          static_cast<double>(per_client * clients) / timer.Seconds();
+      mm_tp.AddRow({std::to_string(num_models), Fmt(qps, 0),
+                    Fmt(qps / static_cast<double>(num_models), 0)});
+      std::string metric = "multimodel_qps_m";
+      metric += std::to_string(num_models);
+      report.Add(metric, qps, "1/s");
+    }
+    mm_tp.Print();
+  }
 
   report.Add("warm_speedup_8v1_workers", speedup);
   report.Write();

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/bytes.h"
 #include "util/timer.h"
 
 namespace fj {
@@ -76,12 +77,62 @@ double PostgresEstimator::Estimate(const Query& query) const {
   return std::max(card, 1.0);
 }
 
-size_t PostgresEstimator::ModelSizeBytes() const {
-  size_t bytes = 0;
-  for (const auto& [name, ts] : stats_) {
-    for (const auto& h : ts.histograms) bytes += h.MemoryBytes();
+std::unique_ptr<PostgresEstimator> PostgresEstimator::MakeUntrained(
+    const Database& db) {
+  return std::unique_ptr<PostgresEstimator>(
+      new PostgresEstimator(db, UntrainedTag{}));
+}
+
+void PostgresEstimator::Save(ByteWriter& w) const {
+  w.U32(options_.histogram_buckets);
+  w.F64(train_seconds_);
+  auto sorted = SortedEntries(stats_);
+  w.U32(static_cast<uint32_t>(sorted.size()));
+  for (const auto* entry : sorted) {
+    const TableStats& ts = entry->second;
+    w.Str(entry->first);
+    w.U64(ts.rows);
+    w.U32(static_cast<uint32_t>(ts.columns.size()));
+    for (size_t i = 0; i < ts.columns.size(); ++i) {
+      w.Str(ts.columns[i]);
+      ts.histograms[i].Save(w);
+    }
   }
-  return bytes;
+}
+
+void PostgresEstimator::Load(ByteReader& r) {
+  options_.histogram_buckets = r.U32();
+  train_seconds_ = r.F64();
+  uint32_t n_tables = r.CountU32(sizeof(uint32_t));
+  stats_.clear();
+  for (uint32_t t = 0; t < n_tables; ++t) {
+    std::string table_name = r.Str();
+    if (!db_->HasTable(table_name)) {
+      throw std::invalid_argument(
+          "postgres snapshot references unknown table " + table_name);
+    }
+    const Table& table = db_->GetTable(table_name);
+    TableStats ts;
+    ts.rows = r.U64();
+    uint32_t n_cols = r.CountU32(sizeof(uint32_t));
+    for (uint32_t c = 0; c < n_cols; ++c) {
+      std::string column = r.Str();
+      if (!table.HasColumn(column)) {
+        throw std::invalid_argument(
+            "postgres snapshot references unknown column " + table_name +
+            "." + column);
+      }
+      ts.columns.push_back(std::move(column));
+      ts.histograms.push_back(ColumnHistogram::LoadFrom(r));
+    }
+    stats_[std::move(table_name)] = std::move(ts);
+  }
+  for (const std::string& name : db_->TableNames()) {
+    if (stats_.count(name) == 0) {
+      throw std::invalid_argument(
+          "postgres snapshot has no statistics for table " + name);
+    }
+  }
 }
 
 }  // namespace fj

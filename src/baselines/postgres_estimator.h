@@ -22,10 +22,19 @@ class PostgresEstimator : public CardinalityEstimator {
   explicit PostgresEstimator(const Database& db,
                              PostgresEstimatorOptions options = {});
 
+  /// Snapshot-loading path: binds to `db` without running ANALYZE —
+  /// Load() must run before any estimate.
+  static std::unique_ptr<PostgresEstimator> MakeUntrained(const Database& db);
+
   std::string Name() const override { return "postgres"; }
   double Estimate(const Query& query) const override;
-  size_t ModelSizeBytes() const override;
   double TrainSeconds() const override { return train_seconds_; }
+
+  /// Full trained-state snapshot (per-table histograms + row counts);
+  /// ModelSizeBytes() is the exact serialized footprint via the base class.
+  bool SupportsSnapshot() const override { return true; }
+  void Save(ByteWriter& w) const override;
+  void Load(ByteReader& r) override;
 
   /// Histogram stats are cheap to recompute table-locally (ANALYZE-style).
   bool SupportsUpdates() const override { return true; }
@@ -51,6 +60,9 @@ class PostgresEstimator : public CardinalityEstimator {
     std::vector<ColumnHistogram> histograms;
     uint64_t rows = 0;
   };
+
+  struct UntrainedTag {};
+  PostgresEstimator(const Database& db, UntrainedTag) : db_(&db) {}
 
   /// Re-ANALYZE one table (histograms + row count) from its current data.
   /// Shared by training and both update paths; does not bump the version.

@@ -50,6 +50,14 @@ class TrueCardEstimator : public CardinalityEstimator {
   /// The oracle absorbs any update by re-executing on demand.
   bool SupportsUpdates() const override { return true; }
 
+  /// The oracle has no trained state (its memo cache is a performance
+  /// artifact, not a model): the snapshot payload is empty, and a loaded
+  /// estimator re-executes against the bound database — trivially
+  /// bit-identical to the original.
+  bool SupportsSnapshot() const override { return true; }
+  void Save(ByteWriter& /*w*/) const override {}
+  void Load(ByteReader& /*r*/) override {}
+
   /// Drops memoized results touching `table_name`; subsequent estimates
   /// re-execute against the already-updated table. Same exclusivity contract
   /// as every update method: no estimate may run concurrently — an in-flight

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "query/filter_eval.h"
+#include "util/bytes.h"
 #include "util/hash.h"
 #include "util/timer.h"
 
@@ -185,6 +186,65 @@ size_t WanderJoinEstimator::ModelSizeBytes() const {
   // Indexes are considered part of the database (as in the paper's setup with
   // PK/FK indexes built), so the estimator itself is almost stateless.
   return sizeof(*this);
+}
+
+std::unique_ptr<WanderJoinEstimator> WanderJoinEstimator::MakeUntrained(
+    const Database& db) {
+  return std::unique_ptr<WanderJoinEstimator>(
+      new WanderJoinEstimator(db, UntrainedTag{}));
+}
+
+void WanderJoinEstimator::Save(ByteWriter& w) const {
+  w.U64(options_.walks);
+  w.U64(options_.seed);
+  w.F64(train_seconds_);
+  auto sorted = SortedEntries(indexes_);
+  w.U32(static_cast<uint32_t>(sorted.size()));
+  for (const auto* entry : sorted) {
+    w.Str(entry->first.table);
+    w.Str(entry->first.column);
+    auto keys = SortedEntries(entry->second);
+    w.U32(static_cast<uint32_t>(keys.size()));
+    for (const auto* key : keys) {
+      w.I64(key->first);
+      w.U32(static_cast<uint32_t>(key->second.size()));
+      for (uint32_t row : key->second) w.U32(row);
+    }
+  }
+}
+
+void WanderJoinEstimator::Load(ByteReader& r) {
+  options_.walks = r.U64();
+  options_.seed = r.U64();
+  train_seconds_ = r.F64();
+  uint32_t n_indexes = r.CountU32(2 * sizeof(uint32_t));
+  indexes_.clear();
+  for (uint32_t i = 0; i < n_indexes; ++i) {
+    ColumnRef ref{r.Str(), r.Str()};
+    if (!db_->HasTable(ref.table) ||
+        !db_->GetTable(ref.table).HasColumn(ref.column)) {
+      throw std::invalid_argument(
+          "wander join snapshot references unknown column " + ref.ToString());
+    }
+    size_t table_rows = db_->GetTable(ref.table).num_rows();
+    uint32_t n_keys = r.CountU32(sizeof(int64_t) + sizeof(uint32_t));
+    KeyIndex index;
+    index.reserve(n_keys);
+    for (uint32_t k = 0; k < n_keys; ++k) {
+      int64_t key = r.I64();
+      uint32_t n_rows = r.CountU32(sizeof(uint32_t));
+      std::vector<uint32_t>& rows = index[key];
+      rows.reserve(n_rows);
+      for (uint32_t j = 0; j < n_rows; ++j) {
+        uint32_t row = r.U32();
+        if (row >= table_rows) {
+          throw SerializeError("posting row id past the bound table's end");
+        }
+        rows.push_back(row);
+      }
+    }
+    indexes_.emplace(std::move(ref), std::move(index));
+  }
 }
 
 }  // namespace fj

@@ -22,10 +22,22 @@ class WanderJoinEstimator : public CardinalityEstimator {
  public:
   WanderJoinEstimator(const Database& db, WanderJoinOptions options = {});
 
+  /// Snapshot-loading path: binds to `db` without building the key
+  /// indexes — Load() must run before any estimate.
+  static std::unique_ptr<WanderJoinEstimator> MakeUntrained(
+      const Database& db);
+
   std::string Name() const override { return "wjsample"; }
   double Estimate(const Query& query) const override;
   size_t ModelSizeBytes() const override;
   double TrainSeconds() const override { return train_seconds_; }
+
+  /// Snapshot of the per-key walk indexes and the walk options. Note
+  /// ModelSizeBytes() deliberately does NOT report this footprint: the
+  /// paper charges the PK/FK indexes to the database, not the estimator.
+  bool SupportsSnapshot() const override { return true; }
+  void Save(ByteWriter& w) const override;
+  void Load(ByteReader& r) override;
 
   /// The per-key indexes are maintained incrementally, like the PK/FK
   /// indexes of the paper's setup.
@@ -44,6 +56,9 @@ class WanderJoinEstimator : public CardinalityEstimator {
 
  private:
   using KeyIndex = std::unordered_map<int64_t, std::vector<uint32_t>>;
+
+  struct UntrainedTag {};
+  WanderJoinEstimator(const Database& db, UntrainedTag) : db_(&db) {}
 
   const KeyIndex& IndexFor(const ColumnRef& ref) const;
 

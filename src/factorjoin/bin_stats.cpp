@@ -1,6 +1,9 @@
 #include "factorjoin/bin_stats.h"
 
 #include <algorithm>
+#include <utility>
+
+#include "util/bytes.h"
 
 namespace fj {
 
@@ -68,6 +71,39 @@ void ColumnBinStats::RebuildBinAggregates(uint32_t bin,
     if (binning.BinOf(value) == bin) mfv = std::max(mfv, count);
   }
   mfvs_[bin] = mfv;
+}
+
+void ColumnBinStats::Save(ByteWriter& w) const {
+  w.U32(num_bins());
+  for (uint64_t v : totals_) w.U64(v);
+  for (uint64_t v : mfvs_) w.U64(v);
+  for (uint64_t v : ndvs_) w.U64(v);
+  w.U64(total_rows_);
+  auto sorted = SortedEntries(value_counts_);
+  w.U32(static_cast<uint32_t>(sorted.size()));
+  for (const auto* entry : sorted) {
+    w.I64(entry->first);
+    w.U64(entry->second);
+  }
+}
+
+ColumnBinStats ColumnBinStats::LoadFrom(ByteReader& r) {
+  ColumnBinStats s;
+  uint32_t bins = r.CountU32(3 * sizeof(uint64_t));
+  s.totals_.reserve(bins);
+  for (uint32_t i = 0; i < bins; ++i) s.totals_.push_back(r.U64());
+  s.mfvs_.reserve(bins);
+  for (uint32_t i = 0; i < bins; ++i) s.mfvs_.push_back(r.U64());
+  s.ndvs_.reserve(bins);
+  for (uint32_t i = 0; i < bins; ++i) s.ndvs_.push_back(r.U64());
+  s.total_rows_ = r.U64();
+  uint32_t n_values = r.CountU32(sizeof(int64_t) + sizeof(uint64_t));
+  s.value_counts_.reserve(n_values);
+  for (uint32_t i = 0; i < n_values; ++i) {
+    int64_t value = r.I64();
+    s.value_counts_[value] = r.U64();
+  }
+  return s;
 }
 
 size_t ColumnBinStats::MemoryBytes() const {

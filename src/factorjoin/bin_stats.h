@@ -13,6 +13,9 @@
 
 namespace fj {
 
+class ByteReader;
+class ByteWriter;
+
 /// Per-bin summary of one join-key column under one binning.
 class ColumnBinStats {
  public:
@@ -53,6 +56,14 @@ class ColumnBinStats {
   /// Incremental delete. MFV counts are recomputed from the retained
   /// per-value counts, so deletes keep V* exact.
   void DeleteValues(const std::vector<int64_t>& values, const Binning& binning);
+
+  /// Appends the summary to `w` (model snapshots); the per-value count
+  /// dictionary is written in sorted value order for deterministic bytes.
+  void Save(ByteWriter& w) const;
+
+  /// Decodes one summary saved by Save(). Throws SerializeError on
+  /// malformed input.
+  static ColumnBinStats LoadFrom(ByteReader& r);
 
   size_t MemoryBytes() const;
 

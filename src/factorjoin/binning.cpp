@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "util/bytes.h"
+
 namespace fj {
 
 const char* BinningStrategyName(BinningStrategy s) {
@@ -45,6 +47,46 @@ uint32_t Binning::BinOf(int64_t value) const {
   auto it = std::lower_bound(upper_bounds_.begin(), upper_bounds_.end(), value);
   if (it == upper_bounds_.end()) return num_bins_ - 1;
   return static_cast<uint32_t>(it - upper_bounds_.begin());
+}
+
+void Binning::Save(ByteWriter& w) const {
+  w.U8(explicit_ ? 1 : 0);
+  w.U32(num_bins_);
+  w.U32(overflow_bin_);
+  w.U32(static_cast<uint32_t>(upper_bounds_.size()));
+  for (int64_t b : upper_bounds_) w.I64(b);
+  auto sorted = SortedEntries(value_to_bin_);
+  w.U32(static_cast<uint32_t>(sorted.size()));
+  for (const auto* entry : sorted) {
+    w.I64(entry->first);
+    w.U32(entry->second);
+  }
+}
+
+Binning Binning::LoadFrom(ByteReader& r) {
+  Binning b;
+  b.explicit_ = r.U8() != 0;
+  b.num_bins_ = r.U32();
+  b.overflow_bin_ = r.U32();
+  if (b.num_bins_ == 0) throw SerializeError("binning with zero bins");
+  if (b.overflow_bin_ >= b.num_bins_) {
+    throw SerializeError("binning overflow bin out of range");
+  }
+  uint32_t n_bounds = r.CountU32(sizeof(int64_t));
+  b.upper_bounds_.reserve(n_bounds);
+  for (uint32_t i = 0; i < n_bounds; ++i) b.upper_bounds_.push_back(r.I64());
+  if (!b.explicit_ && b.upper_bounds_.size() != b.num_bins_) {
+    throw SerializeError("range binning bound count mismatch");
+  }
+  uint32_t n_values = r.CountU32(sizeof(int64_t) + sizeof(uint32_t));
+  b.value_to_bin_.reserve(n_values);
+  for (uint32_t i = 0; i < n_values; ++i) {
+    int64_t value = r.I64();
+    uint32_t bin = r.U32();
+    if (bin >= b.num_bins_) throw SerializeError("binning bin id out of range");
+    b.value_to_bin_[value] = bin;
+  }
+  return b;
 }
 
 size_t Binning::MemoryBytes() const {

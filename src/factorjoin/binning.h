@@ -20,6 +20,9 @@
 
 namespace fj {
 
+class ByteReader;
+class ByteWriter;
+
 enum class BinningStrategy { kEqualWidth, kEqualDepth, kGbsa };
 
 const char* BinningStrategyName(BinningStrategy s);
@@ -46,6 +49,14 @@ class Binning {
 
   /// Bin index of a value (always valid, see class comment).
   uint32_t BinOf(int64_t value) const;
+
+  /// Appends the binning to `w` (model snapshots). Deterministic: the
+  /// explicit value→bin map is written in sorted value order.
+  void Save(ByteWriter& w) const;
+
+  /// Decodes one binning saved by Save(). Throws SerializeError on
+  /// malformed input.
+  static Binning LoadFrom(ByteReader& r);
 
   size_t MemoryBytes() const;
 

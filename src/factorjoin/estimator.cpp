@@ -9,6 +9,7 @@
 #include "query/subplan.h"
 #include "stats/sampling_estimator.h"
 #include "stats/truescan_estimator.h"
+#include "util/bytes.h"
 #include "util/timer.h"
 
 namespace fj {
@@ -451,12 +452,176 @@ double FactorJoinEstimator::ApplyDelete(const std::string& table_name,
   return timer.Seconds();
 }
 
-size_t FactorJoinEstimator::ModelSizeBytes() const {
-  size_t bytes = 0;
-  for (const Binning& b : group_binnings_) bytes += b.MemoryBytes();
-  for (const auto& [ref, stats] : bin_stats_) bytes += stats.MemoryBytes();
-  for (const auto& [name, est] : estimators_) bytes += est->MemoryBytes();
-  return bytes;
+std::unique_ptr<FactorJoinEstimator> FactorJoinEstimator::MakeUntrained(
+    const Database& db) {
+  return std::unique_ptr<FactorJoinEstimator>(
+      new FactorJoinEstimator(db, UntrainedTag{}));
+}
+
+void FactorJoinEstimator::Save(ByteWriter& w) const {
+  w.U32(config_.num_bins);
+  w.U8(static_cast<uint8_t>(config_.binning));
+  w.U8(static_cast<uint8_t>(config_.estimator));
+  w.F64(config_.sampling_rate);
+  w.U8(config_.workload_aware_budget ? 1 : 0);
+  w.U32(config_.bayes_net.max_categories);
+  w.F64(config_.bayes_net.laplace_alpha);
+  w.F64(config_.bayes_net.fallback_sample_rate);
+  w.U64(config_.bayes_net.seed);
+  w.U64(config_.seed);
+  w.F64(train_seconds_);
+
+  w.U32(static_cast<uint32_t>(group_binnings_.size()));
+  for (const Binning& b : group_binnings_) b.Save(w);
+
+  auto groups = SortedEntries(column_to_group_);
+  w.U32(static_cast<uint32_t>(groups.size()));
+  for (const auto* entry : groups) {
+    w.Str(entry->first.table);
+    w.Str(entry->first.column);
+    w.I64(entry->second);
+  }
+
+  auto stats = SortedEntries(bin_stats_);
+  w.U32(static_cast<uint32_t>(stats.size()));
+  for (const auto* entry : stats) {
+    w.Str(entry->first.table);
+    w.Str(entry->first.column);
+    entry->second.Save(w);
+  }
+
+  auto estimators = SortedEntries(estimators_);
+  w.U32(static_cast<uint32_t>(estimators.size()));
+  for (const auto* entry : estimators) {
+    w.Str(entry->first);
+    w.Str(entry->second->Name());
+    entry->second->Save(w);
+  }
+}
+
+void FactorJoinEstimator::Load(ByteReader& r) {
+  // On any throw below the estimator is left partially loaded and must be
+  // discarded — the snapshot container always loads into a freshly made
+  // untrained instance, so nothing trained is ever corrupted.
+  config_.num_bins = r.U32();
+  uint8_t binning = r.U8();
+  if (binning > static_cast<uint8_t>(BinningStrategy::kGbsa)) {
+    throw SerializeError("unknown binning strategy in snapshot");
+  }
+  config_.binning = static_cast<BinningStrategy>(binning);
+  uint8_t kind = r.U8();
+  if (kind > static_cast<uint8_t>(TableEstimatorKind::kTrueScan)) {
+    throw SerializeError("unknown table-estimator kind in snapshot");
+  }
+  config_.estimator = static_cast<TableEstimatorKind>(kind);
+  config_.sampling_rate = r.F64();
+  config_.workload_aware_budget = r.U8() != 0;
+  config_.bayes_net.max_categories = r.U32();
+  config_.bayes_net.laplace_alpha = r.F64();
+  config_.bayes_net.fallback_sample_rate = r.F64();
+  config_.bayes_net.seed = r.U64();
+  config_.seed = r.U64();
+  train_seconds_ = r.F64();
+
+  // Minimal encoded Binning: flag + num_bins + overflow + two zero counts.
+  uint32_t n_groups = r.CountU32(1 + 4 * sizeof(uint32_t));
+  group_binnings_.clear();
+  group_binnings_.reserve(n_groups);
+  for (uint32_t g = 0; g < n_groups; ++g) {
+    group_binnings_.push_back(Binning::LoadFrom(r));
+  }
+
+  auto read_ref = [&]() {
+    ColumnRef ref{r.Str(), r.Str()};
+    if (!db_->HasTable(ref.table) ||
+        !db_->GetTable(ref.table).HasColumn(ref.column)) {
+      throw std::invalid_argument(
+          "factorjoin snapshot references unknown column " + ref.ToString() +
+          " — was it saved against a different schema?");
+    }
+    return ref;
+  };
+
+  uint32_t n_cols = r.CountU32(2 * sizeof(uint32_t) + sizeof(int64_t));
+  column_to_group_.clear();
+  column_to_group_.reserve(n_cols);
+  for (uint32_t i = 0; i < n_cols; ++i) {
+    ColumnRef ref = read_ref();
+    int64_t group = r.I64();
+    if (group < 0 || group >= static_cast<int64_t>(group_binnings_.size())) {
+      throw SerializeError("snapshot key-group id out of range");
+    }
+    column_to_group_[std::move(ref)] = static_cast<int>(group);
+  }
+
+  uint32_t n_stats = r.CountU32(2 * sizeof(uint32_t));
+  bin_stats_.clear();
+  bin_stats_.reserve(n_stats);
+  for (uint32_t i = 0; i < n_stats; ++i) {
+    ColumnRef ref = read_ref();
+    auto group = column_to_group_.find(ref);
+    if (group == column_to_group_.end()) {
+      throw SerializeError("snapshot bin summary for a non-key column " +
+                           ref.ToString());
+    }
+    ColumnBinStats stats = ColumnBinStats::LoadFrom(r);
+    if (stats.num_bins() !=
+        group_binnings_[static_cast<size_t>(group->second)].num_bins()) {
+      throw SerializeError("snapshot bin summary does not match its binning");
+    }
+    bin_stats_.emplace(std::move(ref), std::move(stats));
+  }
+  // The converse completeness check: training produces one bin summary per
+  // key column, and MakeLeafFactor looks them up unconditionally — a gap
+  // must fail here with a clear message, not later on a serving worker.
+  for (const auto& [ref, gid] : column_to_group_) {
+    (void)gid;
+    if (bin_stats_.count(ref) == 0) {
+      throw SerializeError("snapshot has no bin summary for key column " +
+                           ref.ToString());
+    }
+  }
+
+  uint32_t n_estimators = r.CountU32(2 * sizeof(uint32_t));
+  estimators_.clear();
+  for (uint32_t i = 0; i < n_estimators; ++i) {
+    std::string table_name = r.Str();
+    if (!db_->HasTable(table_name)) {
+      throw std::invalid_argument(
+          "factorjoin snapshot references unknown table " + table_name);
+    }
+    const Table& table = db_->GetTable(table_name);
+    std::string kind_name = r.Str();
+    std::unique_ptr<TableEstimator> est;
+    if (kind_name == "sampling") {
+      est = SamplingEstimator::MakeUntrained(table);
+    } else if (kind_name == "truescan") {
+      est = std::make_unique<TrueScanEstimator>(table);
+    } else if (kind_name == "bayescard") {
+      std::unordered_map<std::string, const Binning*> key_binnings;
+      for (const auto& [ref, gid] : column_to_group_) {
+        if (ref.table == table_name) {
+          key_binnings[ref.column] =
+              &group_binnings_[static_cast<size_t>(gid)];
+        }
+      }
+      est = BayesNetEstimator::MakeUntrained(table, std::move(key_binnings));
+    } else {
+      throw SerializeError("unknown single-table estimator kind '" +
+                           kind_name + "' in snapshot");
+    }
+    est->Load(r);
+    estimators_[std::move(table_name)] = std::move(est);
+  }
+  // Every base table needs its single-table model (MakeLeafFactor does an
+  // unconditional lookup); a mismatch means the snapshot belongs to a
+  // different database.
+  for (const std::string& name : db_->TableNames()) {
+    if (estimators_.count(name) == 0) {
+      throw std::invalid_argument(
+          "factorjoin snapshot has no single-table model for table " + name);
+    }
+  }
 }
 
 }  // namespace fj

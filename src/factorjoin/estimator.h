@@ -60,6 +60,10 @@ class FactorJoinEstimator : public CardinalityEstimator {
   FactorJoinEstimator(const Database& db, FactorJoinConfig config,
                       const std::vector<Query>* workload = nullptr);
 
+  /// Snapshot-loading path: binds to `db` without training — Load() must
+  /// run before any estimate (the config is part of the snapshot).
+  static std::unique_ptr<FactorJoinEstimator> MakeUntrained(const Database& db);
+
   std::string Name() const override { return "factorjoin"; }
 
   /// Greedy smallest-leaf-first bound (Equation 5). Thread-safe and
@@ -84,11 +88,20 @@ class FactorJoinEstimator : public CardinalityEstimator {
   std::unique_ptr<SubplanSession> PrepareSubplans(
       const Query& query) const override;
 
-  size_t ModelSizeBytes() const override;
+  /// Exact (serialized) model size — the paper's Figure 6 metric — via the
+  /// base class's counting-writer measurement of Save().
   double TrainSeconds() const override { return train_seconds_; }
 
   /// FactorJoin supports both incremental inserts and tail deletions.
   bool SupportsUpdates() const override { return true; }
+
+  /// Full trained-state snapshot: config, group binnings, per-column bin
+  /// summaries, and every single-table model (BayesNet / sampling /
+  /// truescan). A Load()ed estimator bound to the same logical database
+  /// estimates bit-identically to the trained original.
+  bool SupportsSnapshot() const override { return true; }
+  void Save(ByteWriter& w) const override;
+  void Load(ByteReader& r) override;
 
   /// Incremental update after rows were appended to `table_name`:
   /// `first_new_row` is the index of the first appended row. O(|new rows|):
@@ -122,6 +135,9 @@ class FactorJoinEstimator : public CardinalityEstimator {
 
  private:
   class Session;  // SubplanSession sharing leaf factors across chunks
+
+  struct UntrainedTag {};
+  FactorJoinEstimator(const Database& db, UntrainedTag) : db_(&db) {}
 
   /// Builds the leaf bound factor for one alias of `query`, with every
   /// per-bin array allocated from `arena`. The factor covers every query

@@ -230,52 +230,82 @@ void EstimatorClient::Send(MsgType type, std::vector<uint8_t> body,
 }
 
 std::future<double> EstimatorClient::EstimateAsync(const Query& query) {
+  return EstimateAsync(options_.model, query);
+}
+
+std::future<double> EstimatorClient::EstimateAsync(const std::string& model,
+                                                   const Query& query) {
   auto pending = std::make_unique<Pending>();
   pending->expect = MsgType::kEstimateResp;
   std::future<double> future = pending->single.get_future();
   uint64_t id = next_id_.fetch_add(1);
-  Send(MsgType::kEstimateReq, EncodeEstimateReq(query), id,
+  Send(MsgType::kEstimateReq, EncodeEstimateReq(model, query), id,
        std::move(pending));
   return future;
 }
 
 double EstimatorClient::Estimate(const Query& query) {
-  return EstimateAsync(query).get();
+  return EstimateAsync(options_.model, query).get();
+}
+
+double EstimatorClient::Estimate(const std::string& model,
+                                 const Query& query) {
+  return EstimateAsync(model, query).get();
 }
 
 std::future<std::unordered_map<uint64_t, double>>
 EstimatorClient::EstimateSubplansAsync(const Query& query,
                                        const std::vector<uint64_t>& masks) {
+  return EstimateSubplansAsync(options_.model, query, masks);
+}
+
+std::future<std::unordered_map<uint64_t, double>>
+EstimatorClient::EstimateSubplansAsync(const std::string& model,
+                                       const Query& query,
+                                       const std::vector<uint64_t>& masks) {
   auto pending = std::make_unique<Pending>();
   pending->expect = MsgType::kSubplansResp;
   auto future = pending->batch.get_future();
   uint64_t id = next_id_.fetch_add(1);
-  Send(MsgType::kSubplansReq, EncodeSubplansReq(query, masks), id,
+  Send(MsgType::kSubplansReq, EncodeSubplansReq(model, query, masks), id,
        std::move(pending));
   return future;
 }
 
 std::unordered_map<uint64_t, double> EstimatorClient::EstimateSubplans(
     const Query& query, const std::vector<uint64_t>& masks) {
-  return EstimateSubplansAsync(query, masks).get();
+  return EstimateSubplansAsync(options_.model, query, masks).get();
+}
+
+std::unordered_map<uint64_t, double> EstimatorClient::EstimateSubplans(
+    const std::string& model, const Query& query,
+    const std::vector<uint64_t>& masks) {
+  return EstimateSubplansAsync(model, query, masks).get();
 }
 
 uint64_t EstimatorClient::NotifyUpdate(const std::string& table) {
+  return NotifyUpdate(options_.model, table);
+}
+
+uint64_t EstimatorClient::NotifyUpdate(const std::string& model,
+                                       const std::string& table) {
   auto pending = std::make_unique<Pending>();
   pending->expect = MsgType::kNotifyUpdateResp;
   auto future = pending->epoch.get_future();
   uint64_t id = next_id_.fetch_add(1);
-  Send(MsgType::kNotifyUpdateReq, EncodeNotifyUpdateReq(table), id,
+  Send(MsgType::kNotifyUpdateReq, EncodeNotifyUpdateReq(model, table), id,
        std::move(pending));
   return future.get();
 }
 
-ServiceStats EstimatorClient::Stats() {
+ServiceStats EstimatorClient::Stats() { return Stats(options_.model); }
+
+ServiceStats EstimatorClient::Stats(const std::string& model) {
   auto pending = std::make_unique<Pending>();
   pending->expect = MsgType::kStatsResp;
   auto future = pending->stats.get_future();
   uint64_t id = next_id_.fetch_add(1);
-  Send(MsgType::kStatsReq, {}, id, std::move(pending));
+  Send(MsgType::kStatsReq, EncodeStatsReq(model), id, std::move(pending));
   return future.get();
 }
 

@@ -50,6 +50,11 @@ struct EstimatorClientOptions {
   int reconnect_attempts = 3;
   /// Sleep between dial attempts.
   int reconnect_backoff_ms = 50;
+  /// Model-id stamped on every request issued through the model-less
+  /// method overloads ("" = the server's default model). The per-call
+  /// overloads override it per request — one connection can interleave
+  /// requests to any number of the server's models.
+  std::string model;
 };
 
 class EstimatorClient {
@@ -71,10 +76,15 @@ class EstimatorClient {
 
   bool IsConnected() const { return connected_.load(); }
 
-  /// Pipelined single estimate. The future throws RemoteError (server-side
-  /// failure) or NetError (connection lost before the response).
+  /// Pipelined single estimate against options.model. The future throws
+  /// RemoteError (server-side failure) or NetError (connection lost before
+  /// the response).
   std::future<double> EstimateAsync(const Query& query);
   double Estimate(const Query& query);
+  /// Per-call model routing (one connection, many models).
+  std::future<double> EstimateAsync(const std::string& model,
+                                    const Query& query);
+  double Estimate(const std::string& model, const Query& query);
 
   /// Pipelined batched sub-plan estimates (masks in Query::tables() bit
   /// order, exactly like EstimatorService::EstimateSubplans).
@@ -82,14 +92,23 @@ class EstimatorClient {
       const Query& query, const std::vector<uint64_t>& masks);
   std::unordered_map<uint64_t, double> EstimateSubplans(
       const Query& query, const std::vector<uint64_t>& masks);
+  std::future<std::unordered_map<uint64_t, double>> EstimateSubplansAsync(
+      const std::string& model, const Query& query,
+      const std::vector<uint64_t>& masks);
+  std::unordered_map<uint64_t, double> EstimateSubplans(
+      const std::string& model, const Query& query,
+      const std::vector<uint64_t>& masks);
 
-  /// Remote cache invalidation: bumps the server's statistics epoch for
-  /// `table` and returns the new epoch (the estimator mutation itself is
-  /// server-local; see docs/ARCHITECTURE.md).
+  /// Remote cache invalidation: bumps the addressed model's statistics
+  /// epoch for `table` and returns the new epoch (epochs are per model;
+  /// the estimator mutation itself is server-local — see
+  /// docs/ARCHITECTURE.md).
   uint64_t NotifyUpdate(const std::string& table);
+  uint64_t NotifyUpdate(const std::string& model, const std::string& table);
 
-  /// Snapshot of the remote service's metrics.
+  /// Snapshot of the addressed model's service metrics.
   ServiceStats Stats();
+  ServiceStats Stats(const std::string& model);
 
  private:
   /// One outstanding request: which response type it expects and the

@@ -69,12 +69,21 @@ Hello DecodeHello(const std::vector<uint8_t>& body) {
   return hello;
 }
 
-std::vector<uint8_t> EncodeEstimateReq(const Query& query) {
-  return SerializeQuery(query);
+std::vector<uint8_t> EncodeEstimateReq(const std::string& model,
+                                       const Query& query) {
+  ByteWriter w;
+  w.Str(model);
+  EncodeQuery(query, &w);
+  return w.Take();
 }
 
-Query DecodeEstimateReq(const std::vector<uint8_t>& body) {
-  return DeserializeQuery(body);
+EstimateReq DecodeEstimateReq(const std::vector<uint8_t>& body) {
+  ByteReader r(body);
+  EstimateReq req;
+  req.model = r.Str();
+  req.query = DecodeQuery(&r);
+  r.ExpectEnd();
+  return req;
 }
 
 std::vector<uint8_t> EncodeEstimateResp(double estimate) {
@@ -90,9 +99,11 @@ double DecodeEstimateResp(const std::vector<uint8_t>& body) {
   return estimate;
 }
 
-std::vector<uint8_t> EncodeSubplansReq(const Query& query,
+std::vector<uint8_t> EncodeSubplansReq(const std::string& model,
+                                       const Query& query,
                                        const std::vector<uint64_t>& masks) {
   ByteWriter w;
+  w.Str(model);
   EncodeQuery(query, &w);
   w.U32(static_cast<uint32_t>(masks.size()));
   for (uint64_t mask : masks) w.U64(mask);
@@ -102,6 +113,7 @@ std::vector<uint8_t> EncodeSubplansReq(const Query& query,
 SubplansReq DecodeSubplansReq(const std::vector<uint8_t>& body) {
   ByteReader r(body);
   SubplansReq req;
+  req.model = r.Str();
   req.query = DecodeQuery(&r);
   uint32_t n = r.U32();
   if (static_cast<size_t>(n) * 8 > r.remaining()) {
@@ -141,17 +153,34 @@ std::unordered_map<uint64_t, double> DecodeSubplansResp(
   return out;
 }
 
-std::vector<uint8_t> EncodeNotifyUpdateReq(const std::string& table) {
+std::vector<uint8_t> EncodeNotifyUpdateReq(const std::string& model,
+                                           const std::string& table) {
   ByteWriter w;
+  w.Str(model);
   w.Str(table);
   return w.Take();
 }
 
-std::string DecodeNotifyUpdateReq(const std::vector<uint8_t>& body) {
+NotifyUpdateReq DecodeNotifyUpdateReq(const std::vector<uint8_t>& body) {
   ByteReader r(body);
-  std::string table = r.Str();
+  NotifyUpdateReq req;
+  req.model = r.Str();
+  req.table = r.Str();
   r.ExpectEnd();
-  return table;
+  return req;
+}
+
+std::vector<uint8_t> EncodeStatsReq(const std::string& model) {
+  ByteWriter w;
+  w.Str(model);
+  return w.Take();
+}
+
+std::string DecodeStatsReq(const std::vector<uint8_t>& body) {
+  ByteReader r(body);
+  std::string model = r.Str();
+  r.ExpectEnd();
+  return model;
 }
 
 std::vector<uint8_t> EncodeNotifyUpdateResp(uint64_t epoch) {
@@ -173,6 +202,9 @@ std::vector<uint8_t> EncodeServiceStats(const ServiceStats& stats) {
   w.U64(stats.subplan_requests);
   w.U64(stats.subplans_estimated);
   w.U64(stats.errors);
+  w.U64(stats.batches_split);
+  w.U64(stats.split_chunks);
+  w.U64(stats.fresh_first_pops);
   w.U64(stats.updates_notified);
   w.U64(stats.epoch);
   w.U64(stats.pending_requests);
@@ -181,6 +213,7 @@ std::vector<uint8_t> EncodeServiceStats(const ServiceStats& stats) {
   w.U64(stats.cache.misses);
   w.U64(stats.cache.evictions);
   w.U64(stats.cache.invalidations);
+  w.U64(stats.cache.cost_weighted_evictions);
   w.U64(stats.cache.entries);
   w.F64(stats.p50_micros);
   w.F64(stats.p99_micros);
@@ -195,6 +228,9 @@ ServiceStats DecodeServiceStats(const std::vector<uint8_t>& body) {
   stats.subplan_requests = r.U64();
   stats.subplans_estimated = r.U64();
   stats.errors = r.U64();
+  stats.batches_split = r.U64();
+  stats.split_chunks = r.U64();
+  stats.fresh_first_pops = r.U64();
   stats.updates_notified = r.U64();
   stats.epoch = r.U64();
   stats.pending_requests = r.U64();
@@ -203,6 +239,7 @@ ServiceStats DecodeServiceStats(const std::vector<uint8_t>& body) {
   stats.cache.misses = r.U64();
   stats.cache.evictions = r.U64();
   stats.cache.invalidations = r.U64();
+  stats.cache.cost_weighted_evictions = r.U64();
   stats.cache.entries = r.U64();
   stats.p50_micros = r.F64();
   stats.p99_micros = r.F64();

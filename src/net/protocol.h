@@ -45,7 +45,12 @@ using ProtocolError = SerializeError;
 /// "FJN" + version byte of the *magic*, not the protocol (the protocol
 /// version is negotiated separately in the hello body).
 inline constexpr uint32_t kProtocolMagic = 0x464A4E31;  // "FJN1"
-inline constexpr uint16_t kProtocolVersion = 1;
+/// Version 2: every request body leads with a model-id string routing it
+/// to a named model in the server's ModelRegistry ("" = default model),
+/// and the stats body carries the batch-split/scheduling counters.
+/// Version-1 handshakes are rejected cleanly (kError naming both
+/// versions), never half-spoken.
+inline constexpr uint16_t kProtocolVersion = 2;
 
 /// Frames larger than this are rejected at the length prefix (both sides).
 inline constexpr uint32_t kDefaultMaxFrameBytes = 64u << 20;
@@ -53,13 +58,13 @@ inline constexpr uint32_t kDefaultMaxFrameBytes = 64u << 20;
 enum class MsgType : uint8_t {
   kHello = 1,
   kHelloAck = 2,
-  kEstimateReq = 3,       // body: Query
+  kEstimateReq = 3,       // body: str model, Query
   kEstimateResp = 4,      // body: f64 estimate
-  kSubplansReq = 5,       // body: Query, u32 n, u64 mask × n
+  kSubplansReq = 5,       // body: str model, Query, u32 n, u64 mask × n
   kSubplansResp = 6,      // body: u32 n, (u64 mask, f64 estimate) × n
-  kNotifyUpdateReq = 7,   // body: str table
+  kNotifyUpdateReq = 7,   // body: str model, str table
   kNotifyUpdateResp = 8,  // body: u64 epoch
-  kStatsReq = 9,          // body: empty
+  kStatsReq = 9,          // body: str model
   kStatsResp = 10,        // body: ServiceStats (see EncodeServiceStats)
   kError = 11,            // body: str message; request-scoped iff id != 0
 };
@@ -98,16 +103,26 @@ std::vector<uint8_t> EncodeHello(const Hello& hello);
 Hello DecodeHello(const std::vector<uint8_t>& body);
 
 // ------------------------------------------------------------- body codecs
+//
+// Every request body leads with the model-id string (the v2 routing field;
+// "" selects the server's default model).
 
-std::vector<uint8_t> EncodeEstimateReq(const Query& query);
-Query DecodeEstimateReq(const std::vector<uint8_t>& body);
+std::vector<uint8_t> EncodeEstimateReq(const std::string& model,
+                                       const Query& query);
+struct EstimateReq {
+  std::string model;
+  Query query;
+};
+EstimateReq DecodeEstimateReq(const std::vector<uint8_t>& body);
 
 std::vector<uint8_t> EncodeEstimateResp(double estimate);
 double DecodeEstimateResp(const std::vector<uint8_t>& body);
 
-std::vector<uint8_t> EncodeSubplansReq(const Query& query,
+std::vector<uint8_t> EncodeSubplansReq(const std::string& model,
+                                       const Query& query,
                                        const std::vector<uint64_t>& masks);
 struct SubplansReq {
+  std::string model;
   Query query;
   std::vector<uint64_t> masks;
 };
@@ -118,8 +133,16 @@ std::vector<uint8_t> EncodeSubplansResp(
 std::unordered_map<uint64_t, double> DecodeSubplansResp(
     const std::vector<uint8_t>& body);
 
-std::vector<uint8_t> EncodeNotifyUpdateReq(const std::string& table);
-std::string DecodeNotifyUpdateReq(const std::vector<uint8_t>& body);
+std::vector<uint8_t> EncodeNotifyUpdateReq(const std::string& model,
+                                           const std::string& table);
+struct NotifyUpdateReq {
+  std::string model;
+  std::string table;
+};
+NotifyUpdateReq DecodeNotifyUpdateReq(const std::vector<uint8_t>& body);
+
+std::vector<uint8_t> EncodeStatsReq(const std::string& model);
+std::string DecodeStatsReq(const std::vector<uint8_t>& body);
 
 std::vector<uint8_t> EncodeNotifyUpdateResp(uint64_t epoch);
 uint64_t DecodeNotifyUpdateResp(const std::vector<uint8_t>& body);

@@ -18,9 +18,17 @@ std::string ExceptionMessage(std::exception_ptr e) {
 
 }  // namespace
 
+EstimatorServer::EstimatorServer(ModelRegistry& registry,
+                                 EstimatorServerOptions options)
+    : registry_(&registry), options_(std::move(options)) {}
+
 EstimatorServer::EstimatorServer(EstimatorService& service,
                                  EstimatorServerOptions options)
-    : service_(service), options_(std::move(options)) {}
+    : owned_registry_(std::make_unique<ModelRegistry>()),
+      options_(std::move(options)) {
+  owned_registry_->AddExternal("default", service);
+  registry_ = owned_registry_.get();
+}
 
 EstimatorServer::~EstimatorServer() { Stop(); }
 
@@ -56,9 +64,10 @@ void EstimatorServer::Stop() {
   // Completion callbacks still in flight capture `this` (for the error
   // counter) and their connection. The connections are shared_ptr-kept
   // alive by the callbacks; the server must not be destroyed under them —
-  // wait for every dispatched request to finish. Their responses land in
-  // closed outboxes and are dropped.
-  service_.Drain();
+  // wait for every dispatched request to finish, on every registered
+  // model's service. Their responses land in closed outboxes and are
+  // dropped.
+  registry_->DrainAll();
 }
 
 Endpoint EstimatorServer::endpoint() const {
@@ -194,6 +203,19 @@ void EstimatorServer::WriterLoop(ConnectionPtr conn) {
   ShutdownSocket(conn->fd);
 }
 
+EstimatorService* EstimatorServer::Resolve(const ConnectionPtr& conn,
+                                           uint64_t request_id,
+                                           const std::string& model) {
+  EstimatorService* service = registry_->Find(model);
+  if (service == nullptr) {
+    request_errors_.fetch_add(1);
+    SendError(conn, request_id,
+              "unknown model '" + model + "' (this server serves: " +
+                  registry_->JoinedModelNames() + ")");
+  }
+  return service;
+}
+
 void EstimatorServer::Dispatch(const ConnectionPtr& conn, const Frame& frame) {
   if (frame.request_id == 0) {
     throw ProtocolError("requests must carry a nonzero request id");
@@ -201,9 +223,11 @@ void EstimatorServer::Dispatch(const ConnectionPtr& conn, const Frame& frame) {
   const uint64_t id = frame.request_id;
   switch (frame.type) {
     case MsgType::kEstimateReq: {
-      Query query = DecodeEstimateReq(frame.body);
-      service_.EstimateAsync(
-          std::move(query),
+      EstimateReq req = DecodeEstimateReq(frame.body);
+      EstimatorService* service = Resolve(conn, id, req.model);
+      if (service == nullptr) return;
+      service->EstimateAsync(
+          std::move(req.query),
           [this, conn, id](double estimate, std::exception_ptr error) {
             if (error != nullptr) {
               request_errors_.fetch_add(1);
@@ -217,7 +241,9 @@ void EstimatorServer::Dispatch(const ConnectionPtr& conn, const Frame& frame) {
     }
     case MsgType::kSubplansReq: {
       SubplansReq req = DecodeSubplansReq(frame.body);
-      service_.EstimateSubplansAsync(
+      EstimatorService* service = Resolve(conn, id, req.model);
+      if (service == nullptr) return;
+      service->EstimateSubplansAsync(
           std::move(req.query), std::move(req.masks),
           [this, conn, id](std::unordered_map<uint64_t, double> estimates,
                            std::exception_ptr error) {
@@ -234,15 +260,22 @@ void EstimatorServer::Dispatch(const ConnectionPtr& conn, const Frame& frame) {
     case MsgType::kNotifyUpdateReq: {
       // Remote NotifyUpdate covers the cache-invalidation half of the
       // update protocol; mutating the estimator itself stays a server-local
-      // operation (see docs/ARCHITECTURE.md).
-      uint64_t epoch = service_.NotifyUpdate(DecodeNotifyUpdateReq(frame.body));
+      // operation (see docs/ARCHITECTURE.md). Epochs are per model: the
+      // notification only invalidates the named model's cache.
+      NotifyUpdateReq req = DecodeNotifyUpdateReq(frame.body);
+      EstimatorService* service = Resolve(conn, id, req.model);
+      if (service == nullptr) return;
+      uint64_t epoch = service->NotifyUpdate(req.table);
       conn->Send(EncodeFrame(MsgType::kNotifyUpdateResp, id,
                              EncodeNotifyUpdateResp(epoch)));
       return;
     }
     case MsgType::kStatsReq: {
+      EstimatorService* service =
+          Resolve(conn, id, DecodeStatsReq(frame.body));
+      if (service == nullptr) return;
       conn->Send(EncodeFrame(MsgType::kStatsResp, id,
-                             EncodeServiceStats(service_.Stats())));
+                             EncodeServiceStats(service->Stats())));
       return;
     }
     default:

@@ -1,21 +1,27 @@
-// EstimatorServer: the remote front end of an EstimatorService.
+// EstimatorServer: the remote front end of a ModelRegistry.
 //
-//   clients ──► accept loop ──► per-connection reader ──► EstimatorService
-//                                        │ decode              │ async
-//                                        ▼                     ▼ (worker)
-//                               per-connection writer ◄── completion
-//                                        │ outbox queue        callback
-//                                        ▼
+//   clients ──► accept loop ──► per-connection reader ──► ModelRegistry
+//                                        │ decode              │ model-id
+//                                        ▼                     ▼ routing
+//                               per-connection writer ◄── EstimatorService
+//                                        │ outbox queue   completion callback
+//                                        ▼                 (async, worker)
 //                                     socket
 //
-// One TCP (or Unix-domain) listener, N concurrent client connections. Each
-// connection gets a reader thread (frame decode + dispatch) and a writer
-// thread (response frames). Estimation is dispatched through the service's
-// callback variants of EstimateAsync/EstimateSubplansAsync, so decoding the
-// next request never blocks on estimating the previous one, and responses
-// are written in *completion* order with request-id correlation — a
-// pipelined client keeps every service worker busy from a single
-// connection.
+// One TCP (or Unix-domain) listener, N concurrent client connections, any
+// number of named models: every request carries a model-id (protocol v2)
+// that the dispatcher resolves through the registry — "" routes to the
+// default model, an unknown name is a per-request kError (the connection
+// survives). The single-service constructor keeps the one-model deployment
+// trivial by wrapping the service in an internal registry.
+//
+// Each connection gets a reader thread (frame decode + dispatch) and a
+// writer thread (response frames). Estimation is dispatched through the
+// resolved service's callback variants of EstimateAsync /
+// EstimateSubplansAsync, so decoding the next request never blocks on
+// estimating the previous one, and responses are written in *completion*
+// order with request-id correlation — a pipelined client keeps every
+// service worker busy from a single connection.
 //
 // Back-pressure composes: the service's bounded queue blocks the reader
 // thread when the pool is saturated (stalling that client's decode, not
@@ -39,6 +45,7 @@
 #include "net/protocol.h"
 #include "net/socket.h"
 #include "service/estimator_service.h"
+#include "service/model_registry.h"
 #include "service/mpmc_queue.h"
 
 namespace fj::net {
@@ -72,8 +79,15 @@ struct ServerStats {
 
 class EstimatorServer {
  public:
-  /// `service` must outlive the server; the wrapped estimator stays owned by
-  /// the caller (train first, then serve).
+  /// Multi-model front end: `registry` must outlive the server (models may
+  /// still be registered after Start(), but never removed). Requests route
+  /// by their model-id field; "" hits the registry's default model.
+  explicit EstimatorServer(ModelRegistry& registry,
+                           EstimatorServerOptions options = {});
+
+  /// Single-model convenience: wraps `service` (which must outlive the
+  /// server; the estimator stays owned by the caller — train first, then
+  /// serve) in an internal one-entry registry under the name "default".
   explicit EstimatorServer(EstimatorService& service,
                            EstimatorServerOptions options = {});
 
@@ -88,10 +102,10 @@ class EstimatorServer {
   void Start();
 
   /// Closes the listener and every connection, joins all threads, and
-  /// drains the service so no completion callback can outlive the server.
-  /// In-flight requests already dispatched complete on the service; their
-  /// responses are dropped. Idempotent; must not be called from a service
-  /// worker thread (it drains the pool).
+  /// drains every registered service so no completion callback can outlive
+  /// the server. In-flight requests already dispatched complete on their
+  /// service; their responses are dropped. Idempotent; must not be called
+  /// from a service worker thread (it drains the pools).
   void Stop();
 
   /// The endpoint actually bound (TCP port 0 resolved). Valid after Start().
@@ -130,10 +144,19 @@ class EstimatorServer {
   void Dispatch(const ConnectionPtr& conn, const Frame& frame);
   void SendError(const ConnectionPtr& conn, uint64_t request_id,
                  const std::string& message);
+  /// Resolves a request's model id against the registry; on an unknown
+  /// name sends a per-request kError and returns nullptr (the connection
+  /// survives — a routing mistake is the client's bug, not a protocol
+  /// violation).
+  EstimatorService* Resolve(const ConnectionPtr& conn, uint64_t request_id,
+                            const std::string& model);
   /// Joins and forgets connections whose reader has exited.
   void ReapFinished();
 
-  EstimatorService& service_;
+  ModelRegistry* registry_;  // not owned (may point at owned_registry_)
+  // Backs the single-service constructor: a one-entry registry wrapping
+  // the caller's EstimatorService.
+  std::unique_ptr<ModelRegistry> owned_registry_;
   const EstimatorServerOptions options_;
 
   std::unique_ptr<ListenSocket> listener_;

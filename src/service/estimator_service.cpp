@@ -212,7 +212,12 @@ std::unordered_map<uint64_t, double> EstimatorService::EstimateMisses(
   for (size_t h = 0; h + 1 < num_chunks; ++h) {
     auto helper = std::make_unique<Request>();
     helper->split = job;
-    if (!queue_.TryPush(std::move(helper))) break;
+    // prefer_fresh_requests: helpers ride the low-priority lane so a small
+    // fresh batch arriving behind them is popped first.
+    bool offered = options_.prefer_fresh_requests
+                       ? queue_.TryPushLow(std::move(helper))
+                       : queue_.TryPush(std::move(helper));
+    if (!offered) break;
   }
   job->RunChunks();
   job->Wait();
@@ -380,6 +385,7 @@ ServiceStats EstimatorService::Stats() const {
   stats.errors = errors_.load(std::memory_order_relaxed);
   stats.batches_split = batches_split_.load(std::memory_order_relaxed);
   stats.split_chunks = split_chunks_.load(std::memory_order_relaxed);
+  stats.fresh_first_pops = queue_.LowBypasses();
   stats.updates_notified = updates_notified_.load(std::memory_order_relaxed);
   stats.epoch = epochs_.Epoch();
   stats.pending_requests = pending_.load(std::memory_order_acquire);

@@ -76,6 +76,14 @@ struct EstimatorServiceOptions {
   /// ShardedEstimateCache): victims are picked among the least-recently-used
   /// tail by cheapest-to-recompute first.
   bool cost_aware_eviction = false;
+  /// Schedule newly arriving client requests ahead of queued batch-split
+  /// helper chunks: helpers go into the queue's low-priority lane, so a
+  /// small fresh batch never waits behind a 10k-mask split's backlog. The
+  /// split batch itself loses nothing — its serving worker keeps claiming
+  /// chunks regardless (work stealing just gets less help while fresh
+  /// requests exist). ServiceStats::fresh_first_pops counts how often the
+  /// reordering fired.
+  bool prefer_fresh_requests = false;
 };
 
 class EstimatorService {

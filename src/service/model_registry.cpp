@@ -1,0 +1,96 @@
+#include "service/model_registry.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace fj {
+
+EstimatorService& ModelRegistry::AddModel(
+    std::string name, std::unique_ptr<CardinalityEstimator> estimator,
+    EstimatorServiceOptions options) {
+  if (estimator == nullptr) {
+    throw std::invalid_argument("ModelRegistry: null estimator for model '" +
+                                name + "'");
+  }
+  Entry entry;
+  entry.name = std::move(name);
+  entry.estimator = std::move(estimator);
+  entry.owned_service =
+      std::make_unique<EstimatorService>(*entry.estimator, options);
+  entry.service = entry.owned_service.get();
+  return Register(std::move(entry));
+}
+
+EstimatorService& ModelRegistry::AddExternal(std::string name,
+                                             EstimatorService& service) {
+  Entry entry;
+  entry.name = std::move(name);
+  entry.service = &service;
+  return Register(std::move(entry));
+}
+
+EstimatorService& ModelRegistry::Register(Entry entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Entry& existing : entries_) {
+    if (existing.name == entry.name) {
+      throw std::invalid_argument("ModelRegistry: duplicate model name '" +
+                                  entry.name + "'");
+    }
+  }
+  entries_.push_back(std::move(entry));
+  return *entries_.back().service;
+}
+
+EstimatorService* ModelRegistry::Find(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entries_.empty()) return nullptr;
+  if (name.empty()) return entries_.front().service;
+  for (const Entry& entry : entries_) {
+    if (entry.name == name) return entry.service;
+  }
+  return nullptr;
+}
+
+EstimatorService& ModelRegistry::Default() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entries_.empty()) {
+    throw std::logic_error("ModelRegistry: no models registered");
+  }
+  return *entries_.front().service;
+}
+
+std::vector<std::string> ModelRegistry::ModelNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const Entry& entry : entries_) names.push_back(entry.name);
+  return names;
+}
+
+std::string ModelRegistry::JoinedModelNames() const {
+  std::string names;
+  for (const std::string& name : ModelNames()) {
+    if (!names.empty()) names += ", ";
+    names += name;
+  }
+  return names.empty() ? "<none>" : names;
+}
+
+size_t ModelRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void ModelRegistry::DrainAll() const {
+  // Snapshot the service list under the lock, drain outside it: Drain can
+  // block for as long as an estimate runs and must not hold up Find().
+  std::vector<EstimatorService*> services;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    services.reserve(entries_.size());
+    for (const Entry& entry : entries_) services.push_back(entry.service);
+  }
+  for (EstimatorService* service : services) service->Drain();
+}
+
+}  // namespace fj

@@ -1,0 +1,94 @@
+// ModelRegistry: named trained models behind one serving front end.
+//
+//   fj_server ──► EstimatorServer ──► ModelRegistry ──► EstimatorService "a"
+//                                            │               (epochs, cache,
+//                                            │                stats, workers)
+//                                            └──────────► EstimatorService "b"
+//
+// One registry maps model names to independent EstimatorService instances:
+// each model gets its own worker pool, sharded cache, TableEpochRegistry
+// (epochs are per model — a data update notified against model "a" never
+// invalidates "b"'s cache), and ServiceStats. The remote protocol routes
+// every request by its model-id field (net/protocol.h, version 2);
+// in-process callers resolve a service once with Find() and use it
+// directly.
+//
+// Two registration modes:
+//  * AddModel    — the registry owns the estimator (typically loaded from a
+//                  snapshot, stats/snapshot.h) and the service wrapping it.
+//  * AddExternal — the caller keeps ownership of an already-running
+//                  service; the registry only routes to it (the
+//                  single-model EstimatorServer constructor uses this).
+//
+// Thread-safety: Find/Default/ModelNames may race each other and requests
+// freely. Registration is expected at startup, before serving, but is
+// internally locked too; entries are never removed, so a service pointer
+// returned by Find stays valid for the registry's lifetime.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "service/estimator_service.h"
+#include "stats/cardinality_estimator.h"
+
+namespace fj {
+
+class ModelRegistry {
+ public:
+  ModelRegistry() = default;
+
+  ModelRegistry(const ModelRegistry&) = delete;
+  ModelRegistry& operator=(const ModelRegistry&) = delete;
+
+  /// Registers `estimator` (trained or snapshot-loaded) under `name`,
+  /// wrapping it in a registry-owned EstimatorService started with
+  /// `options`. The first registered model is the default. Returns the
+  /// service. Throws std::invalid_argument on a duplicate name.
+  EstimatorService& AddModel(std::string name,
+                             std::unique_ptr<CardinalityEstimator> estimator,
+                             EstimatorServiceOptions options = {});
+
+  /// Registers an externally owned, already-running service under `name`;
+  /// the caller must keep it alive for the registry's lifetime. Throws
+  /// std::invalid_argument on a duplicate name.
+  EstimatorService& AddExternal(std::string name, EstimatorService& service);
+
+  /// Resolves a model name; the empty string resolves to the default
+  /// (first-registered) model. Returns nullptr for unknown names (the
+  /// remote front end turns that into a per-request error).
+  EstimatorService* Find(const std::string& name) const;
+
+  /// The default model's service. Throws std::logic_error when empty.
+  EstimatorService& Default() const;
+
+  /// Registered model names, in registration order.
+  std::vector<std::string> ModelNames() const;
+
+  /// Comma-joined ModelNames() for error messages and startup banners;
+  /// "<none>" when empty.
+  std::string JoinedModelNames() const;
+
+  size_t size() const;
+
+  /// Drains every registered service (see EstimatorService::Drain); the
+  /// server's Stop() uses this so no completion callback outlives it.
+  void DrainAll() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    std::unique_ptr<CardinalityEstimator> estimator;  // null for external
+    std::unique_ptr<EstimatorService> owned_service;  // null for external
+    EstimatorService* service = nullptr;              // always valid
+  };
+
+  EstimatorService& Register(Entry entry);
+
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace fj

@@ -28,6 +28,12 @@ struct ServiceStats {
   /// Total chunks produced by split batches (avg chunk fan-out =
   /// split_chunks / batches_split).
   uint64_t split_chunks = 0;
+  /// Times a newly arriving client request was scheduled ahead of queued
+  /// batch-split helper chunks (EstimatorServiceOptions::
+  /// prefer_fresh_requests; always 0 while the option is off). Split
+  /// batches lose nothing — the serving worker keeps claiming chunks
+  /// itself — but small fresh requests stop waiting behind them.
+  uint64_t fresh_first_pops = 0;
   /// NotifyUpdate calls received (data-update notifications).
   uint64_t updates_notified = 0;
   /// Statistics epoch at snapshot time (== updates_notified unless callers

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/bytes.h"
 #include "util/timer.h"
 
 namespace fj {
@@ -39,6 +40,115 @@ BayesNetEstimator::BayesNetEstimator(
       key_binnings_(std::move(key_binnings)),
       options_(options) {
   Train();
+}
+
+BayesNetEstimator::BayesNetEstimator(
+    const Table& table,
+    std::unordered_map<std::string, const Binning*> key_binnings, UntrainedTag)
+    : table_(&table), key_binnings_(std::move(key_binnings)) {}
+
+std::unique_ptr<BayesNetEstimator> BayesNetEstimator::MakeUntrained(
+    const Table& table,
+    std::unordered_map<std::string, const Binning*> key_binnings) {
+  return std::unique_ptr<BayesNetEstimator>(
+      new BayesNetEstimator(table, std::move(key_binnings), UntrainedTag{}));
+}
+
+void BayesNetEstimator::Save(ByteWriter& w) const {
+  w.U32(options_.max_categories);
+  w.F64(options_.laplace_alpha);
+  w.F64(options_.fallback_sample_rate);
+  w.U64(options_.seed);
+  w.F64(train_seconds_);
+  w.U32(static_cast<uint32_t>(nodes_.size()));
+  for (const Node& node : nodes_) {
+    w.Str(node.column);
+    node.discretizer.Save(w);
+    w.U32(node.cards);
+    w.U32(static_cast<uint32_t>(node.counts.size()));
+    for (double c : node.counts) w.F64(c);
+    w.U32(static_cast<uint32_t>(node.cpt.size()));
+    for (double p : node.cpt) w.F64(p);
+  }
+  for (int p : tree_.parent) w.I64(p);
+  for (double mi : tree_.edge_mi) w.F64(mi);
+  fallback_->Save(w);
+}
+
+void BayesNetEstimator::Load(ByteReader& r) {
+  options_.max_categories = r.U32();
+  options_.laplace_alpha = r.F64();
+  options_.fallback_sample_rate = r.F64();
+  options_.seed = r.U64();
+  train_seconds_ = r.F64();
+
+  // Minimal encoded node: empty column string + minimal discretizer
+  // (flag + num_categories + three zero counts) + cards + two zero counts.
+  uint32_t n = r.CountU32(4 + (1 + 4 * sizeof(uint32_t)) + 3 * sizeof(uint32_t));
+  nodes_.clear();
+  column_to_node_.clear();
+  nodes_.reserve(n);
+  for (uint32_t v = 0; v < n; ++v) {
+    Node node;
+    node.column = r.Str();
+    if (!table_->HasColumn(node.column)) {
+      throw std::invalid_argument(
+          "bayescard snapshot references unknown column " + table_->name() +
+          "." + node.column);
+    }
+    auto kb = key_binnings_.find(node.column);
+    node.discretizer = Discretizer::LoadFrom(
+        r, kb != key_binnings_.end() ? kb->second : nullptr);
+    node.cards = r.U32();
+    if (node.cards != node.discretizer.num_categories()) {
+      throw SerializeError("bayescard node cardinality mismatch");
+    }
+    uint32_t n_counts = r.CountU32(sizeof(double));
+    node.counts.reserve(n_counts);
+    for (uint32_t i = 0; i < n_counts; ++i) node.counts.push_back(r.F64());
+    uint32_t n_cpt = r.CountU32(sizeof(double));
+    if (n_cpt != n_counts) {
+      throw SerializeError("bayescard CPT/count size mismatch");
+    }
+    node.cpt.reserve(n_cpt);
+    for (uint32_t i = 0; i < n_cpt; ++i) node.cpt.push_back(r.F64());
+    column_to_node_[node.column] = nodes_.size();
+    nodes_.push_back(std::move(node));
+  }
+
+  tree_.parent.assign(n, -1);
+  tree_.edge_mi.assign(n, 0.0);
+  for (uint32_t v = 0; v < n; ++v) {
+    int64_t p = r.I64();
+    if (p < -1 || p >= static_cast<int64_t>(n) ||
+        p == static_cast<int64_t>(v)) {
+      throw SerializeError("bayescard tree parent out of range");
+    }
+    tree_.parent[v] = static_cast<int>(p);
+  }
+  for (uint32_t v = 0; v < n; ++v) tree_.edge_mi[v] = r.F64();
+  if (tree_.TopologicalOrder().size() != n) {
+    // A parent cycle would leave nodes outside every tree component and
+    // make the propagation passes read uninitialized roots.
+    throw SerializeError("bayescard tree contains a cycle");
+  }
+
+  // CPT shapes must match the loaded structure before any inference runs.
+  for (uint32_t v = 0; v < n; ++v) {
+    int parent = tree_.parent[v];
+    size_t want = parent < 0
+                      ? nodes_[v].cards
+                      : static_cast<size_t>(
+                            nodes_[static_cast<size_t>(parent)].cards) *
+                            nodes_[v].cards;
+    if (nodes_[v].counts.size() != want) {
+      throw SerializeError("bayescard CPT shape does not match tree");
+    }
+  }
+
+  fallback_ = SamplingEstimator::MakeUntrained(*table_);
+  fallback_->Load(r);
+  RebuildInferenceCaches();
 }
 
 void BayesNetEstimator::Train() {

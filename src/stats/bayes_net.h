@@ -37,6 +37,14 @@ class BayesNetEstimator : public TableEstimator {
                     std::unordered_map<std::string, const Binning*> key_binnings,
                     BayesNetOptions options = {});
 
+  /// Snapshot-loading path: binds to `table` and the shared group binnings
+  /// without training — Load() must run before any estimate. The
+  /// `key_binnings` map must cover the same join-key columns the saved
+  /// estimator was trained with (Load validates).
+  static std::unique_ptr<BayesNetEstimator> MakeUntrained(
+      const Table& table,
+      std::unordered_map<std::string, const Binning*> key_binnings);
+
   double EstimateFilteredRows(const Predicate& filter) const override;
   KeyDistResult EstimateKeyDists(
       const Predicate& filter,
@@ -49,6 +57,14 @@ class BayesNetEstimator : public TableEstimator {
   /// into the CPT counts without relearning the tree structure.
   void IncrementalUpdate(const Table& table, size_t first_new_row);
 
+  /// Serializes the learned structure, CPTs (counts AND normalized tables,
+  /// both bit-exact), per-node discretizers, and the sampling fallback.
+  /// The inference caches and no-evidence memos are NOT written: Load
+  /// recomputes them from the loaded CPTs with the same deterministic
+  /// loops, reproducing the trained doubles bit for bit.
+  void Save(ByteWriter& w) const override;
+  void Load(ByteReader& r) override;
+
   size_t MemoryBytes() const override;
   std::string Name() const override { return "bayescard"; }
 
@@ -56,6 +72,11 @@ class BayesNetEstimator : public TableEstimator {
   double train_seconds() const { return train_seconds_; }
 
  private:
+  struct UntrainedTag {};
+  BayesNetEstimator(const Table& table,
+                    std::unordered_map<std::string, const Binning*> key_binnings,
+                    UntrainedTag);
+
   struct Node {
     std::string column;
     Discretizer discretizer;

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/bytes.h"
+
 namespace fj {
 
 std::unordered_map<uint64_t, double> CardinalityEstimator::EstimateSubplans(
@@ -26,6 +28,24 @@ double CardinalityEstimator::ApplyDelete(const std::string& table_name,
   throw std::logic_error(Name() +
                          " does not support incremental deletes (table " +
                          table_name + "); retrain instead");
+}
+
+size_t CardinalityEstimator::ModelSizeBytes() const {
+  return SupportsSnapshot() ? SerializedModelSizeBytes() : 0;
+}
+
+void CardinalityEstimator::Save(ByteWriter& /*w*/) const {
+  throw std::logic_error(Name() + " does not support model snapshots");
+}
+
+void CardinalityEstimator::Load(ByteReader& /*r*/) {
+  throw std::logic_error(Name() + " does not support model snapshots");
+}
+
+size_t CardinalityEstimator::SerializedModelSizeBytes() const {
+  ByteWriter counter = ByteWriter::Counting();
+  Save(counter);
+  return counter.size();
 }
 
 }  // namespace fj

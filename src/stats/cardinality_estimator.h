@@ -26,6 +26,9 @@
 
 namespace fj {
 
+class ByteReader;
+class ByteWriter;
+
 class CardinalityEstimator {
  public:
   CardinalityEstimator() = default;
@@ -89,11 +92,53 @@ class CardinalityEstimator {
     return nullptr;
   }
 
-  /// Serialized statistics footprint (Figure 6 "model size").
-  virtual size_t ModelSizeBytes() const { return 0; }
+  /// Serialized statistics footprint (Figure 6 "model size"). For
+  /// snapshot-capable estimators this is exact — the byte count a Save()
+  /// would produce, measured with a counting ByteWriter. Estimators that
+  /// cannot snapshot override this with their own (approximate) accounting
+  /// or inherit the 0 default.
+  virtual size_t ModelSizeBytes() const;
 
   /// Offline construction time (Figure 6 "training time").
   virtual double TrainSeconds() const { return 0.0; }
+
+  // ----------------------------------------------------------- snapshots
+  //
+  // Trained-model persistence: Save serializes the estimator's complete
+  // trained state (statistics, models, memo-free caches are rebuilt on
+  // load) through the bounds-checked byte primitives of util/bytes.h; Load
+  // replaces the estimator's state with a previously saved one, after
+  // which Estimate / EstimateSubplans return values BIT-IDENTICAL to the
+  // trained original (the golden-estimates test pins this). Estimators
+  // must be bound to the same logical database on both sides: the snapshot
+  // holds statistics *about* the data, not the data itself.
+  //
+  // Prefer the framed container in stats/snapshot.h (magic, format
+  // version, estimator kind, checksum) over calling Save/Load directly —
+  // it validates untrusted files and dispatches Load to the right
+  // estimator type. Load requires exclusive access, like ApplyInsert; the
+  // loaded model starts a fresh StatsVersion() changelog at 0.
+
+  /// True when Save/Load are implemented. Methods whose state cannot be
+  /// serialized (or that have nothing worth persisting) return false and
+  /// throw from the snapshot entry points.
+  virtual bool SupportsSnapshot() const { return false; }
+
+  /// Appends the full trained state to `w`. Deterministic: equal trained
+  /// states serialize to equal bytes (map-backed state is written in
+  /// sorted order). Default: throws std::logic_error.
+  virtual void Save(ByteWriter& w) const;
+
+  /// Replaces the trained state with a snapshot produced by Save() on an
+  /// estimator bound to the same logical database. Throws SerializeError
+  /// on malformed input and std::invalid_argument when the snapshot
+  /// references tables/columns the bound database does not have. Default:
+  /// throws std::logic_error.
+  virtual void Load(ByteReader& r);
+
+  /// Exact serialized footprint: runs Save() against a counting ByteWriter
+  /// and returns the byte count. Requires SupportsSnapshot().
+  size_t SerializedModelSizeBytes() const;
 
   // ------------------------------------------------------------- updates
   //

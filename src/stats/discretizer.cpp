@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "util/bytes.h"
+
 namespace fj {
 
 Discretizer Discretizer::FromBinning(const Column& col,
@@ -193,6 +195,71 @@ std::optional<std::vector<double>> Discretizer::LeafEvidence(
     default:
       return std::nullopt;  // LIKE / composite: caller must fall back
   }
+}
+
+void Discretizer::Save(ByteWriter& w) const {
+  w.U8(external_ != nullptr ? 1 : 0);
+  w.U32(num_categories_);
+  w.U32(static_cast<uint32_t>(upper_bounds_.size()));
+  for (int64_t b : upper_bounds_) w.I64(b);
+  w.U32(static_cast<uint32_t>(meta_.size()));
+  for (const CategoryMeta& m : meta_) {
+    w.F64(m.count);
+    w.F64(m.ndv);
+    w.I64(m.min_code);
+    w.I64(m.max_code);
+  }
+  auto sorted = SortedEntries(value_counts_);
+  w.U32(static_cast<uint32_t>(sorted.size()));
+  for (const auto* entry : sorted) {
+    w.I64(entry->first);
+    w.F64(entry->second);
+  }
+}
+
+Discretizer Discretizer::LoadFrom(ByteReader& r, const Binning* external) {
+  Discretizer d;
+  bool is_external = r.U8() != 0;
+  if (is_external && external == nullptr) {
+    throw SerializeError(
+        "discretizer snapshot wraps a group binning the loader did not "
+        "provide");
+  }
+  d.external_ = is_external ? external : nullptr;
+  d.num_categories_ = r.U32();
+  if (d.num_categories_ == 0) {
+    throw SerializeError("discretizer with zero categories");
+  }
+  if (is_external && d.num_categories_ != external->num_bins() + 1) {
+    throw SerializeError(
+        "discretizer snapshot does not match its group binning's bin count");
+  }
+  uint32_t n_bounds = r.CountU32(sizeof(int64_t));
+  if (!is_external && static_cast<size_t>(n_bounds) + 1 != d.num_categories_) {
+    throw SerializeError("discretizer boundary count mismatch");
+  }
+  d.upper_bounds_.reserve(n_bounds);
+  for (uint32_t i = 0; i < n_bounds; ++i) d.upper_bounds_.push_back(r.I64());
+  uint32_t n_meta = r.CountU32(2 * sizeof(double) + 2 * sizeof(int64_t));
+  if (n_meta != d.num_categories_) {
+    throw SerializeError("discretizer category metadata count mismatch");
+  }
+  d.meta_.reserve(n_meta);
+  for (uint32_t i = 0; i < n_meta; ++i) {
+    CategoryMeta m;
+    m.count = r.F64();
+    m.ndv = r.F64();
+    m.min_code = r.I64();
+    m.max_code = r.I64();
+    d.meta_.push_back(m);
+  }
+  uint32_t n_values = r.CountU32(sizeof(int64_t) + sizeof(double));
+  d.value_counts_.reserve(n_values);
+  for (uint32_t i = 0; i < n_values; ++i) {
+    int64_t value = r.I64();
+    d.value_counts_[value] = r.F64();
+  }
+  return d;
 }
 
 size_t Discretizer::MemoryBytes() const {

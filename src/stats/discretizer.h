@@ -17,6 +17,9 @@
 
 namespace fj {
 
+class ByteReader;
+class ByteWriter;
+
 class Discretizer {
  public:
   /// Discretize through an external (shared) binning; category ids equal bin
@@ -44,6 +47,18 @@ class Discretizer {
   /// leaf kinds the discretizer cannot resolve (e.g. LIKE).
   std::optional<std::vector<double>> LeafEvidence(const Column& col,
                                                   const Predicate& leaf) const;
+
+  /// Appends the discretizer to `w` (model snapshots): representation flag,
+  /// boundaries, per-category metadata, and the exact-count dictionary in
+  /// sorted value order. The external Binning itself is NOT written — it is
+  /// shared group state the owner re-wires on load.
+  void Save(ByteWriter& w) const;
+
+  /// Decodes one discretizer saved by Save(). `external` must be the
+  /// shared group binning when the saved discretizer wrapped one (throws
+  /// SerializeError when the flag and the pointer disagree) and nullptr
+  /// otherwise.
+  static Discretizer LoadFrom(ByteReader& r, const Binning* external);
 
   size_t MemoryBytes() const;
 

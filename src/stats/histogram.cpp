@@ -4,6 +4,8 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "util/bytes.h"
+
 namespace fj {
 namespace {
 
@@ -144,6 +146,37 @@ double ColumnHistogram::LeafSelectivity(const Column& col,
     default:
       return kDefaultLeafSelectivity;
   }
+}
+
+void ColumnHistogram::Save(ByteWriter& w) const {
+  w.U64(rows_);
+  w.U64(ndv_);
+  w.F64(null_fraction_);
+  w.U32(static_cast<uint32_t>(buckets_.size()));
+  for (const Bucket& b : buckets_) {
+    w.I64(b.lo);
+    w.I64(b.hi);
+    w.F64(b.count);
+    w.F64(b.ndv);
+  }
+}
+
+ColumnHistogram ColumnHistogram::LoadFrom(ByteReader& r) {
+  ColumnHistogram h;
+  h.rows_ = r.U64();
+  h.ndv_ = r.U64();
+  h.null_fraction_ = r.F64();
+  uint32_t n = r.CountU32(2 * sizeof(int64_t) + 2 * sizeof(double));
+  h.buckets_.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    Bucket b;
+    b.lo = r.I64();
+    b.hi = r.I64();
+    b.count = r.F64();
+    b.ndv = r.F64();
+    h.buckets_.push_back(b);
+  }
+  return h;
 }
 
 size_t ColumnHistogram::MemoryBytes() const {

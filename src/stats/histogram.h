@@ -11,6 +11,9 @@
 
 namespace fj {
 
+class ByteReader;
+class ByteWriter;
+
 /// Equal-depth histogram over a column's integer codes, with per-bucket
 /// distinct counts (the shape PostgreSQL keeps in pg_stats).
 class ColumnHistogram {
@@ -26,6 +29,13 @@ class ColumnHistogram {
   double null_fraction() const { return null_fraction_; }
   uint64_t distinct_count() const { return ndv_; }
   uint64_t row_count() const { return rows_; }
+
+  /// Appends the histogram to `w` (model snapshots).
+  void Save(ByteWriter& w) const;
+
+  /// Decodes one histogram saved by Save(). Throws SerializeError on
+  /// malformed input.
+  static ColumnHistogram LoadFrom(ByteReader& r);
 
   size_t MemoryBytes() const;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "query/filter_eval.h"
+#include "util/bytes.h"
 
 namespace fj {
 
@@ -10,6 +11,41 @@ SamplingEstimator::SamplingEstimator(const Table& table, double rate,
                                      uint64_t seed)
     : table_(&table), rate_(std::clamp(rate, 1e-6, 1.0)), seed_(seed) {
   DrawSample();
+}
+
+SamplingEstimator::SamplingEstimator(const Table& table, UntrainedTag)
+    : table_(&table), rate_(1.0), seed_(0) {}
+
+std::unique_ptr<SamplingEstimator> SamplingEstimator::MakeUntrained(
+    const Table& table) {
+  return std::unique_ptr<SamplingEstimator>(
+      new SamplingEstimator(table, UntrainedTag{}));
+}
+
+void SamplingEstimator::Save(ByteWriter& w) const {
+  w.F64(rate_);
+  w.U64(seed_);
+  w.F64(scale_);
+  w.U32(static_cast<uint32_t>(sample_rows_.size()));
+  for (uint32_t r : sample_rows_) w.U32(r);
+}
+
+void SamplingEstimator::Load(ByteReader& r) {
+  rate_ = r.F64();
+  seed_ = r.U64();
+  scale_ = r.F64();
+  uint32_t n = r.CountU32(sizeof(uint32_t));
+  sample_rows_.clear();
+  sample_rows_.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    uint32_t row = r.U32();
+    if (row >= table_->num_rows()) {
+      throw SerializeError("sample row id past the bound table's end");
+    }
+    sample_rows_.push_back(row);
+  }
+  std::lock_guard<std::mutex> lock(bin_codes_mu_);
+  bin_codes_.clear();
 }
 
 void SamplingEstimator::DrawSample() {

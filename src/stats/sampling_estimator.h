@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <utility>
 #include <vector>
@@ -21,11 +22,22 @@ class SamplingEstimator : public TableEstimator {
   /// on Refresh() with the same rate and seed stream.
   SamplingEstimator(const Table& table, double rate, uint64_t seed = 42);
 
+  /// Snapshot-loading path: binds to `table` without drawing a sample —
+  /// Load() must run before any estimate.
+  static std::unique_ptr<SamplingEstimator> MakeUntrained(const Table& table);
+
   double EstimateFilteredRows(const Predicate& filter) const override;
   KeyDistResult EstimateKeyDists(
       const Predicate& filter,
       const std::vector<KeyDistRequest>& keys) const override;
   void Refresh(const Table& table) override;
+
+  /// Serializes the drawn sample (row ids, rate, seed, scale): a loaded
+  /// estimator reproduces the original's estimates bit for bit without
+  /// re-drawing.
+  void Save(ByteWriter& w) const override;
+  void Load(ByteReader& r) override;
+
   size_t MemoryBytes() const override;
   std::string Name() const override { return "sampling"; }
 
@@ -35,6 +47,9 @@ class SamplingEstimator : public TableEstimator {
  private:
   /// Sentinel bin code for a null sample value (nulls never join).
   static constexpr uint32_t kNullBin = UINT32_MAX;
+
+  struct UntrainedTag {};
+  SamplingEstimator(const Table& table, UntrainedTag);
 
   void DrawSample();
 

@@ -1,0 +1,126 @@
+#include "stats/snapshot.h"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "baselines/postgres_estimator.h"
+#include "baselines/truecard_estimator.h"
+#include "baselines/wander_join.h"
+#include "factorjoin/estimator.h"
+#include "util/hash.h"
+
+namespace fj {
+namespace {
+
+uint64_t PayloadChecksum(const uint8_t* data, size_t size) {
+  return Fnv1a64(
+      std::string_view(reinterpret_cast<const char*>(data), size));
+}
+
+/// The kind registry: estimator Name() → untrained factory. Every entry
+/// must pair with a SupportsSnapshot() estimator whose Load consumes
+/// exactly the bytes its Save produced.
+std::unique_ptr<CardinalityEstimator> MakeUntrainedByKind(
+    const Database& db, const std::string& kind) {
+  if (kind == "factorjoin") return FactorJoinEstimator::MakeUntrained(db);
+  if (kind == "postgres") return PostgresEstimator::MakeUntrained(db);
+  if (kind == "wjsample") return WanderJoinEstimator::MakeUntrained(db);
+  if (kind == "truecard") return std::make_unique<TrueCardEstimator>(db);
+  throw SerializeError("unknown estimator kind '" + kind + "' in snapshot");
+}
+
+}  // namespace
+
+std::vector<uint8_t> SerializeEstimator(const CardinalityEstimator& est) {
+  if (!est.SupportsSnapshot()) {
+    throw std::logic_error(est.Name() + " does not support model snapshots");
+  }
+  ByteWriter payload;
+  est.Save(payload);
+
+  ByteWriter w;
+  w.U32(kSnapshotMagic);
+  w.U16(kSnapshotFormatVersion);
+  w.Str(est.Name());
+  w.U64(payload.size());
+  w.Raw(payload.bytes().data(), payload.size());
+  w.U64(PayloadChecksum(payload.bytes().data(), payload.size()));
+  return w.Take();
+}
+
+std::unique_ptr<CardinalityEstimator> DeserializeEstimator(
+    const Database& db, const std::vector<uint8_t>& bytes) {
+  ByteReader r(bytes);
+  if (r.U32() != kSnapshotMagic) {
+    throw SerializeError("not a model snapshot (bad magic)");
+  }
+  uint16_t version = r.U16();
+  if (version != kSnapshotFormatVersion) {
+    throw SerializeError("unsupported snapshot format version " +
+                         std::to_string(version) + " (this build reads " +
+                         std::to_string(kSnapshotFormatVersion) + ")");
+  }
+  std::string kind = r.Str();
+  uint64_t payload_size = r.U64();
+  if (payload_size > r.remaining()) {
+    throw SerializeError("snapshot payload truncated");
+  }
+
+  const uint8_t* payload = bytes.data() + (bytes.size() - r.remaining());
+  ByteReader payload_reader(payload, static_cast<size_t>(payload_size));
+  // Skip over the payload and verify the trailer BEFORE running the
+  // estimator decoder: a corrupted payload should fail with a checksum
+  // message, not whatever shape error the flipped bytes happen to produce.
+  r.Skip(static_cast<size_t>(payload_size));
+  uint64_t checksum = r.U64();
+  r.ExpectEnd();
+  if (checksum != PayloadChecksum(payload, static_cast<size_t>(payload_size))) {
+    throw SerializeError("snapshot payload checksum mismatch (corrupted?)");
+  }
+
+  std::unique_ptr<CardinalityEstimator> est = MakeUntrainedByKind(db, kind);
+  est->Load(payload_reader);
+  if (!payload_reader.AtEnd()) {
+    throw SerializeError("snapshot payload has trailing bytes after " + kind +
+                         " finished loading");
+  }
+  return est;
+}
+
+void SaveEstimatorSnapshot(const CardinalityEstimator& est,
+                           const std::string& path) {
+  std::vector<uint8_t> bytes = SerializeEstimator(est);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("cannot open snapshot file for writing: " + path);
+  }
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  if (!out) {
+    throw std::runtime_error("failed writing snapshot file: " + path);
+  }
+}
+
+std::unique_ptr<CardinalityEstimator> LoadEstimatorSnapshot(
+    const Database& db, const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    throw std::runtime_error("cannot open snapshot file: " + path);
+  }
+  std::streamsize size = in.tellg();
+  if (size < 0) {
+    // Non-seekable input (FIFO, process substitution): fail with the IO
+    // message, not a confusing max-size vector error.
+    throw std::runtime_error("failed reading snapshot file: " + path);
+  }
+  in.seekg(0, std::ios::beg);
+  std::vector<uint8_t> bytes(static_cast<size_t>(size));
+  if (size > 0 &&
+      !in.read(reinterpret_cast<char*>(bytes.data()), size)) {
+    throw std::runtime_error("failed reading snapshot file: " + path);
+  }
+  return DeserializeEstimator(db, bytes);
+}
+
+}  // namespace fj

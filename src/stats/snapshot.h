@@ -1,0 +1,56 @@
+// Trained-model snapshot container: the framed, versioned binary format
+// around CardinalityEstimator::Save/Load (same ByteWriter/ByteReader
+// discipline as query/serialize.h and the wire protocol).
+//
+// Layout (all little-endian, via util/bytes.h):
+//
+//   u32 magic "FJSP" | u16 format version | str estimator kind (Name())
+//   | u64 payload size | payload bytes | u64 FNV-1a checksum of payload
+//
+// Decoding treats the file as untrusted input: wrong magic, an unsupported
+// format version, truncation anywhere, payload bytes left over after the
+// estimator finished loading ("over-long"), and checksum mismatches all
+// throw SerializeError with a message naming the problem — never UB.
+//
+// Loading dispatches on the estimator kind to the matching MakeUntrained
+// factory and binds the result to `db`, which must be the same logical
+// database the model was trained on (snapshots hold statistics about the
+// data, not the data). A loaded model estimates bit-identically to the
+// trained original — the property golden_estimates_test pins across every
+// serializable estimator configuration.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "stats/cardinality_estimator.h"
+#include "storage/database.h"
+#include "util/bytes.h"
+
+namespace fj {
+
+inline constexpr uint32_t kSnapshotMagic = 0x50534A46;  // "FJSP"
+inline constexpr uint16_t kSnapshotFormatVersion = 1;
+
+/// Serializes `est` (which must SupportsSnapshot()) into a framed snapshot
+/// buffer. Throws std::logic_error for non-serializable estimators.
+std::vector<uint8_t> SerializeEstimator(const CardinalityEstimator& est);
+
+/// Decodes one snapshot buffer, constructing the matching estimator kind
+/// bound to `db`. Throws SerializeError on malformed input and
+/// std::invalid_argument when the snapshot does not fit `db`'s schema.
+std::unique_ptr<CardinalityEstimator> DeserializeEstimator(
+    const Database& db, const std::vector<uint8_t>& bytes);
+
+/// SerializeEstimator + write to `path`; throws std::runtime_error on IO
+/// failure.
+void SaveEstimatorSnapshot(const CardinalityEstimator& est,
+                           const std::string& path);
+
+/// Read `path` + DeserializeEstimator; throws std::runtime_error on IO
+/// failure and SerializeError on malformed content.
+std::unique_ptr<CardinalityEstimator> LoadEstimatorSnapshot(
+    const Database& db, const std::string& path);
+
+}  // namespace fj

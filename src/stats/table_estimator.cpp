@@ -1,5 +1,7 @@
 #include "stats/table_estimator.h"
 
+#include <stdexcept>
+
 namespace fj {
 
 const char* TableEstimatorKindName(TableEstimatorKind kind) {
@@ -9,6 +11,14 @@ const char* TableEstimatorKindName(TableEstimatorKind kind) {
     case TableEstimatorKind::kTrueScan: return "truescan";
   }
   return "?";
+}
+
+void TableEstimator::Save(ByteWriter& /*w*/) const {
+  throw std::logic_error(Name() + " does not support model snapshots");
+}
+
+void TableEstimator::Load(ByteReader& /*r*/) {
+  throw std::logic_error(Name() + " does not support model snapshots");
 }
 
 }  // namespace fj

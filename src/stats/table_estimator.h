@@ -33,6 +33,9 @@ struct KeyDistResult {
   std::vector<std::vector<double>> masses;
 };
 
+class ByteReader;
+class ByteWriter;
+
 class TableEstimator {
  public:
   virtual ~TableEstimator() = default;
@@ -48,6 +51,15 @@ class TableEstimator {
   /// Re-trains / refreshes internal state after the underlying table changed
   /// (incremental update path, Section 4.3).
   virtual void Refresh(const Table& table) = 0;
+
+  /// Appends the trained state to `w` (model snapshots; see
+  /// CardinalityEstimator::Save for the contract). Default: throws
+  /// std::logic_error.
+  virtual void Save(ByteWriter& w) const;
+
+  /// Replaces the trained state with a snapshot produced by Save() on an
+  /// estimator over the same table. Default: throws std::logic_error.
+  virtual void Load(ByteReader& r);
 
   virtual size_t MemoryBytes() const = 0;
 

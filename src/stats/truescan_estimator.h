@@ -17,6 +17,12 @@ class TrueScanEstimator : public TableEstimator {
       const Predicate& filter,
       const std::vector<KeyDistRequest>& keys) const override;
   void Refresh(const Table& table) override { table_ = &table; }
+
+  /// No trained state: the snapshot payload is empty, and a loaded
+  /// estimator scans the bound table exactly like the original.
+  void Save(ByteWriter& /*w*/) const override {}
+  void Load(ByteReader& /*r*/) override {}
+
   size_t MemoryBytes() const override { return 0; }  // no model state
   std::string Name() const override { return "truescan"; }
 

@@ -25,6 +25,11 @@ struct ColumnRef {
   bool operator==(const ColumnRef& o) const {
     return table == o.table && column == o.column;
   }
+  /// (table, column) lexicographic — the canonical ordering snapshot
+  /// serializers sort by so equal trained states produce equal bytes.
+  bool operator<(const ColumnRef& o) const {
+    return table != o.table ? table < o.table : column < o.column;
+  }
   std::string ToString() const { return table + "." + column; }
 };
 

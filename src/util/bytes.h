@@ -11,6 +11,7 @@
 // decoded from the wire are never trusted for pre-allocation.
 #pragma once
 
+#include <algorithm>
 #include <bit>
 #include <cstdint>
 #include <cstring>
@@ -20,6 +21,20 @@
 
 namespace fj {
 
+/// Map entries as pointers sorted by key: the shared "serialize maps in
+/// sorted order" helper that keeps every Save() deterministic (equal
+/// states → equal bytes) without each serializer re-implementing the
+/// copy-and-sort boilerplate.
+template <typename Map>
+std::vector<const typename Map::value_type*> SortedEntries(const Map& map) {
+  std::vector<const typename Map::value_type*> sorted;
+  sorted.reserve(map.size());
+  for (const auto& entry : map) sorted.push_back(&entry);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+  return sorted;
+}
+
 /// Thrown on any malformed, truncated, or out-of-range wire input.
 class SerializeError : public std::runtime_error {
  public:
@@ -28,9 +43,29 @@ class SerializeError : public std::runtime_error {
 };
 
 /// Appends primitive values to a growing byte buffer (little-endian).
+///
+/// A counting writer (`ByteWriter::Counting()`) records sizes without
+/// storing bytes: Save() routines run against it to measure their exact
+/// serialized footprint (CardinalityEstimator::SerializedModelSizeBytes)
+/// without materializing the snapshot.
 class ByteWriter {
  public:
-  void U8(uint8_t v) { buf_.push_back(v); }
+  ByteWriter() = default;
+
+  /// A writer that only counts: size() grows, bytes() stays empty.
+  static ByteWriter Counting() {
+    ByteWriter w;
+    w.count_only_ = true;
+    return w;
+  }
+
+  void U8(uint8_t v) {
+    if (count_only_) {
+      ++counted_;
+      return;
+    }
+    buf_.push_back(v);
+  }
 
   void U16(uint16_t v) { AppendLe(v); }
   void U32(uint32_t v) { AppendLe(v); }
@@ -43,30 +78,41 @@ class ByteWriter {
   /// u32 length prefix + raw bytes.
   void Str(const std::string& s) {
     if (s.size() > UINT32_MAX) throw SerializeError("string too long");
-    buf_.reserve(buf_.size() + 4 + s.size());
+    if (!count_only_) buf_.reserve(buf_.size() + 4 + s.size());
     U32(static_cast<uint32_t>(s.size()));
     Raw(s.data(), s.size());
   }
 
   void Raw(const void* data, size_t n) {
     if (n == 0) return;
+    if (count_only_) {
+      counted_ += n;
+      return;
+    }
     const auto* p = static_cast<const uint8_t*>(data);
     buf_.insert(buf_.end(), p, p + n);
   }
 
   const std::vector<uint8_t>& bytes() const { return buf_; }
   std::vector<uint8_t> Take() { return std::move(buf_); }
-  size_t size() const { return buf_.size(); }
+  size_t size() const { return count_only_ ? counted_ : buf_.size(); }
+  bool count_only() const { return count_only_; }
 
  private:
   template <typename T>
   void AppendLe(T v) {
+    if (count_only_) {
+      counted_ += sizeof(T);
+      return;
+    }
     for (size_t i = 0; i < sizeof(T); ++i) {
       buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
     }
   }
 
   std::vector<uint8_t> buf_;
+  bool count_only_ = false;
+  size_t counted_ = 0;
 };
 
 /// Reads primitive values from a byte span; every read is bounds-checked.
@@ -92,6 +138,24 @@ class ByteReader {
     std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
     pos_ += n;
     return s;
+  }
+
+  /// Reads a u32 element count and validates that at least
+  /// `min_elem_bytes` per element remain, so a hostile count can never
+  /// drive a huge pre-allocation (the container decoders' shared guard).
+  uint32_t CountU32(size_t min_elem_bytes) {
+    uint32_t n = U32();
+    if (min_elem_bytes != 0 &&
+        static_cast<size_t>(n) * min_elem_bytes > remaining()) {
+      throw SerializeError("element count exceeds buffer");
+    }
+    return n;
+  }
+
+  /// Advances past `n` bytes without decoding them (bounds-checked).
+  void Skip(size_t n) {
+    Need(n);
+    pos_ += n;
   }
 
   size_t remaining() const { return size_ - pos_; }

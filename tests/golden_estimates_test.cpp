@@ -19,6 +19,7 @@
 #include "baselines/wander_join.h"
 #include "factorjoin/estimator.h"
 #include "golden_workload.h"
+#include "stats/snapshot.h"
 
 namespace fj {
 namespace {
@@ -86,6 +87,35 @@ void ExpectBits(uint64_t want, double got, const std::string& what) {
                         << ")";
 }
 
+/// The snapshot half of the golden contract: serializing the trained
+/// estimator and loading it into a FRESH instance must reproduce the same
+/// golden bit patterns — persistence may not move a single ulp. (The
+/// cross-process variant of this check is tools/net_smoke.sh: fj_client
+/// --verify trains locally and compares against a server that restored
+/// the model from a snapshot file.)
+void CheckGoldenAfterSnapshotRoundTrip(const Database& db,
+                                       const CardinalityEstimator& est,
+                                       const std::string& name,
+                                       void (*check)(const CardinalityEstimator&,
+                                                     const std::string&)) {
+  ASSERT_TRUE(est.SupportsSnapshot()) << name;
+  std::vector<uint8_t> bytes = SerializeEstimator(est);
+  // Exact model size: the Figure 6 metric equals the payload the snapshot
+  // carries (container framing excluded).
+  if (est.Name() == "factorjoin" || est.Name() == "postgres") {
+    EXPECT_EQ(est.ModelSizeBytes(), est.SerializedModelSizeBytes()) << name;
+    EXPECT_GT(est.ModelSizeBytes(), 0u) << name;
+    EXPECT_LT(est.ModelSizeBytes(), bytes.size()) << name;
+  }
+  std::unique_ptr<CardinalityEstimator> loaded =
+      DeserializeEstimator(db, bytes);
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_EQ(loaded->Name(), est.Name());
+  check(*loaded, name);
+  // Determinism: the loaded model re-serializes to the identical bytes.
+  EXPECT_EQ(SerializeEstimator(*loaded), bytes) << name;
+}
+
 void CheckGolden(const CardinalityEstimator& est, const std::string& name) {
   const GoldenRecord& golden = GoldenFor(name);
   Query q2 = TwoWayQuery();
@@ -119,6 +149,8 @@ TEST(GoldenEstimatesTest, FactorJoinBayesNet) {
   cfg.estimator = TableEstimatorKind::kBayesNet;
   FactorJoinEstimator est(db, cfg);
   CheckGolden(est, "factorjoin-bayesnet");
+  CheckGoldenAfterSnapshotRoundTrip(db, est, "factorjoin-bayesnet",
+                                    &CheckGolden);
 }
 
 TEST(GoldenEstimatesTest, FactorJoinSampling) {
@@ -129,24 +161,29 @@ TEST(GoldenEstimatesTest, FactorJoinSampling) {
   cfg.sampling_rate = 0.05;
   FactorJoinEstimator est(db, cfg);
   CheckGolden(est, "factorjoin-sampling");
+  CheckGoldenAfterSnapshotRoundTrip(db, est, "factorjoin-sampling",
+                                    &CheckGolden);
 }
 
 TEST(GoldenEstimatesTest, Postgres) {
   Database db = MakeGoldenDb();
   PostgresEstimator est(db);
   CheckGolden(est, "postgres");
+  CheckGoldenAfterSnapshotRoundTrip(db, est, "postgres", &CheckGolden);
 }
 
 TEST(GoldenEstimatesTest, WanderJoin) {
   Database db = MakeGoldenDb();
   WanderJoinEstimator est(db);
   CheckGolden(est, "wanderjoin");
+  CheckGoldenAfterSnapshotRoundTrip(db, est, "wanderjoin", &CheckGolden);
 }
 
 TEST(GoldenEstimatesTest, TrueCard) {
   Database db = MakeGoldenDb();
   TrueCardEstimator est(db);
   CheckGolden(est, "truecard");
+  CheckGoldenAfterSnapshotRoundTrip(db, est, "truecard", &CheckGolden);
 }
 
 }  // namespace

@@ -22,6 +22,8 @@
 #include "query/serialize.h"
 #include "query/subplan.h"
 #include "service/estimator_service.h"
+#include "service/model_registry.h"
+#include "stats/snapshot.h"
 #include "storage/database.h"
 #include "util/bytes.h"
 
@@ -298,9 +300,32 @@ TEST(ProtocolTest, SubplansReqMaskCountValidated) {
   Query q;
   q.AddTable("t");
   ByteWriter w;
+  w.Str("some-model");
   EncodeQuery(q, &w);
   w.U32(1u << 30);  // claims 2^30 masks with no bytes behind them
   EXPECT_THROW(net::DecodeSubplansReq(w.bytes()), ProtocolError);
+}
+
+TEST(ProtocolTest, RequestBodiesCarryTheModelId) {
+  Query q;
+  q.AddTable("t");
+  net::EstimateReq est = net::DecodeEstimateReq(net::EncodeEstimateReq("m1", q));
+  EXPECT_EQ(est.model, "m1");
+  EXPECT_EQ(est.query.ToString(), q.ToString());
+
+  net::SubplansReq sub =
+      net::DecodeSubplansReq(net::EncodeSubplansReq("m2", q, {1}));
+  EXPECT_EQ(sub.model, "m2");
+  ASSERT_EQ(sub.masks.size(), 1u);
+
+  net::NotifyUpdateReq upd =
+      net::DecodeNotifyUpdateReq(net::EncodeNotifyUpdateReq("m3", "orders"));
+  EXPECT_EQ(upd.model, "m3");
+  EXPECT_EQ(upd.table, "orders");
+
+  EXPECT_EQ(net::DecodeStatsReq(net::EncodeStatsReq("m4")), "m4");
+  // "" routes to the default model.
+  EXPECT_EQ(net::DecodeStatsReq(net::EncodeStatsReq("")), "");
 }
 
 TEST(ProtocolTest, ServiceStatsRoundTrip) {
@@ -309,6 +334,9 @@ TEST(ProtocolTest, ServiceStatsRoundTrip) {
   stats.subplan_requests = 22;
   stats.subplans_estimated = 333;
   stats.errors = 1;
+  stats.batches_split = 6;
+  stats.split_chunks = 18;
+  stats.fresh_first_pops = 7;
   stats.updates_notified = 4;
   stats.epoch = 4;
   stats.pending_requests = 9;
@@ -317,6 +345,7 @@ TEST(ProtocolTest, ServiceStatsRoundTrip) {
   stats.cache.misses = 50;
   stats.cache.evictions = 3;
   stats.cache.invalidations = 2;
+  stats.cache.cost_weighted_evictions = 1;
   stats.cache.entries = 77;
   stats.p50_micros = 12.5;
   stats.p99_micros = 99.25;
@@ -326,6 +355,11 @@ TEST(ProtocolTest, ServiceStatsRoundTrip) {
   EXPECT_EQ(back.subplan_requests, stats.subplan_requests);
   EXPECT_EQ(back.subplans_estimated, stats.subplans_estimated);
   EXPECT_EQ(back.errors, stats.errors);
+  EXPECT_EQ(back.batches_split, stats.batches_split);
+  EXPECT_EQ(back.split_chunks, stats.split_chunks);
+  EXPECT_EQ(back.fresh_first_pops, stats.fresh_first_pops);
+  EXPECT_EQ(back.cache.cost_weighted_evictions,
+            stats.cache.cost_weighted_evictions);
   EXPECT_EQ(back.updates_notified, stats.updates_notified);
   EXPECT_EQ(back.epoch, stats.epoch);
   EXPECT_EQ(back.pending_requests, stats.pending_requests);
@@ -541,7 +575,7 @@ TEST(RemoteTest, TruncatedFrameMidBodyDropsConnection) {
   // claims to be an EstimateReq but is cut mid-query.
   std::vector<uint8_t> good =
       net::EncodeFrame(MsgType::kEstimateReq, 1,
-                       net::EncodeEstimateReq(ChainQuery(30, 250)));
+                       net::EncodeEstimateReq("", ChainQuery(30, 250)));
   // Rewrite the length prefix to only cover half the body, producing a
   // syntactically complete frame with a truncated query inside.
   ByteWriter w;
@@ -560,17 +594,23 @@ TEST(RemoteTest, TruncatedFrameMidBodyDropsConnection) {
 
 TEST(RemoteTest, HandshakeVersionMismatchRejected) {
   RemoteStack stack;
-  int fd = net::ConnectSocket(stack.server.endpoint());
-  net::Hello hello;
-  hello.version = 99;
-  ASSERT_TRUE(net::WriteFrame(fd, MsgType::kHello, 0,
-                              net::EncodeHello(hello)));
-  auto resp = net::ReadFrame(fd, net::kDefaultMaxFrameBytes);
-  ASSERT_TRUE(resp.has_value());
-  EXPECT_EQ(resp->type, MsgType::kError);
-  std::string message = net::DecodeError(resp->body);
-  EXPECT_NE(message.find("version"), std::string::npos);
-  net::CloseSocket(fd);
+  // Both a from-the-future version and the retired v1 (whose requests
+  // would lack the model-id field) must be rejected cleanly at the
+  // handshake, never half-spoken.
+  for (uint16_t version : {uint16_t{99}, uint16_t{1}}) {
+    int fd = net::ConnectSocket(stack.server.endpoint());
+    net::Hello hello;
+    hello.version = version;
+    ASSERT_TRUE(net::WriteFrame(fd, MsgType::kHello, 0,
+                                net::EncodeHello(hello)));
+    auto resp = net::ReadFrame(fd, net::kDefaultMaxFrameBytes);
+    ASSERT_TRUE(resp.has_value()) << "version " << version;
+    EXPECT_EQ(resp->type, MsgType::kError);
+    std::string message = net::DecodeError(resp->body);
+    EXPECT_NE(message.find("version"), std::string::npos);
+    EXPECT_FALSE(net::ReadFrame(fd, net::kDefaultMaxFrameBytes).has_value());
+    net::CloseSocket(fd);
+  }
 }
 
 TEST(RemoteTest, RequestBeforeHandshakeRejected) {
@@ -612,6 +652,102 @@ TEST(RemoteTest, ClientReconnectsAfterServerRestart) {
   EstimatorServer restarted(service, restart_options);
   restarted.Start();
   EXPECT_EQ(client.Estimate(q), estimator.Estimate(q));
+}
+
+// ---------------------------------------------------------------------------
+// Multi-model serving (ModelRegistry + protocol-v2 model routing).
+
+// Two differently configured FactorJoin models (16 vs 48 bins — different
+// binnings, different bounds) behind one server. "a" additionally goes
+// through a snapshot serialize/deserialize round trip before serving, so
+// the remote values prove the loaded model is bit-identical.
+struct MultiModelStack {
+  Database db = MakeDb();
+  ModelRegistry registry;
+  FactorJoinEstimator trained_a;  // reference models, served via snapshots
+  FactorJoinEstimator trained_b;
+  net::EstimatorServer server;
+  std::unique_ptr<EstimatorClient> client;
+
+  static FactorJoinConfig Config(uint32_t bins) {
+    FactorJoinConfig c;
+    c.num_bins = bins;
+    return c;
+  }
+
+  MultiModelStack()
+      : trained_a(db, Config(16)), trained_b(db, Config(48)),
+        server(registry) {
+    registry.AddModel("a", DeserializeEstimator(
+                               db, SerializeEstimator(trained_a)),
+                      {.num_threads = 2});
+    registry.AddModel("b", DeserializeEstimator(
+                               db, SerializeEstimator(trained_b)),
+                      {.num_threads = 2});
+    server.Start();
+    EstimatorClientOptions options;
+    options.endpoint = server.endpoint();
+    client = std::make_unique<EstimatorClient>(options);
+    client->Connect();
+  }
+};
+
+TEST(MultiModelTest, RequestsRouteToTheNamedModel) {
+  MultiModelStack stack;
+  Query q = ChainQuery(30, 250);
+  double a = stack.client->Estimate("a", q);
+  double b = stack.client->Estimate("b", q);
+  EXPECT_EQ(a, stack.trained_a.Estimate(q));
+  EXPECT_EQ(b, stack.trained_b.Estimate(q));
+  // 16-bin and 48-bin models genuinely differ on this workload, so the
+  // routing assertion cannot pass by accident.
+  EXPECT_NE(a, b);
+  // "" routes to the default (first-registered) model.
+  EXPECT_EQ(stack.client->Estimate("", q), a);
+}
+
+TEST(MultiModelTest, SubplansPerModelBitIdentical) {
+  MultiModelStack stack;
+  Query q = ChainQuery(25, 300);
+  std::vector<uint64_t> masks = EnumerateConnectedSubsets(q, 1);
+  auto remote_a = stack.client->EstimateSubplans("a", q, masks);
+  auto remote_b = stack.client->EstimateSubplans("b", q, masks);
+  auto local_a = stack.trained_a.EstimateSubplans(q, masks);
+  auto local_b = stack.trained_b.EstimateSubplans(q, masks);
+  for (uint64_t mask : masks) {
+    EXPECT_EQ(remote_a.at(mask), local_a.at(mask)) << "a mask " << mask;
+    EXPECT_EQ(remote_b.at(mask), local_b.at(mask)) << "b mask " << mask;
+  }
+}
+
+TEST(MultiModelTest, UnknownModelIsARequestErrorNotADrop) {
+  MultiModelStack stack;
+  Query q = ChainQuery(30, 250);
+  try {
+    stack.client->Estimate("nope", q);
+    FAIL() << "expected RemoteError";
+  } catch (const RemoteError& e) {
+    std::string message = e.what();
+    EXPECT_NE(message.find("unknown model"), std::string::npos);
+    EXPECT_NE(message.find("a, b"), std::string::npos);  // lists the models
+  }
+  // The connection survives; correctly addressed requests still work.
+  EXPECT_EQ(stack.client->Estimate("a", q), stack.trained_a.Estimate(q));
+  EXPECT_GE(stack.server.Stats().request_errors, 1u);
+}
+
+TEST(MultiModelTest, EpochsAndStatsArePerModel) {
+  MultiModelStack stack;
+  Query q = ChainQuery(30, 250);
+  stack.client->Estimate("a", q);
+  stack.client->Estimate("b", q);
+  EXPECT_EQ(stack.client->NotifyUpdate("a", "orders"), 1u);
+  ServiceStats stats_a = stack.client->Stats("a");
+  ServiceStats stats_b = stack.client->Stats("b");
+  EXPECT_EQ(stats_a.epoch, 1u);
+  EXPECT_EQ(stats_b.epoch, 0u);  // "b" never saw the update
+  EXPECT_EQ(stats_a.requests, 1u);
+  EXPECT_EQ(stats_b.requests, 1u);
 }
 
 TEST(RemoteTest, LostConnectionFailsOutstandingFutures) {

@@ -1,17 +1,21 @@
 // fj_client: a second-process client for a running fj_server.
 //
 //   $ ./fj_client --port 9977 --workload imdb --verify
+//   $ ./fj_client --port 9977 --model a --bins 32 --verify
 //
 // Rebuilds the server's (deterministic) workload locally, connects, and
-// issues one pipelined EstimateSubplans batch per query. With --verify it
-// also trains the identical FactorJoin model locally, wraps it in an
-// in-process EstimatorService, and asserts the remote values are
-// bit-identical to the in-process ones — the cross-process acceptance
-// check of the remote-estimation subsystem. Exit code 0 only if every
-// comparison matches.
+// issues one pipelined EstimateSubplans batch per query — routed to
+// --model NAME when given (a protocol-v2 model id; "" = the server's
+// default model). With --verify it also trains the identical FactorJoin
+// model locally, wraps it in an in-process EstimatorService, and asserts
+// the remote values are bit-identical to the in-process ones — the
+// cross-process acceptance check of the remote-estimation subsystem, and
+// (run once per --load-model entry) of the snapshot save/load round trip.
+// Exit code 0 only if every comparison matches.
 //
 // The workload/scale/queries/bins/seed flags (tools/workload_flags.h, the
-// same parser fj_server uses) must match the server's.
+// same parser fj_server uses) must match the addressed model's training
+// flags.
 #include <cstdio>
 #include <future>
 #include <string>
@@ -29,12 +33,15 @@ namespace {
 struct Args {
   fj::tools::WorkloadFlags common;
   bool verify = false;
+  std::string model;         // routes every request to this server model
   std::string update_table;  // non-empty: also exercise NotifyUpdate
 };
 
 void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [flags]\n%s"
+               "  --model NAME            route requests to this server model\n"
+               "                          (default: the server's default model)\n"
                "  --verify                train locally, require bit-identical estimates\n"
                "  --update TABLE          also issue a NotifyUpdate RPC\n",
                argv0, fj::tools::kWorkloadFlagsUsage);
@@ -52,6 +59,8 @@ bool Parse(int argc, char** argv, Args* args) {
     std::string flag = argv[i];
     if (flag == "--verify") {
       args->verify = true;
+    } else if (flag == "--model" && i + 1 < argc) {
+      args->model = argv[++i];
     } else if (flag == "--update" && i + 1 < argc) {
       args->update_table = argv[++i];
     } else {
@@ -78,6 +87,7 @@ int main(int argc, char** argv) {
 
   fj::net::EstimatorClientOptions options;
   options.endpoint = fj::tools::EndpointFromFlags(args.common);
+  options.model = args.model;
   fj::net::EstimatorClient client(options);
   try {
     client.Connect();
@@ -85,8 +95,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "fj_client: %s\n", e.what());
     return 1;
   }
-  std::printf("fj_client: connected to %s\n",
-              options.endpoint.ToString().c_str());
+  std::printf("fj_client: connected to %s (model: %s)\n",
+              options.endpoint.ToString().c_str(),
+              args.model.empty() ? "<default>" : args.model.c_str());
 
   // Pipeline: every batch in flight before the first response is awaited.
   fj::WallTimer timer;

@@ -1,27 +1,44 @@
-// fj_server: train a FactorJoin model on a synthetic workload and serve
-// cardinality estimates to remote optimizer processes over the wire
-// protocol (src/net/).
+// fj_server: serve cardinality estimates to remote optimizer processes
+// over the wire protocol (src/net/), from one or many trained models.
 //
-//   $ ./fj_server --workload imdb --port 9977
+// Two ways to obtain a model:
+//
+//   * train it (default): the deterministic synthetic workload selected by
+//     the shared flags is built and a FactorJoin model trained on it —
+//     optionally persisted with --save-model PATH (add --save-only to exit
+//     right after saving, the "trainer job" mode);
+//
+//   * load it: --load-model NAME=PATH (repeatable) skips retraining and
+//     restores named snapshots (stats/snapshot.h) against the same
+//     deterministic workload database. One server then fronts several
+//     models; clients route per request with fj_client --model NAME.
+//
+//   $ ./fj_server --workload stats --bins 32 --save-model m32.fjsnap --save-only
+//   $ ./fj_server --workload stats --bins 48 --save-model m48.fjsnap --save-only
+//   $ ./fj_server --workload stats --load-model a=m32.fjsnap --load-model b=m48.fjsnap
 //   fj_server: listening on 127.0.0.1:9977
 //
-// A client in another process (./fj_client, or any EstimatorClient) then
-// issues Estimate / EstimateSubplans / NotifyUpdate / Stats requests.
 // Because the workload generators are deterministic per seed, a client
-// started with the same --workload/--scale/--queries/--bins/--seed flags
-// (shared via tools/workload_flags.h) can rebuild the identical database
-// and verify remote estimates bit-for-bit against a locally trained model
-// (fj_client --verify).
+// started with matching flags (tools/workload_flags.h) can rebuild the
+// identical database, train the identical model locally, and verify remote
+// estimates bit-for-bit (fj_client --model NAME --verify) — including
+// against models that went through a snapshot save/load round trip.
 //
-// Runs until SIGINT/SIGTERM, then prints service + server stats.
+// Runs until SIGINT/SIGTERM, then prints per-model service + server stats.
 #include <csignal>
 #include <cstdio>
 #include <ctime>
+#include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "factorjoin/estimator.h"
 #include "net/server.h"
 #include "service/estimator_service.h"
+#include "service/model_registry.h"
+#include "stats/snapshot.h"
+#include "util/timer.h"
 #include "workload_flags.h"
 
 namespace {
@@ -33,11 +50,22 @@ void HandleStop(int) { g_stop = 1; }
 struct Args {
   fj::tools::WorkloadFlags common;
   size_t threads = 4;
+  std::string save_model;  // non-empty: persist the trained model here
+  bool save_only = false;  // exit after training/saving (no serving)
+  // --load-model NAME=PATH entries; non-empty skips training entirely.
+  std::vector<std::pair<std::string, std::string>> load_models;
 };
 
 void Usage(const char* argv0) {
-  std::fprintf(stderr, "usage: %s [flags]\n%s  --threads N             service worker threads (default 4)\n",
-               argv0, fj::tools::kWorkloadFlagsUsage);
+  std::fprintf(
+      stderr,
+      "usage: %s [flags]\n%s"
+      "  --threads N             service worker threads per model (default 4)\n"
+      "  --save-model PATH       save the trained model snapshot to PATH\n"
+      "  --save-only             exit after training (and saving); don't serve\n"
+      "  --load-model NAME=PATH  serve a saved snapshot as model NAME\n"
+      "                          (repeatable; skips retraining)\n",
+      argv0, fj::tools::kWorkloadFlagsUsage);
 }
 
 bool Parse(int argc, char** argv, Args* args) {
@@ -52,10 +80,40 @@ bool Parse(int argc, char** argv, Args* args) {
     std::string flag = argv[i];
     if (flag == "--threads" && i + 1 < argc) {
       args->threads = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (flag == "--save-model" && i + 1 < argc) {
+      args->save_model = argv[++i];
+    } else if (flag == "--save-only") {
+      args->save_only = true;
+    } else if (flag == "--load-model" && i + 1 < argc) {
+      std::string spec = argv[++i];
+      size_t eq = spec.find('=');
+      if (eq == 0 || eq == std::string::npos || eq + 1 >= spec.size()) {
+        std::fprintf(stderr, "fj_server: --load-model wants NAME=PATH, got '%s'\n",
+                     spec.c_str());
+        return false;
+      }
+      args->load_models.emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
     } else {
       Usage(argv[0]);
       return false;
     }
+  }
+  if (!args->load_models.empty() && !args->save_model.empty()) {
+    std::fprintf(stderr,
+                 "fj_server: --save-model only applies to a trained model; "
+                 "drop it or drop --load-model\n");
+    return false;
+  }
+  if (args->save_only && !args->load_models.empty()) {
+    std::fprintf(stderr, "fj_server: --save-only requires training, not "
+                         "--load-model\n");
+    return false;
+  }
+  if (args->save_only && args->save_model.empty()) {
+    std::fprintf(stderr, "fj_server: --save-only without --save-model would "
+                         "train and then discard the model; add "
+                         "--save-model PATH\n");
+    return false;
   }
   return true;
 }
@@ -67,25 +125,62 @@ int main(int argc, char** argv) {
   if (!Parse(argc, argv, &args)) return 2;
 
   auto workload = fj::tools::MakeFlaggedWorkload(args.common);
-  fj::FactorJoinConfig config;
-  config.num_bins = static_cast<uint32_t>(args.common.bins);
-  fj::FactorJoinEstimator estimator(workload->db, config);
-  std::printf("fj_server: trained factorjoin on %s in %.1f ms\n",
-              workload->name.c_str(), estimator.TrainSeconds() * 1e3);
-
   fj::EstimatorServiceOptions service_options;
   service_options.num_threads = args.threads;
-  fj::EstimatorService service(estimator, service_options);
+
+  fj::ModelRegistry registry;
+  if (args.load_models.empty()) {
+    // Train the default model from the flagged workload.
+    fj::FactorJoinConfig config;
+    config.num_bins = static_cast<uint32_t>(args.common.bins);
+    auto estimator =
+        std::make_unique<fj::FactorJoinEstimator>(workload->db, config);
+    std::printf("fj_server: trained factorjoin on %s in %.1f ms (%zu bytes)\n",
+                workload->name.c_str(), estimator->TrainSeconds() * 1e3,
+                estimator->ModelSizeBytes());
+    if (!args.save_model.empty()) {
+      try {
+        fj::SaveEstimatorSnapshot(*estimator, args.save_model);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "fj_server: save failed: %s\n", e.what());
+        return 1;
+      }
+      std::printf("fj_server: saved model snapshot to %s\n",
+                  args.save_model.c_str());
+    }
+    if (args.save_only) return 0;
+    registry.AddModel("default", std::move(estimator), service_options);
+  } else {
+    // Serve snapshots: no training, one service per named model.
+    for (const auto& [name, path] : args.load_models) {
+      fj::WallTimer timer;
+      std::unique_ptr<fj::CardinalityEstimator> estimator;
+      try {
+        estimator = fj::LoadEstimatorSnapshot(workload->db, path);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "fj_server: loading %s from %s failed: %s\n",
+                     name.c_str(), path.c_str(), e.what());
+        return 1;
+      }
+      std::printf(
+          "fj_server: loaded model %s (%s, %zu bytes) from %s in %.1f ms\n",
+          name.c_str(), estimator->Name().c_str(),
+          estimator->ModelSizeBytes(), path.c_str(), timer.Seconds() * 1e3);
+      registry.AddModel(name, std::move(estimator), service_options);
+    }
+  }
 
   fj::net::EstimatorServerOptions server_options;
   server_options.endpoint = fj::tools::EndpointFromFlags(args.common);
-  fj::net::EstimatorServer server(service, server_options);
+  fj::net::EstimatorServer server(registry, server_options);
   try {
     server.Start();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "fj_server: %s\n", e.what());
     return 1;
   }
+  std::printf("fj_server: serving models: %s\n",
+              registry.JoinedModelNames().c_str());
   // The "listening on" line is the startup contract scripts wait for
   // (tools/net_smoke.sh greps it for the resolved ephemeral port).
   std::printf("fj_server: listening on %s\n",
@@ -102,15 +197,17 @@ int main(int argc, char** argv) {
   }
 
   server.Stop();
-  fj::ServiceStats stats = service.Stats();
+  for (const std::string& name : registry.ModelNames()) {
+    fj::ServiceStats stats = registry.Find(name)->Stats();
+    std::printf(
+        "fj_server: model %s served requests=%llu subplan_requests=%llu "
+        "hit_rate=%.0f%% errors=%llu\n",
+        name.c_str(), static_cast<unsigned long long>(stats.requests),
+        static_cast<unsigned long long>(stats.subplan_requests),
+        stats.cache.HitRate() * 100.0,
+        static_cast<unsigned long long>(stats.errors));
+  }
   fj::net::ServerStats net = server.Stats();
-  std::printf(
-      "fj_server: served requests=%llu subplan_requests=%llu "
-      "hit_rate=%.0f%% errors=%llu\n",
-      static_cast<unsigned long long>(stats.requests),
-      static_cast<unsigned long long>(stats.subplan_requests),
-      stats.cache.HitRate() * 100.0,
-      static_cast<unsigned long long>(stats.errors));
   std::printf(
       "fj_server: connections=%llu frames=%llu responses=%llu "
       "protocol_errors=%llu\n",

@@ -1,18 +1,35 @@
 #!/usr/bin/env bash
-# Loopback smoke test of the remote-estimation binaries: start fj_server on
-# an ephemeral port, connect fj_client --verify from a second process, and
-# require bit-identical estimates. Registered as the ctest "net_smoke" test.
+# Loopback smoke test of the remote-estimation binaries, in two phases:
 #
-#   usage: net_smoke.sh <path-to-fj_server> <path-to-fj_client>
+#  1. train-and-serve: start fj_server on an ephemeral port, connect
+#     fj_client --verify from a second process, require bit-identical
+#     estimates (the original remote-estimation acceptance check);
+#
+#  2. snapshot multi-model serving: train two differently configured
+#     models with --save-model/--save-only, restart fj_server with two
+#     --load-model entries (no retraining), and run fj_client --model X
+#     --verify against each — proving a snapshot save/load round trip
+#     and protocol-v2 model routing are bit-exact across processes.
+#
+# Registered as the ctest "net_smoke" test.
+#
+#   usage: net_smoke.sh <path-to-fj_server> <path-to-fj_client> [snapshot-keep-path]
+#
+# When [snapshot-keep-path] is given, one of the phase-2 snapshot files is
+# copied there (CI uploads it as a sample artifact).
 set -euo pipefail
 
-SERVER_BIN=${1:?usage: net_smoke.sh <fj_server> <fj_client>}
-CLIENT_BIN=${2:?usage: net_smoke.sh <fj_server> <fj_client>}
+SERVER_BIN=${1:?usage: net_smoke.sh <fj_server> <fj_client> [snapshot-keep-path]}
+CLIENT_BIN=${2:?usage: net_smoke.sh <fj_server> <fj_client> [snapshot-keep-path]}
+KEEP_SNAPSHOT=${3:-}
 
 # Small IMDB-JOB-style workload (the acceptance scenario: cyclic templates,
 # self joins, LIKE) — both sides must use identical flags so the client can
-# rebuild the server's deterministic workload and model.
-WORKLOAD_FLAGS=(--workload imdb --scale 0.05 --queries 3 --bins 32)
+# rebuild the server's deterministic workload and model. BASE_FLAGS holds
+# everything but the bin budget; phase 2 trains two models that differ only
+# in --bins.
+BASE_FLAGS=(--workload imdb --scale 0.05 --queries 3)
+WORKLOAD_FLAGS=("${BASE_FLAGS[@]}" --bins 32)
 
 WORKDIR=$(mktemp -d)
 SERVER_LOG="$WORKDIR/server.log"
@@ -27,35 +44,69 @@ cleanup() {
 }
 trap cleanup EXIT
 
-"$SERVER_BIN" "${WORKLOAD_FLAGS[@]}" --port 0 > "$SERVER_LOG" 2>&1 &
-SERVER_PID=$!
-
-# Wait for the startup line and extract the ephemeral port.
-PORT=""
-for _ in $(seq 1 600); do
-  if ! kill -0 "$SERVER_PID" 2>/dev/null; then
-    echo "net_smoke: server exited early:" >&2
+# Starts $SERVER_BIN with the given args, waits for the startup line, and
+# sets PORT to the resolved ephemeral port.
+start_server() {
+  : > "$SERVER_LOG"
+  "$SERVER_BIN" "$@" --port 0 > "$SERVER_LOG" 2>&1 &
+  SERVER_PID=$!
+  PORT=""
+  for _ in $(seq 1 600); do
+    if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+      echo "net_smoke: server exited early:" >&2
+      cat "$SERVER_LOG" >&2
+      exit 1
+    fi
+    PORT=$(sed -n 's/^fj_server: listening on .*:\([0-9]\{1,\}\)$/\1/p' "$SERVER_LOG" | head -n1)
+    [[ -n "$PORT" ]] && break
+    sleep 0.1
+  done
+  if [[ -z "$PORT" ]]; then
+    echo "net_smoke: server never reported a listening port:" >&2
     cat "$SERVER_LOG" >&2
     exit 1
   fi
-  PORT=$(sed -n 's/^fj_server: listening on .*:\([0-9]\{1,\}\)$/\1/p' "$SERVER_LOG" | head -n1)
-  [[ -n "$PORT" ]] && break
-  sleep 0.1
-done
-if [[ -z "$PORT" ]]; then
-  echo "net_smoke: server never reported a listening port:" >&2
-  cat "$SERVER_LOG" >&2
-  exit 1
-fi
-echo "net_smoke: server (pid $SERVER_PID) listening on port $PORT"
+  echo "net_smoke: server (pid $SERVER_PID) listening on port $PORT"
+}
 
-# Second process: remote estimates must be bit-identical to a locally
-# trained in-process service.
+stop_server() {
+  kill "$SERVER_PID"
+  wait "$SERVER_PID" 2>/dev/null || true
+  SERVER_PID=""
+  echo "net_smoke: server log:"
+  cat "$SERVER_LOG"
+}
+
+# ---------------------------------------------------------- phase 1: train
+start_server "${WORKLOAD_FLAGS[@]}"
 "$CLIENT_BIN" "${WORKLOAD_FLAGS[@]}" --port "$PORT" --verify
+stop_server
+echo "net_smoke: phase 1 (train-and-serve verify) OK"
 
-kill "$SERVER_PID"
-wait "$SERVER_PID" 2>/dev/null || true
-SERVER_PID=""
-echo "net_smoke: server log:"
-cat "$SERVER_LOG"
+# ------------------------------------------------------- phase 2: snapshot
+# Train two models with different bin budgets and persist them; --save-only
+# exits without serving (the "trainer job" mode).
+SNAP32="$WORKDIR/imdb_bins32.fjsnap"
+SNAP48="$WORKDIR/imdb_bins48.fjsnap"
+"$SERVER_BIN" "${BASE_FLAGS[@]}" --bins 32 --save-model "$SNAP32" --save-only
+"$SERVER_BIN" "${BASE_FLAGS[@]}" --bins 48 --save-model "$SNAP48" --save-only
+for f in "$SNAP32" "$SNAP48"; do
+  [[ -s "$f" ]] || { echo "net_smoke: snapshot $f missing/empty" >&2; exit 1; }
+done
+if [[ -n "$KEEP_SNAPSHOT" ]]; then
+  cp "$SNAP32" "$KEEP_SNAPSHOT"
+  echo "net_smoke: kept sample snapshot at $KEEP_SNAPSHOT"
+fi
+
+# One restarted server, two loaded models, no retraining. Each model is
+# then verified bit-for-bit by a client that trains the matching
+# configuration locally — the cross-process snapshot acceptance check.
+start_server "${BASE_FLAGS[@]}" \
+  --load-model "m32=$SNAP32" --load-model "m48=$SNAP48"
+grep -q "loaded model m32" "$SERVER_LOG" || {
+  echo "net_smoke: server did not report loading m32" >&2; exit 1; }
+"$CLIENT_BIN" "${BASE_FLAGS[@]}" --bins 32 --port "$PORT" --model m32 --verify
+"$CLIENT_BIN" "${BASE_FLAGS[@]}" --bins 48 --port "$PORT" --model m48 --verify
+stop_server
+echo "net_smoke: phase 2 (snapshot save/load + multi-model verify) OK"
 echo "net_smoke: OK"
