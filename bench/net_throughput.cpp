@@ -17,16 +17,20 @@
 //
 //   $ ./bench_net_throughput [--json net.json]
 #include <algorithm>
+#include <array>
 #include <cstdio>
 #include <deque>
 #include <functional>
 #include <future>
+#include <string>
 #include <vector>
 
 #include "bench_util.h"
 #include "factorjoin/estimator.h"
 #include "net/client.h"
 #include "net/server.h"
+#include "obs/latency_histogram.h"
+#include "obs/request_trace.h"
 #include "service/estimator_service.h"
 
 namespace fj::bench {
@@ -42,56 +46,52 @@ struct RunResult {
   double subplans_per_sec = 0.0;
   double p50_micros = 0.0;
   double p99_micros = 0.0;
+  double p999_micros = 0.0;
 };
 
 using SubmitFn = std::function<std::future<std::unordered_map<uint64_t, double>>(
     const Query&, const std::vector<uint64_t>&)>;
 
-/// Drives `requests` pipelined batches with `window` outstanding and
-/// returns client-observed throughput and latency percentiles.
-RunResult RunPipelined(const std::vector<Query>& queries,
+/// Drives `requests` pipelined batches with `window` outstanding. Latency
+/// quantiles come from the service's own histograms, not bench-local
+/// timing: the run brackets the shared service's stats and reads the
+/// interval histogram (obs::HistogramSnapshot::DeltaSince), so every mode
+/// reports the same exact-bucket quantile math the production stats RPC
+/// serves. Service-side latency is submit -> fulfilled; the remote modes'
+/// wire time shows up in Req/s, not in these quantiles.
+RunResult RunPipelined(EstimatorService& service,
+                       const std::vector<Query>& queries,
                        const std::vector<std::vector<uint64_t>>& masks,
                        size_t requests, size_t window,
                        const SubmitFn& submit) {
-  struct InFlight {
-    std::future<std::unordered_map<uint64_t, double>> future;
-    WallTimer submitted;
-  };
-  std::deque<InFlight> in_flight;
-  std::vector<double> latencies;
-  latencies.reserve(requests);
+  std::deque<std::future<std::unordered_map<uint64_t, double>>> in_flight;
   size_t total_subplans = 0;
 
+  ServiceStats before = service.Stats();
   WallTimer timer;
   for (size_t r = 0; r < requests; ++r) {
     size_t i = r % queries.size();
     total_subplans += masks[i].size();
-    in_flight.push_back({submit(queries[i], masks[i]), WallTimer()});
+    in_flight.push_back(submit(queries[i], masks[i]));
     if (in_flight.size() >= window) {
-      in_flight.front().future.get();
-      latencies.push_back(in_flight.front().submitted.Micros());
+      in_flight.front().get();
       in_flight.pop_front();
     }
   }
   while (!in_flight.empty()) {
-    in_flight.front().future.get();
-    latencies.push_back(in_flight.front().submitted.Micros());
+    in_flight.front().get();
     in_flight.pop_front();
   }
   double seconds = timer.Seconds();
+  ServiceStats after = service.Stats();
 
-  std::sort(latencies.begin(), latencies.end());
-  auto percentile = [&](double p) {
-    if (latencies.empty()) return 0.0;
-    size_t idx =
-        static_cast<size_t>(p * static_cast<double>(latencies.size() - 1));
-    return latencies[idx];
-  };
+  obs::HistogramSnapshot interval = after.latency.DeltaSince(before.latency);
   RunResult result;
   result.qps = static_cast<double>(requests) / seconds;
   result.subplans_per_sec = static_cast<double>(total_subplans) / seconds;
-  result.p50_micros = percentile(0.50);
-  result.p99_micros = percentile(0.99);
+  result.p50_micros = interval.ValueAtQuantile(0.50);
+  result.p99_micros = interval.ValueAtQuantile(0.99);
+  result.p999_micros = interval.ValueAtQuantile(0.999);
   return result;
 }
 
@@ -132,23 +132,32 @@ int main(int argc, char** argv) {
   }
 
   TablePrinter tp({"Mode", "Req/s", "Sub-plans/s", "p50 (us)", "p99 (us)",
-                   "vs in-process"});
+                   "p999 (us)", "vs in-process"});
   double inproc_qps = 0.0;
 
   {
     RunResult r = RunPipelined(
-        workload->queries, masks, requests, window,
+        service, workload->queries, masks, requests, window,
         [&](const Query& q, const std::vector<uint64_t>& m) {
           return service.EstimateSubplansAsync(q, m);
         });
     inproc_qps = r.qps;
     tp.AddRow({"in-process", Fmt(r.qps, 0), Fmt(r.subplans_per_sec, 0),
-               Fmt(r.p50_micros, 1), Fmt(r.p99_micros, 1), "-"});
+               Fmt(r.p50_micros, 1), Fmt(r.p99_micros, 1),
+               Fmt(r.p999_micros, 1), "-"});
     report.Add("inprocess_qps", r.qps, "1/s");
+    report.Add("inprocess_p999_micros", r.p999_micros, "us");
   }
 
   double tcp_ratio = 0.0;
   double unix_ratio = 0.0;
+  // Per-stage interval histograms for the tcp mode, printed after the main
+  // table: service stages arrive via the protocol-v3 histogram-bearing
+  // stats RPC; net stages (decode/encode/socket_write) are merged in from
+  // the bench-owned server object.
+  std::array<obs::HistogramSnapshot, obs::kNumStages> tcp_stages;
+  uint64_t tcp_bytes_received = 0;
+  uint64_t tcp_bytes_sent = 0;
   {
     net::EstimatorServerOptions server_options;
     server_options.endpoint.port = 0;  // ephemeral
@@ -158,17 +167,28 @@ int main(int argc, char** argv) {
     client_options.endpoint = server.endpoint();
     net::EstimatorClient client(client_options);
     client.Connect();
+    ServiceStats rpc_before = client.Stats();
     RunResult r = RunPipelined(
-        workload->queries, masks, requests, window,
+        service, workload->queries, masks, requests, window,
         [&](const Query& q, const std::vector<uint64_t>& m) {
           return client.EstimateSubplansAsync(q, m);
         });
+    ServiceStats rpc_after = client.Stats();
     tcp_ratio = r.qps / inproc_qps;
     tp.AddRow({"loopback tcp", Fmt(r.qps, 0), Fmt(r.subplans_per_sec, 0),
                Fmt(r.p50_micros, 1), Fmt(r.p99_micros, 1),
-               TablePrinter::FormatPercent(tcp_ratio)});
+               Fmt(r.p999_micros, 1), TablePrinter::FormatPercent(tcp_ratio)});
     report.Add("tcp_qps", r.qps, "1/s");
     report.Add("tcp_vs_inprocess", tcp_ratio);
+    report.Add("tcp_p999_micros", r.p999_micros, "us");
+
+    net::ServerStats net_stats = server.Stats();
+    for (size_t i = 0; i < obs::kNumStages; ++i) {
+      tcp_stages[i] = rpc_after.stages[i].DeltaSince(rpc_before.stages[i]);
+      tcp_stages[i].Merge(net_stats.stages[i]);
+    }
+    tcp_bytes_received = net_stats.bytes_received;
+    tcp_bytes_sent = net_stats.bytes_sent;
   }
   {
     net::EstimatorServerOptions server_options;
@@ -180,18 +200,36 @@ int main(int argc, char** argv) {
     net::EstimatorClient client(client_options);
     client.Connect();
     RunResult r = RunPipelined(
-        workload->queries, masks, requests, window,
+        service, workload->queries, masks, requests, window,
         [&](const Query& q, const std::vector<uint64_t>& m) {
           return client.EstimateSubplansAsync(q, m);
         });
     unix_ratio = r.qps / inproc_qps;
     tp.AddRow({"unix socket", Fmt(r.qps, 0), Fmt(r.subplans_per_sec, 0),
                Fmt(r.p50_micros, 1), Fmt(r.p99_micros, 1),
-               TablePrinter::FormatPercent(unix_ratio)});
+               Fmt(r.p999_micros, 1), TablePrinter::FormatPercent(unix_ratio)});
     report.Add("unix_qps", r.qps, "1/s");
     report.Add("unix_vs_inprocess", unix_ratio);
+    report.Add("unix_p999_micros", r.p999_micros, "us");
   }
   tp.Print();
+
+  std::printf("\nloopback tcp per-stage breakdown (service stages via the "
+              "stats RPC, net stages from the server):\n");
+  TablePrinter stage_tp({"Stage", "Count", "Mean (us)", "p99 (us)"});
+  for (size_t i = 0; i < obs::kNumStages; ++i) {
+    const obs::HistogramSnapshot& d = tcp_stages[i];
+    if (d.count == 0) continue;
+    const char* name = obs::StageName(static_cast<obs::Stage>(i));
+    stage_tp.AddRow({name, Fmt(static_cast<double>(d.count), 0),
+                     Fmt(d.Mean(), 1), Fmt(d.ValueAtQuantile(0.99), 1)});
+    report.Add(std::string("tcp_stage_") + name + "_mean_micros", d.Mean(),
+               "us");
+  }
+  stage_tp.Print();
+  std::printf("server wire traffic: %.1f MB in, %.1f MB out\n",
+              static_cast<double>(tcp_bytes_received) / 1e6,
+              static_cast<double>(tcp_bytes_sent) / 1e6);
 
   double best = std::max(tcp_ratio, unix_ratio);
   std::printf("\nbest remote mode sustains %.0f%% of in-process throughput "

@@ -33,6 +33,10 @@
 
 #include "bench_util.h"
 #include "factorjoin/estimator.h"
+#include "obs/latency_histogram.h"
+#include "obs/metrics_export.h"
+#include "obs/metrics_registry.h"
+#include "obs/request_trace.h"
 #include "service/estimator_service.h"
 #include "service/model_registry.h"
 #include "stats/snapshot.h"
@@ -46,6 +50,7 @@ struct LoadPoint {
   double qps = 0.0;
   double p50_micros = 0.0;
   double p99_micros = 0.0;
+  double p999_micros = 0.0;
   double hit_rate = 0.0;
   /// Peak of the pending-requests gauge (queued + in-flight) sampled
   /// during the run — how deep the service's backlog actually got.
@@ -93,8 +98,13 @@ LoadPoint RunLoad(EstimatorService& service, const std::vector<Query>& queries,
   point.workers = service.options().num_threads;
   point.clients = clients;
   point.qps = static_cast<double>(per_client * clients) / seconds;
-  point.p50_micros = after.p50_micros;
-  point.p99_micros = after.p99_micros;
+  // Quantiles over exactly this run's requests: the service's latency
+  // histograms subtract (obs::HistogramSnapshot::DeltaSince), so earlier
+  // warmup/points on the same service don't pollute the tail.
+  obs::HistogramSnapshot interval = after.latency.DeltaSince(before.latency);
+  point.p50_micros = interval.ValueAtQuantile(0.50);
+  point.p99_micros = interval.ValueAtQuantile(0.99);
+  point.p999_micros = interval.ValueAtQuantile(0.999);
   uint64_t hits = after.cache.hits - before.cache.hits;
   uint64_t misses = after.cache.misses - before.cache.misses;
   point.hit_rate = hits + misses == 0
@@ -134,7 +144,7 @@ int main(int argc, char** argv) {
 
   size_t requests = EnvRequests();
   TablePrinter tp({"Workers", "Clients", "QPS", "p50 (us)", "p99 (us)",
-                   "Hit rate", "Peak pending"});
+                   "p999 (us)", "Hit rate", "Peak pending"});
   double qps_1worker = 0.0;
   double qps_8worker = 0.0;
   for (size_t workers : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
@@ -156,6 +166,7 @@ int main(int argc, char** argv) {
                  Fmt(p.qps, 0),
                  Fmt(p.p50_micros, 1),
                  Fmt(p.p99_micros, 1),
+                 Fmt(p.p999_micros, 1),
                  TablePrinter::FormatPercent(p.hit_rate),
                  std::to_string(p.max_pending)});
       if (clients == 64 && workers == 1) qps_1worker = p.qps;
@@ -217,6 +228,70 @@ int main(int argc, char** argv) {
     }
   }
   cold_tp.Print();
+
+  // ---- Tracing overhead: the identical warm load with per-stage tracing
+  // on vs off (EstimatorServiceOptions::enable_tracing). Tracing adds a
+  // handful of steady-clock reads per request; the acceptance target is
+  // <2% throughput cost. Both services live side by side and trials
+  // alternate off/on (best-of-4 each), so scheduler drift across the run
+  // hits both modes alike instead of masquerading as overhead.
+  std::printf("\ntracing overhead (warm, 4 workers, 64 clients):\n");
+  {
+    auto make_service = [&](bool tracing) {
+      EstimatorServiceOptions options;
+      options.num_threads = 4;
+      options.queue_capacity = 256;
+      options.cache_capacity = 1 << 18;
+      options.enable_tracing = tracing;
+      auto service = std::make_unique<EstimatorService>(estimator, options);
+      for (size_t i = 0; i < workload->queries.size(); ++i) {
+        service->EstimateSubplans(workload->queries[i], masks[i]);
+      }
+      // One throwaway pass per service so neither mode pays first-run
+      // cache/allocator warmup inside a measured trial.
+      RunLoad(*service, workload->queries, masks, 64, requests);
+      return service;
+    };
+    auto off = make_service(false);
+    auto on = make_service(true);
+    double qps_off = 0.0;
+    double qps_on = 0.0;
+    for (int run = 0; run < 4; ++run) {
+      LoadPoint p_off = RunLoad(*off, workload->queries, masks, 64, requests);
+      qps_off = std::max(qps_off, p_off.qps);
+      LoadPoint p_on = RunLoad(*on, workload->queries, masks, 64, requests);
+      qps_on = std::max(qps_on, p_on.qps);
+    }
+    ServiceStats traced_stats = on->Stats();
+    // Exercise the metrics pipeline against the live traced service: one
+    // collector snapshot rendered both ways, as a scraper and a bench
+    // harness would consume it.
+    obs::MetricsRegistry metrics;
+    obs::ExportService(&metrics, "bench", *on);
+    std::printf("  metrics scrape: %zu bytes prometheus, %zu bytes json\n",
+                metrics.RenderPrometheus().size(),
+                metrics.DumpJson().size());
+    TablePrinter st_tp(
+        {"Stage", "Count", "p50 (us)", "p99 (us)", "p999 (us)"});
+    for (size_t i = 0; i < obs::kNumStages; ++i) {
+      const obs::HistogramSnapshot& h = traced_stats.stages[i];
+      if (h.count == 0) continue;
+      st_tp.AddRow({obs::StageName(static_cast<obs::Stage>(i)),
+                    std::to_string(h.count), Fmt(h.ValueAtQuantile(0.50), 1),
+                    Fmt(h.ValueAtQuantile(0.99), 1),
+                    Fmt(h.ValueAtQuantile(0.999), 1)});
+    }
+    st_tp.Print();
+    double overhead_pct =
+        qps_off > 0.0 ? (qps_off - qps_on) / qps_off * 100.0 : 0.0;
+    std::printf("  tracing on: %.0f QPS, off: %.0f QPS -> overhead %.2f%% "
+                "(target <2%%)\n",
+                qps_on, qps_off, overhead_pct);
+    report.Add("tracing_overhead_pct", overhead_pct, "%");
+    report.Add("traced_qps", qps_on, "1/s");
+    report.Add("untraced_qps", qps_off, "1/s");
+    report.Add("traced_p999_micros", traced_stats.p999_micros, "us");
+  }
 
   // ---- Cold start: train from scratch vs restore a snapshot (the
   // fj_server --load-model path). Load skips binning, scans, and model

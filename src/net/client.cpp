@@ -136,22 +136,34 @@ void EstimatorClient::FailAllPending(const char* reason) {
   }
   for (auto& [id, pending] : failed) {
     auto error = std::make_exception_ptr(NetError(reason));
-    switch (pending->expect) {
-      case MsgType::kEstimateResp:
-        pending->single.set_exception(error);
-        break;
-      case MsgType::kSubplansResp:
-        pending->batch.set_exception(error);
-        break;
-      case MsgType::kNotifyUpdateResp:
-        pending->epoch.set_exception(error);
-        break;
-      case MsgType::kStatsResp:
-        pending->stats.set_exception(error);
-        break;
-      default:
-        break;
-    }
+    FailPending(*pending, error);
+  }
+}
+
+void EstimatorClient::FailPending(Pending& pending, std::exception_ptr error) {
+  switch (pending.expect) {
+    case MsgType::kEstimateResp:
+      if (pending.traced) {
+        pending.traced_single.set_exception(std::move(error));
+      } else {
+        pending.single.set_exception(std::move(error));
+      }
+      break;
+    case MsgType::kSubplansResp:
+      if (pending.traced) {
+        pending.traced_batch.set_exception(std::move(error));
+      } else {
+        pending.batch.set_exception(std::move(error));
+      }
+      break;
+    case MsgType::kNotifyUpdateResp:
+      pending.epoch.set_exception(std::move(error));
+      break;
+    case MsgType::kStatsResp:
+      pending.stats.set_exception(std::move(error));
+      break;
+    default:
+      break;
   }
 }
 
@@ -165,10 +177,22 @@ void EstimatorClient::Complete(Pending& pending, const Frame& frame) {
     }
     switch (pending.expect) {
       case MsgType::kEstimateResp:
-        pending.single.set_value(DecodeEstimateResp(frame.body));
+        if (pending.traced) {
+          EstimateResp resp = DecodeEstimateRespFull(frame.body);
+          pending.traced_single.set_value(
+              {resp.estimate, resp.has_trace, resp.trace});
+        } else {
+          pending.single.set_value(DecodeEstimateResp(frame.body));
+        }
         return;
       case MsgType::kSubplansResp:
-        pending.batch.set_value(DecodeSubplansResp(frame.body));
+        if (pending.traced) {
+          SubplansResp resp = DecodeSubplansRespFull(frame.body);
+          pending.traced_batch.set_value(
+              {std::move(resp.estimates), resp.has_trace, resp.trace});
+        } else {
+          pending.batch.set_value(DecodeSubplansResp(frame.body));
+        }
         return;
       case MsgType::kNotifyUpdateResp:
         pending.epoch.set_value(DecodeNotifyUpdateResp(frame.body));
@@ -180,23 +204,7 @@ void EstimatorClient::Complete(Pending& pending, const Frame& frame) {
         throw ProtocolError("unexpected pending type");
     }
   } catch (...) {
-    auto error = std::current_exception();
-    switch (pending.expect) {
-      case MsgType::kEstimateResp:
-        pending.single.set_exception(error);
-        break;
-      case MsgType::kSubplansResp:
-        pending.batch.set_exception(error);
-        break;
-      case MsgType::kNotifyUpdateResp:
-        pending.epoch.set_exception(error);
-        break;
-      case MsgType::kStatsResp:
-        pending.stats.set_exception(error);
-        break;
-      default:
-        break;
-    }
+    FailPending(pending, std::current_exception());
   }
 }
 
@@ -281,6 +289,56 @@ std::unordered_map<uint64_t, double> EstimatorClient::EstimateSubplans(
     const std::string& model, const Query& query,
     const std::vector<uint64_t>& masks) {
   return EstimateSubplansAsync(model, query, masks).get();
+}
+
+std::future<EstimatorClient::TracedEstimate>
+EstimatorClient::EstimateTracedAsync(const std::string& model,
+                                     const Query& query) {
+  auto pending = std::make_unique<Pending>();
+  pending->expect = MsgType::kEstimateResp;
+  pending->traced = true;
+  auto future = pending->traced_single.get_future();
+  uint64_t id = next_id_.fetch_add(1);
+  Send(MsgType::kEstimateReq,
+       EncodeEstimateReq(model, query, /*want_trace=*/true), id,
+       std::move(pending));
+  return future;
+}
+
+EstimatorClient::TracedEstimate EstimatorClient::EstimateTraced(
+    const Query& query) {
+  return EstimateTracedAsync(options_.model, query).get();
+}
+
+EstimatorClient::TracedEstimate EstimatorClient::EstimateTraced(
+    const std::string& model, const Query& query) {
+  return EstimateTracedAsync(model, query).get();
+}
+
+std::future<EstimatorClient::TracedSubplans>
+EstimatorClient::EstimateSubplansTracedAsync(
+    const std::string& model, const Query& query,
+    const std::vector<uint64_t>& masks) {
+  auto pending = std::make_unique<Pending>();
+  pending->expect = MsgType::kSubplansResp;
+  pending->traced = true;
+  auto future = pending->traced_batch.get_future();
+  uint64_t id = next_id_.fetch_add(1);
+  Send(MsgType::kSubplansReq,
+       EncodeSubplansReq(model, query, masks, /*want_trace=*/true), id,
+       std::move(pending));
+  return future;
+}
+
+EstimatorClient::TracedSubplans EstimatorClient::EstimateSubplansTraced(
+    const Query& query, const std::vector<uint64_t>& masks) {
+  return EstimateSubplansTracedAsync(options_.model, query, masks).get();
+}
+
+EstimatorClient::TracedSubplans EstimatorClient::EstimateSubplansTraced(
+    const std::string& model, const Query& query,
+    const std::vector<uint64_t>& masks) {
+  return EstimateSubplansTracedAsync(model, query, masks).get();
 }
 
 uint64_t EstimatorClient::NotifyUpdate(const std::string& table) {

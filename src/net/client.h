@@ -99,6 +99,40 @@ class EstimatorClient {
       const std::string& model, const Query& query,
       const std::vector<uint64_t>& masks);
 
+  // ------------------------------------------------------- traced requests
+  //
+  // Same requests with the protocol v3 want-trace flag set: the response
+  // carries the server-side stage breakdown (decode, queue wait, cache
+  // probe, estimate kernel, encode — respond and socket write happen after
+  // the response body is sealed and only feed the server's aggregate
+  // histograms). `trace` is empty (has_trace false) when the serving model
+  // runs with tracing disabled. This is what `fj_client --trace` prints.
+
+  struct TracedEstimate {
+    double estimate = 0.0;
+    bool has_trace = false;
+    obs::RequestTrace trace;
+  };
+  struct TracedSubplans {
+    std::unordered_map<uint64_t, double> estimates;
+    bool has_trace = false;
+    obs::RequestTrace trace;
+  };
+
+  std::future<TracedEstimate> EstimateTracedAsync(const std::string& model,
+                                                  const Query& query);
+  TracedEstimate EstimateTraced(const Query& query);
+  TracedEstimate EstimateTraced(const std::string& model, const Query& query);
+
+  std::future<TracedSubplans> EstimateSubplansTracedAsync(
+      const std::string& model, const Query& query,
+      const std::vector<uint64_t>& masks);
+  TracedSubplans EstimateSubplansTraced(const Query& query,
+                                        const std::vector<uint64_t>& masks);
+  TracedSubplans EstimateSubplansTraced(const std::string& model,
+                                        const Query& query,
+                                        const std::vector<uint64_t>& masks);
+
   /// Remote cache invalidation: bumps the addressed model's statistics
   /// epoch for `table` and returns the new epoch (epochs are per model;
   /// the estimator mutation itself is server-local — see
@@ -112,13 +146,17 @@ class EstimatorClient {
 
  private:
   /// One outstanding request: which response type it expects and the
-  /// promise to fulfill. Exactly one promise is active, per `expect`.
+  /// promise to fulfill. Exactly one promise is active, per `expect` (and
+  /// `traced`, which selects the traced promise of the same response type).
   struct Pending {
     MsgType expect;
+    bool traced = false;
     std::promise<double> single;
     std::promise<std::unordered_map<uint64_t, double>> batch;
     std::promise<uint64_t> epoch;
     std::promise<ServiceStats> stats;
+    std::promise<TracedEstimate> traced_single;
+    std::promise<TracedSubplans> traced_batch;
   };
   using PendingPtr = std::unique_ptr<Pending>;
 
@@ -132,6 +170,8 @@ class EstimatorClient {
   void FailAllPending(const char* reason);
   /// Fulfills (or fails, for kError) one pending op from a response frame.
   static void Complete(Pending& pending, const Frame& frame);
+  /// Fails whichever promise `pending` holds active.
+  static void FailPending(Pending& pending, std::exception_ptr error);
 
   const EstimatorClientOptions options_;
 

@@ -69,10 +69,35 @@ Hello DecodeHello(const std::vector<uint8_t>& body) {
   return hello;
 }
 
+namespace {
+
+uint8_t ReqFlags(bool want_trace) {
+  return want_trace ? kReqFlagWantTrace : 0;
+}
+
+bool DecodeReqFlags(ByteReader* r) {
+  uint8_t flags = r->U8();
+  if ((flags & ~kReqFlagWantTrace) != 0) {
+    throw ProtocolError("unknown request flag bits set");
+  }
+  return (flags & kReqFlagWantTrace) != 0;
+}
+
+/// Decodes the trailing `u8 has_trace, [trace]` section of a response body.
+bool DecodeRespTrace(ByteReader* r, obs::RequestTrace* trace) {
+  uint8_t has_trace = r->U8();
+  if (has_trace > 1) throw ProtocolError("bad has-trace byte");
+  if (has_trace != 0) *trace = obs::DecodeRequestTrace(r);
+  return has_trace != 0;
+}
+
+}  // namespace
+
 std::vector<uint8_t> EncodeEstimateReq(const std::string& model,
-                                       const Query& query) {
+                                       const Query& query, bool want_trace) {
   ByteWriter w;
   w.Str(model);
+  w.U8(ReqFlags(want_trace));
   EncodeQuery(query, &w);
   return w.Take();
 }
@@ -81,29 +106,44 @@ EstimateReq DecodeEstimateReq(const std::vector<uint8_t>& body) {
   ByteReader r(body);
   EstimateReq req;
   req.model = r.Str();
+  req.want_trace = DecodeReqFlags(&r);
   req.query = DecodeQuery(&r);
   r.ExpectEnd();
   return req;
 }
 
-std::vector<uint8_t> EncodeEstimateResp(double estimate) {
+std::vector<uint8_t> EncodeEstimateRespBody(double estimate) {
   ByteWriter w;
   w.F64(estimate);
   return w.Take();
 }
 
-double DecodeEstimateResp(const std::vector<uint8_t>& body) {
+std::vector<uint8_t> EncodeEstimateResp(double estimate) {
+  std::vector<uint8_t> body = EncodeEstimateRespBody(estimate);
+  AppendRespTrace(&body, nullptr);
+  return body;
+}
+
+EstimateResp DecodeEstimateRespFull(const std::vector<uint8_t>& body) {
   ByteReader r(body);
-  double estimate = r.F64();
+  EstimateResp resp;
+  resp.estimate = r.F64();
+  resp.has_trace = DecodeRespTrace(&r, &resp.trace);
   r.ExpectEnd();
-  return estimate;
+  return resp;
+}
+
+double DecodeEstimateResp(const std::vector<uint8_t>& body) {
+  return DecodeEstimateRespFull(body).estimate;
 }
 
 std::vector<uint8_t> EncodeSubplansReq(const std::string& model,
                                        const Query& query,
-                                       const std::vector<uint64_t>& masks) {
+                                       const std::vector<uint64_t>& masks,
+                                       bool want_trace) {
   ByteWriter w;
   w.Str(model);
+  w.U8(ReqFlags(want_trace));
   EncodeQuery(query, &w);
   w.U32(static_cast<uint32_t>(masks.size()));
   for (uint64_t mask : masks) w.U64(mask);
@@ -114,6 +154,7 @@ SubplansReq DecodeSubplansReq(const std::vector<uint8_t>& body) {
   ByteReader r(body);
   SubplansReq req;
   req.model = r.Str();
+  req.want_trace = DecodeReqFlags(&r);
   req.query = DecodeQuery(&r);
   uint32_t n = r.U32();
   if (static_cast<size_t>(n) * 8 > r.remaining()) {
@@ -125,7 +166,7 @@ SubplansReq DecodeSubplansReq(const std::vector<uint8_t>& body) {
   return req;
 }
 
-std::vector<uint8_t> EncodeSubplansResp(
+std::vector<uint8_t> EncodeSubplansRespBody(
     const std::unordered_map<uint64_t, double>& estimates) {
   ByteWriter w;
   w.U32(static_cast<uint32_t>(estimates.size()));
@@ -136,21 +177,42 @@ std::vector<uint8_t> EncodeSubplansResp(
   return w.Take();
 }
 
-std::unordered_map<uint64_t, double> DecodeSubplansResp(
-    const std::vector<uint8_t>& body) {
+std::vector<uint8_t> EncodeSubplansResp(
+    const std::unordered_map<uint64_t, double>& estimates) {
+  std::vector<uint8_t> body = EncodeSubplansRespBody(estimates);
+  AppendRespTrace(&body, nullptr);
+  return body;
+}
+
+SubplansResp DecodeSubplansRespFull(const std::vector<uint8_t>& body) {
   ByteReader r(body);
+  SubplansResp resp;
   uint32_t n = r.U32();
   if (static_cast<size_t>(n) * 16 > r.remaining()) {
     throw ProtocolError("estimate count exceeds frame");
   }
-  std::unordered_map<uint64_t, double> out;
-  out.reserve(n);
+  resp.estimates.reserve(n);
   for (uint32_t i = 0; i < n; ++i) {
     uint64_t mask = r.U64();
-    out[mask] = r.F64();
+    resp.estimates[mask] = r.F64();
   }
+  resp.has_trace = DecodeRespTrace(&r, &resp.trace);
   r.ExpectEnd();
-  return out;
+  return resp;
+}
+
+std::unordered_map<uint64_t, double> DecodeSubplansResp(
+    const std::vector<uint8_t>& body) {
+  return std::move(DecodeSubplansRespFull(body).estimates);
+}
+
+void AppendRespTrace(std::vector<uint8_t>* body,
+                     const obs::RequestTrace* trace) {
+  ByteWriter w;
+  w.U8(trace != nullptr ? 1 : 0);
+  if (trace != nullptr) obs::EncodeRequestTrace(*trace, &w);
+  std::vector<uint8_t> tail = w.Take();
+  body->insert(body->end(), tail.begin(), tail.end());
 }
 
 std::vector<uint8_t> EncodeNotifyUpdateReq(const std::string& model,
@@ -215,9 +277,12 @@ std::vector<uint8_t> EncodeServiceStats(const ServiceStats& stats) {
   w.U64(stats.cache.invalidations);
   w.U64(stats.cache.cost_weighted_evictions);
   w.U64(stats.cache.entries);
-  w.F64(stats.p50_micros);
-  w.F64(stats.p99_micros);
-  w.F64(stats.max_micros);
+  w.U64(stats.slow_requests);
+  obs::EncodeHistogramSnapshot(stats.latency, &w);
+  w.U8(static_cast<uint8_t>(obs::kNumStages));
+  for (const obs::HistogramSnapshot& stage : stats.stages) {
+    obs::EncodeHistogramSnapshot(stage, &w);
+  }
   return w.Take();
 }
 
@@ -241,10 +306,19 @@ ServiceStats DecodeServiceStats(const std::vector<uint8_t>& body) {
   stats.cache.invalidations = r.U64();
   stats.cache.cost_weighted_evictions = r.U64();
   stats.cache.entries = r.U64();
-  stats.p50_micros = r.F64();
-  stats.p99_micros = r.F64();
-  stats.max_micros = r.F64();
+  stats.slow_requests = r.U64();
+  stats.latency = obs::DecodeHistogramSnapshot(&r);
+  uint8_t stages = r.U8();
+  if (stages != obs::kNumStages) {
+    throw ProtocolError("stats stage count mismatch");
+  }
+  for (size_t i = 0; i < obs::kNumStages; ++i) {
+    stats.stages[i] = obs::DecodeHistogramSnapshot(&r);
+  }
   r.ExpectEnd();
+  // Quantiles are derived locally from the shipped histogram, never read
+  // off the wire.
+  stats.RefreshQuantiles();
   return stats;
 }
 

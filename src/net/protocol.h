@@ -31,6 +31,7 @@
 #include <optional>
 #include <vector>
 
+#include "obs/request_trace.h"
 #include "query/query.h"
 #include "query/serialize.h"
 #include "service/service_stats.h"
@@ -45,12 +46,16 @@ using ProtocolError = SerializeError;
 /// "FJN" + version byte of the *magic*, not the protocol (the protocol
 /// version is negotiated separately in the hello body).
 inline constexpr uint32_t kProtocolMagic = 0x464A4E31;  // "FJN1"
-/// Version 2: every request body leads with a model-id string routing it
-/// to a named model in the server's ModelRegistry ("" = default model),
-/// and the stats body carries the batch-split/scheduling counters.
-/// Version-1 handshakes are rejected cleanly (kError naming both
-/// versions), never half-spoken.
-inline constexpr uint16_t kProtocolVersion = 2;
+/// Version 3 (observability): estimate/subplans requests carry a flags
+/// byte after the model id (bit 0 = attach a per-request stage trace to
+/// the response); their responses end with a has-trace byte plus the
+/// optional trace; the stats body ships the slow-request counter and the
+/// full latency + per-stage histograms instead of pre-computed quantiles
+/// (the decoder derives them — peers are never trusted for math).
+/// Version 2 added model-id routing and the batch-split counters.
+/// Older handshakes are rejected cleanly (kError naming both versions),
+/// never half-spoken.
+inline constexpr uint16_t kProtocolVersion = 3;
 
 /// Frames larger than this are rejected at the length prefix (both sides).
 inline constexpr uint32_t kDefaultMaxFrameBytes = 64u << 20;
@@ -58,10 +63,11 @@ inline constexpr uint32_t kDefaultMaxFrameBytes = 64u << 20;
 enum class MsgType : uint8_t {
   kHello = 1,
   kHelloAck = 2,
-  kEstimateReq = 3,       // body: str model, Query
-  kEstimateResp = 4,      // body: f64 estimate
-  kSubplansReq = 5,       // body: str model, Query, u32 n, u64 mask × n
-  kSubplansResp = 6,      // body: u32 n, (u64 mask, f64 estimate) × n
+  kEstimateReq = 3,       // body: str model, u8 flags, Query
+  kEstimateResp = 4,      // body: f64 estimate, u8 has_trace, [trace]
+  kSubplansReq = 5,       // body: str model, u8 flags, Query, u32 n, u64 × n
+  kSubplansResp = 6,      // body: u32 n, (u64 mask, f64 estimate) × n,
+                          //       u8 has_trace, [trace]
   kNotifyUpdateReq = 7,   // body: str model, str table
   kNotifyUpdateResp = 8,  // body: u64 epoch
   kStatsReq = 9,          // body: str model
@@ -105,33 +111,72 @@ Hello DecodeHello(const std::vector<uint8_t>& body);
 // ------------------------------------------------------------- body codecs
 //
 // Every request body leads with the model-id string (the v2 routing field;
-// "" selects the server's default model).
+// "" selects the server's default model) followed by a v3 flags byte.
+// Estimate/subplans responses end with `u8 has_trace` plus an optional
+// obs::RequestTrace — present when the request set kReqFlagWantTrace and
+// the server traced it. The server encodes the response payload first and
+// appends the trace afterwards (AppendRespTrace), so the encode span it
+// reports covers the actual response encoding, not its own bookkeeping.
+
+/// Request flags byte (v3). Unknown bits are reserved and must be zero.
+inline constexpr uint8_t kReqFlagWantTrace = 0x01;
 
 std::vector<uint8_t> EncodeEstimateReq(const std::string& model,
-                                       const Query& query);
+                                       const Query& query,
+                                       bool want_trace = false);
 struct EstimateReq {
   std::string model;
   Query query;
+  bool want_trace = false;
 };
 EstimateReq DecodeEstimateReq(const std::vector<uint8_t>& body);
 
+/// Response payload WITHOUT the trailing trace section; the frame is
+/// completed by AppendRespTrace (possibly with a null trace).
+std::vector<uint8_t> EncodeEstimateRespBody(double estimate);
+/// Complete untraced response (payload + empty trace section).
 std::vector<uint8_t> EncodeEstimateResp(double estimate);
+struct EstimateResp {
+  double estimate = 0.0;
+  bool has_trace = false;
+  obs::RequestTrace trace;
+};
+EstimateResp DecodeEstimateRespFull(const std::vector<uint8_t>& body);
+/// Estimate only; any attached trace is decoded (validated) and discarded.
 double DecodeEstimateResp(const std::vector<uint8_t>& body);
 
 std::vector<uint8_t> EncodeSubplansReq(const std::string& model,
                                        const Query& query,
-                                       const std::vector<uint64_t>& masks);
+                                       const std::vector<uint64_t>& masks,
+                                       bool want_trace = false);
 struct SubplansReq {
   std::string model;
   Query query;
   std::vector<uint64_t> masks;
+  bool want_trace = false;
 };
 SubplansReq DecodeSubplansReq(const std::vector<uint8_t>& body);
 
+/// Response payload WITHOUT the trailing trace section (see above).
+std::vector<uint8_t> EncodeSubplansRespBody(
+    const std::unordered_map<uint64_t, double>& estimates);
+/// Complete untraced response (payload + empty trace section).
 std::vector<uint8_t> EncodeSubplansResp(
     const std::unordered_map<uint64_t, double>& estimates);
+struct SubplansResp {
+  std::unordered_map<uint64_t, double> estimates;
+  bool has_trace = false;
+  obs::RequestTrace trace;
+};
+SubplansResp DecodeSubplansRespFull(const std::vector<uint8_t>& body);
+/// Estimates only; any attached trace is decoded (validated) and discarded.
 std::unordered_map<uint64_t, double> DecodeSubplansResp(
     const std::vector<uint8_t>& body);
+
+/// Seals an Encode*RespBody payload: appends `u8 has_trace` and, when
+/// `trace` is non-null, its encoding (obs::EncodeRequestTrace).
+void AppendRespTrace(std::vector<uint8_t>* body,
+                     const obs::RequestTrace* trace);
 
 std::vector<uint8_t> EncodeNotifyUpdateReq(const std::string& model,
                                            const std::string& table);
@@ -147,6 +192,10 @@ std::string DecodeStatsReq(const std::vector<uint8_t>& body);
 std::vector<uint8_t> EncodeNotifyUpdateResp(uint64_t epoch);
 uint64_t DecodeNotifyUpdateResp(const std::vector<uint8_t>& body);
 
+/// Stats body (v3): the counters, then the end-to-end latency histogram and
+/// all obs::kNumStages per-stage histograms (sparse encoding — see
+/// obs/latency_histogram.h). Quantile fields are NOT on the wire; the
+/// decoder recomputes them via ServiceStats::RefreshQuantiles.
 std::vector<uint8_t> EncodeServiceStats(const ServiceStats& stats);
 ServiceStats DecodeServiceStats(const std::vector<uint8_t>& body);
 

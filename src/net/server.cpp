@@ -16,6 +16,12 @@ std::string ExceptionMessage(std::exception_ptr e) {
   }
 }
 
+/// Bytes the frame occupied on the wire: u32 length prefix + u8 type +
+/// u64 request id + body.
+uint64_t FrameWireBytes(const Frame& frame) {
+  return 4 + 1 + 8 + frame.body.size();
+}
+
 }  // namespace
 
 EstimatorServer::EstimatorServer(ModelRegistry& registry,
@@ -86,8 +92,13 @@ ServerStats EstimatorServer::Stats() const {
   stats.connections_rejected = connections_rejected_.load();
   stats.frames_received = frames_received_.load();
   stats.responses_sent = responses_sent_.load();
+  stats.bytes_received = bytes_received_.load();
+  stats.bytes_sent = bytes_sent_.load();
   stats.protocol_errors = protocol_errors_.load();
   stats.request_errors = request_errors_.load();
+  for (size_t i = 0; i < obs::kNumStages; ++i) {
+    stats.stages[i] = stage_hist_[i].Snapshot();
+  }
   {
     std::lock_guard<std::mutex> lock(connections_mu_);
     stats.connections_active = connections_.size();
@@ -152,6 +163,7 @@ void EstimatorServer::ReaderLoop(ConnectionPtr conn) {
     // with kHelloAck. A version we don't speak gets a useful error.
     std::optional<Frame> first = ReadFrame(conn->fd, options_.max_frame_bytes);
     if (first.has_value()) {
+      bytes_received_.fetch_add(FrameWireBytes(*first));
       if (first->type != MsgType::kHello) {
         throw ProtocolError("expected hello before requests");
       }
@@ -165,6 +177,7 @@ void EstimatorServer::ReaderLoop(ConnectionPtr conn) {
                              EncodeHello({})));
       while (auto frame = ReadFrame(conn->fd, options_.max_frame_bytes)) {
         frames_received_.fetch_add(1);
+        bytes_received_.fetch_add(FrameWireBytes(*frame));
         Dispatch(conn, *frame);
       }
     }
@@ -187,6 +200,7 @@ void EstimatorServer::ReaderLoop(ConnectionPtr conn) {
 
 void EstimatorServer::WriterLoop(ConnectionPtr conn) {
   while (auto frame = conn->outbox.Pop()) {
+    obs::SpanTimer write_span;
     if (!SendAll(conn->fd, frame->data(), frame->size())) {
       // Peer stopped reading: wake the reader so the connection tears down,
       // then keep draining the outbox so completion callbacks never block
@@ -196,6 +210,9 @@ void EstimatorServer::WriterLoop(ConnectionPtr conn) {
       }
       return;
     }
+    stage_hist_[static_cast<size_t>(obs::Stage::kSocketWrite)].Record(
+        write_span.ElapsedMicros());
+    bytes_sent_.fetch_add(frame->size());
     responses_sent_.fetch_add(1);
   }
   // Outbox closed by the reader and fully flushed: now end the connection
@@ -223,38 +240,73 @@ void EstimatorServer::Dispatch(const ConnectionPtr& conn, const Frame& frame) {
   const uint64_t id = frame.request_id;
   switch (frame.type) {
     case MsgType::kEstimateReq: {
+      obs::SpanTimer decode_span;
       EstimateReq req = DecodeEstimateReq(frame.body);
+      uint64_t decode_micros = decode_span.ElapsedMicros();
+      stage_hist_[static_cast<size_t>(obs::Stage::kDecode)].Record(
+          decode_micros);
       EstimatorService* service = Resolve(conn, id, req.model);
       if (service == nullptr) return;
+      // A trace-requesting client gets the sink pre-filled with the decode
+      // span; the service's workers add their stages, and the completion
+      // callback below adds encode before sealing the response.
+      std::shared_ptr<obs::RequestTrace> sink;
+      if (req.want_trace) {
+        sink = std::make_shared<obs::RequestTrace>();
+        sink->Add(obs::Stage::kDecode, decode_micros);
+      }
       service->EstimateAsync(
           std::move(req.query),
-          [this, conn, id](double estimate, std::exception_ptr error) {
+          [this, conn, id, sink](double estimate, std::exception_ptr error) {
             if (error != nullptr) {
               request_errors_.fetch_add(1);
               SendError(conn, id, ExceptionMessage(std::move(error)));
-            } else {
-              conn->Send(EncodeFrame(MsgType::kEstimateResp, id,
-                                     EncodeEstimateResp(estimate)));
+              return;
             }
-          });
+            obs::SpanTimer encode_span;
+            std::vector<uint8_t> body = EncodeEstimateRespBody(estimate);
+            uint64_t encode_micros = encode_span.ElapsedMicros();
+            stage_hist_[static_cast<size_t>(obs::Stage::kEncode)].Record(
+                encode_micros);
+            if (sink != nullptr) sink->Add(obs::Stage::kEncode, encode_micros);
+            AppendRespTrace(&body, sink.get());
+            conn->Send(EncodeFrame(MsgType::kEstimateResp, id, body));
+          },
+          sink);
       return;
     }
     case MsgType::kSubplansReq: {
+      obs::SpanTimer decode_span;
       SubplansReq req = DecodeSubplansReq(frame.body);
+      uint64_t decode_micros = decode_span.ElapsedMicros();
+      stage_hist_[static_cast<size_t>(obs::Stage::kDecode)].Record(
+          decode_micros);
       EstimatorService* service = Resolve(conn, id, req.model);
       if (service == nullptr) return;
+      std::shared_ptr<obs::RequestTrace> sink;
+      if (req.want_trace) {
+        sink = std::make_shared<obs::RequestTrace>();
+        sink->Add(obs::Stage::kDecode, decode_micros);
+      }
       service->EstimateSubplansAsync(
           std::move(req.query), std::move(req.masks),
-          [this, conn, id](std::unordered_map<uint64_t, double> estimates,
-                           std::exception_ptr error) {
+          [this, conn, id, sink](std::unordered_map<uint64_t, double> estimates,
+                                 std::exception_ptr error) {
             if (error != nullptr) {
               request_errors_.fetch_add(1);
               SendError(conn, id, ExceptionMessage(std::move(error)));
-            } else {
-              conn->Send(EncodeFrame(MsgType::kSubplansResp, id,
-                                     EncodeSubplansResp(estimates)));
+              return;
             }
-          });
+            obs::SpanTimer encode_span;
+            std::vector<uint8_t> body = EncodeSubplansRespBody(estimates);
+            uint64_t encode_micros = encode_span.ElapsedMicros();
+            stage_hist_[static_cast<size_t>(obs::Stage::kEncode)].Record(
+                encode_micros);
+            if (sink != nullptr) sink->Add(obs::Stage::kEncode, encode_micros);
+            AppendRespTrace(&body, sink.get());
+            conn->Send(EncodeFrame(MsgType::kSubplansResp, id, body));
+          },
+          sink);
       return;
     }
     case MsgType::kNotifyUpdateReq: {

@@ -35,6 +35,7 @@
 // the server or affects other clients.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <memory>
@@ -44,6 +45,8 @@
 
 #include "net/protocol.h"
 #include "net/socket.h"
+#include "obs/latency_histogram.h"
+#include "obs/request_trace.h"
 #include "service/estimator_service.h"
 #include "service/model_registry.h"
 #include "service/mpmc_queue.h"
@@ -71,10 +74,20 @@ struct ServerStats {
   uint64_t connections_active = 0;
   uint64_t frames_received = 0;
   uint64_t responses_sent = 0;
+  /// Payload bytes read off sockets (frame headers included).
+  uint64_t bytes_received = 0;
+  /// Frame bytes written to sockets.
+  uint64_t bytes_sent = 0;
   /// Connections dropped for malformed frames / failed handshakes.
   uint64_t protocol_errors = 0;
   /// Per-request kError responses (estimator exceptions reported remotely).
   uint64_t request_errors = 0;
+  /// Net-side stage histograms (microseconds): kDecode (request body
+  /// decode), kEncode (response body encode), kSocketWrite (SendAll of a
+  /// response frame). The serving stages live in the routed model's
+  /// ServiceStats::stages — together the two arrays cover a remote
+  /// request's full path without double counting.
+  std::array<obs::HistogramSnapshot, obs::kNumStages> stages;
 };
 
 class EstimatorServer {
@@ -171,8 +184,13 @@ class EstimatorServer {
   std::atomic<uint64_t> connections_rejected_{0};
   std::atomic<uint64_t> frames_received_{0};
   std::atomic<uint64_t> responses_sent_{0};
+  std::atomic<uint64_t> bytes_received_{0};
+  std::atomic<uint64_t> bytes_sent_{0};
   std::atomic<uint64_t> protocol_errors_{0};
   std::atomic<uint64_t> request_errors_{0};
+  // Decode / encode / socket-write spans across all connections; the other
+  // stage slots stay empty (they belong to the services).
+  std::array<obs::LatencyHistogram, obs::kNumStages> stage_hist_;
 };
 
 }  // namespace fj::net

@@ -1,0 +1,97 @@
+#include "obs/latency_histogram.h"
+
+namespace fj::obs {
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  count += other.count;
+  sum += other.sum;
+  if (other.max > max) max = other.max;
+  for (size_t i = 0; i < kNumBuckets; ++i) buckets[i] += other.buckets[i];
+}
+
+HistogramSnapshot HistogramSnapshot::DeltaSince(
+    const HistogramSnapshot& earlier) const {
+  HistogramSnapshot delta;
+  // Saturating subtraction throughout: under concurrent recording two
+  // snapshots are not a perfectly consistent pair, and a delta must never
+  // underflow into astronomically large counts.
+  delta.count = count > earlier.count ? count - earlier.count : 0;
+  delta.sum = sum > earlier.sum ? sum - earlier.sum : 0;
+  delta.max = max;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    delta.buckets[i] =
+        buckets[i] > earlier.buckets[i] ? buckets[i] - earlier.buckets[i] : 0;
+  }
+  return delta;
+}
+
+double HistogramSnapshot::ValueAtQuantile(double q) const {
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target sample, 1-based; q=0 means the first sample.
+  uint64_t target = static_cast<uint64_t>(q * static_cast<double>(count));
+  if (target < 1) target = 1;
+  if (target > count) target = count;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    seen += buckets[i];
+    if (seen >= target) {
+      uint64_t upper = HistogramBuckets::UpperBound(i);
+      // The max is exact; never report a quantile beyond it.
+      return static_cast<double>(upper < max || max == 0 ? upper : max);
+    }
+  }
+  return static_cast<double>(max);
+}
+
+HistogramSnapshot LatencyHistogram::Snapshot() const {
+  HistogramSnapshot snap;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    snap.count += snap.buckets[i];
+  }
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.max = max_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+void EncodeHistogramSnapshot(const HistogramSnapshot& snap, ByteWriter* w) {
+  w->U64(snap.count);
+  w->U64(snap.sum);
+  w->U64(snap.max);
+  uint32_t nonzero = 0;
+  for (uint64_t c : snap.buckets) nonzero += (c != 0) ? 1 : 0;
+  w->U32(nonzero);
+  for (size_t i = 0; i < HistogramSnapshot::kNumBuckets; ++i) {
+    if (snap.buckets[i] == 0) continue;
+    w->U16(static_cast<uint16_t>(i));
+    w->U64(snap.buckets[i]);
+  }
+}
+
+HistogramSnapshot DecodeHistogramSnapshot(ByteReader* r) {
+  HistogramSnapshot snap;
+  snap.count = r->U64();
+  snap.sum = r->U64();
+  snap.max = r->U64();
+  uint32_t n = r->CountU32(10);  // u16 index + u64 count per entry
+  uint64_t total = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    uint16_t index = r->U16();
+    if (index >= HistogramSnapshot::kNumBuckets) {
+      throw SerializeError("histogram bucket index out of range");
+    }
+    if (snap.buckets[index] != 0) {
+      throw SerializeError("duplicate histogram bucket index");
+    }
+    snap.buckets[index] = r->U64();
+    total += snap.buckets[index];
+  }
+  if (total != snap.count) {
+    throw SerializeError("histogram bucket counts disagree with count");
+  }
+  return snap;
+}
+
+}  // namespace fj::obs

@@ -1,0 +1,150 @@
+// LatencyHistogram: fixed-size log-bucketed (HDR-style) latency histogram
+// with lock-free recording, the quantile backbone of ServiceStats.
+//
+// Bucket layout (log-linear, like HdrHistogram with 16 sub-buckets per
+// octave): values 0..15 get exact unit buckets; beyond that each power-of-2
+// octave is split into 16 linear sub-buckets, so every bucket's width is at
+// most 1/16 of its lower bound — quantiles read from bucket upper bounds
+// are within +6.25% of the true sample. Values are microseconds; the top
+// bucket ends at 2^30-1 us (~18 minutes), larger samples clamp into it.
+// The whole table is 432 buckets (~3.4 KB), small enough to embed per-stage
+// copies in every ServiceStats snapshot and ship them over the stats RPC.
+//
+// Record() is two relaxed fetch_adds and a CAS-max — no locks, no
+// allocation — so workers can record every request (and every stage span)
+// without contending the way the old sliding-window LatencyRecorder's mutex
+// did. Snapshot() reads the counters relaxed; per-bucket counts are exact
+// for quiesced histograms and at worst one in-flight increment stale under
+// load, which is noise at the sample counts where quantiles mean anything.
+//
+// Snapshots merge associatively (Merge), subtract (DeltaSince, for bench
+// intervals), and encode sparsely for the wire (protocol v3 stats bodies).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace fj::obs {
+
+/// Static bucket geometry, shared by the live histogram and its snapshots.
+struct HistogramBuckets {
+  /// Sub-buckets per octave = 2^kSubBucketBits; also the count of exact
+  /// unit buckets at the bottom.
+  static constexpr uint32_t kSubBucketBits = 4;
+  static constexpr uint64_t kSubBuckets = uint64_t{1} << kSubBucketBits;
+  /// Largest representable value; larger samples clamp here.
+  static constexpr uint64_t kMaxValue = (uint64_t{1} << 30) - 1;
+  /// Octave index of kMaxValue: bit_width(2^30-1) = 30, minus the 5 bits
+  /// the exact region + first octave consume.
+  static constexpr uint32_t kMaxOctave = 30 - (kSubBucketBits + 1);
+  static constexpr size_t kNumBuckets =
+      static_cast<size_t>(kSubBuckets * (kMaxOctave + 2));  // 432
+
+  static constexpr size_t Index(uint64_t value) {
+    if (value > kMaxValue) value = kMaxValue;
+    if (value < kSubBuckets) return static_cast<size_t>(value);
+    uint32_t octave =
+        static_cast<uint32_t>(std::bit_width(value)) - (kSubBucketBits + 1);
+    uint64_t sub = (value >> octave) - kSubBuckets;
+    return static_cast<size_t>(kSubBuckets * (octave + 1) + sub);
+  }
+
+  /// Smallest value mapping into bucket `index`.
+  static constexpr uint64_t LowerBound(size_t index) {
+    if (index < kSubBuckets) return index;
+    uint64_t octave = index / kSubBuckets - 1;
+    uint64_t sub = index % kSubBuckets;
+    return (kSubBuckets + sub) << octave;
+  }
+
+  /// Largest value mapping into bucket `index` (inclusive).
+  static constexpr uint64_t UpperBound(size_t index) {
+    if (index < kSubBuckets) return index;
+    uint64_t octave = index / kSubBuckets - 1;
+    uint64_t sub = index % kSubBuckets;
+    return (((kSubBuckets + sub + 1) << octave)) - 1;
+  }
+};
+
+/// Point-in-time copy of a histogram: plain data, copyable, mergeable.
+struct HistogramSnapshot {
+  static constexpr size_t kNumBuckets = HistogramBuckets::kNumBuckets;
+
+  /// Total recorded samples (always equals the sum of `buckets`).
+  uint64_t count = 0;
+  /// Sum of recorded values (after clamping to kMaxValue).
+  uint64_t sum = 0;
+  /// Largest recorded value (exact, not bucket-rounded).
+  uint64_t max = 0;
+  std::array<uint64_t, kNumBuckets> buckets{};
+
+  /// Adds `other`'s samples into this snapshot. Associative and
+  /// commutative, so shard/model snapshots merge in any order.
+  void Merge(const HistogramSnapshot& other);
+
+  /// Samples recorded since `earlier` (which must be an older snapshot of
+  /// the same histogram): bucket-wise and sum/count subtraction. `max` is
+  /// carried over from this snapshot — the interval's true max is not
+  /// recoverable — so treat max as since-start, not per-interval.
+  HistogramSnapshot DeltaSince(const HistogramSnapshot& earlier) const;
+
+  double Mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+
+  /// Upper bound of the bucket holding the ceil(q*count)-th sample
+  /// (q in [0,1]; 0 with no samples). Exact-bucket quantile: never below
+  /// the true sample, at most +6.25% above it.
+  double ValueAtQuantile(double q) const;
+};
+
+/// The live, concurrently written histogram.
+class LatencyHistogram {
+ public:
+  static constexpr size_t kNumBuckets = HistogramBuckets::kNumBuckets;
+
+  LatencyHistogram() = default;
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  /// Records one sample (microseconds). Lock-free; any number of threads.
+  void Record(uint64_t micros) {
+    uint64_t clamped =
+        micros > HistogramBuckets::kMaxValue ? HistogramBuckets::kMaxValue
+                                             : micros;
+    buckets_[HistogramBuckets::Index(clamped)].fetch_add(
+        1, std::memory_order_relaxed);
+    sum_.fetch_add(clamped, std::memory_order_relaxed);
+    uint64_t seen = max_.load(std::memory_order_relaxed);
+    while (clamped > seen &&
+           !max_.compare_exchange_weak(seen, clamped,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Copies the current state. `count` is derived from the bucket counts so
+  /// quantiles are always internally consistent.
+  HistogramSnapshot Snapshot() const;
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+};
+
+/// Sparse wire codec (protocol v3 stats bodies):
+///   u64 count | u64 sum | u64 max | u32 n | (u16 index, u64 count) × n
+/// Only non-empty buckets are written; a typical serving histogram spans a
+/// few dozen buckets, so this is ~100× smaller than the dense table.
+void EncodeHistogramSnapshot(const HistogramSnapshot& snap, ByteWriter* w);
+/// Throws SerializeError on an out-of-range bucket index or a count/bucket
+/// mismatch (hostile input must not produce an inconsistent snapshot).
+HistogramSnapshot DecodeHistogramSnapshot(ByteReader* r);
+
+}  // namespace fj::obs

@@ -1,0 +1,178 @@
+#include "obs/metrics_export.h"
+
+#include <utility>
+#include <vector>
+
+#include "net/server.h"
+#include "obs/request_trace.h"
+#include "service/estimator_service.h"
+#include "service/model_registry.h"
+
+namespace fj::obs {
+namespace {
+
+MetricSample Counter(std::string name, std::string help,
+                     std::vector<MetricLabel> labels, uint64_t value) {
+  MetricSample s;
+  s.name = std::move(name);
+  s.kind = MetricKind::kCounter;
+  s.help = std::move(help);
+  s.labels = std::move(labels);
+  s.value = static_cast<double>(value);
+  return s;
+}
+
+MetricSample Gauge(std::string name, std::string help,
+                   std::vector<MetricLabel> labels, double value) {
+  MetricSample s;
+  s.name = std::move(name);
+  s.kind = MetricKind::kGauge;
+  s.help = std::move(help);
+  s.labels = std::move(labels);
+  s.value = value;
+  return s;
+}
+
+MetricSample Histogram(std::string name, std::string help,
+                       std::vector<MetricLabel> labels,
+                       HistogramSnapshot hist) {
+  MetricSample s;
+  s.name = std::move(name);
+  s.kind = MetricKind::kHistogram;
+  s.help = std::move(help);
+  s.labels = std::move(labels);
+  s.hist = std::move(hist);
+  return s;
+}
+
+void AppendServiceSamples(const std::string& model,
+                          const EstimatorService& service,
+                          std::vector<MetricSample>* out) {
+  ServiceStats stats = service.Stats();
+  std::vector<MetricLabel> m = {{"model", model}};
+  out->push_back(Counter("fj_requests_total",
+                         "Single-query estimate requests completed.", m,
+                         stats.requests));
+  out->push_back(Counter("fj_subplan_requests_total",
+                         "Batched sub-plan requests completed.", m,
+                         stats.subplan_requests));
+  out->push_back(Counter("fj_subplans_estimated_total",
+                         "Sub-plan estimates produced inside batches.", m,
+                         stats.subplans_estimated));
+  out->push_back(Counter("fj_errors_total",
+                         "Requests completed with an error.", m,
+                         stats.errors));
+  out->push_back(Counter("fj_batches_split_total",
+                         "Batched requests split across workers.", m,
+                         stats.batches_split));
+  out->push_back(Counter("fj_split_chunks_total",
+                         "Chunks produced by split batches.", m,
+                         stats.split_chunks));
+  out->push_back(Counter("fj_fresh_first_pops_total",
+                         "Fresh requests scheduled ahead of split helpers.",
+                         m, stats.fresh_first_pops));
+  out->push_back(Counter("fj_updates_notified_total",
+                         "Data-update notifications received.", m,
+                         stats.updates_notified));
+  out->push_back(Counter("fj_slow_requests_total",
+                         "Slow-request log lines emitted.", m,
+                         stats.slow_requests));
+  out->push_back(Gauge("fj_epoch", "Current statistics epoch.", m,
+                       static_cast<double>(stats.epoch)));
+  out->push_back(Gauge("fj_pending_requests",
+                       "Requests accepted but not yet served.", m,
+                       static_cast<double>(stats.pending_requests)));
+  out->push_back(Gauge("fj_queue_depth", "Requests waiting in the queue.", m,
+                       static_cast<double>(stats.queue_depth)));
+  out->push_back(Counter("fj_cache_hits_total", "Estimate-cache hits.", m,
+                         stats.cache.hits));
+  out->push_back(Counter("fj_cache_misses_total", "Estimate-cache misses.",
+                         m, stats.cache.misses));
+  out->push_back(Counter("fj_cache_evictions_total",
+                         "Estimate-cache evictions.", m,
+                         stats.cache.evictions));
+  out->push_back(Counter("fj_cache_invalidations_total",
+                         "Epoch-based cache invalidations.", m,
+                         stats.cache.invalidations));
+  out->push_back(Gauge("fj_cache_entries", "Live estimate-cache entries.", m,
+                       static_cast<double>(stats.cache.entries)));
+  out->push_back(Histogram("fj_request_latency_micros",
+                           "End-to-end request latency (microseconds).", m,
+                           stats.latency));
+  for (size_t i = 0; i < kNumStages; ++i) {
+    // Empty stages stay off the scrape: an in-process service never fills
+    // the net stages, and a tracing-disabled one fills none.
+    if (stats.stages[i].count == 0) continue;
+    std::vector<MetricLabel> labels = m;
+    labels.push_back({"stage", StageName(static_cast<Stage>(i))});
+    out->push_back(Histogram("fj_stage_latency_micros",
+                             "Per-stage request latency (microseconds).",
+                             std::move(labels), stats.stages[i]));
+  }
+}
+
+}  // namespace
+
+void ExportService(MetricsRegistry* registry, std::string model,
+                   const EstimatorService& service) {
+  registry->AddCollector(
+      [model = std::move(model), &service](std::vector<MetricSample>* out) {
+        AppendServiceSamples(model, service, out);
+      });
+}
+
+void ExportRegistryModels(MetricsRegistry* registry,
+                          const ModelRegistry& models) {
+  registry->AddCollector([&models](std::vector<MetricSample>* out) {
+    // Names re-resolved per scrape: models registered after the endpoint
+    // came up start scraping without re-wiring. Services are never removed
+    // from a registry, so the Find() result stays valid.
+    for (const std::string& name : models.ModelNames()) {
+      const EstimatorService* service = models.Find(name);
+      if (service != nullptr) AppendServiceSamples(name, *service, out);
+    }
+  });
+}
+
+void ExportServer(MetricsRegistry* registry,
+                  const net::EstimatorServer& server) {
+  registry->AddCollector([&server](std::vector<MetricSample>* out) {
+    net::ServerStats stats = server.Stats();
+    out->push_back(Counter("fj_server_connections_accepted_total",
+                           "Client connections accepted.", {},
+                           stats.connections_accepted));
+    out->push_back(Counter("fj_server_connections_rejected_total",
+                           "Connections rejected at the client cap.", {},
+                           stats.connections_rejected));
+    out->push_back(Gauge("fj_server_connections_active",
+                         "Currently open client connections.", {},
+                         static_cast<double>(stats.connections_active)));
+    out->push_back(Counter("fj_server_frames_received_total",
+                           "Request frames received.", {},
+                           stats.frames_received));
+    out->push_back(Counter("fj_server_responses_sent_total",
+                           "Response frames written.", {},
+                           stats.responses_sent));
+    out->push_back(Counter("fj_server_bytes_received_total",
+                           "Bytes read off client sockets.", {},
+                           stats.bytes_received));
+    out->push_back(Counter("fj_server_bytes_sent_total",
+                           "Bytes written to client sockets.", {},
+                           stats.bytes_sent));
+    out->push_back(Counter("fj_server_protocol_errors_total",
+                           "Connections dropped for protocol violations.",
+                           {}, stats.protocol_errors));
+    out->push_back(Counter("fj_server_request_errors_total",
+                           "Per-request error responses sent.", {},
+                           stats.request_errors));
+    for (size_t i = 0; i < kNumStages; ++i) {
+      if (stats.stages[i].count == 0) continue;
+      out->push_back(Histogram(
+          "fj_server_stage_latency_micros",
+          "Net-side per-stage latency (microseconds).",
+          {{"stage", StageName(static_cast<Stage>(i))}}, stats.stages[i]));
+    }
+  });
+}
+
+}  // namespace fj::obs

@@ -1,0 +1,43 @@
+// Canonical metric registrations: wires the serving components into a
+// MetricsRegistry under the stable `fj_*` metric names listed in
+// docs/OBSERVABILITY.md. Each Export* call installs ONE collector that
+// snapshots the component's Stats() per scrape and fans it out into
+// samples, so a scrape costs one snapshot per component regardless of how
+// many metric families it feeds.
+//
+// Per-model metrics carry a `model` label; ExportRegistryModels re-resolves
+// the ModelRegistry's name list on every scrape, so models registered after
+// the metrics endpoint came up appear without re-wiring.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics_registry.h"
+
+namespace fj {
+class EstimatorService;
+class ModelRegistry;
+namespace net {
+class EstimatorServer;
+}  // namespace net
+}  // namespace fj
+
+namespace fj::obs {
+
+/// Registers one model's service metrics (requests, errors, cache,
+/// latency + stage histograms, slow-request counter) labeled
+/// model=`model`. `service` must outlive the registry's last scrape.
+void ExportService(MetricsRegistry* registry, std::string model,
+                   const EstimatorService& service);
+
+/// Registers every model of `models` (resolved per scrape, so late
+/// registrations show up) under its registered name.
+void ExportRegistryModels(MetricsRegistry* registry,
+                          const ModelRegistry& models);
+
+/// Registers the net front end's connection/frame/byte counters and its
+/// decode/encode/socket-write stage histograms.
+void ExportServer(MetricsRegistry* registry,
+                  const net::EstimatorServer& server);
+
+}  // namespace fj::obs

@@ -1,0 +1,100 @@
+#include "obs/metrics_http.h"
+
+#include <sys/socket.h>
+
+#include <stdexcept>
+#include <utility>
+
+namespace fj::obs {
+namespace {
+
+std::string HttpResponse(const char* status, const char* content_type,
+                         const std::string& body) {
+  std::string out = "HTTP/1.0 ";
+  out += status;
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: " + std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+MetricsHttpServer::MetricsHttpServer(const MetricsRegistry& registry,
+                                     MetricsHttpOptions options)
+    : registry_(registry), options_(std::move(options)) {}
+
+MetricsHttpServer::~MetricsHttpServer() { Stop(); }
+
+void MetricsHttpServer::Start() {
+  if (started_.exchange(true)) {
+    throw std::logic_error("MetricsHttpServer: already started");
+  }
+  net::Endpoint endpoint;
+  endpoint.host = options_.host;
+  endpoint.port = options_.port;
+  listener_ = std::make_unique<net::ListenSocket>(endpoint);
+  thread_ = std::thread([this] { ServeLoop(); });
+}
+
+void MetricsHttpServer::Stop() {
+  if (!started_.load() || stopping_.exchange(true)) return;
+  if (listener_ != nullptr) listener_->Close();
+  if (thread_.joinable()) thread_.join();
+}
+
+uint16_t MetricsHttpServer::port() const {
+  return listener_ ? listener_->port() : options_.port;
+}
+
+void MetricsHttpServer::ServeLoop() {
+  while (!stopping_.load()) {
+    int fd = listener_->Accept();
+    if (fd < 0) {
+      if (stopping_.load()) break;
+      continue;
+    }
+    HandleConnection(fd);
+    net::CloseSocket(fd);
+  }
+}
+
+void MetricsHttpServer::HandleConnection(int fd) {
+  // Read until the end of the request headers (or 8 KB / EOF — a scraper
+  // that sends more than that is not one we serve). Only the request line
+  // matters; headers are discarded.
+  std::string request;
+  char buf[1024];
+  while (request.size() < 8192 &&
+         request.find("\r\n\r\n") == std::string::npos) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    request.append(buf, static_cast<size_t>(n));
+  }
+  size_t line_end = request.find("\r\n");
+  if (line_end == std::string::npos) return;
+  std::string line = request.substr(0, line_end);
+
+  std::string response;
+  if (line.rfind("GET /metrics.json ", 0) == 0) {
+    response = HttpResponse("200 OK", "application/json",
+                            registry_.DumpJson());
+    scrapes_.fetch_add(1);
+  } else if (line.rfind("GET /metrics ", 0) == 0) {
+    response = HttpResponse(
+        "200 OK", "text/plain; version=0.0.4; charset=utf-8",
+        registry_.RenderPrometheus());
+    scrapes_.fetch_add(1);
+  } else if (line.rfind("GET ", 0) == 0) {
+    response = HttpResponse("404 Not Found", "text/plain",
+                            "try /metrics or /metrics.json\n");
+  } else {
+    response = HttpResponse("405 Method Not Allowed", "text/plain",
+                            "GET only\n");
+  }
+  net::SendAll(fd, response.data(), response.size());
+}
+
+}  // namespace fj::obs

@@ -1,0 +1,98 @@
+// MetricsRegistry: named counters / gauges / histograms, rendered on demand
+// in Prometheus exposition format (text/plain version 0.0.4) or as JSON.
+//
+// The registry is pull-based: components register a *collector* — a
+// callback producing Samples — and every scrape evaluates the collectors
+// against live state. Nothing is double-counted, no background thread, and
+// a component's whole metric family costs one Stats() snapshot per scrape
+// instead of one per metric. Convenience adders (AddCounter / AddGauge /
+// AddHistogram) wrap single-value callbacks in a collector.
+//
+// Who registers what (see obs/metrics_export.h for the canonical sets):
+//   EstimatorService / ModelRegistry  per-model request, error, cache, and
+//                                     latency-histogram metrics
+//   net::EstimatorServer              connection / frame / byte counters and
+//                                     net-stage histograms
+//
+// Histogram rendering: the fine 432-bucket snapshots (latency_histogram.h)
+// are folded into a fixed coarse power-of-4 microsecond `le` grid — 13
+// lines per histogram instead of 432 — computed cumulatively, so any
+// Prometheus/OpenMetrics scraper can derive quantiles with
+// histogram_quantile(). DumpJson() instead reports exact-bucket
+// p50/p90/p99/p999 directly (compact; used by benches and /metrics.json).
+//
+// Thread-safety: registration and scraping may race freely (one mutex);
+// collector callbacks must themselves be thread-safe (they read atomics /
+// call Stats()).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/latency_histogram.h"
+
+namespace fj::obs {
+
+enum class MetricKind : uint8_t { kCounter, kGauge, kHistogram };
+
+struct MetricLabel {
+  std::string key;
+  std::string value;
+};
+
+/// One evaluated metric sample. `value` is meaningful for counters and
+/// gauges, `hist` for histograms.
+struct MetricSample {
+  std::string name;  // full Prometheus name, e.g. "fj_requests_total"
+  MetricKind kind = MetricKind::kCounter;
+  std::string help;
+  std::vector<MetricLabel> labels;
+  double value = 0.0;
+  HistogramSnapshot hist;
+};
+
+class MetricsRegistry {
+ public:
+  using Collector = std::function<void(std::vector<MetricSample>*)>;
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Registers a collector evaluated on every scrape. Captured references
+  /// must outlive the registry's last scrape.
+  void AddCollector(Collector collector);
+
+  // Single-metric conveniences (each wraps one collector).
+  void AddCounter(std::string name, std::string help,
+                  std::vector<MetricLabel> labels,
+                  std::function<uint64_t()> fn);
+  void AddGauge(std::string name, std::string help,
+                std::vector<MetricLabel> labels, std::function<double()> fn);
+  void AddHistogram(std::string name, std::string help,
+                    std::vector<MetricLabel> labels,
+                    std::function<HistogramSnapshot()> fn);
+
+  /// Evaluates every collector and renders the Prometheus text exposition.
+  std::string RenderPrometheus() const;
+
+  /// Evaluates every collector and renders a JSON object
+  /// {"metrics":[{name, labels, type, ...}]}; histograms carry
+  /// count/sum/max/mean and exact-bucket p50/p90/p99/p999.
+  std::string DumpJson() const;
+
+  /// The coarse `le` boundaries (microseconds) histogram samples are folded
+  /// into for Prometheus rendering; exposed for tests.
+  static const std::vector<uint64_t>& PrometheusLeBoundaries();
+
+ private:
+  std::vector<MetricSample> Collect() const;
+
+  mutable std::mutex mu_;
+  std::vector<Collector> collectors_;
+};
+
+}  // namespace fj::obs

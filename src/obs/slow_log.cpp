@@ -1,0 +1,44 @@
+#include "obs/slow_log.h"
+
+#include <utility>
+
+namespace fj::obs {
+
+SlowRequestLog::SlowRequestLog(uint64_t threshold_micros, std::FILE* sink,
+                               std::string model)
+    : threshold_micros_(threshold_micros),
+      sink_(sink != nullptr ? sink : stderr),
+      model_(model.empty() ? "default" : std::move(model)) {}
+
+bool SlowRequestLog::MaybeLog(const char* kind,
+                              const QueryFingerprint& fingerprint,
+                              size_t masks, const RequestTrace& trace) {
+  if (threshold_micros_ == 0 || trace.total_micros < threshold_micros_) {
+    return false;
+  }
+  // Build the line outside the lock; hold it only for the single write.
+  char line[512];
+  int len = std::snprintf(
+      line, sizeof(line),
+      "fj_slow_request model=%s kind=%s fp=%s masks=%zu total_us=%llu",
+      model_.c_str(), kind, fingerprint.ToString().c_str(), masks,
+      static_cast<unsigned long long>(trace.total_micros));
+  for (size_t i = 0; i < kNumStages && len > 0 &&
+                     static_cast<size_t>(len) < sizeof(line);
+       ++i) {
+    if (trace.stage_micros[i] == 0) continue;
+    len += std::snprintf(
+        line + len, sizeof(line) - static_cast<size_t>(len), " %s_us=%llu",
+        StageName(static_cast<Stage>(i)),
+        static_cast<unsigned long long>(trace.stage_micros[i]));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::fprintf(sink_, "%s\n", line);
+    std::fflush(sink_);
+  }
+  logged_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+}  // namespace fj::obs

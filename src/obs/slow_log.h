@@ -1,0 +1,61 @@
+// SlowRequestLog: one structured line per request slower than a threshold.
+//
+// The serving worker calls MaybeLog() after fulfilling each request; when
+// the end-to-end latency reaches the threshold, one line is written:
+//
+//   fj_slow_request model=default kind=subplans fp=00c3...9a masks=842
+//       total_us=15234 queue_wait_us=12 cache_probe_us=301 estimate_us=14850
+//
+// (single line on the wire; zero stages are elided). The format is
+// key=value, grep- and awk-friendly, and stable — see docs/OBSERVABILITY.md.
+// Threshold 0 disables logging entirely (the default); the line count is
+// exported as ServiceStats::slow_requests / fj_slow_requests_total.
+//
+// Lines go to stderr unless a sink FILE* is injected (tests use
+// open_memstream; fj_server --slow-log-micros leaves stderr). One mutex
+// serializes whole lines so concurrent workers never interleave fragments —
+// it is taken only for offenders, never on the fast path.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+#include "obs/request_trace.h"
+#include "query/query.h"
+
+namespace fj::obs {
+
+class SlowRequestLog {
+ public:
+  /// `threshold_micros` 0 disables; `sink` nullptr means stderr; `model`
+  /// stamps every line (empty → "default").
+  SlowRequestLog(uint64_t threshold_micros, std::FILE* sink,
+                 std::string model);
+
+  SlowRequestLog(const SlowRequestLog&) = delete;
+  SlowRequestLog& operator=(const SlowRequestLog&) = delete;
+
+  bool enabled() const { return threshold_micros_ > 0; }
+  uint64_t threshold_micros() const { return threshold_micros_; }
+
+  /// Logs one line when trace.total_micros >= threshold. `kind` is
+  /// "estimate" or "subplans"; `masks` is the batch size (0 for single
+  /// estimates). Returns true when a line was written. Thread-safe.
+  bool MaybeLog(const char* kind, const QueryFingerprint& fingerprint,
+                size_t masks, const RequestTrace& trace);
+
+  /// Lines written so far. Thread-safe.
+  uint64_t logged() const { return logged_.load(std::memory_order_relaxed); }
+
+ private:
+  const uint64_t threshold_micros_;
+  std::FILE* const sink_;
+  const std::string model_;
+  std::mutex mu_;
+  std::atomic<uint64_t> logged_{0};
+};
+
+}  // namespace fj::obs

@@ -25,7 +25,9 @@ EstimatorService::EstimatorService(const CardinalityEstimator& estimator,
       options_(options),
       cache_(options.cache_capacity, options.cache_shards, &epochs_,
              options.cost_aware_eviction),
-      queue_(options.queue_capacity) {
+      queue_(options.queue_capacity),
+      slow_log_(options.slow_request_micros, options.slow_log_sink,
+                options.model_name) {
   size_t threads = options_.num_threads == 0 ? 1 : options_.num_threads;
   workers_.reserve(threads);
   worker_ids_.reserve(threads);
@@ -76,10 +78,13 @@ std::future<double> EstimatorService::EstimateAsync(Query query) {
   return result;
 }
 
-void EstimatorService::EstimateAsync(Query query, EstimateCallback done) {
+void EstimatorService::EstimateAsync(
+    Query query, EstimateCallback done,
+    std::shared_ptr<obs::RequestTrace> trace_sink) {
   auto req = std::make_unique<Request>();
   req->query = std::move(query);
   req->single_cb = std::move(done);
+  req->trace_sink = std::move(trace_sink);
   Submit(std::move(req));
 }
 
@@ -100,14 +105,15 @@ EstimatorService::EstimateSubplansAsync(Query query,
   return result;
 }
 
-void EstimatorService::EstimateSubplansAsync(Query query,
-                                             std::vector<uint64_t> masks,
-                                             SubplansCallback done) {
+void EstimatorService::EstimateSubplansAsync(
+    Query query, std::vector<uint64_t> masks, SubplansCallback done,
+    std::shared_ptr<obs::RequestTrace> trace_sink) {
   auto req = std::make_unique<Request>();
   req->query = std::move(query);
   req->masks = std::move(masks);
   req->batched = true;
   req->batch_cb = std::move(done);
+  req->trace_sink = std::move(trace_sink);
   Submit(std::move(req));
 }
 
@@ -165,11 +171,12 @@ void EstimatorService::SplitJob::Wait() {
 }
 
 std::unordered_map<uint64_t, double> EstimatorService::EstimateMisses(
-    const Query& query, const std::vector<uint64_t>& miss_masks) {
+    const Query& query, const std::vector<uint64_t>& miss_masks,
+    obs::RequestTrace* trace) {
   size_t threshold = options_.split_batch_min_masks;
   size_t workers = workers_.size();
   if (threshold == 0 || workers < 2 || miss_masks.size() < threshold) {
-    return estimator_.EstimateSubplans(query, miss_masks);
+    return estimator_.EstimateSubplansTraced(query, miss_masks, trace);
   }
   // Chunking pays only when the estimator can front-load the shared
   // (mask-independent) work; estimators without a session keep the
@@ -177,13 +184,17 @@ std::unordered_map<uint64_t, double> EstimatorService::EstimateMisses(
   std::unique_ptr<CardinalityEstimator::SubplanSession> session =
       estimator_.PrepareSubplans(query);
   if (session == nullptr) {
-    return estimator_.EstimateSubplans(query, miss_masks);
+    return estimator_.EstimateSubplansTraced(query, miss_masks, trace);
   }
   size_t chunk_target = std::max<size_t>(threshold / 2, 1);
   size_t num_chunks = std::min(workers, miss_masks.size() / chunk_target);
   if (num_chunks < 2) {
-    return estimator_.EstimateSubplans(query, miss_masks);
+    return estimator_.EstimateSubplansTraced(query, miss_masks, trace);
   }
+  // Split path: the kernel span covers the chunked estimation below,
+  // including time spent waiting for helper chunks — from the request's
+  // perspective, all of it is estimation.
+  obs::SpanTimer kernel_span;
 
   auto job = std::make_shared<SplitJob>();
   job->session = session.get();
@@ -228,6 +239,7 @@ std::unordered_map<uint64_t, double> EstimatorService::EstimateMisses(
     if (job->errors[c] != nullptr) std::rethrow_exception(job->errors[c]);
     merged.merge(job->results[c]);
   }
+  kernel_span.Record(trace, obs::Stage::kEstimate);
   return merged;
 }
 
@@ -239,6 +251,18 @@ void EstimatorService::Serve(Request& req) {
     req.split->RunChunks();
     return;
   }
+  const bool tracing = options_.enable_tracing;
+  // Spans are recorded straight into the request's sink (so pre-filled
+  // stages like the net server's decode span survive) or a stack-local
+  // trace when the caller didn't ask for one.
+  obs::RequestTrace local_trace;
+  obs::RequestTrace* trace =
+      req.trace_sink != nullptr ? req.trace_sink.get() : &local_trace;
+  // Queue wait = time since submission, read as the worker picks the
+  // request up (Serve runs right after the pop).
+  trace->Add(obs::Stage::kQueueWait,
+             static_cast<uint64_t>(req.submitted.Micros()));
+
   // Counters and latency are recorded BEFORE the promise is fulfilled so a
   // client that just resolved its future observes its own request in Stats().
   // Completion (callback or promise) happens OUTSIDE the try blocks:
@@ -248,69 +272,116 @@ void EstimatorService::Serve(Request& req) {
     std::unordered_map<uint64_t, double> result;
     std::exception_ptr error;
     try {
-      result = ServeBatch(req.query, req.masks);
+      result = ServeBatch(req.query, req.masks, tracing ? trace : nullptr);
       subplan_requests_.fetch_add(1, std::memory_order_relaxed);
     } catch (...) {
       errors_.fetch_add(1, std::memory_order_relaxed);
       error = std::current_exception();
     }
-    latency_.Record(req.submitted.Micros());
-    if (req.batch_cb) {
-      req.batch_cb(std::move(result), error);
-    } else if (error != nullptr) {
-      req.batch.set_exception(error);
-    } else {
-      req.batch.set_value(std::move(result));
-    }
+    FinishRequest(req, *trace, tracing, "subplans", req.masks.size(), [&] {
+      if (req.batch_cb) {
+        req.batch_cb(std::move(result), error);
+      } else if (error != nullptr) {
+        req.batch.set_exception(error);
+      } else {
+        req.batch.set_value(std::move(result));
+      }
+    });
   } else {
     double result = 0.0;
     std::exception_ptr error;
     try {
-      result = ServeSingle(req.query);
+      result = ServeSingle(req.query, tracing ? trace : nullptr);
       requests_.fetch_add(1, std::memory_order_relaxed);
     } catch (...) {
       errors_.fetch_add(1, std::memory_order_relaxed);
       error = std::current_exception();
     }
-    latency_.Record(req.submitted.Micros());
-    if (req.single_cb) {
-      req.single_cb(result, error);
-    } else if (error != nullptr) {
-      req.single.set_exception(error);
-    } else {
-      req.single.set_value(result);
+    FinishRequest(req, *trace, tracing, "estimate", 0, [&] {
+      if (req.single_cb) {
+        req.single_cb(result, error);
+      } else if (error != nullptr) {
+        req.single.set_exception(error);
+      } else {
+        req.single.set_value(result);
+      }
+    });
+  }
+}
+
+void EstimatorService::FinishRequest(Request& req, obs::RequestTrace& trace,
+                                     bool tracing, const char* kind,
+                                     size_t masks,
+                                     const std::function<void()>& complete) {
+  trace.total_micros = static_cast<uint64_t>(req.submitted.Micros());
+  latency_.Record(trace.total_micros);
+  if (tracing) {
+    // Only the service-owned stages: a net-path sink arrives with decode
+    // pre-filled, which belongs to the server's histograms, not ours.
+    for (obs::Stage stage :
+         {obs::Stage::kQueueWait, obs::Stage::kCacheProbe,
+          obs::Stage::kEstimate}) {
+      uint64_t micros = trace.Get(stage);
+      if (micros != 0) {
+        stage_hist_[static_cast<size_t>(stage)].Record(micros);
+      }
     }
+  }
+  // The respond span (callback or promise fulfillment) cannot be part of
+  // the request's own trace/latency — it runs after both are sealed — so it
+  // feeds only the aggregate stage histogram.
+  if (tracing) {
+    obs::SpanTimer respond;
+    complete();
+    stage_hist_[static_cast<size_t>(obs::Stage::kRespond)].Record(
+        respond.ElapsedMicros());
+  } else {
+    complete();
+  }
+  if (slow_log_.enabled() &&
+      trace.total_micros >= slow_log_.threshold_micros()) {
+    // Fingerprint computed only for offenders; never on the fast path.
+    slow_log_.MaybeLog(kind, req.query.Fingerprint(), masks, trace);
   }
 }
 
 uint64_t EstimatorService::NotifyUpdate(const std::string& table_name) {
-  updates_notified_.fetch_add(1, std::memory_order_relaxed);
+  // The epoch registry bumps its global epoch exactly once per call, so the
+  // epoch IS the notification count — no second counter that could drift
+  // from it when a Stats() snapshot races a notification.
   return epochs_.NotifyUpdate(table_name);
 }
 
 void EstimatorService::InvalidateAll() { cache_.Clear(); }
 
-double EstimatorService::ServeSingle(const Query& query) {
-  if (!options_.cache_enabled) return estimator_.Estimate(query);
+double EstimatorService::ServeSingle(const Query& query,
+                                     obs::RequestTrace* trace) {
+  if (!options_.cache_enabled) return estimator_.EstimateTraced(query, trace);
+  obs::SpanTimer probe_span;
   QueryFingerprint fp = query.Fingerprint();
-  if (auto cached = cache_.Lookup(fp)) return *cached;
+  auto cached = cache_.Lookup(fp);
+  probe_span.Record(trace, obs::Stage::kCacheProbe);
+  if (cached) return *cached;
   // Snapshot the epoch BEFORE computing: if an update lands while the
   // estimator runs, the inserted entry is tagged with the pre-update epoch
   // and dies on its next lookup instead of serving a stale estimate forever.
   uint64_t epoch = epochs_.Epoch();
   uint64_t table_bits = epochs_.BitsFor(query.BaseTables());
   WallTimer compute;
-  double estimate = estimator_.Estimate(query);
+  double estimate = estimator_.EstimateTraced(query, trace);
+  obs::SpanTimer insert_span;
   cache_.Insert(fp, estimate, table_bits, epoch, compute.Micros());
+  insert_span.Record(trace, obs::Stage::kCacheProbe);
   return estimate;
 }
 
 std::unordered_map<uint64_t, double> EstimatorService::ServeBatch(
-    const Query& query, const std::vector<uint64_t>& masks) {
+    const Query& query, const std::vector<uint64_t>& masks,
+    obs::RequestTrace* trace) {
   std::unordered_map<uint64_t, double> out;
   out.reserve(masks.size());
   if (!options_.cache_enabled) {
-    out = EstimateMisses(query, masks);
+    out = EstimateMisses(query, masks, trace);
     subplans_estimated_.fetch_add(masks.size(), std::memory_order_relaxed);
     return out;
   }
@@ -325,6 +396,9 @@ std::unordered_map<uint64_t, double> EstimatorService::ServeBatch(
   // Epoch snapshot before any estimation (see ServeSingle): entries
   // inserted below are invalidated by any update racing this batch.
   uint64_t epoch = epochs_.Epoch();
+  // The cache-probe span covers the whole resolve loop: per-mask
+  // fingerprinting plus the sharded lookups.
+  obs::SpanTimer probe_span;
   std::vector<uint64_t> miss_masks;
   std::vector<QueryFingerprint> miss_fps;
   for (uint64_t mask : masks) {
@@ -336,6 +410,7 @@ std::unordered_map<uint64_t, double> EstimatorService::ServeBatch(
       miss_fps.push_back(fp);
     }
   }
+  probe_span.Record(trace, obs::Stage::kCacheProbe);
 
   // The misses go to the estimator together so its shared computation is
   // preserved (FactorJoin estimates each leaf factor once for the whole
@@ -344,7 +419,7 @@ std::unordered_map<uint64_t, double> EstimatorService::ServeBatch(
   if (!miss_masks.empty()) {
     WallTimer compute;
     std::unordered_map<uint64_t, double> fresh =
-        EstimateMisses(query, miss_masks);
+        EstimateMisses(query, miss_masks, trace);
     // Per-entry recompute cost for cost-aware eviction: the batch's shared
     // computation makes per-mask attribution meaningless, so every entry
     // carries the amortized cost.
@@ -357,6 +432,9 @@ std::unordered_map<uint64_t, double> EstimatorService::ServeBatch(
     for (size_t i = 0; i < query.NumTables(); ++i) {
       alias_bits[i] = epochs_.BitsFor(query.BaseTables(uint64_t{1} << i));
     }
+    // Cache insertion is probe-side bookkeeping, not estimation: it counts
+    // into the cache-probe stage together with the lookup loop above.
+    obs::SpanTimer insert_span;
     uint64_t produced = 0;
     for (size_t i = 0; i < miss_masks.size(); ++i) {
       auto it = fresh.find(miss_masks[i]);
@@ -371,6 +449,7 @@ std::unordered_map<uint64_t, double> EstimatorService::ServeBatch(
       cache_.Insert(miss_fps[i], it->second, table_bits, epoch, cost_micros);
       ++produced;
     }
+    insert_span.Record(trace, obs::Stage::kCacheProbe);
     subplans_estimated_.fetch_add(produced, std::memory_order_relaxed);
   }
   return out;
@@ -386,12 +465,22 @@ ServiceStats EstimatorService::Stats() const {
   stats.batches_split = batches_split_.load(std::memory_order_relaxed);
   stats.split_chunks = split_chunks_.load(std::memory_order_relaxed);
   stats.fresh_first_pops = queue_.LowBypasses();
-  stats.updates_notified = updates_notified_.load(std::memory_order_relaxed);
-  stats.epoch = epochs_.Epoch();
+  // One atomic read feeds both fields: NotifyUpdate bumps the global epoch
+  // exactly once per call, so the epoch IS the notification count and a
+  // snapshot can never observe them mid-update (the old separate counter
+  // could disagree with the epoch when Stats() raced a notification).
+  uint64_t epoch = epochs_.Epoch();
+  stats.updates_notified = epoch;
+  stats.epoch = epoch;
   stats.pending_requests = pending_.load(std::memory_order_acquire);
   stats.queue_depth = queue_.Size();
+  stats.slow_requests = slow_log_.logged();
   stats.cache = cache_.Stats();
-  latency_.Snapshot(&stats);
+  stats.latency = latency_.Snapshot();
+  for (size_t i = 0; i < obs::kNumStages; ++i) {
+    stats.stages[i] = stage_hist_[i].Snapshot();
+  }
+  stats.RefreshQuantiles();
   return stats;
 }
 

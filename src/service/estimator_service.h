@@ -33,14 +33,19 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <cstdio>
 #include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "obs/latency_histogram.h"
+#include "obs/request_trace.h"
+#include "obs/slow_log.h"
 #include "query/query.h"
 #include "service/mpmc_queue.h"
 #include "service/service_stats.h"
@@ -84,6 +89,24 @@ struct EstimatorServiceOptions {
   /// requests exist). ServiceStats::fresh_first_pops counts how often the
   /// reordering fired.
   bool prefer_fresh_requests = false;
+  /// Per-request stage spans (obs/request_trace.h): queue wait, cache
+  /// probe, estimate kernel, and respond times recorded into the per-stage
+  /// histograms of ServiceStats::stages and into any per-request trace
+  /// sink. A handful of monotonic-clock reads per request (<2% throughput
+  /// cost, pinned by the tracing-overhead bench section); disabling leaves
+  /// the end-to-end latency histogram intact but the stage histograms
+  /// empty and trace sinks only partially filled (total + queue wait).
+  bool enable_tracing = true;
+  /// Slow-request log threshold (microseconds): every request whose
+  /// end-to-end latency reaches it produces one structured line (query
+  /// fingerprint, model, stage breakdown — obs/slow_log.h). 0 disables.
+  uint64_t slow_request_micros = 0;
+  /// Slow-log destination; nullptr = stderr. Not owned.
+  std::FILE* slow_log_sink = nullptr;
+  /// Model name stamped on slow-log lines and metrics labels; "" renders
+  /// as "default". ModelRegistry::AddModel fills it with the registered
+  /// name automatically.
+  std::string model_name = {};
 };
 
 class EstimatorService {
@@ -118,7 +141,13 @@ class EstimatorService {
 
   /// Callback-dispatch variant: `done` is invoked on the serving worker
   /// instead of fulfilling a future. Same blocking/shutdown behavior.
-  void EstimateAsync(Query query, EstimateCallback done);
+  /// `trace_sink`, when non-null, receives the request's stage breakdown:
+  /// the worker records its spans directly into it, and it is fully written
+  /// by the time `done` runs (stages a caller pre-filled — e.g. the net
+  /// server's decode span — are preserved). The sink must not be touched by
+  /// the caller between submission and completion.
+  void EstimateAsync(Query query, EstimateCallback done,
+                     std::shared_ptr<obs::RequestTrace> trace_sink = nullptr);
 
   /// Blocking convenience wrapper around EstimateAsync. Throws
   /// std::logic_error when called from one of the service's own worker
@@ -133,9 +162,12 @@ class EstimatorService {
   std::future<std::unordered_map<uint64_t, double>> EstimateSubplansAsync(
       Query query, std::vector<uint64_t> masks);
 
-  /// Callback-dispatch variant of the batched API (see EstimateCallback).
+  /// Callback-dispatch variant of the batched API (see EstimateCallback;
+  /// `trace_sink` as on the single-estimate overload).
   void EstimateSubplansAsync(Query query, std::vector<uint64_t> masks,
-                             SubplansCallback done);
+                             SubplansCallback done,
+                             std::shared_ptr<obs::RequestTrace> trace_sink =
+                                 nullptr);
 
   /// Blocking convenience wrapper around EstimateSubplansAsync. Throws
   /// std::logic_error when called from a service worker thread.
@@ -218,6 +250,9 @@ class EstimatorService {
     // Internal helper request: the worker joins this split job instead of
     // serving a client request (no promise, no stats).
     std::shared_ptr<SplitJob> split;
+    // Per-request trace destination (callback variants): the worker records
+    // spans straight into it so pre-filled stages (net decode) survive.
+    std::shared_ptr<obs::RequestTrace> trace_sink;
     WallTimer submitted;  // end-to-end latency starts at enqueue
   };
 
@@ -227,13 +262,23 @@ class EstimatorService {
   void ThrowIfWorkerThread(const char* what) const;
   void WorkerLoop();
   void Serve(Request& req);
-  double ServeSingle(const Query& query);
+  /// Shared completion tail of Serve(): seals the trace (total + stage
+  /// histograms), records end-to-end latency, runs `complete` (timed as the
+  /// respond stage), and writes the slow-request log line if warranted.
+  void FinishRequest(Request& req, obs::RequestTrace& trace, bool tracing,
+                     const char* kind, size_t masks,
+                     const std::function<void()>& complete);
+  /// `trace` may be null (tracing disabled); when set, cache-probe and
+  /// estimate-kernel spans are added to it.
+  double ServeSingle(const Query& query, obs::RequestTrace* trace);
   std::unordered_map<uint64_t, double> ServeBatch(
-      const Query& query, const std::vector<uint64_t>& masks);
+      const Query& query, const std::vector<uint64_t>& masks,
+      obs::RequestTrace* trace);
   /// Estimates the cache-missed masks of a batch, splitting across workers
   /// when the batch is large enough (see split_batch_min_masks).
   std::unordered_map<uint64_t, double> EstimateMisses(
-      const Query& query, const std::vector<uint64_t>& miss_masks);
+      const Query& query, const std::vector<uint64_t>& miss_masks,
+      obs::RequestTrace* trace);
 
   const CardinalityEstimator& estimator_;
   const EstimatorServiceOptions options_;
@@ -250,11 +295,14 @@ class EstimatorService {
   std::mutex drain_mu_;
   std::condition_variable drained_;
 
-  LatencyRecorder latency_;
+  // End-to-end latency (always recorded) and per-stage breakdowns
+  // (recorded while options_.enable_tracing); lock-free on the worker path.
+  obs::LatencyHistogram latency_;
+  std::array<obs::LatencyHistogram, obs::kNumStages> stage_hist_;
+  obs::SlowRequestLog slow_log_;
   std::atomic<uint64_t> requests_{0};
   std::atomic<uint64_t> subplan_requests_{0};
   std::atomic<uint64_t> subplans_estimated_{0};
-  std::atomic<uint64_t> updates_notified_{0};
   std::atomic<uint64_t> errors_{0};
   std::atomic<uint64_t> batches_split_{0};
   std::atomic<uint64_t> split_chunks_{0};

@@ -15,6 +15,9 @@ EstimatorService& ModelRegistry::AddModel(
   Entry entry;
   entry.name = std::move(name);
   entry.estimator = std::move(estimator);
+  // Stamp the registered name onto slow-log lines and metrics labels unless
+  // the caller picked an explicit one.
+  if (options.model_name.empty()) options.model_name = entry.name;
   entry.owned_service =
       std::make_unique<EstimatorService>(*entry.estimator, options);
   entry.service = entry.owned_service.get();

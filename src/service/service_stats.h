@@ -1,13 +1,16 @@
-// Point-in-time metrics snapshot of an EstimatorService, plus the latency
-// recorder the workers feed. Latencies are end-to-end (queue wait + compute),
-// the number an optimizer integrating the service actually experiences.
+// Point-in-time metrics snapshot of an EstimatorService. Latencies are
+// end-to-end (queue wait + compute), the number an optimizer integrating
+// the service actually experiences, recorded into log-bucketed histograms
+// (obs/latency_histogram.h) — lock-free on the worker path, exact-bucket
+// p50/p90/p99/p999 at snapshot time, mergeable and wire-encodable (the
+// stats RPC ships the full histograms, not just pre-computed quantiles).
 #pragma once
 
-#include <algorithm>
+#include <array>
 #include <cstdint>
-#include <mutex>
-#include <vector>
 
+#include "obs/latency_histogram.h"
+#include "obs/request_trace.h"
 #include "service/sharded_cache.h"
 
 namespace fj {
@@ -34,11 +37,13 @@ struct ServiceStats {
   /// batches lose nothing — the serving worker keeps claiming chunks
   /// itself — but small fresh requests stop waiting behind them.
   uint64_t fresh_first_pops = 0;
-  /// NotifyUpdate calls received (data-update notifications).
+  /// NotifyUpdate calls received (data-update notifications). Always equals
+  /// `epoch`: both are captured from one atomic read of the epoch registry,
+  /// which NotifyUpdate bumps exactly once per call (the separate counter
+  /// that could disagree under concurrent snapshots is gone).
   uint64_t updates_notified = 0;
-  /// Statistics epoch at snapshot time (== updates_notified unless callers
-  /// raced the snapshot). Cache entries older than a touched table's epoch
-  /// are lazily invalidated; see CacheStats::invalidations.
+  /// Statistics epoch at snapshot time. Cache entries older than a touched
+  /// table's epoch are lazily invalidated; see CacheStats::invalidations.
   uint64_t epoch = 0;
   /// Gauge: client requests accepted but not yet served at snapshot time
   /// (queued plus in-flight on workers) — what Drain() waits to reach zero.
@@ -50,63 +55,41 @@ struct ServiceStats {
   /// large batch is being split, short-lived internal helper tasks can
   /// appear here without a matching pending request.
   uint64_t queue_depth = 0;
+  /// Slow-request log lines emitted (see
+  /// EstimatorServiceOptions::slow_request_micros; 0 while disabled).
+  uint64_t slow_requests = 0;
 
   CacheStats cache;
 
-  /// End-to-end request latency percentiles over a sliding sample window
-  /// (microseconds). Zero until the first request completes.
+  /// End-to-end request latency histogram (microseconds, every completed
+  /// request since service start). The quantile fields below are derived
+  /// from it by RefreshQuantiles().
+  obs::HistogramSnapshot latency;
+  /// Per-stage latency histograms, indexed by obs::Stage. Filled while
+  /// EstimatorServiceOptions::enable_tracing is on; the net front end
+  /// (net/server.h) keeps its own decode/encode/socket-write histograms, so
+  /// those stages stay empty on in-process services.
+  std::array<obs::HistogramSnapshot, obs::kNumStages> stages;
+
+  /// Exact-bucket latency quantiles (microseconds; at most +6.25% above the
+  /// true sample — see obs/latency_histogram.h). Zero until the first
+  /// request completes. `max_micros` is exact.
   double p50_micros = 0.0;
+  double p90_micros = 0.0;
   double p99_micros = 0.0;
+  double p999_micros = 0.0;
   double max_micros = 0.0;
-};
 
-/// Fixed-window latency reservoir: keeps the most recent kWindow samples and
-/// computes percentiles over them at snapshot time. One mutex is fine — a
-/// push is two writes, orders of magnitude cheaper than the estimate whose
-/// latency it records.
-class LatencyRecorder {
- public:
-  static constexpr size_t kWindow = 4096;
-
-  /// Appends one end-to-end latency sample. Thread-safe (one short-lived
-  /// mutex); called by every worker after fulfilling a request.
-  void Record(double micros) {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (samples_.size() < kWindow) {
-      samples_.push_back(micros);
-    } else {
-      samples_[next_] = micros;
-    }
-    next_ = (next_ + 1) % kWindow;
-    max_ = std::max(max_, micros);
+  /// Recomputes the quantile fields from `latency`. Called by
+  /// EstimatorService::Stats() and by the wire decoder (the stats RPC ships
+  /// histograms; quantiles are derived, never trusted from the peer).
+  void RefreshQuantiles() {
+    p50_micros = latency.ValueAtQuantile(0.50);
+    p90_micros = latency.ValueAtQuantile(0.90);
+    p99_micros = latency.ValueAtQuantile(0.99);
+    p999_micros = latency.ValueAtQuantile(0.999);
+    max_micros = static_cast<double>(latency.max);
   }
-
-  /// Fills the latency fields of `stats`. Thread-safe; copies the window
-  /// under the lock and sorts outside it.
-  void Snapshot(ServiceStats* stats) const {
-    std::vector<double> sorted;
-    double max_value;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      sorted = samples_;
-      max_value = max_;
-    }
-    if (sorted.empty()) return;
-    std::sort(sorted.begin(), sorted.end());
-    auto percentile = [&](double p) {
-      size_t idx = static_cast<size_t>(p * static_cast<double>(sorted.size() - 1));
-      return sorted[idx];
-    };
-    stats->p50_micros = percentile(0.50);
-    stats->p99_micros = percentile(0.99);
-    stats->max_micros = max_value;
-  }
-
- private:
-  mutable std::mutex mu_;
-  std::vector<double> samples_;
-  size_t next_ = 0;
-  double max_ = 0.0;
 };
 
 }  // namespace fj

@@ -16,6 +16,26 @@ std::unordered_map<uint64_t, double> CardinalityEstimator::EstimateSubplans(
   return out;
 }
 
+double CardinalityEstimator::EstimateTraced(const Query& query,
+                                            obs::RequestTrace* trace) const {
+  if (trace == nullptr) return Estimate(query);
+  obs::SpanTimer span;
+  double estimate = Estimate(query);
+  span.Record(trace, obs::Stage::kEstimate);
+  return estimate;
+}
+
+std::unordered_map<uint64_t, double>
+CardinalityEstimator::EstimateSubplansTraced(
+    const Query& query, const std::vector<uint64_t>& masks,
+    obs::RequestTrace* trace) const {
+  if (trace == nullptr) return EstimateSubplans(query, masks);
+  obs::SpanTimer span;
+  std::unordered_map<uint64_t, double> out = EstimateSubplans(query, masks);
+  span.Record(trace, obs::Stage::kEstimate);
+  return out;
+}
+
 double CardinalityEstimator::ApplyInsert(const std::string& table_name,
                                          size_t /*first_new_row*/) {
   throw std::logic_error(Name() +

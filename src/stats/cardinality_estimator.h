@@ -22,6 +22,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/request_trace.h"
 #include "query/query.h"
 
 namespace fj {
@@ -60,6 +61,24 @@ class CardinalityEstimator {
   /// (FactorJoin's progressive algorithm) override this.
   virtual std::unordered_map<uint64_t, double> EstimateSubplans(
       const Query& query, const std::vector<uint64_t>& masks) const;
+
+  // -------------------------------------------------- estimate-kernel hook
+  //
+  // Timed wrappers around the virtual entry points: the wall time spent
+  // inside the estimation kernel is added to `trace` under
+  // obs::Stage::kEstimate, separating kernel time from the serving layer's
+  // queueing/cache/dispatch overhead uniformly across every estimator. A
+  // nullptr trace skips the clock reads entirely (identical to calling the
+  // virtual directly), which is how EstimatorServiceOptions::enable_tracing
+  // turns the hook off.
+
+  /// Estimate() with kernel wall time recorded into `trace`.
+  double EstimateTraced(const Query& query, obs::RequestTrace* trace) const;
+
+  /// EstimateSubplans() with kernel wall time recorded into `trace`.
+  std::unordered_map<uint64_t, double> EstimateSubplansTraced(
+      const Query& query, const std::vector<uint64_t>& masks,
+      obs::RequestTrace* trace) const;
 
   /// Reusable per-query sub-plan estimation state (see PrepareSubplans):
   /// the expensive mask-independent work — FactorJoin's leaf factors — is

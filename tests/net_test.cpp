@@ -347,9 +347,16 @@ TEST(ProtocolTest, ServiceStatsRoundTrip) {
   stats.cache.invalidations = 2;
   stats.cache.cost_weighted_evictions = 1;
   stats.cache.entries = 77;
-  stats.p50_micros = 12.5;
-  stats.p99_micros = 99.25;
-  stats.max_micros = 1000.0;
+  stats.slow_requests = 3;
+  // The wire carries full histograms; quantiles are re-derived on decode,
+  // never trusted from the peer.
+  obs::LatencyHistogram lat;
+  for (uint64_t v : {10, 10, 45, 800, 123456}) lat.Record(v);
+  stats.latency = lat.Snapshot();
+  obs::LatencyHistogram est_stage;
+  est_stage.Record(700);
+  stats.stages[static_cast<size_t>(obs::Stage::kEstimate)] =
+      est_stage.Snapshot();
   ServiceStats back = net::DecodeServiceStats(net::EncodeServiceStats(stats));
   EXPECT_EQ(back.requests, stats.requests);
   EXPECT_EQ(back.subplan_requests, stats.subplan_requests);
@@ -366,9 +373,36 @@ TEST(ProtocolTest, ServiceStatsRoundTrip) {
   EXPECT_EQ(back.queue_depth, stats.queue_depth);
   EXPECT_EQ(back.cache.hits, stats.cache.hits);
   EXPECT_EQ(back.cache.entries, stats.cache.entries);
-  EXPECT_EQ(back.p50_micros, stats.p50_micros);
-  EXPECT_EQ(back.p99_micros, stats.p99_micros);
-  EXPECT_EQ(back.max_micros, stats.max_micros);
+  EXPECT_EQ(back.slow_requests, stats.slow_requests);
+  EXPECT_EQ(back.latency.count, stats.latency.count);
+  EXPECT_EQ(back.latency.sum, stats.latency.sum);
+  EXPECT_EQ(back.latency.max, stats.latency.max);
+  EXPECT_EQ(back.latency.buckets, stats.latency.buckets);
+  for (size_t i = 0; i < obs::kNumStages; ++i) {
+    EXPECT_EQ(back.stages[i].count, stats.stages[i].count) << "stage " << i;
+    EXPECT_EQ(back.stages[i].buckets, stats.stages[i].buckets);
+  }
+  // Decoded quantiles come from the shipped histogram.
+  ServiceStats expect = stats;
+  expect.RefreshQuantiles();
+  EXPECT_EQ(back.p50_micros, expect.p50_micros);
+  EXPECT_EQ(back.p90_micros, expect.p90_micros);
+  EXPECT_EQ(back.p99_micros, expect.p99_micros);
+  EXPECT_EQ(back.p999_micros, expect.p999_micros);
+  EXPECT_EQ(back.max_micros, 123456.0);
+}
+
+TEST(ProtocolTest, ServiceStatsRejectsWrongStageCount) {
+  // A stats body claiming a different stage-histogram count than this
+  // build's obs::kNumStages must be rejected, not misparsed.
+  ServiceStats stats;
+  std::vector<uint8_t> body = net::EncodeServiceStats(stats);
+  // The stage-count byte precedes the kNumStages empty stage histograms;
+  // each empty histogram encodes to 28 bytes (3×u64 + u32, no entries).
+  size_t stage_count_pos = body.size() - obs::kNumStages * 28 - 1;
+  ASSERT_EQ(body[stage_count_pos], obs::kNumStages);
+  body[stage_count_pos] = obs::kNumStages + 1;
+  EXPECT_THROW(net::DecodeServiceStats(body), SerializeError);
 }
 
 // ---------------------------------------------------------------------------
@@ -594,10 +628,10 @@ TEST(RemoteTest, TruncatedFrameMidBodyDropsConnection) {
 
 TEST(RemoteTest, HandshakeVersionMismatchRejected) {
   RemoteStack stack;
-  // Both a from-the-future version and the retired v1 (whose requests
-  // would lack the model-id field) must be rejected cleanly at the
-  // handshake, never half-spoken.
-  for (uint16_t version : {uint16_t{99}, uint16_t{1}}) {
+  // A from-the-future version and every retired one (v1 requests lack the
+  // model-id field; v2 lacks the trace flag and histogram stats bodies)
+  // must be rejected cleanly at the handshake, never half-spoken.
+  for (uint16_t version : {uint16_t{99}, uint16_t{1}, uint16_t{2}}) {
     int fd = net::ConnectSocket(stack.server.endpoint());
     net::Hello hello;
     hello.version = version;
@@ -611,6 +645,48 @@ TEST(RemoteTest, HandshakeVersionMismatchRejected) {
     EXPECT_FALSE(net::ReadFrame(fd, net::kDefaultMaxFrameBytes).has_value());
     net::CloseSocket(fd);
   }
+}
+
+TEST(RemoteTest, TracedRequestsCarryServerStageBreakdown) {
+  RemoteStack stack;
+  Query q = ChainQuery(30, 250);
+  auto masks = EnumerateConnectedSubsets(q, 1);
+
+  // Traced batch: same values as untraced, plus a server-side breakdown.
+  auto untraced = stack.client->EstimateSubplans(q, masks);
+  EstimatorClient::TracedSubplans traced =
+      stack.client->EstimateSubplansTraced(q, masks);
+  ASSERT_TRUE(traced.has_trace);
+  ASSERT_EQ(traced.estimates.size(), untraced.size());
+  for (const auto& [mask, value] : untraced) {
+    EXPECT_EQ(traced.estimates.at(mask), value);
+  }
+  // total covers the service-side life of the request; the net stages the
+  // server measured for this request (decode at minimum, since a frame was
+  // parsed) ride along. respond/socket_write happen after the response
+  // body is sealed and can only appear in the aggregate histograms.
+  EXPECT_GT(traced.trace.total_micros, 0u);
+  EXPECT_EQ(traced.trace.Get(obs::Stage::kRespond), 0u);
+  EXPECT_EQ(traced.trace.Get(obs::Stage::kSocketWrite), 0u);
+
+  EstimatorClient::TracedEstimate single =
+      stack.client->EstimateTraced(ChainQuery(31, 260));
+  ASSERT_TRUE(single.has_trace);
+  EXPECT_GT(single.trace.total_micros, 0u);
+  EXPECT_EQ(single.estimate, stack.client->Estimate(ChainQuery(31, 260)));
+
+  // Untraced requests stay trace-free on the wire (flag off).
+  net::EstimatorClient::TracedSubplans again =
+      stack.client->EstimateSubplansTraced(q, masks);
+  EXPECT_TRUE(again.has_trace);
+
+  // The aggregate net-stage histograms on the server saw every frame.
+  net::ServerStats server_stats = stack.server.Stats();
+  EXPECT_GT(
+      server_stats.stages[static_cast<size_t>(obs::Stage::kDecode)].count,
+      0u);
+  EXPECT_GT(server_stats.bytes_received, 0u);
+  EXPECT_GT(server_stats.bytes_sent, 0u);
 }
 
 TEST(RemoteTest, RequestBeforeHandshakeRejected) {

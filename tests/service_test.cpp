@@ -7,6 +7,8 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <future>
 #include <string>
 #include <thread>
@@ -323,12 +325,86 @@ TEST(ServiceTest, StatsTrackLatencyAndHitRate) {
   EstimatorService service(estimator, {.num_threads = 2});
   Query q = ChainQuery(30, 250);
   for (int i = 0; i < 10; ++i) service.Estimate(q);
+  // Post-completion records (kRespond, slow log) land after the promise is
+  // fulfilled; Drain() returns only after the worker fully finished.
+  service.Drain();
   ServiceStats stats = service.Stats();
   EXPECT_EQ(stats.requests, 10u);
   EXPECT_GT(stats.cache.HitRate(), 0.8);  // 9 of 10 hit
+  // Quantiles are derived from the latency histogram; one sample per
+  // request, ordered p50 <= p90 <= p99 <= p999 <= max (max is exact).
+  EXPECT_EQ(stats.latency.count, 10u);
   EXPECT_GT(stats.p50_micros, 0.0);
-  EXPECT_GE(stats.p99_micros, stats.p50_micros);
-  EXPECT_GE(stats.max_micros, stats.p99_micros);
+  EXPECT_GE(stats.p90_micros, stats.p50_micros);
+  EXPECT_GE(stats.p99_micros, stats.p90_micros);
+  EXPECT_GE(stats.p999_micros, stats.p99_micros);
+  EXPECT_GE(stats.max_micros, stats.p999_micros);
+  EXPECT_EQ(stats.max_micros, static_cast<double>(stats.latency.max));
+  // Tracing is on by default: service-owned stages carry every request;
+  // net-only stages (decode/encode/socket_write) stay empty in-process.
+  using obs::Stage;
+  auto stage = [&](Stage s) {
+    return stats.stages[static_cast<size_t>(s)];
+  };
+  // Zero-microsecond spans are elided, so queue_wait/cache_probe/estimate
+  // are bounded by the request count; respond is recorded per request.
+  EXPECT_LE(stage(Stage::kQueueWait).count, 10u);
+  EXPECT_LE(stage(Stage::kCacheProbe).count, 10u);
+  EXPECT_GE(stage(Stage::kEstimate).count, 1u);  // the one cache miss
+  EXPECT_EQ(stage(Stage::kRespond).count, 10u);
+  EXPECT_EQ(stage(Stage::kDecode).count, 0u);
+  EXPECT_EQ(stage(Stage::kEncode).count, 0u);
+  EXPECT_EQ(stage(Stage::kSocketWrite).count, 0u);
+}
+
+TEST(ServiceTest, TracingDisabledStillFillsLatencyHistogram) {
+  Database db = MakeDb();
+  FactorJoinEstimator estimator = MakeEstimator(db);
+  EstimatorService service(estimator,
+                           {.num_threads = 2, .enable_tracing = false});
+  Query q = ChainQuery(30, 250);
+  for (int i = 0; i < 5; ++i) service.Estimate(q);
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.latency.count, 5u);
+  EXPECT_GT(stats.p50_micros, 0.0);
+  for (const obs::HistogramSnapshot& stage : stats.stages) {
+    EXPECT_EQ(stage.count, 0u);
+  }
+}
+
+TEST(ServiceTest, SlowRequestLogEmitsStructuredLines) {
+  Database db = MakeDb();
+  FactorJoinEstimator estimator = MakeEstimator(db);
+  char* buf = nullptr;
+  size_t buf_size = 0;
+  std::FILE* sink = open_memstream(&buf, &buf_size);
+  ASSERT_NE(sink, nullptr);
+  {
+    // Threshold 1us: every request is an offender.
+    EstimatorServiceOptions options;
+    options.num_threads = 2;
+    options.slow_request_micros = 1;
+    options.slow_log_sink = sink;
+    options.model_name = "slowtest";
+    EstimatorService service(estimator, options);
+    Query q = ChainQuery(30, 250);
+    service.Estimate(q);
+    auto masks = EnumerateConnectedSubsets(q, 1);
+    service.EstimateSubplans(q, masks);
+    service.Drain();  // slow-log lines land after promise fulfillment
+    ServiceStats stats = service.Stats();
+    EXPECT_EQ(stats.slow_requests, 2u);
+  }
+  std::fclose(sink);
+  std::string log(buf, buf_size);
+  free(buf);
+  EXPECT_NE(log.find("fj_slow_request model=slowtest kind=estimate"),
+            std::string::npos)
+      << log;
+  EXPECT_NE(log.find("fj_slow_request model=slowtest kind=subplans"),
+            std::string::npos)
+      << log;
+  EXPECT_NE(log.find("total_us="), std::string::npos) << log;
 }
 
 // ---------------------------------------------------------------------------
@@ -494,6 +570,41 @@ TEST(ServiceTest, NotifyUpdateBumpsEpochAndCounters) {
   ServiceStats stats = service.Stats();
   EXPECT_EQ(stats.epoch, 2u);
   EXPECT_EQ(stats.updates_notified, 2u);
+}
+
+// Both fields come from one atomic read of the epoch registry, so a
+// Stats() snapshot racing a storm of NotifyUpdate calls can never observe
+// them disagreeing (the old separate counter could).
+TEST(ServiceTest, EpochAndUpdatesNotifiedNeverDisagreeUnderRaces) {
+  Database db = MakeDb();
+  FactorJoinEstimator estimator = MakeEstimator(db);
+  EstimatorService service(estimator, {.num_threads = 1});
+
+  constexpr int kNotifiers = 4;
+  constexpr int kPerNotifier = 500;
+  std::atomic<bool> stop{false};
+  std::thread snapshotter([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      ServiceStats stats = service.Stats();
+      ASSERT_EQ(stats.epoch, stats.updates_notified);
+    }
+  });
+  std::vector<std::thread> notifiers;
+  for (int t = 0; t < kNotifiers; ++t) {
+    notifiers.emplace_back([&service, t] {
+      const char* tables[] = {"users", "orders", "items"};
+      for (int i = 0; i < kPerNotifier; ++i) {
+        service.NotifyUpdate(tables[(t + i) % 3]);
+      }
+    });
+  }
+  for (std::thread& t : notifiers) t.join();
+  stop.store(true, std::memory_order_release);
+  snapshotter.join();
+
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.epoch, static_cast<uint64_t>(kNotifiers) * kPerNotifier);
+  EXPECT_EQ(stats.updates_notified, stats.epoch);
 }
 
 // Drain() must be callable while other threads keep submitting: each call

@@ -23,6 +23,7 @@
 
 #include "factorjoin/estimator.h"
 #include "net/client.h"
+#include "obs/request_trace.h"
 #include "query/subplan.h"
 #include "service/estimator_service.h"
 #include "util/timer.h"
@@ -33,6 +34,7 @@ namespace {
 struct Args {
   fj::tools::WorkloadFlags common;
   bool verify = false;
+  bool trace = false;        // issue one traced request, print the breakdown
   std::string model;         // routes every request to this server model
   std::string update_table;  // non-empty: also exercise NotifyUpdate
 };
@@ -43,6 +45,7 @@ void Usage(const char* argv0) {
                "  --model NAME            route requests to this server model\n"
                "                          (default: the server's default model)\n"
                "  --verify                train locally, require bit-identical estimates\n"
+               "  --trace                 request a per-stage server trace and print it\n"
                "  --update TABLE          also issue a NotifyUpdate RPC\n",
                argv0, fj::tools::kWorkloadFlagsUsage);
 }
@@ -59,6 +62,8 @@ bool Parse(int argc, char** argv, Args* args) {
     std::string flag = argv[i];
     if (flag == "--verify") {
       args->verify = true;
+    } else if (flag == "--trace") {
+      args->trace = true;
     } else if (flag == "--model" && i + 1 < argc) {
       args->model = argv[++i];
     } else if (flag == "--update" && i + 1 < argc) {
@@ -131,6 +136,29 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (args.trace && !workload->queries.empty()) {
+    // One traced request (protocol v3 want-trace flag): the response comes
+    // back with the server-side stage breakdown attached.
+    fj::net::EstimatorClient::TracedSubplans traced =
+        client.EstimateSubplansTraced(workload->queries.front(),
+                                      masks.front());
+    if (!traced.has_trace) {
+      std::printf(
+          "fj_client: trace: server returned no trace (tracing disabled "
+          "on the serving model)\n");
+    } else {
+      std::printf("fj_client: trace: remote request total=%lluus\n",
+                  static_cast<unsigned long long>(traced.trace.total_micros));
+      for (size_t i = 0; i < fj::obs::kNumStages; ++i) {
+        uint64_t micros = traced.trace.stage_micros[i];
+        if (micros == 0) continue;
+        std::printf("fj_client: trace:   %-12s %8lluus\n",
+                    fj::obs::StageName(static_cast<fj::obs::Stage>(i)),
+                    static_cast<unsigned long long>(micros));
+      }
+    }
+  }
+
   if (!args.update_table.empty()) {
     uint64_t epoch = client.NotifyUpdate(args.update_table);
     std::printf("fj_client: NotifyUpdate(%s) -> epoch %llu\n",
@@ -142,10 +170,11 @@ int main(int argc, char** argv) {
   std::printf(
       "fj_client: server stats: subplan_requests=%llu "
       "subplans_estimated=%llu hit_rate=%.0f%% p50=%.1fus p99=%.1fus "
-      "pending=%llu\n",
+      "p999=%.1fus pending=%llu\n",
       static_cast<unsigned long long>(stats.subplan_requests),
       static_cast<unsigned long long>(stats.subplans_estimated),
       stats.cache.HitRate() * 100.0, stats.p50_micros, stats.p99_micros,
+      stats.p999_micros,
       static_cast<unsigned long long>(stats.pending_requests));
 
   if (!args.verify) return 0;

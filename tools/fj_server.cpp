@@ -35,6 +35,9 @@
 
 #include "factorjoin/estimator.h"
 #include "net/server.h"
+#include "obs/metrics_export.h"
+#include "obs/metrics_http.h"
+#include "obs/metrics_registry.h"
 #include "service/estimator_service.h"
 #include "service/model_registry.h"
 #include "stats/snapshot.h"
@@ -54,6 +57,11 @@ struct Args {
   bool save_only = false;  // exit after training/saving (no serving)
   // --load-model NAME=PATH entries; non-empty skips training entirely.
   std::vector<std::pair<std::string, std::string>> load_models;
+  // --metrics-port: expose /metrics (+ /metrics.json); -1 = disabled,
+  // 0 = ephemeral (the resolved port is printed).
+  int metrics_port = -1;
+  // --slow-log-micros: slow-request log threshold; 0 = disabled.
+  uint64_t slow_log_micros = 0;
 };
 
 void Usage(const char* argv0) {
@@ -64,7 +72,10 @@ void Usage(const char* argv0) {
       "  --save-model PATH       save the trained model snapshot to PATH\n"
       "  --save-only             exit after training (and saving); don't serve\n"
       "  --load-model NAME=PATH  serve a saved snapshot as model NAME\n"
-      "                          (repeatable; skips retraining)\n",
+      "                          (repeatable; skips retraining)\n"
+      "  --metrics-port N        serve Prometheus metrics on 127.0.0.1:N\n"
+      "                          (0 = ephemeral; the resolved URL is printed)\n"
+      "  --slow-log-micros N     log requests slower than N us to stderr\n",
       argv0, fj::tools::kWorkloadFlagsUsage);
 }
 
@@ -84,6 +95,10 @@ bool Parse(int argc, char** argv, Args* args) {
       args->save_model = argv[++i];
     } else if (flag == "--save-only") {
       args->save_only = true;
+    } else if (flag == "--metrics-port" && i + 1 < argc) {
+      args->metrics_port = std::atoi(argv[++i]);
+    } else if (flag == "--slow-log-micros" && i + 1 < argc) {
+      args->slow_log_micros = static_cast<uint64_t>(std::atoll(argv[++i]));
     } else if (flag == "--load-model" && i + 1 < argc) {
       std::string spec = argv[++i];
       size_t eq = spec.find('=');
@@ -127,6 +142,7 @@ int main(int argc, char** argv) {
   auto workload = fj::tools::MakeFlaggedWorkload(args.common);
   fj::EstimatorServiceOptions service_options;
   service_options.num_threads = args.threads;
+  service_options.slow_request_micros = args.slow_log_micros;
 
   fj::ModelRegistry registry;
   if (args.load_models.empty()) {
@@ -185,6 +201,29 @@ int main(int argc, char** argv) {
   // (tools/net_smoke.sh greps it for the resolved ephemeral port).
   std::printf("fj_server: listening on %s\n",
               server.endpoint().ToString().c_str());
+
+  // Metrics endpoint: one registry scraping every model's service plus the
+  // net front end, served over minimal HTTP. Wired after server.Start() so
+  // a scrape can never observe a half-started server.
+  fj::obs::MetricsRegistry metrics;
+  std::unique_ptr<fj::obs::MetricsHttpServer> metrics_http;
+  if (args.metrics_port >= 0) {
+    fj::obs::ExportRegistryModels(&metrics, registry);
+    fj::obs::ExportServer(&metrics, server);
+    fj::obs::MetricsHttpOptions http_options;
+    http_options.port = static_cast<uint16_t>(args.metrics_port);
+    metrics_http =
+        std::make_unique<fj::obs::MetricsHttpServer>(metrics, http_options);
+    try {
+      metrics_http->Start();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "fj_server: metrics endpoint: %s\n", e.what());
+      server.Stop();
+      return 1;
+    }
+    std::printf("fj_server: metrics on http://127.0.0.1:%u/metrics\n",
+                static_cast<unsigned>(metrics_http->port()));
+  }
   std::fflush(stdout);
 
   std::signal(SIGINT, HandleStop);
@@ -196,6 +235,8 @@ int main(int argc, char** argv) {
     nanosleep(&ts, nullptr);
   }
 
+  // Scrapers stop first: collectors reference the server and services.
+  if (metrics_http != nullptr) metrics_http->Stop();
   server.Stop();
   for (const std::string& name : registry.ModelNames()) {
     fj::ServiceStats stats = registry.Find(name)->Stats();

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Loopback smoke test of the remote-estimation binaries, in two phases:
+# Loopback smoke test of the remote-estimation binaries, in three phases:
 #
 #  1. train-and-serve: start fj_server on an ephemeral port, connect
 #     fj_client --verify from a second process, require bit-identical
@@ -10,6 +10,11 @@
 #     --load-model entries (no retraining), and run fj_client --model X
 #     --verify against each — proving a snapshot save/load round trip
 #     and protocol-v2 model routing are bit-exact across processes.
+#
+#  3. observability: restart fj_server with --metrics-port 0, scrape
+#     /metrics before and after a traced client run, and assert the
+#     expected metric families are present and the request counters
+#     moved; also checks /metrics.json and the fj_client --trace output.
 #
 # Registered as the ctest "net_smoke" test.
 #
@@ -109,4 +114,78 @@ grep -q "loaded model m32" "$SERVER_LOG" || {
 "$CLIENT_BIN" "${BASE_FLAGS[@]}" --bins 48 --port "$PORT" --model m48 --verify
 stop_server
 echo "net_smoke: phase 2 (snapshot save/load + multi-model verify) OK"
+
+# -------------------------------------------------- phase 3: observability
+start_server "${WORKLOAD_FLAGS[@]}" --metrics-port 0 --slow-log-micros 1
+METRICS_URL=""
+for _ in $(seq 1 100); do
+  METRICS_URL=$(sed -n 's#^fj_server: metrics on \(http://[^ ]*\)$#\1#p' "$SERVER_LOG" | head -n1)
+  [[ -n "$METRICS_URL" ]] && break
+  sleep 0.1
+done
+if [[ -z "$METRICS_URL" ]]; then
+  echo "net_smoke: server never reported a metrics URL:" >&2
+  cat "$SERVER_LOG" >&2
+  exit 1
+fi
+echo "net_smoke: metrics endpoint at $METRICS_URL"
+
+BEFORE="$WORKDIR/metrics_before.txt"
+AFTER="$WORKDIR/metrics_after.txt"
+curl -sSf "$METRICS_URL" > "$BEFORE"
+
+# The scrape must carry the core metric families, with the per-model label.
+for name in \
+  'fj_subplan_requests_total{model="default"}' \
+  'fj_requests_total{model="default"}' \
+  'fj_cache_hits_total{model="default"}' \
+  'fj_request_latency_micros_bucket' \
+  'fj_request_latency_micros_count' \
+  'fj_server_connections_accepted_total' \
+  'fj_server_bytes_received_total'; do
+  grep -qF "$name" "$BEFORE" || {
+    echo "net_smoke: metric '$name' missing from scrape:" >&2
+    cat "$BEFORE" >&2
+    exit 1
+  }
+done
+
+# A traced client run: the --trace breakdown must come back, and the slow
+# log (threshold 1us) must emit at least one line into the server log.
+CLIENT_OUT="$WORKDIR/client_trace.log"
+"$CLIENT_BIN" "${WORKLOAD_FLAGS[@]}" --port "$PORT" --trace | tee "$CLIENT_OUT"
+grep -q "fj_client: trace: remote request total=" "$CLIENT_OUT" || {
+  echo "net_smoke: client --trace printed no remote breakdown" >&2; exit 1; }
+
+curl -sSf "$METRICS_URL" > "$AFTER"
+
+# Counters must have moved across the client run.
+metric_value() {  # metric_value <file> <exact-series-prefix>
+  awk -v m="$2" 'index($0, m) == 1 { print $NF; exit }' "$1"
+}
+SUBPLANS_BEFORE=$(metric_value "$BEFORE" 'fj_subplan_requests_total{model="default"}')
+SUBPLANS_AFTER=$(metric_value "$AFTER" 'fj_subplan_requests_total{model="default"}')
+if ! awk -v a="$SUBPLANS_BEFORE" -v b="$SUBPLANS_AFTER" \
+    'BEGIN { exit !(b > a) }'; then
+  echo "net_smoke: fj_subplan_requests_total did not advance" \
+       "($SUBPLANS_BEFORE -> $SUBPLANS_AFTER)" >&2
+  exit 1
+fi
+# Tracing was requested, so per-stage histograms must now be populated.
+grep -qF 'fj_stage_latency_micros_count{model="default",stage="estimate"}' "$AFTER" || {
+  echo "net_smoke: per-stage histogram missing after traced run:" >&2
+  cat "$AFTER" >&2
+  exit 1
+}
+
+# The JSON view must be non-empty and mention the same family.
+curl -sSf "${METRICS_URL%/metrics}/metrics.json" | grep -qF '"fj_subplan_requests_total"' || {
+  echo "net_smoke: /metrics.json missing fj_subplan_requests_total" >&2
+  exit 1
+}
+
+stop_server
+grep -q "fj_slow_request" "$SERVER_LOG" || {
+  echo "net_smoke: no fj_slow_request line in server log" >&2; exit 1; }
+echo "net_smoke: phase 3 (metrics endpoint + trace + slow log) OK"
 echo "net_smoke: OK"
