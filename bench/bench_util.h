@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "exec/true_card.h"
+#include "obs/latency_histogram.h"
 #include "optimizer/endtoend.h"
 #include "query/subplan.h"
 #include "stats/cardinality_estimator.h"
@@ -116,6 +117,30 @@ class JsonReport {
   std::string path_;
   std::vector<Metric> metrics_;
 };
+
+/// Shared latency-series emission: every bench that reports a latency
+/// distribution under some prefix emits the same three quantile keys
+/// (`<prefix>_p50_micros`, `<prefix>_p99_micros`, `<prefix>_p999_micros`),
+/// so the perf-smoke artifacts stay uniform across benches. Pre-existing
+/// keys (e.g. `tcp_p999_micros`) keep their exact names — the prefix is
+/// whatever the bench already used.
+inline void AddLatencyQuantiles(JsonReport* report, const std::string& prefix,
+                                const obs::HistogramSnapshot& latency) {
+  report->Add(prefix + "_p50_micros", latency.ValueAtQuantile(0.50), "us");
+  report->Add(prefix + "_p99_micros", latency.ValueAtQuantile(0.99), "us");
+  report->Add(prefix + "_p999_micros", latency.ValueAtQuantile(0.999), "us");
+}
+
+/// One point of an offered-load sweep (latency-under-load curve): offered
+/// vs achieved rate plus the quantile triple above, all under one prefix
+/// (e.g. `openloop_inproc_p2`).
+inline void AddLoadPoint(JsonReport* report, const std::string& prefix,
+                         double offered_qps, double achieved_qps,
+                         const obs::HistogramSnapshot& latency) {
+  report->Add(prefix + "_offered_qps", offered_qps, "1/s");
+  report->Add(prefix + "_achieved_qps", achieved_qps, "1/s");
+  AddLatencyQuantiles(report, prefix, latency);
+}
 
 inline size_t EnvQueries(size_t fallback) {
   const char* s = std::getenv("FJ_BENCH_QUERIES");

@@ -44,6 +44,8 @@ size_t EnvSize(const char* name, size_t fallback) {
 struct RunResult {
   double qps = 0.0;
   double subplans_per_sec = 0.0;
+  /// Service-side per-request latency over exactly this run's interval.
+  obs::HistogramSnapshot latency;
   double p50_micros = 0.0;
   double p99_micros = 0.0;
   double p999_micros = 0.0;
@@ -85,13 +87,13 @@ RunResult RunPipelined(EstimatorService& service,
   double seconds = timer.Seconds();
   ServiceStats after = service.Stats();
 
-  obs::HistogramSnapshot interval = after.latency.DeltaSince(before.latency);
   RunResult result;
   result.qps = static_cast<double>(requests) / seconds;
   result.subplans_per_sec = static_cast<double>(total_subplans) / seconds;
-  result.p50_micros = interval.ValueAtQuantile(0.50);
-  result.p99_micros = interval.ValueAtQuantile(0.99);
-  result.p999_micros = interval.ValueAtQuantile(0.999);
+  result.latency = after.latency.DeltaSince(before.latency);
+  result.p50_micros = result.latency.ValueAtQuantile(0.50);
+  result.p99_micros = result.latency.ValueAtQuantile(0.99);
+  result.p999_micros = result.latency.ValueAtQuantile(0.999);
   return result;
 }
 
@@ -146,7 +148,7 @@ int main(int argc, char** argv) {
                Fmt(r.p50_micros, 1), Fmt(r.p99_micros, 1),
                Fmt(r.p999_micros, 1), "-"});
     report.Add("inprocess_qps", r.qps, "1/s");
-    report.Add("inprocess_p999_micros", r.p999_micros, "us");
+    AddLatencyQuantiles(&report, "inprocess", r.latency);
   }
 
   double tcp_ratio = 0.0;
@@ -180,7 +182,7 @@ int main(int argc, char** argv) {
                Fmt(r.p999_micros, 1), TablePrinter::FormatPercent(tcp_ratio)});
     report.Add("tcp_qps", r.qps, "1/s");
     report.Add("tcp_vs_inprocess", tcp_ratio);
-    report.Add("tcp_p999_micros", r.p999_micros, "us");
+    AddLatencyQuantiles(&report, "tcp", r.latency);
 
     net::ServerStats net_stats = server.Stats();
     for (size_t i = 0; i < obs::kNumStages; ++i) {
@@ -210,7 +212,7 @@ int main(int argc, char** argv) {
                Fmt(r.p999_micros, 1), TablePrinter::FormatPercent(unix_ratio)});
     report.Add("unix_qps", r.qps, "1/s");
     report.Add("unix_vs_inprocess", unix_ratio);
-    report.Add("unix_p999_micros", r.p999_micros, "us");
+    AddLatencyQuantiles(&report, "unix", r.latency);
   }
   tp.Print();
 

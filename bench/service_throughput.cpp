@@ -48,6 +48,8 @@ struct LoadPoint {
   size_t workers = 0;
   size_t clients = 0;
   double qps = 0.0;
+  /// Service-side per-request latency over exactly this run's interval.
+  obs::HistogramSnapshot latency;
   double p50_micros = 0.0;
   double p99_micros = 0.0;
   double p999_micros = 0.0;
@@ -101,10 +103,10 @@ LoadPoint RunLoad(EstimatorService& service, const std::vector<Query>& queries,
   // Quantiles over exactly this run's requests: the service's latency
   // histograms subtract (obs::HistogramSnapshot::DeltaSince), so earlier
   // warmup/points on the same service don't pollute the tail.
-  obs::HistogramSnapshot interval = after.latency.DeltaSince(before.latency);
-  point.p50_micros = interval.ValueAtQuantile(0.50);
-  point.p99_micros = interval.ValueAtQuantile(0.99);
-  point.p999_micros = interval.ValueAtQuantile(0.999);
+  point.latency = after.latency.DeltaSince(before.latency);
+  point.p50_micros = point.latency.ValueAtQuantile(0.50);
+  point.p99_micros = point.latency.ValueAtQuantile(0.99);
+  point.p999_micros = point.latency.ValueAtQuantile(0.999);
   uint64_t hits = after.cache.hits - before.cache.hits;
   uint64_t misses = after.cache.misses - before.cache.misses;
   point.hit_rate = hits + misses == 0
@@ -290,7 +292,7 @@ int main(int argc, char** argv) {
     report.Add("tracing_overhead_pct", overhead_pct, "%");
     report.Add("traced_qps", qps_on, "1/s");
     report.Add("untraced_qps", qps_off, "1/s");
-    report.Add("traced_p999_micros", traced_stats.p999_micros, "us");
+    AddLatencyQuantiles(&report, "traced", traced_stats.latency);
   }
 
   // ---- Cold start: train from scratch vs restore a snapshot (the

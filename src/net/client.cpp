@@ -145,6 +145,8 @@ void EstimatorClient::FailPending(Pending& pending, std::exception_ptr error) {
     case MsgType::kEstimateResp:
       if (pending.traced) {
         pending.traced_single.set_exception(std::move(error));
+      } else if (pending.single_done) {
+        pending.single_done(0.0, std::move(error));
       } else {
         pending.single.set_exception(std::move(error));
       }
@@ -181,6 +183,8 @@ void EstimatorClient::Complete(Pending& pending, const Frame& frame) {
           EstimateResp resp = DecodeEstimateRespFull(frame.body);
           pending.traced_single.set_value(
               {resp.estimate, resp.has_trace, resp.trace});
+        } else if (pending.single_done) {
+          pending.single_done(DecodeEstimateResp(frame.body), nullptr);
         } else {
           pending.single.set_value(DecodeEstimateResp(frame.body));
         }
@@ -250,6 +254,31 @@ std::future<double> EstimatorClient::EstimateAsync(const std::string& model,
   Send(MsgType::kEstimateReq, EncodeEstimateReq(model, query), id,
        std::move(pending));
   return future;
+}
+
+void EstimatorClient::EstimateAsync(const std::string& model,
+                                    const Query& query,
+                                    EstimateCallback done) {
+  // When the write fails, Send() erases the op and throws — but the
+  // receiver's disconnect sweep may have raced it and already run the
+  // callback. The once-guard keeps the "exactly once" contract either way,
+  // and the catch turns the throw into a callback delivery so drivers have
+  // a single completion path.
+  auto once = std::make_shared<std::atomic<bool>>(false);
+  auto wrapped = [once, done = std::move(done)](double estimate,
+                                                std::exception_ptr error) {
+    if (!once->exchange(true)) done(estimate, std::move(error));
+  };
+  auto pending = std::make_unique<Pending>();
+  pending->expect = MsgType::kEstimateResp;
+  pending->single_done = wrapped;
+  uint64_t id = next_id_.fetch_add(1);
+  try {
+    Send(MsgType::kEstimateReq, EncodeEstimateReq(model, query), id,
+         std::move(pending));
+  } catch (...) {
+    wrapped(0.0, std::current_exception());
+  }
 }
 
 double EstimatorClient::Estimate(const Query& query) {

@@ -24,6 +24,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -85,6 +86,22 @@ class EstimatorClient {
   std::future<double> EstimateAsync(const std::string& model,
                                     const Query& query);
   double Estimate(const std::string& model, const Query& query);
+
+  /// Completion hook for drivers that must observe each response the moment
+  /// it lands (open-loop load generation): futures can only be harvested in
+  /// submission order, which would smear completion times. `error` is
+  /// nullptr on success, else RemoteError/NetError.
+  using EstimateCallback = std::function<void(double estimate,
+                                              std::exception_ptr error)>;
+
+  /// Pipelined single estimate delivering through `done` instead of a
+  /// future. `done` runs exactly once — on the receiver thread when a
+  /// response or disconnect arrives, or on the calling thread when the send
+  /// itself fails (the failure is delivered as the error argument; nothing
+  /// is thrown). Keep it quick and non-blocking: it runs on the thread that
+  /// drains the socket.
+  void EstimateAsync(const std::string& model, const Query& query,
+                     EstimateCallback done);
 
   /// Pipelined batched sub-plan estimates (masks in Query::tables() bit
   /// order, exactly like EstimatorService::EstimateSubplans).
@@ -151,6 +168,9 @@ class EstimatorClient {
   struct Pending {
     MsgType expect;
     bool traced = false;
+    /// When set (callback-style estimate), fulfills/ fails through this
+    /// instead of `single`. Wrapped in a once-guard by EstimateAsync.
+    EstimateCallback single_done;
     std::promise<double> single;
     std::promise<std::unordered_map<uint64_t, double>> batch;
     std::promise<uint64_t> epoch;

@@ -1,0 +1,315 @@
+#include "workload/loadgen.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/hash.h"
+#include "util/zipf.h"
+
+namespace fj {
+namespace {
+
+constexpr uint32_t kTraceMagic = 0x544C4A46;  // "FJLT"
+constexpr uint16_t kTraceFormatVersion = 1;
+// u64 scheduled + u8 kind + u32 index + u32 rows.
+constexpr size_t kOpWireBytes = 8 + 1 + 4 + 4;
+
+uint64_t PayloadChecksum(const uint8_t* data, size_t size) {
+  return Fnv1a64(
+      std::string_view(reinterpret_cast<const char*>(data), size));
+}
+
+double ParsePositiveNumber(const std::string& s, const std::string& spec) {
+  size_t pos = 0;
+  double v = 0.0;
+  try {
+    v = std::stod(s, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  if (pos != s.size() || !(v > 0.0) || !std::isfinite(v)) {
+    throw std::invalid_argument("arrival schedule '" + spec +
+                                "': '" + s + "' is not a positive number");
+  }
+  return v;
+}
+
+std::string FmtRate(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// Splits "R1..R2@T" (the step/ramp operand) into its three numbers.
+void ParseTransition(const std::string& body, const std::string& spec,
+                     double* r1, double* r2, double* at) {
+  size_t dots = body.find("..");
+  size_t amp = body.find('@');
+  if (dots == std::string::npos || amp == std::string::npos || amp < dots) {
+    throw std::invalid_argument("arrival schedule '" + spec +
+                                "' wants R1..R2@T");
+  }
+  *r1 = ParsePositiveNumber(body.substr(0, dots), spec);
+  *r2 = ParsePositiveNumber(body.substr(dots + 2, amp - dots - 2), spec);
+  *at = ParsePositiveNumber(body.substr(amp + 1), spec);
+}
+
+}  // namespace
+
+ArrivalSchedule ArrivalSchedule::Constant(double qps) {
+  ArrivalSchedule s;
+  s.kind = Kind::kConstant;
+  s.rate_qps = qps;
+  return s;
+}
+
+ArrivalSchedule ArrivalSchedule::Step(double qps_before, double qps_after,
+                                      double at_seconds) {
+  ArrivalSchedule s;
+  s.kind = Kind::kStep;
+  s.rate_qps = qps_before;
+  s.rate2_qps = qps_after;
+  s.at_seconds = at_seconds;
+  return s;
+}
+
+ArrivalSchedule ArrivalSchedule::Ramp(double qps_from, double qps_to,
+                                      double over_seconds) {
+  ArrivalSchedule s;
+  s.kind = Kind::kRamp;
+  s.rate_qps = qps_from;
+  s.rate2_qps = qps_to;
+  s.at_seconds = over_seconds;
+  return s;
+}
+
+ArrivalSchedule ArrivalSchedule::Poisson(double qps) {
+  ArrivalSchedule s;
+  s.kind = Kind::kPoisson;
+  s.rate_qps = qps;
+  return s;
+}
+
+ArrivalSchedule ArrivalSchedule::Parse(const std::string& spec) {
+  size_t colon = spec.find(':');
+  if (colon == std::string::npos || colon + 1 >= spec.size()) {
+    throw std::invalid_argument("arrival schedule '" + spec +
+                                "' wants KIND:ARGS");
+  }
+  std::string kind = spec.substr(0, colon);
+  std::string body = spec.substr(colon + 1);
+  if (kind == "const") {
+    return Constant(ParsePositiveNumber(body, spec));
+  }
+  if (kind == "poisson") {
+    return Poisson(ParsePositiveNumber(body, spec));
+  }
+  if (kind == "step" || kind == "ramp") {
+    double r1 = 0.0, r2 = 0.0, at = 0.0;
+    ParseTransition(body, spec, &r1, &r2, &at);
+    return kind == "step" ? Step(r1, r2, at) : Ramp(r1, r2, at);
+  }
+  throw std::invalid_argument("arrival schedule '" + spec +
+                              "': unknown kind '" + kind +
+                              "' (const|step|ramp|poisson)");
+}
+
+std::string ArrivalSchedule::ToString() const {
+  switch (kind) {
+    case Kind::kConstant:
+      return "const:" + FmtRate(rate_qps);
+    case Kind::kPoisson:
+      return "poisson:" + FmtRate(rate_qps);
+    case Kind::kStep:
+      return "step:" + FmtRate(rate_qps) + ".." + FmtRate(rate2_qps) + "@" +
+             FmtRate(at_seconds);
+    case Kind::kRamp:
+      return "ramp:" + FmtRate(rate_qps) + ".." + FmtRate(rate2_qps) + "@" +
+             FmtRate(at_seconds);
+  }
+  return "const:" + FmtRate(rate_qps);
+}
+
+double ArrivalSchedule::RateAt(double t_seconds) const {
+  switch (kind) {
+    case Kind::kConstant:
+    case Kind::kPoisson:
+      return rate_qps;
+    case Kind::kStep:
+      return t_seconds < at_seconds ? rate_qps : rate2_qps;
+    case Kind::kRamp: {
+      if (t_seconds >= at_seconds) return rate2_qps;
+      double frac = at_seconds > 0.0 ? t_seconds / at_seconds : 1.0;
+      return rate_qps + (rate2_qps - rate_qps) * frac;
+    }
+  }
+  return rate_qps;
+}
+
+std::vector<uint64_t> ArrivalSchedule::ArrivalsMicros(size_t n,
+                                                      Rng* rng) const {
+  std::vector<uint64_t> arrivals;
+  arrivals.reserve(n);
+  double t = 0.0;  // seconds; accumulated in double, emitted as micros
+  for (size_t i = 0; i < n; ++i) {
+    arrivals.push_back(static_cast<uint64_t>(t * 1e6));
+    double rate = RateAt(t);
+    if (kind == Kind::kPoisson) {
+      // Exponential interarrival via inverse CDF; 1 - u is in (0, 1], so
+      // the log never sees 0.
+      t += -std::log(1.0 - rng->NextDouble()) / rate;
+    } else {
+      t += 1.0 / rate;
+    }
+  }
+  return arrivals;
+}
+
+Trace GenerateTrace(const Workload& workload, const LoadGenOptions& options) {
+  if (workload.queries.empty()) {
+    throw std::invalid_argument("GenerateTrace: workload has no queries");
+  }
+  Trace trace;
+  trace.workload = workload.name;
+  trace.seed = options.seed;
+  trace.theta = options.zipf_theta;
+  trace.schedule = options.schedule.ToString();
+
+  // Separate streams for arrivals and op content, so turning a constant
+  // schedule into poisson perturbs only the timestamps, not which
+  // templates get hit.
+  Rng arrival_rng(options.seed, /*stream=*/0x61727269);  // "arri"
+  Rng op_rng(options.seed, /*stream=*/0x6f707321);       // "ops!"
+  std::vector<uint64_t> arrivals =
+      options.schedule.ArrivalsMicros(options.num_ops, &arrival_rng);
+
+  ZipfSampler templates(workload.queries.size(), options.zipf_theta);
+  size_t num_tables = workload.db.TableNames().size();
+
+  trace.ops.reserve(options.num_ops);
+  for (size_t i = 0; i < options.num_ops; ++i) {
+    LoadOp op;
+    op.scheduled_micros = arrivals[i];
+    bool update = num_tables > 0 && op_rng.Chance(options.update_fraction);
+    if (update) {
+      op.kind = op_rng.Chance(options.delete_fraction) ? LoadOpKind::kDelete
+                                                       : LoadOpKind::kInsert;
+      op.index = static_cast<uint32_t>(op_rng.Below(num_tables));
+      op.rows = options.update_rows;
+    } else {
+      op.kind = LoadOpKind::kRead;
+      op.index = static_cast<uint32_t>(templates.Sample(&op_rng));
+      op.rows = 0;
+    }
+    trace.ops.push_back(op);
+  }
+  return trace;
+}
+
+std::vector<uint8_t> SerializeTrace(const Trace& trace) {
+  if (trace.ops.size() > UINT32_MAX) {
+    throw SerializeError("trace has too many ops to serialize");
+  }
+  ByteWriter payload;
+  payload.Str(trace.workload);
+  payload.U64(trace.seed);
+  payload.F64(trace.theta);
+  payload.Str(trace.schedule);
+  payload.U32(static_cast<uint32_t>(trace.ops.size()));
+  for (const LoadOp& op : trace.ops) {
+    payload.U64(op.scheduled_micros);
+    payload.U8(static_cast<uint8_t>(op.kind));
+    payload.U32(op.index);
+    payload.U32(op.rows);
+  }
+
+  ByteWriter w;
+  w.U32(kTraceMagic);
+  w.U16(kTraceFormatVersion);
+  w.U64(payload.size());
+  w.Raw(payload.bytes().data(), payload.size());
+  w.U64(PayloadChecksum(payload.bytes().data(), payload.size()));
+  return w.Take();
+}
+
+Trace DeserializeTrace(const std::vector<uint8_t>& bytes) {
+  ByteReader r(bytes);
+  if (r.U32() != kTraceMagic) {
+    throw SerializeError("not a trace file (bad magic)");
+  }
+  uint16_t version = r.U16();
+  if (version != kTraceFormatVersion) {
+    throw SerializeError("unsupported trace format version " +
+                         std::to_string(version));
+  }
+  uint64_t payload_size = r.U64();
+  if (payload_size > r.remaining()) {
+    throw SerializeError("truncated trace payload");
+  }
+  const uint8_t* payload = bytes.data() + (bytes.size() - r.remaining());
+  r.Skip(static_cast<size_t>(payload_size));
+  uint64_t checksum = r.U64();
+  r.ExpectEnd();
+  if (checksum !=
+      PayloadChecksum(payload, static_cast<size_t>(payload_size))) {
+    throw SerializeError("trace payload checksum mismatch (corrupted?)");
+  }
+
+  ByteReader p(payload, static_cast<size_t>(payload_size));
+  Trace trace;
+  trace.workload = p.Str();
+  trace.seed = p.U64();
+  trace.theta = p.F64();
+  trace.schedule = p.Str();
+  uint32_t count = p.CountU32(kOpWireBytes);
+  trace.ops.reserve(count);
+  uint64_t prev = 0;
+  for (uint32_t i = 0; i < count; ++i) {
+    LoadOp op;
+    op.scheduled_micros = p.U64();
+    uint8_t kind = p.U8();
+    if (kind > static_cast<uint8_t>(LoadOpKind::kDelete)) {
+      throw SerializeError("unknown trace op kind " + std::to_string(kind));
+    }
+    op.kind = static_cast<LoadOpKind>(kind);
+    op.index = p.U32();
+    op.rows = p.U32();
+    if (op.scheduled_micros < prev) {
+      throw SerializeError("trace arrival times are not monotone");
+    }
+    prev = op.scheduled_micros;
+    trace.ops.push_back(op);
+  }
+  p.ExpectEnd();
+  return trace;
+}
+
+void SaveTrace(const Trace& trace, const std::string& path) {
+  std::vector<uint8_t> bytes = SerializeTrace(trace);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("cannot open trace file for writing: " + path);
+  }
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) {
+    throw std::runtime_error("failed writing trace file: " + path);
+  }
+}
+
+Trace LoadTrace(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot open trace file: " + path);
+  }
+  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  if (in.bad()) {
+    throw std::runtime_error("failed reading trace file: " + path);
+  }
+  return DeserializeTrace(bytes);
+}
+
+}  // namespace fj

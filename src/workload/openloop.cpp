@@ -1,0 +1,224 @@
+#include "workload/openloop.h"
+
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "net/client.h"
+#include "storage/database.h"
+#include "util/timer.h"
+
+namespace fj {
+namespace {
+
+/// Sleeps toward `target_micros` on `clock`, then spins the last stretch:
+/// OS sleep granularity is tens of microseconds, far coarser than the
+/// interarrival gaps of a high offered load, so sleeping all the way would
+/// throttle the dispatcher below the schedule it is supposed to offer.
+void WaitUntil(const WallTimer& clock, uint64_t target_micros) {
+  constexpr uint64_t kSpinSlackMicros = 200;
+  for (;;) {
+    double now = clock.Micros();
+    if (now >= static_cast<double>(target_micros)) return;
+    uint64_t ahead = target_micros - static_cast<uint64_t>(now);
+    if (ahead > kSpinSlackMicros) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(ahead - kSpinSlackMicros));
+    }
+    // else: spin on the clock until the arrival time passes.
+  }
+}
+
+/// Appends `rows` copies of existing rows (deterministic sources) to every
+/// column of `table`. Copying real rows keeps dictionaries and value
+/// distributions schema-agnostic — the generator does not need to know any
+/// table's column semantics.
+void AppendCopiedRows(Table* table, uint32_t rows, size_t base) {
+  for (const auto& col : table->columns()) {
+    Column* c = table->MutableCol(col->name());
+    for (uint32_t i = 0; i < rows; ++i) {
+      size_t src = (static_cast<size_t>(i) * 7919 + 13) % base;
+      if (c->IsNull(src)) {
+        c->AppendNull();
+        continue;
+      }
+      switch (c->type()) {
+        case ColumnType::kInt64:
+          c->AppendInt(c->IntAt(src));
+          break;
+        case ColumnType::kDouble:
+          c->AppendDouble(c->DoubleAt(src));
+          break;
+        case ColumnType::kString: {
+          std::string s = c->StringAt(src);
+          c->AppendString(s);
+          break;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+InProcessTarget::InProcessTarget(Database* db,
+                                 CardinalityEstimator* estimator,
+                                 EstimatorService* service)
+    : db_(db),
+      estimator_(estimator),
+      service_(service),
+      table_names_(db->TableNames()) {}
+
+void InProcessTarget::SubmitRead(const Query& query, ReadDone done) {
+  outstanding_.fetch_add(1, std::memory_order_relaxed);
+  try {
+    service_->EstimateAsync(
+        query, [this, done = std::move(done)](double, std::exception_ptr err) {
+          done(err);
+          Finish();
+        });
+  } catch (...) {
+    // Submission failed (service shut down): the callback still owes its
+    // exactly-one invocation.
+    done(std::current_exception());
+    Finish();
+  }
+}
+
+void InProcessTarget::ApplyUpdate(const LoadOp& op) {
+  if (table_names_.empty()) return;
+  const std::string& table_name = table_names_[op.index % table_names_.size()];
+  // The dispatcher is the only submitter, so Drain() completes the quiesce
+  // window the estimator update protocol requires; in-flight reads finish
+  // (against the pre-update statistics) before the mutation starts.
+  service_->Drain();
+  Table* table = db_->MutableTable(table_name);
+  if (op.kind == LoadOpKind::kInsert) {
+    size_t first = table->num_rows();
+    if (first > 0 && op.rows > 0 && estimator_->SupportsUpdates()) {
+      AppendCopiedRows(table, op.rows, first);
+      estimator_->ApplyInsert(table_name, first);
+    }
+  } else {
+    if (table->num_rows() > op.rows && estimator_->SupportsUpdates()) {
+      size_t first = table->num_rows() - op.rows;
+      table->Truncate(first);
+      estimator_->ApplyDelete(table_name, first);
+    }
+  }
+  service_->NotifyUpdate(table_name);
+}
+
+void InProcessTarget::AwaitIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_.wait(lock, [this] {
+    return outstanding_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+void InProcessTarget::Finish() {
+  if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lock(mu_);
+    idle_.notify_all();
+  }
+}
+
+RemoteTarget::RemoteTarget(net::EstimatorClient* client,
+                           std::vector<std::string> table_names,
+                           std::string model)
+    : client_(client),
+      table_names_(std::move(table_names)),
+      model_(std::move(model)) {}
+
+void RemoteTarget::SubmitRead(const Query& query, ReadDone done) {
+  outstanding_.fetch_add(1, std::memory_order_relaxed);
+  // The client's callback hook never throws and runs `done` exactly once
+  // (connection failures arrive as the error argument).
+  client_->EstimateAsync(
+      model_, query,
+      [this, done = std::move(done)](double, std::exception_ptr err) {
+        done(err);
+        Finish();
+      });
+}
+
+void RemoteTarget::ApplyUpdate(const LoadOp& op) {
+  if (table_names_.empty()) return;
+  // The wire protocol cannot ship row deltas yet (ROADMAP "replicated
+  // updates"), so a remote update op exercises the invalidation half only.
+  client_->NotifyUpdate(model_,
+                        table_names_[op.index % table_names_.size()]);
+}
+
+void RemoteTarget::AwaitIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_.wait(lock, [this] {
+    return outstanding_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+void RemoteTarget::Finish() {
+  if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lock(mu_);
+    idle_.notify_all();
+  }
+}
+
+OpenLoopResult RunOpenLoop(const Trace& trace,
+                           const std::vector<Query>& queries,
+                           LoadTarget* target) {
+  OpenLoopResult result;
+  if (trace.ops.empty()) return result;
+  if (queries.empty()) {
+    for (const LoadOp& op : trace.ops) {
+      if (op.kind == LoadOpKind::kRead) {
+        throw std::invalid_argument(
+            "RunOpenLoop: trace has read ops but no queries were supplied");
+      }
+    }
+  }
+
+  obs::LatencyHistogram latency;
+  std::atomic<uint64_t> errors{0};
+  WallTimer clock;
+
+  for (const LoadOp& op : trace.ops) {
+    WaitUntil(clock, op.scheduled_micros);
+    uint64_t scheduled = op.scheduled_micros;
+    if (op.kind == LoadOpKind::kRead) {
+      ++result.reads;
+      target->SubmitRead(
+          queries[op.index % queries.size()],
+          [&latency, &errors, &clock, scheduled](std::exception_ptr err) {
+            auto now = static_cast<uint64_t>(clock.Micros());
+            latency.Record(now > scheduled ? now - scheduled : 0);
+            if (err != nullptr) errors.fetch_add(1, std::memory_order_relaxed);
+          });
+    } else {
+      ++result.updates;
+      try {
+        target->ApplyUpdate(op);
+      } catch (...) {
+        errors.fetch_add(1, std::memory_order_relaxed);
+      }
+      auto now = static_cast<uint64_t>(clock.Micros());
+      latency.Record(now > scheduled ? now - scheduled : 0);
+    }
+  }
+  // All callbacks have run once AwaitIdle returns; only then is touching
+  // the stack-local histogram/error counters from this thread safe.
+  target->AwaitIdle();
+
+  result.wall_seconds = clock.Seconds();
+  result.errors = errors.load();
+  result.latency = latency.Snapshot();
+  double ops = static_cast<double>(trace.ops.size());
+  double offered_seconds = trace.OfferedSeconds();
+  result.offered_qps = offered_seconds > 0.0 ? ops / offered_seconds : 0.0;
+  result.achieved_qps =
+      result.wall_seconds > 0.0 ? ops / result.wall_seconds : 0.0;
+  return result;
+}
+
+}  // namespace fj
