@@ -6,11 +6,13 @@
 // arrival and a service running behind the schedule pays the lateness in
 // recorded latency.
 //
-// Three sections:
+// Four sections:
 //   1. In-process sweep: saturation probe measures capacity C, then
 //      constant-rate points at {25, 50, 75, 100, 125}% of C against the
 //      in-process EstimatorService. Past 100% the p99/p999 blow up — that
-//      knee is the headline.
+//      knee is the headline. An SLO section then replays each point's
+//      histogram through obs::SloTracker and checks the burn rate crosses
+//      1 exactly where the offered load crosses C.
 //   2. Remote sweep: the same service behind EstimatorServer/Client over
 //      loopback TCP, driven through the client's completion-callback hook.
 //   3. Mixed poisson traffic: poisson arrivals at 10% of C with a 2%
@@ -37,6 +39,7 @@
 #include "factorjoin/estimator.h"
 #include "net/client.h"
 #include "net/server.h"
+#include "obs/slo.h"
 #include "service/estimator_service.h"
 #include "workload/loadgen.h"
 #include "workload/openloop.h"
@@ -73,10 +76,14 @@ OpenLoopResult RunPoint(const Workload& workload, LoadTarget* target,
 
 /// Saturation probe + constant-rate sweep at fractions of the probed
 /// capacity; prints one table section and emits one load point per sweep
-/// entry under `<prefix>_p<i>`.
-void Sweep(const Workload& workload, LoadTarget* target,
-           const std::string& mode, const std::string& prefix,
-           double point_seconds, size_t probe_ops, JsonReport* report) {
+/// entry under `<prefix>_p<i>`. Returns the per-fraction results (indexed
+/// like `fractions` below — [2] is 75%, [4] is 125%) so the SLO section
+/// can evaluate burn rates without re-running the points.
+std::vector<OpenLoopResult> Sweep(const Workload& workload, LoadTarget* target,
+                                  const std::string& mode,
+                                  const std::string& prefix,
+                                  double point_seconds, size_t probe_ops,
+                                  JsonReport* report) {
   OpenLoopResult probe = RunPoint(workload, target,
                                   ArrivalSchedule::Constant(kProbeRate),
                                   probe_ops, /*seed=*/7);
@@ -88,6 +95,7 @@ void Sweep(const Workload& workload, LoadTarget* target,
   TablePrinter tp({"Offered/cap", "Offered QPS", "Achieved QPS", "p50 (us)",
                    "p99 (us)", "p999 (us)", "Errors"});
   const double fractions[] = {0.25, 0.5, 0.75, 1.0, 1.25};
+  std::vector<OpenLoopResult> results;
   int i = 0;
   for (double fraction : fractions) {
     double rate = std::max(fraction * capacity, 1.0);
@@ -103,9 +111,60 @@ void Sweep(const Workload& workload, LoadTarget* target,
                std::to_string(r.errors)});
     AddLoadPoint(report, prefix + "_p" + std::to_string(i), r.offered_qps,
                  r.achieved_qps, r.latency);
+    results.push_back(std::move(r));
     ++i;
   }
   tp.Print();
+  return results;
+}
+
+/// SLO burn-rate validation against the measured knee: derive a p99
+/// latency objective from the healthy 75% point (threshold = 2x its p999,
+/// so boundary noise cannot trip it), then feed each sweep point's
+/// histogram through an SloTracker — the objective's error budget is 1%
+/// over threshold, CountOver is the bad-event counter, exactly the math
+/// the live monitor runs per second. Below the knee the burn must sit
+/// under 1; past it the open-loop backlog puts nearly every request over
+/// any fixed threshold and the burn explodes. This pins the tentpole's
+/// core promise: burn-rate fires exactly when offered load crosses
+/// capacity, not before.
+void SloSection(const std::vector<OpenLoopResult>& sweep,
+                JsonReport* report) {
+  const OpenLoopResult& healthy = sweep[2];  // 75% of capacity
+  uint64_t threshold = std::max<uint64_t>(
+      static_cast<uint64_t>(2.0 * healthy.latency.ValueAtQuantile(0.999)),
+      100);
+
+  obs::SloSpec spec;
+  spec.latency.push_back(obs::SloObjective{0.99, threshold});
+  std::printf("\n-- slo burn-rate at the knee (objective %s) --\n",
+              spec.latency[0].Name().c_str());
+  const double fractions[] = {0.25, 0.5, 0.75, 1.0, 1.25};
+  std::vector<double> burns;
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    obs::SloTracker tracker(spec, /*fast=*/1, /*slow=*/2);
+    obs::SloInput in;
+    in.total = sweep[i].latency.count;
+    in.over_threshold = {sweep[i].latency.CountOver(threshold)};
+    tracker.Feed(in);
+    double burn = tracker.Status().objectives[0].fast_burn;
+    std::printf("  %4.0f%% of capacity: %8llu reqs, %6llu over %llu us "
+                "-> burn %.2f %s\n",
+                fractions[i] * 100.0,
+                static_cast<unsigned long long>(in.total),
+                static_cast<unsigned long long>(in.over_threshold[0]),
+                static_cast<unsigned long long>(threshold), burn,
+                burn > 1.0 ? "(budget burning)" : "");
+    report->Add("openloop_slo_burn_p" + std::to_string(i), burn);
+    burns.push_back(burn);
+  }
+  report->Add("openloop_slo_threshold_us", static_cast<double>(threshold),
+              "us");
+  // The two points the acceptance bar names: comfortably under budget
+  // below the knee, clearly burning past it.
+  std::printf("  verdict: burn@75%%=%.2f (<1 %s), burn@125%%=%.2f (>1 %s)\n",
+              burns[2], burns[2] < 1.0 ? "ok" : "VIOLATION",
+              burns[4], burns[4] > 1.0 ? "ok" : "VIOLATION");
 }
 
 }  // namespace
@@ -137,8 +196,10 @@ int main(int argc, char** argv) {
   std::printf("\n-- in-process open-loop sweep (%.1fs per point) --\n",
               point_seconds);
   InProcessTarget inproc(&workload->db, &estimator, &service);
-  Sweep(*workload, &inproc, "in-process", "openloop_inproc", point_seconds,
-        probe_ops, &report);
+  std::vector<OpenLoopResult> sweep =
+      Sweep(*workload, &inproc, "in-process", "openloop_inproc", point_seconds,
+            probe_ops, &report);
+  SloSection(sweep, &report);
 
   std::printf("\n-- loopback tcp open-loop sweep --\n");
   {

@@ -278,6 +278,7 @@ std::vector<uint8_t> EncodeServiceStats(const ServiceStats& stats) {
   w.U64(stats.cache.cost_weighted_evictions);
   w.U64(stats.cache.entries);
   w.U64(stats.slow_requests);
+  w.U64(stats.slow_suppressed);
   obs::EncodeHistogramSnapshot(stats.latency, &w);
   w.U8(static_cast<uint8_t>(obs::kNumStages));
   for (const obs::HistogramSnapshot& stage : stats.stages) {
@@ -307,6 +308,7 @@ ServiceStats DecodeServiceStats(const std::vector<uint8_t>& body) {
   stats.cache.cost_weighted_evictions = r.U64();
   stats.cache.entries = r.U64();
   stats.slow_requests = r.U64();
+  stats.slow_suppressed = r.U64();
   stats.latency = obs::DecodeHistogramSnapshot(&r);
   uint8_t stages = r.U8();
   if (stages != obs::kNumStages) {

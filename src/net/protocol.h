@@ -46,6 +46,10 @@ using ProtocolError = SerializeError;
 /// "FJN" + version byte of the *magic*, not the protocol (the protocol
 /// version is negotiated separately in the hello body).
 inline constexpr uint32_t kProtocolMagic = 0x464A4E31;  // "FJN1"
+/// Version 4: the stats body gains the slow-log rate-limiter's suppressed
+/// counter right after slow_requests. Negotiation is exact-match, so the
+/// added field needs its own version — a v3 peer decoding a v4 body would
+/// read the counter as the latency histogram's length.
 /// Version 3 (observability): estimate/subplans requests carry a flags
 /// byte after the model id (bit 0 = attach a per-request stage trace to
 /// the response); their responses end with a has-trace byte plus the
@@ -55,7 +59,7 @@ inline constexpr uint32_t kProtocolMagic = 0x464A4E31;  // "FJN1"
 /// Version 2 added model-id routing and the batch-split counters.
 /// Older handshakes are rejected cleanly (kError naming both versions),
 /// never half-spoken.
-inline constexpr uint16_t kProtocolVersion = 3;
+inline constexpr uint16_t kProtocolVersion = 4;
 
 /// Frames larger than this are rejected at the length prefix (both sides).
 inline constexpr uint32_t kDefaultMaxFrameBytes = 64u << 20;

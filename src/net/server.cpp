@@ -42,6 +42,7 @@ void EstimatorServer::Start() {
   if (started_.exchange(true)) {
     throw std::logic_error("EstimatorServer: already started");
   }
+  start_micros_.store(obs::MonotonicMicros());
   listener_ = std::make_unique<ListenSocket>(options_.endpoint);
   accept_thread_ = std::thread([this] { AcceptLoop(); });
 }
@@ -88,6 +89,7 @@ uint16_t EstimatorServer::port() const {
 
 ServerStats EstimatorServer::Stats() const {
   ServerStats stats;
+  stats.start_micros = start_micros_.load();
   stats.connections_accepted = connections_accepted_.load();
   stats.connections_rejected = connections_rejected_.load();
   stats.frames_received = frames_received_.load();

@@ -69,6 +69,9 @@ struct EstimatorServerOptions {
 
 /// Monotonic counters; `connections_active` is a gauge.
 struct ServerStats {
+  /// MonotonicMicros at Start(); 0 before. Anchors uptime and the
+  /// observability layer's time-series timestamps (fj_server_start_time).
+  uint64_t start_micros = 0;
   uint64_t connections_accepted = 0;
   uint64_t connections_rejected = 0;
   uint64_t connections_active = 0;
@@ -180,6 +183,7 @@ class EstimatorServer {
   mutable std::mutex connections_mu_;
   std::vector<ConnectionPtr> connections_;
 
+  std::atomic<uint64_t> start_micros_{0};
   std::atomic<uint64_t> connections_accepted_{0};
   std::atomic<uint64_t> connections_rejected_{0};
   std::atomic<uint64_t> frames_received_{0};

@@ -45,6 +45,17 @@ double HistogramSnapshot::ValueAtQuantile(double q) const {
   return static_cast<double>(max);
 }
 
+uint64_t HistogramSnapshot::CountOver(uint64_t value) const {
+  // The bucket containing `value` may hold samples on either side of it, so
+  // start strictly after it — conservative by at most one bucket (<=6.25%
+  // of the threshold).
+  uint64_t over = 0;
+  for (size_t i = HistogramBuckets::Index(value) + 1; i < kNumBuckets; ++i) {
+    over += buckets[i];
+  }
+  return over;
+}
+
 HistogramSnapshot LatencyHistogram::Snapshot() const {
   HistogramSnapshot snap;
   for (size_t i = 0; i < kNumBuckets; ++i) {

@@ -102,6 +102,14 @@ struct HistogramSnapshot {
   /// (q in [0,1]; 0 with no samples). Exact-bucket quantile: never below
   /// the true sample, at most +6.25% above it.
   double ValueAtQuantile(double q) const;
+
+  /// Samples strictly greater than `value`, conservatively: only buckets
+  /// whose entire range lies above `value` are counted, so a sample in the
+  /// boundary bucket is never misattributed as over. This is the SLO "bad
+  /// event" counter (obs/slo.h): a latency objective counts requests over
+  /// its threshold, and under-counting by at most one bucket width keeps
+  /// burn rates from false-alarming on boundary samples.
+  uint64_t CountOver(uint64_t value) const;
 };
 
 /// The live, concurrently written histogram.

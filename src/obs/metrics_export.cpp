@@ -3,7 +3,13 @@
 #include <utility>
 #include <vector>
 
+#include <unistd.h>
+
+#include <cstdio>
+
 #include "net/server.h"
+#include "obs/flight_recorder.h"
+#include "obs/monitor.h"
 #include "obs/request_trace.h"
 #include "service/estimator_service.h"
 #include "service/model_registry.h"
@@ -172,6 +178,79 @@ void ExportServer(MetricsRegistry* registry,
           "Net-side per-stage latency (microseconds).",
           {{"stage", StageName(static_cast<Stage>(i))}}, stats.stages[i]));
     }
+  });
+}
+
+void ExportMonitor(MetricsRegistry* registry, const ServingMonitor& monitor) {
+  registry->AddCollector([&monitor](std::vector<MetricSample>* out) {
+    SloStatus slo = monitor.slo_status();
+    for (const SloBurn& b : slo.objectives) {
+      std::vector<MetricLabel> labels = {{"objective", b.name}};
+      out->push_back(Gauge("fj_slo_fast_burn",
+                           "Error-budget burn rate over the fast window.",
+                           labels, b.fast_burn));
+      out->push_back(Gauge("fj_slo_slow_burn",
+                           "Error-budget burn rate over the slow window.",
+                           labels, b.slow_burn));
+      out->push_back(Gauge("fj_slo_burning",
+                           "1 while both burn windows exceed 1.", labels,
+                           b.Burning() ? 1.0 : 0.0));
+    }
+    out->push_back(Gauge("fj_health_state",
+                         "Serving health: 0=ok 1=degraded 2=overloaded.", {},
+                         static_cast<double>(static_cast<uint8_t>(
+                             monitor.health_state()))));
+    out->push_back(Counter("fj_health_transitions_total",
+                           "Published health-state transitions.", {},
+                           monitor.health().transitions()));
+    out->push_back(Counter("fj_monitor_ticks_total",
+                           "Monitor sampling ticks processed.", {},
+                           monitor.ticks()));
+  });
+}
+
+namespace {
+
+/// Resident set size from /proc/self/statm (second field, pages); 0 when
+/// procfs is unavailable — a missing gauge beats a wrong one.
+uint64_t ReadRssBytes() {
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  unsigned long long size_pages = 0, rss_pages = 0;
+  int matched = std::fscanf(f, "%llu %llu", &size_pages, &rss_pages);
+  std::fclose(f);
+  if (matched != 2) return 0;
+  long page = ::sysconf(_SC_PAGESIZE);
+  return rss_pages * static_cast<uint64_t>(page > 0 ? page : 4096);
+}
+
+}  // namespace
+
+void ExportProcess(MetricsRegistry* registry, uint64_t start_micros) {
+  registry->AddCollector([start_micros](std::vector<MetricSample>* out) {
+    out->push_back(Gauge("fj_server_start_time",
+                         "Monotonic micros at server start; with "
+                         "fj_process_uptime_seconds it anchors every "
+                         "time-series t_us to a scrape instant.",
+                         {}, static_cast<double>(start_micros)));
+    uint64_t now = MonotonicMicros();
+    double uptime =
+        now > start_micros ? static_cast<double>(now - start_micros) / 1e6
+                           : 0.0;
+    out->push_back(Gauge("fj_process_uptime_seconds",
+                         "Seconds since server start.", {}, uptime));
+    out->push_back(Gauge("fj_process_rss_bytes",
+                         "Resident set size (/proc/self/statm).", {},
+                         static_cast<double>(ReadRssBytes())));
+  });
+}
+
+void ExportFlightRecorder(MetricsRegistry* registry,
+                          const FlightRecorder& recorder) {
+  registry->AddCollector([&recorder](std::vector<MetricSample>* out) {
+    out->push_back(Counter("fj_flight_records_appended_total",
+                           "Requests captured by the flight recorder.", {},
+                           recorder.appended()));
   });
 }
 

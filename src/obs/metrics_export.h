@@ -40,4 +40,23 @@ void ExportRegistryModels(MetricsRegistry* registry,
 void ExportServer(MetricsRegistry* registry,
                   const net::EstimatorServer& server);
 
+class ServingMonitor;
+class FlightRecorder;
+
+/// Registers the monitor's derived signals: per-objective fj_slo_fast_burn /
+/// fj_slo_slow_burn / fj_slo_burning gauges, the fj_health_state gauge
+/// (0=ok 1=degraded 2=overloaded), fj_health_transitions_total, and
+/// fj_monitor_ticks_total.
+void ExportMonitor(MetricsRegistry* registry, const ServingMonitor& monitor);
+
+/// Registers process-level gauges needed to interpret any time-series:
+/// fj_server_start_time (monotonic micros captured at server start),
+/// fj_process_uptime_seconds, and fj_process_rss_bytes
+/// (/proc/self/statm; 0 where procfs is unavailable).
+void ExportProcess(MetricsRegistry* registry, uint64_t start_micros);
+
+/// Registers fj_flight_records_appended_total.
+void ExportFlightRecorder(MetricsRegistry* registry,
+                          const FlightRecorder& recorder);
+
 }  // namespace fj::obs

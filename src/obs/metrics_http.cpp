@@ -20,6 +20,16 @@ std::string HttpResponse(const char* status, const char* content_type,
   return out;
 }
 
+const char* StatusText(int status) {
+  switch (status) {
+    case 200: return "200 OK";
+    case 404: return "404 Not Found";
+    case 500: return "500 Internal Server Error";
+    case 503: return "503 Service Unavailable";
+    default: return "200 OK";
+  }
+}
+
 }  // namespace
 
 MetricsHttpServer::MetricsHttpServer(const MetricsRegistry& registry,
@@ -43,6 +53,13 @@ void MetricsHttpServer::Stop() {
   if (!started_.load() || stopping_.exchange(true)) return;
   if (listener_ != nullptr) listener_->Close();
   if (thread_.joinable()) thread_.join();
+}
+
+void MetricsHttpServer::AddHandler(std::string path, Handler handler) {
+  if (started_.load()) {
+    throw std::logic_error("MetricsHttpServer: AddHandler after Start");
+  }
+  handlers_[std::move(path)] = std::move(handler);
 }
 
 uint16_t MetricsHttpServer::port() const {
@@ -77,8 +94,25 @@ void MetricsHttpServer::HandleConnection(int fd) {
   if (line_end == std::string::npos) return;
   std::string line = request.substr(0, line_end);
 
+  // Exact path of a GET request line ("GET /path HTTP/1.x"); empty for
+  // non-GETs or malformed lines.
+  std::string path;
+  if (line.rfind("GET ", 0) == 0) {
+    size_t path_end = line.find(' ', 4);
+    path = line.substr(4, path_end == std::string::npos ? std::string::npos
+                                                        : path_end - 4);
+  }
+
   std::string response;
-  if (line.rfind("GET /metrics.json ", 0) == 0) {
+  auto it = handlers_.find(path);
+  if (it != handlers_.end()) {
+    // Registered routes win over the built-ins so /metrics/history is not
+    // swallowed by the /metrics prefix match below.
+    HttpHandlerResult result = it->second();
+    response = HttpResponse(StatusText(result.status),
+                            result.content_type.c_str(), result.body);
+    if (result.status < 300) scrapes_.fetch_add(1);
+  } else if (line.rfind("GET /metrics.json ", 0) == 0) {
     response = HttpResponse("200 OK", "application/json",
                             registry_.DumpJson());
     scrapes_.fetch_add(1);

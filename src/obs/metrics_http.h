@@ -2,6 +2,8 @@
 //
 //   GET /metrics       Prometheus text exposition (RenderPrometheus)
 //   GET /metrics.json  MetricsRegistry::DumpJson()
+//   GET <registered>   AddHandler() routes — fj_server registers
+//                      /metrics/history, /healthz, /debug/traces
 //   anything else      404
 //
 // Deliberately tiny: one accept thread handling connections serially,
@@ -18,6 +20,8 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
@@ -33,8 +37,19 @@ struct MetricsHttpOptions {
   uint16_t port = 0;
 };
 
+/// What a registered route handler returns; the server adds the HTTP
+/// envelope. Any status the handler picks is honored (/healthz returns
+/// 503 while overloaded).
+struct HttpHandlerResult {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+};
+
 class MetricsHttpServer {
  public:
+  using Handler = std::function<HttpHandlerResult()>;
+
   MetricsHttpServer(const MetricsRegistry& registry,
                     MetricsHttpOptions options);
   ~MetricsHttpServer();
@@ -52,6 +67,12 @@ class MetricsHttpServer {
   /// Resolved port (valid after Start()).
   uint16_t port() const;
 
+  /// Registers `handler` for exact-path GETs on `path` (e.g. "/healthz").
+  /// Registered routes are consulted before the built-in /metrics routes,
+  /// so "/metrics/history" is reachable. Call before Start(): the route
+  /// table is not synchronized against the serving thread.
+  void AddHandler(std::string path, Handler handler);
+
   /// Scrapes served so far (2xx responses). Thread-safe.
   uint64_t scrapes() const { return scrapes_.load(); }
 
@@ -61,6 +82,7 @@ class MetricsHttpServer {
 
   const MetricsRegistry& registry_;
   const MetricsHttpOptions options_;
+  std::map<std::string, Handler> handlers_;
   std::unique_ptr<net::ListenSocket> listener_;
   std::thread thread_;
   std::atomic<bool> started_{false};

@@ -1,0 +1,186 @@
+#include "obs/monitor.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <utility>
+
+namespace fj::obs {
+namespace {
+
+void AppendF(std::string* out, const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  int n = std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  if (n > 0) out->append(buf, static_cast<size_t>(n) < sizeof(buf)
+                                  ? static_cast<size_t>(n)
+                                  : sizeof(buf) - 1);
+}
+
+uint64_t Delta(uint64_t now, uint64_t then) {
+  return now > then ? now - then : 0;
+}
+
+}  // namespace
+
+ServingMonitor::ServingMonitor(MonitorOptions options,
+                               std::function<MonitorInput()> source)
+    : options_(std::move(options)),
+      source_(std::move(source)),
+      history_(options_.retention_seconds),
+      slo_(options_.slo, options_.slo_fast_window_seconds,
+           options_.slo_slow_window_seconds),
+      health_(options_.health) {}
+
+ServingMonitor::~ServingMonitor() { Stop(); }
+
+void ServingMonitor::Start() {
+  if (started_.exchange(true)) return;
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    stopping_ = false;
+  }
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void ServingMonitor::Stop() {
+  if (!started_.exchange(false)) return;
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    stopping_ = true;
+  }
+  stop_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void ServingMonitor::Loop() {
+  // Establish the baseline immediately so the first real window starts at
+  // thread start, not one tick after.
+  Tick();
+  std::unique_lock<std::mutex> lock(stop_mu_);
+  while (!stopping_) {
+    stop_cv_.wait_for(lock, std::chrono::microseconds(options_.tick_micros),
+                      [this] { return stopping_; });
+    if (stopping_) break;
+    lock.unlock();
+    Tick();
+    lock.lock();
+  }
+}
+
+void ServingMonitor::Tick() {
+  if (source_) TickWith(source_());
+}
+
+void ServingMonitor::TickWith(const MonitorInput& input) {
+  std::lock_guard<std::mutex> lock(tick_mu_);
+  if (!has_baseline_) {
+    last_ = input;
+    has_baseline_ = true;
+    return;
+  }
+
+  WindowSample w;
+  w.end_micros = input.now_micros;
+  double seconds =
+      static_cast<double>(Delta(input.now_micros, last_.now_micros)) / 1e6;
+  w.seconds = seconds > 0.0 ? seconds : 1.0;
+  w.requests = Delta(input.requests, last_.requests);
+  w.errors = Delta(input.errors, last_.errors);
+  w.cache_hits = Delta(input.cache_hits, last_.cache_hits);
+  w.cache_misses = Delta(input.cache_misses, last_.cache_misses);
+  w.cache_evictions = Delta(input.cache_evictions, last_.cache_evictions);
+  w.bytes_received = Delta(input.bytes_received, last_.bytes_received);
+  w.bytes_sent = Delta(input.bytes_sent, last_.bytes_sent);
+  w.slow_requests = Delta(input.slow_requests, last_.slow_requests);
+  w.slow_suppressed = Delta(input.slow_suppressed, last_.slow_suppressed);
+  w.queue_depth = input.queue_depth;
+  w.pending_requests = input.pending_requests;
+  w.connections_active = input.connections_active;
+
+  HistogramSnapshot latency_delta = input.latency.DeltaSince(last_.latency);
+  w.latency_count = latency_delta.count;
+  w.mean_micros = latency_delta.Mean();
+  w.p50_micros = latency_delta.ValueAtQuantile(0.50);
+  w.p99_micros = latency_delta.ValueAtQuantile(0.99);
+  w.p999_micros = latency_delta.ValueAtQuantile(0.999);
+
+  for (size_t s = 0; s < kNumStages; ++s) {
+    HistogramSnapshot d = input.stages[s].DeltaSince(last_.stages[s]);
+    w.stage_count[s] = d.count;
+    w.stage_sum_micros[s] = d.sum;
+    if (s == static_cast<size_t>(Stage::kQueueWait)) {
+      w.queue_wait_p99_micros = d.ValueAtQuantile(0.99);
+    }
+  }
+  history_.Push(w);
+
+  SloInput slo_input;
+  slo_input.total = latency_delta.count;
+  slo_input.errors = w.errors;
+  slo_input.over_threshold.reserve(options_.slo.latency.size());
+  for (const SloObjective& obj : options_.slo.latency) {
+    slo_input.over_threshold.push_back(
+        latency_delta.CountOver(obj.threshold_micros));
+  }
+  slo_.Feed(slo_input);
+
+  HealthInput health_input;
+  health_input.queue_frac =
+      input.queue_capacity > 0
+          ? static_cast<double>(input.queue_depth) /
+                static_cast<double>(input.queue_capacity)
+          : 0.0;
+  health_input.queue_wait_p99_micros = w.queue_wait_p99_micros;
+  HealthState before = health_.state();
+  HealthState after = health_.Tick(health_input);
+  if (after != before && options_.on_transition) {
+    options_.on_transition(before, after);
+  }
+
+  last_ = input;
+  ticks_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::string ServingMonitor::HealthJson(int* http_status) const {
+  HealthState state = health_.state();
+  if (http_status != nullptr) {
+    *http_status = state == HealthState::kOverloaded ? 503 : 200;
+  }
+  std::string out;
+  AppendF(&out, "{\"state\":\"%s\",\"ticks_in_state\":%" PRIu64
+                ",\"transitions\":%" PRIu64,
+          HealthStateName(state), health_.ticks_in_state(),
+          health_.transitions());
+  std::vector<WindowSample> recent = history_.Window(1);
+  if (!recent.empty()) {
+    const WindowSample& w = recent.back();
+    AppendF(&out,
+            ",\"qps\":%.1f,\"p99_us\":%.1f,\"queue_depth\":%" PRIu64
+            ",\"queue_wait_p99_us\":%.1f",
+            w.Qps(), w.p99_micros, w.queue_depth, w.queue_wait_p99_micros);
+  }
+  out += ",\"slo\":[";
+  SloStatus slo = slo_.Status();
+  for (size_t i = 0; i < slo.objectives.size(); ++i) {
+    const SloBurn& b = slo.objectives[i];
+    if (i > 0) out += ',';
+    AppendF(&out,
+            "{\"name\":\"%s\",\"fast_burn\":%.3f,\"slow_burn\":%.3f,"
+            "\"burning\":%s}",
+            b.name.c_str(), b.fast_burn, b.slow_burn,
+            b.Burning() ? "true" : "false");
+  }
+  out += "]}";
+  return out;
+}
+
+std::string ServingMonitor::HistoryJson(size_t last_n) const {
+  return RenderHistoryJson(history_.Window(last_n),
+                           options_.retention_seconds);
+}
+
+}  // namespace fj::obs

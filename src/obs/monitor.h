@@ -1,0 +1,140 @@
+// ServingMonitor: the 1 Hz sampling loop that turns cumulative serving
+// counters into the retained observability layer — per-second WindowSamples
+// in a TimeSeriesRing (served at /metrics/history), SLO burn rates
+// (obs/slo.h, exported as fj_slo_* gauges), and the health/overload state
+// machine (obs/health.h, served at /healthz).
+//
+// The monitor is deliberately decoupled from EstimatorService and
+// EstimatorServer: it pulls a MonitorInput — cumulative counters, gauges,
+// and histogram snapshots — from an injected source callback, diffs it
+// against the previous tick, and feeds the derived window to the three
+// consumers. fj_server's source merges ServiceStats (across all registry
+// models) with ServerStats; tests feed synthetic inputs through TickWith()
+// and never start the thread, so burn math, wraparound, and hysteresis are
+// all testable without a running server.
+//
+// The first input only establishes the baseline (there is no window to
+// diff yet). Each subsequent tick costs a few histogram subtractions and
+// quantile scans — microseconds, once per second, on a thread that never
+// touches the serving path.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/health.h"
+#include "obs/latency_histogram.h"
+#include "obs/request_trace.h"
+#include "obs/slo.h"
+#include "obs/time_series.h"
+
+namespace fj::obs {
+
+/// Cumulative counters + instantaneous gauges at one sampling instant.
+/// The source callback fills this from whatever it fronts (one service,
+/// a whole registry, a loadgen harness).
+struct MonitorInput {
+  uint64_t now_micros = 0;  // MonotonicMicros at sampling
+
+  // Cumulative since process start.
+  uint64_t requests = 0;  // completed (single + batched)
+  uint64_t errors = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_evictions = 0;
+  uint64_t bytes_received = 0;
+  uint64_t bytes_sent = 0;
+  uint64_t slow_requests = 0;
+  uint64_t slow_suppressed = 0;
+
+  // Gauges.
+  uint64_t queue_depth = 0;
+  uint64_t queue_capacity = 0;  // 0 = unbounded (queue_frac reads 0)
+  uint64_t pending_requests = 0;
+  uint64_t connections_active = 0;
+
+  // Cumulative histograms; the monitor diffs them per tick.
+  HistogramSnapshot latency;
+  std::array<HistogramSnapshot, kNumStages> stages;
+};
+
+struct MonitorOptions {
+  /// Time-series retention at one window per tick (default five minutes).
+  size_t retention_seconds = 300;
+  /// SLO objectives; empty spec → burn rates all read 0.
+  SloSpec slo;
+  size_t slo_fast_window_seconds = 60;
+  size_t slo_slow_window_seconds = 1800;
+  HealthOptions health;
+  /// Background thread tick interval.
+  uint64_t tick_micros = 1'000'000;
+  /// Fired from the monitor thread on every published health transition
+  /// (fj_server dumps the flight recorder when `to` is overloaded).
+  std::function<void(HealthState from, HealthState to)> on_transition;
+};
+
+class ServingMonitor {
+ public:
+  ServingMonitor(MonitorOptions options, std::function<MonitorInput()> source);
+  ~ServingMonitor();
+
+  ServingMonitor(const ServingMonitor&) = delete;
+  ServingMonitor& operator=(const ServingMonitor&) = delete;
+
+  /// Starts the background sampling thread (idempotent).
+  void Start();
+  /// Stops and joins it (idempotent; the destructor calls this).
+  void Stop();
+
+  /// Samples the source and processes one tick now — the background
+  /// thread's body, exposed for benches that want deterministic sampling.
+  void Tick();
+  /// Processes one externally supplied input (tests; fj_loadgen windows).
+  void TickWith(const MonitorInput& input);
+
+  const TimeSeriesRing& history() const { return history_; }
+  SloStatus slo_status() const { return slo_.Status(); }
+  const SloTracker& slo() const { return slo_; }
+  HealthState health_state() const { return health_.state(); }
+  const HealthTracker& health() const { return health_; }
+  const MonitorOptions& options() const { return options_; }
+  uint64_t ticks() const { return ticks_.load(std::memory_order_relaxed); }
+
+  /// The /healthz body: state, queue signals from the newest window, and
+  /// per-objective burn rates. `http_status` (when non-null) gets 200 for
+  /// ok/degraded and 503 for overloaded — degraded still serves, so a
+  /// router should keep sending (reduced) traffic.
+  std::string HealthJson(int* http_status = nullptr) const;
+
+  /// /metrics/history body for the last `last_n` windows.
+  std::string HistoryJson(size_t last_n = SIZE_MAX) const;
+
+ private:
+  void Loop();
+
+  const MonitorOptions options_;
+  const std::function<MonitorInput()> source_;
+
+  TimeSeriesRing history_;
+  SloTracker slo_;
+  HealthTracker health_;
+
+  std::mutex tick_mu_;  // serializes TickWith (thread + manual calls)
+  bool has_baseline_ = false;
+  MonitorInput last_;
+  std::atomic<uint64_t> ticks_{0};
+
+  std::thread thread_;
+  std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
+  bool stopping_ = false;
+  std::atomic<bool> started_{false};
+};
+
+}  // namespace fj::obs

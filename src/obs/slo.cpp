@@ -1,0 +1,193 @@
+#include "obs/slo.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace fj::obs {
+namespace {
+
+/// "5ms" → micros. Accepts us/ms/s suffixes; bare numbers are rejected so
+/// a spec never silently means the wrong unit.
+uint64_t ParseDuration(const std::string& token) {
+  size_t pos = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(token, &pos);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("slo: bad duration '" + token + "'");
+  }
+  if (value < 0.0) {
+    throw std::invalid_argument("slo: negative duration '" + token + "'");
+  }
+  std::string unit = token.substr(pos);
+  double scale = 0.0;
+  if (unit == "us") scale = 1.0;
+  else if (unit == "ms") scale = 1e3;
+  else if (unit == "s") scale = 1e6;
+  else {
+    throw std::invalid_argument("slo: duration '" + token +
+                                "' needs a us/ms/s suffix");
+  }
+  return static_cast<uint64_t>(value * scale);
+}
+
+std::string FormatThreshold(uint64_t micros) {
+  char buf[32];
+  if (micros % 1000000 == 0 && micros > 0) {
+    std::snprintf(buf, sizeof(buf), "%llus",
+                  static_cast<unsigned long long>(micros / 1000000));
+  } else if (micros % 1000 == 0 && micros > 0) {
+    std::snprintf(buf, sizeof(buf), "%llums",
+                  static_cast<unsigned long long>(micros / 1000));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lluus",
+                  static_cast<unsigned long long>(micros));
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string SloObjective::Name() const {
+  const char* q = "p99";
+  if (quantile == 0.5) q = "p50";
+  else if (quantile == 0.9) q = "p90";
+  else if (quantile == 0.99) q = "p99";
+  else if (quantile == 0.999) q = "p999";
+  return std::string(q) + "_" + FormatThreshold(threshold_micros);
+}
+
+SloSpec SloSpec::Parse(const std::string& spec) {
+  SloSpec out;
+  size_t start = 0;
+  while (start <= spec.size()) {
+    size_t comma = spec.find(',', start);
+    std::string token = spec.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    start = comma == std::string::npos ? spec.size() + 1 : comma + 1;
+    if (token.empty()) continue;
+    size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("slo: objective '" + token +
+                                  "' is not key=value");
+    }
+    std::string key = token.substr(0, eq);
+    std::string value = token.substr(eq + 1);
+    if (key == "avail") {
+      double pct = 0.0;
+      try {
+        pct = std::stod(value);
+      } catch (const std::exception&) {
+        throw std::invalid_argument("slo: bad availability '" + value + "'");
+      }
+      if (pct <= 0.0 || pct >= 100.0) {
+        throw std::invalid_argument(
+            "slo: availability must be in (0,100), got '" + value + "'");
+      }
+      out.availability = pct / 100.0;
+    } else if (key == "p50" || key == "p90" || key == "p99" ||
+               key == "p999") {
+      SloObjective obj;
+      if (key == "p50") obj.quantile = 0.5;
+      else if (key == "p90") obj.quantile = 0.9;
+      else if (key == "p99") obj.quantile = 0.99;
+      else obj.quantile = 0.999;
+      obj.threshold_micros = ParseDuration(value);
+      if (obj.threshold_micros == 0) {
+        throw std::invalid_argument("slo: zero threshold in '" + token + "'");
+      }
+      out.latency.push_back(obj);
+    } else {
+      throw std::invalid_argument("slo: unknown objective '" + key +
+                                  "' (want p50/p90/p99/p999/avail)");
+    }
+  }
+  return out;
+}
+
+bool SloStatus::AnyBurning() const {
+  for (const SloBurn& b : objectives) {
+    if (b.Burning()) return true;
+  }
+  return false;
+}
+
+SloTracker::SloTracker(SloSpec spec, size_t fast_window_seconds,
+                       size_t slow_window_seconds)
+    : spec_(std::move(spec)),
+      fast_window_(fast_window_seconds > 0 ? fast_window_seconds : 1),
+      slow_window_(slow_window_seconds > fast_window_ ? slow_window_seconds
+                                                      : fast_window_),
+      ring_(slow_window_) {
+  for (Second& s : ring_) s.bad.resize(spec_.latency.size(), 0);
+  fast_sum_.bad.resize(spec_.latency.size(), 0);
+  slow_sum_.bad.resize(spec_.latency.size(), 0);
+}
+
+void SloTracker::Subtract(RollingSum* sum, const Second& s) const {
+  sum->total -= s.total;
+  sum->errors -= s.errors;
+  for (size_t i = 0; i < sum->bad.size(); ++i) sum->bad[i] -= s.bad[i];
+}
+
+void SloTracker::Add(RollingSum* sum, const Second& s) const {
+  sum->total += s.total;
+  sum->errors += s.errors;
+  for (size_t i = 0; i < sum->bad.size(); ++i) sum->bad[i] += s.bad[i];
+}
+
+void SloTracker::Feed(const SloInput& input) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Retire the seconds leaving each window. The fast window's trailing
+  // edge is fast_window_ slots behind the write cursor; the slow window's
+  // is the slot being overwritten.
+  if (fed_ >= fast_window_) {
+    size_t leaving = (next_ + slow_window_ - fast_window_) % slow_window_;
+    Subtract(&fast_sum_, ring_[leaving]);
+  }
+  if (fed_ >= slow_window_) Subtract(&slow_sum_, ring_[next_]);
+
+  Second& slot = ring_[next_];
+  slot.total = input.total;
+  slot.errors = input.errors;
+  for (size_t i = 0; i < slot.bad.size(); ++i) {
+    slot.bad[i] = i < input.over_threshold.size() ? input.over_threshold[i]
+                                                  : 0;
+  }
+  Add(&fast_sum_, slot);
+  Add(&slow_sum_, slot);
+  next_ = (next_ + 1) % slow_window_;
+  ++fed_;
+}
+
+SloStatus SloTracker::Status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SloStatus status;
+  auto burn = [](uint64_t bad, uint64_t total, double budget) {
+    if (total == 0 || budget <= 0.0) return 0.0;
+    return (static_cast<double>(bad) / static_cast<double>(total)) / budget;
+  };
+  for (size_t i = 0; i < spec_.latency.size(); ++i) {
+    SloBurn b;
+    b.name = spec_.latency[i].Name();
+    b.budget = spec_.latency[i].Budget();
+    b.fast_burn = burn(fast_sum_.bad[i], fast_sum_.total, b.budget);
+    b.slow_burn = burn(slow_sum_.bad[i], slow_sum_.total, b.budget);
+    b.fast_bad = fast_sum_.bad[i];
+    b.fast_total = fast_sum_.total;
+    status.objectives.push_back(std::move(b));
+  }
+  if (spec_.availability > 0.0) {
+    SloBurn b;
+    b.name = "availability";
+    b.budget = spec_.AvailabilityBudget();
+    b.fast_burn = burn(fast_sum_.errors, fast_sum_.total, b.budget);
+    b.slow_burn = burn(slow_sum_.errors, slow_sum_.total, b.budget);
+    b.fast_bad = fast_sum_.errors;
+    b.fast_total = fast_sum_.total;
+    status.objectives.push_back(std::move(b));
+  }
+  return status;
+}
+
+}  // namespace fj::obs

@@ -5,10 +5,16 @@
 namespace fj::obs {
 
 SlowRequestLog::SlowRequestLog(uint64_t threshold_micros, std::FILE* sink,
-                               std::string model)
+                               std::string model, double lines_per_second,
+                               double burst,
+                               std::function<uint64_t()> clock)
     : threshold_micros_(threshold_micros),
       sink_(sink != nullptr ? sink : stderr),
-      model_(model.empty() ? "default" : std::move(model)) {}
+      model_(model.empty() ? "default" : std::move(model)),
+      lines_per_second_(lines_per_second),
+      burst_(burst >= 1.0 ? burst : 1.0),
+      clock_(clock ? std::move(clock) : MonotonicMicros),
+      tokens_(burst_) {}
 
 bool SlowRequestLog::MaybeLog(const char* kind,
                               const QueryFingerprint& fingerprint,
@@ -16,7 +22,8 @@ bool SlowRequestLog::MaybeLog(const char* kind,
   if (threshold_micros_ == 0 || trace.total_micros < threshold_micros_) {
     return false;
   }
-  // Build the line outside the lock; hold it only for the single write.
+  // Build the line outside the lock; hold it only for the bucket update and
+  // the single write.
   char line[512];
   int len = std::snprintf(
       line, sizeof(line),
@@ -32,8 +39,34 @@ bool SlowRequestLog::MaybeLog(const char* kind,
         StageName(static_cast<Stage>(i)),
         static_cast<unsigned long long>(trace.stage_micros[i]));
   }
+  uint64_t flushed_suppressed = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (lines_per_second_ > 0.0) {
+      uint64_t now = clock_();
+      if (last_refill_micros_ == 0) last_refill_micros_ = now;
+      if (now > last_refill_micros_) {
+        tokens_ += static_cast<double>(now - last_refill_micros_) / 1e6 *
+                   lines_per_second_;
+        if (tokens_ > burst_) tokens_ = burst_;
+        last_refill_micros_ = now;
+      }
+      if (tokens_ < 1.0) {
+        ++pending_suppressed_;
+        suppressed_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+      tokens_ -= 1.0;
+    }
+    // Acknowledge any gap the limiter created before resuming, so the line
+    // stream accounts for every offender.
+    flushed_suppressed = pending_suppressed_;
+    pending_suppressed_ = 0;
+    if (flushed_suppressed > 0) {
+      std::fprintf(sink_, "fj_slow_request_suppressed model=%s suppressed=%llu\n",
+                   model_.c_str(),
+                   static_cast<unsigned long long>(flushed_suppressed));
+    }
     std::fprintf(sink_, "%s\n", line);
     std::fflush(sink_);
   }

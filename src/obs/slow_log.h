@@ -11,6 +11,19 @@
 // Threshold 0 disables logging entirely (the default); the line count is
 // exported as ServiceStats::slow_requests / fj_slow_requests_total.
 //
+// Emission is rate-limited by a token bucket (default ~10 lines/s with a
+// small burst): during an overload episode nearly EVERY request crosses the
+// threshold, and an unthrottled log would hammer stderr with thousands of
+// lines per second — I/O spent worsening the very overload it reports.
+// Suppressed offenders are counted (ServiceStats::slow_suppressed /
+// fj_slow_suppressed_total) and acknowledged in-band: the next emitted line
+// is preceded by one summary line
+//
+//   fj_slow_request_suppressed model=default suppressed=N
+//
+// so a log reader knows exactly how many offenders the gap hides. Rate 0
+// disables the limiter (every offender logs — tests use this).
+//
 // Lines go to stderr unless a sink FILE* is injected (tests use
 // open_memstream; fj_server --slow-log-micros leaves stderr). One mutex
 // serializes whole lines so concurrent workers never interleave fragments —
@@ -20,6 +33,7 @@
 #include <atomic>
 #include <cstdint>
 #include <cstdio>
+#include <functional>
 #include <mutex>
 #include <string>
 
@@ -31,9 +45,14 @@ namespace fj::obs {
 class SlowRequestLog {
  public:
   /// `threshold_micros` 0 disables; `sink` nullptr means stderr; `model`
-  /// stamps every line (empty → "default").
+  /// stamps every line (empty → "default"). `lines_per_second` caps
+  /// emission (0 = unlimited) with up to `burst` tokens banked; `clock`
+  /// overrides the time source for the bucket (tests; nullptr =
+  /// MonotonicMicros).
   SlowRequestLog(uint64_t threshold_micros, std::FILE* sink,
-                 std::string model);
+                 std::string model, double lines_per_second = 10.0,
+                 double burst = 20.0,
+                 std::function<uint64_t()> clock = nullptr);
 
   SlowRequestLog(const SlowRequestLog&) = delete;
   SlowRequestLog& operator=(const SlowRequestLog&) = delete;
@@ -41,21 +60,35 @@ class SlowRequestLog {
   bool enabled() const { return threshold_micros_ > 0; }
   uint64_t threshold_micros() const { return threshold_micros_; }
 
-  /// Logs one line when trace.total_micros >= threshold. `kind` is
-  /// "estimate" or "subplans"; `masks` is the batch size (0 for single
-  /// estimates). Returns true when a line was written. Thread-safe.
+  /// Logs one line when trace.total_micros >= threshold and the token
+  /// bucket has a token. `kind` is "estimate" or "subplans"; `masks` is the
+  /// batch size (0 for single estimates). Returns true when a line was
+  /// written (false: under threshold, or suppressed). Thread-safe.
   bool MaybeLog(const char* kind, const QueryFingerprint& fingerprint,
                 size_t masks, const RequestTrace& trace);
 
-  /// Lines written so far. Thread-safe.
+  /// Lines written so far (summary lines excluded). Thread-safe.
   uint64_t logged() const { return logged_.load(std::memory_order_relaxed); }
+
+  /// Offenders suppressed by the rate limit so far. Thread-safe.
+  uint64_t suppressed() const {
+    return suppressed_.load(std::memory_order_relaxed);
+  }
 
  private:
   const uint64_t threshold_micros_;
   std::FILE* const sink_;
   const std::string model_;
+  const double lines_per_second_;
+  const double burst_;
+  const std::function<uint64_t()> clock_;
   std::mutex mu_;
+  // Token bucket, guarded by mu_ (taken only for offenders).
+  double tokens_;
+  uint64_t last_refill_micros_ = 0;
+  uint64_t pending_suppressed_ = 0;  // since the last summary line
   std::atomic<uint64_t> logged_{0};
+  std::atomic<uint64_t> suppressed_{0};
 };
 
 }  // namespace fj::obs

@@ -1,0 +1,117 @@
+// Metrics time-series: a fixed-memory ring of per-second windows over the
+// serving counters and latency histograms — the retained half of the
+// observability layer. A scrape of /metrics shows the instant; the ring
+// shows the last ~5 minutes, so an operator (or the SLO tracker and health
+// state machine built on it, obs/slo.h / obs/health.h) can see rate trends,
+// knees, and the seconds around a p999 spike after the fact.
+//
+// Each WindowSample is a *derived* per-window record — counter deltas plus
+// exact-bucket quantiles computed from the window's histogram DeltaSince at
+// sampling time — not a retained histogram. That keeps a slot ~400 bytes,
+// so 5 minutes of per-second windows is ~120 KB regardless of traffic, and
+// pushing one sample per second costs nothing on the serving path (the
+// sampler thread in obs/monitor.h does the snapshot/delta work).
+//
+// The ring is mutex-protected: one writer at 1 Hz and occasional readers
+// (scrapes of /metrics/history) make lock-freedom pointless here.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/request_trace.h"
+
+namespace fj::obs {
+
+/// One window (nominally one second) of serving activity: counter deltas
+/// over the window plus gauges and derived latency quantiles sampled at the
+/// window's end. Plain data, copyable.
+struct WindowSample {
+  /// Monotonic timestamp (MonotonicMicros) at the window's end.
+  uint64_t end_micros = 0;
+  /// Window length in seconds (the divisor for all rates below).
+  double seconds = 1.0;
+
+  // Deltas over the window.
+  uint64_t requests = 0;  // completed requests (single + batched)
+  uint64_t errors = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_evictions = 0;
+  uint64_t bytes_received = 0;
+  uint64_t bytes_sent = 0;
+  uint64_t slow_requests = 0;
+  uint64_t slow_suppressed = 0;
+
+  // Gauges at the window's end.
+  uint64_t queue_depth = 0;
+  uint64_t pending_requests = 0;
+  uint64_t connections_active = 0;
+
+  // Latency of requests completed inside the window: exact-bucket quantiles
+  // of the end-to-end histogram's DeltaSince, derived at sampling time.
+  uint64_t latency_count = 0;
+  double mean_micros = 0.0;
+  double p50_micros = 0.0;
+  double p99_micros = 0.0;
+  double p999_micros = 0.0;
+
+  // Per-stage totals over the window (count + summed micros → mean), plus
+  // the queue-wait p99, the health state machine's main input.
+  std::array<uint64_t, kNumStages> stage_count{};
+  std::array<uint64_t, kNumStages> stage_sum_micros{};
+  double queue_wait_p99_micros = 0.0;
+
+  double Qps() const { return seconds > 0.0 ? requests / seconds : 0.0; }
+  double HitRate() const {
+    uint64_t lookups = cache_hits + cache_misses;
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(cache_hits) /
+                              static_cast<double>(lookups);
+  }
+};
+
+/// Fixed-capacity ring of WindowSamples, newest overwriting oldest.
+class TimeSeriesRing {
+ public:
+  /// `capacity` slots (>=1 enforced); at one push per second this is the
+  /// retention in seconds.
+  explicit TimeSeriesRing(size_t capacity);
+
+  TimeSeriesRing(const TimeSeriesRing&) = delete;
+  TimeSeriesRing& operator=(const TimeSeriesRing&) = delete;
+
+  void Push(const WindowSample& sample);
+
+  /// The retained windows, oldest first, at most `last_n` of them (counted
+  /// from the newest). Thread-safe.
+  std::vector<WindowSample> Window(size_t last_n = SIZE_MAX) const;
+
+  size_t capacity() const { return slots_.size(); }
+  /// Retained windows right now (<= capacity). Thread-safe.
+  size_t size() const;
+  /// Windows pushed since construction (keeps counting after wraparound).
+  uint64_t total_pushed() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<WindowSample> slots_;
+  size_t next_ = 0;    // slot the next push writes
+  uint64_t pushed_ = 0;
+};
+
+/// Renders windows as the /metrics/history JSON body:
+///   {"retention_seconds":N,"windows":[{"t_us":...,"qps":...,"errors":...,
+///    "p50_us":...,"p99_us":...,"p999_us":...,"hit_rate":...,
+///    "queue_depth":...,"stages":{"queue_wait":{"count":..,"mean_us":..}}}]}
+/// Timestamps are monotonic microseconds (the subsystem's shared clock);
+/// consumers correlate windows by relative age, not wall time. Stages with
+/// zero samples are elided, exactly as on the Prometheus scrape.
+std::string RenderHistoryJson(const std::vector<WindowSample>& windows,
+                              size_t retention_seconds);
+
+}  // namespace fj::obs

@@ -27,7 +27,8 @@ EstimatorService::EstimatorService(const CardinalityEstimator& estimator,
              options.cost_aware_eviction),
       queue_(options.queue_capacity),
       slow_log_(options.slow_request_micros, options.slow_log_sink,
-                options.model_name) {
+                options.model_name, options.slow_log_per_second,
+                options.slow_log_burst) {
   size_t threads = options_.num_threads == 0 ? 1 : options_.num_threads;
   workers_.reserve(threads);
   worker_ids_.reserve(threads);
@@ -338,10 +339,23 @@ void EstimatorService::FinishRequest(Request& req, obs::RequestTrace& trace,
   } else {
     complete();
   }
-  if (slow_log_.enabled() &&
-      trace.total_micros >= slow_log_.threshold_micros()) {
+  bool slow = slow_log_.enabled() &&
+              trace.total_micros >= slow_log_.threshold_micros();
+  if (slow) {
     // Fingerprint computed only for offenders; never on the fast path.
     slow_log_.MaybeLog(kind, req.query.Fingerprint(), masks, trace);
+  }
+  uint64_t finished = finished_.fetch_add(1, std::memory_order_relaxed);
+  if (options_.flight_recorder != nullptr) {
+    // Every Nth request plus every slow-log offender: the sampled stream
+    // keeps the recent ring representative, the offenders make sure the
+    // requests worth dumping are never sampled away.
+    bool sampled = options_.flight_sample_every != 0 &&
+                   finished % options_.flight_sample_every == 0;
+    if (sampled || slow) {
+      options_.flight_recorder->Append(kind, req.query.Fingerprint(), masks,
+                                       options_.model_name.c_str(), trace);
+    }
   }
 }
 
@@ -475,6 +489,7 @@ ServiceStats EstimatorService::Stats() const {
   stats.pending_requests = pending_.load(std::memory_order_acquire);
   stats.queue_depth = queue_.Size();
   stats.slow_requests = slow_log_.logged();
+  stats.slow_suppressed = slow_log_.suppressed();
   stats.cache = cache_.Stats();
   stats.latency = latency_.Snapshot();
   for (size_t i = 0; i < obs::kNumStages; ++i) {

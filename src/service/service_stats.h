@@ -58,6 +58,10 @@ struct ServiceStats {
   /// Slow-request log lines emitted (see
   /// EstimatorServiceOptions::slow_request_micros; 0 while disabled).
   uint64_t slow_requests = 0;
+  /// Offenders the slow-log rate limiter swallowed (token bucket,
+  /// EstimatorServiceOptions::slow_log_per_second). Each is acknowledged
+  /// in the log by a `suppressed=N` summary line when emission resumes.
+  uint64_t slow_suppressed = 0;
 
   CacheStats cache;
 

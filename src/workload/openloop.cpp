@@ -1,6 +1,7 @@
 #include "workload/openloop.h"
 
 #include <chrono>
+#include <memory>
 #include <stdexcept>
 #include <thread>
 #include <utility>
@@ -180,8 +181,27 @@ OpenLoopResult RunOpenLoop(const Trace& trace,
   }
 
   obs::LatencyHistogram latency;
+  // One histogram per *scheduled* second: completion callbacks record
+  // lock-free into their op's scheduled window, so the per-window series
+  // charges queueing delay to the second that offered the load (the same
+  // coordinated-omission discipline as the aggregate histogram). Allocated
+  // before dispatch — callbacks run concurrently with the loop.
+  constexpr uint64_t kWindowMicros = 1'000'000;
+  size_t num_windows = static_cast<size_t>(
+      trace.ops.back().scheduled_micros / kWindowMicros + 1);
+  std::vector<std::unique_ptr<obs::LatencyHistogram>> window_hist;
+  window_hist.reserve(num_windows);
+  for (size_t i = 0; i < num_windows; ++i) {
+    window_hist.push_back(std::make_unique<obs::LatencyHistogram>());
+  }
   std::atomic<uint64_t> errors{0};
   WallTimer clock;
+
+  auto record = [&](uint64_t scheduled, uint64_t now) {
+    uint64_t lat = now > scheduled ? now - scheduled : 0;
+    latency.Record(lat);
+    window_hist[static_cast<size_t>(scheduled / kWindowMicros)]->Record(lat);
+  };
 
   for (const LoadOp& op : trace.ops) {
     WaitUntil(clock, op.scheduled_micros);
@@ -190,9 +210,8 @@ OpenLoopResult RunOpenLoop(const Trace& trace,
       ++result.reads;
       target->SubmitRead(
           queries[op.index % queries.size()],
-          [&latency, &errors, &clock, scheduled](std::exception_ptr err) {
-            auto now = static_cast<uint64_t>(clock.Micros());
-            latency.Record(now > scheduled ? now - scheduled : 0);
+          [&record, &errors, &clock, scheduled](std::exception_ptr err) {
+            record(scheduled, static_cast<uint64_t>(clock.Micros()));
             if (err != nullptr) errors.fetch_add(1, std::memory_order_relaxed);
           });
     } else {
@@ -202,8 +221,7 @@ OpenLoopResult RunOpenLoop(const Trace& trace,
       } catch (...) {
         errors.fetch_add(1, std::memory_order_relaxed);
       }
-      auto now = static_cast<uint64_t>(clock.Micros());
-      latency.Record(now > scheduled ? now - scheduled : 0);
+      record(scheduled, static_cast<uint64_t>(clock.Micros()));
     }
   }
   // All callbacks have run once AwaitIdle returns; only then is touching
@@ -213,6 +231,20 @@ OpenLoopResult RunOpenLoop(const Trace& trace,
   result.wall_seconds = clock.Seconds();
   result.errors = errors.load();
   result.latency = latency.Snapshot();
+  result.windows.reserve(num_windows);
+  for (size_t i = 0; i < num_windows; ++i) {
+    obs::HistogramSnapshot snap = window_hist[i]->Snapshot();
+    obs::WindowSample w;
+    w.end_micros = (static_cast<uint64_t>(i) + 1) * kWindowMicros;
+    w.seconds = 1.0;
+    w.requests = snap.count;
+    w.latency_count = snap.count;
+    w.mean_micros = snap.Mean();
+    w.p50_micros = snap.ValueAtQuantile(0.50);
+    w.p99_micros = snap.ValueAtQuantile(0.99);
+    w.p999_micros = snap.ValueAtQuantile(0.999);
+    result.windows.push_back(w);
+  }
   double ops = static_cast<double>(trace.ops.size());
   double offered_seconds = trace.OfferedSeconds();
   result.offered_qps = offered_seconds > 0.0 ? ops / offered_seconds : 0.0;

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "obs/latency_histogram.h"
+#include "obs/time_series.h"
 #include "service/estimator_service.h"
 #include "workload/loadgen.h"
 
@@ -138,6 +139,12 @@ struct OpenLoopResult {
   /// Per-op latency in microseconds from *scheduled* arrival to
   /// completion (coordinated omission avoided; see header comment).
   obs::HistogramSnapshot latency;
+  /// Per-second windows keyed by *scheduled* arrival second (so harness
+  /// windows line up with the offered schedule and with the server-side
+  /// /metrics/history ring, which uses the same WindowSample shape). Each
+  /// window's end_micros is schedule-relative; latency quantiles cover the
+  /// ops scheduled in that second, wherever they actually completed.
+  std::vector<obs::WindowSample> windows;
 };
 
 /// Replays `trace` against `target`. Read ops address

@@ -1,0 +1,398 @@
+// Tests for the retained observability layer (obs/time_series.h,
+// obs/slo.h, obs/health.h, obs/flight_recorder.h, obs/monitor.h): burn
+// rates against hand-computed windows, ring wraparound, hysteresis at the
+// knee, concurrent flight-recorder appends (the tsan build runs this file),
+// and the monitor's tick pipeline fed synthetic inputs through TickWith.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/flight_recorder.h"
+#include "obs/health.h"
+#include "obs/latency_histogram.h"
+#include "obs/monitor.h"
+#include "obs/slo.h"
+#include "obs/time_series.h"
+
+namespace fj::obs {
+namespace {
+
+// ------------------------------------------------------------- slo parsing
+
+TEST(SloSpecTest, ParsesTheDocumentedGrammar) {
+  SloSpec spec = SloSpec::Parse("p99=5ms,avail=99.9");
+  ASSERT_EQ(spec.latency.size(), 1u);
+  EXPECT_DOUBLE_EQ(spec.latency[0].quantile, 0.99);
+  EXPECT_EQ(spec.latency[0].threshold_micros, 5000u);
+  EXPECT_EQ(spec.latency[0].Name(), "p99_5ms");
+  EXPECT_DOUBLE_EQ(spec.availability, 0.999);
+  EXPECT_NEAR(spec.AvailabilityBudget(), 0.001, 1e-12);
+
+  SloSpec multi = SloSpec::Parse("p50=200us,p999=1s");
+  ASSERT_EQ(multi.latency.size(), 2u);
+  EXPECT_EQ(multi.latency[0].Name(), "p50_200us");
+  EXPECT_EQ(multi.latency[1].Name(), "p999_1s");
+  EXPECT_DOUBLE_EQ(multi.availability, 0.0);
+
+  EXPECT_TRUE(SloSpec::Parse("").Empty());
+}
+
+TEST(SloSpecTest, RejectsMalformedSpecsLoudly) {
+  EXPECT_THROW(SloSpec::Parse("p99=5"), std::invalid_argument);   // no unit
+  EXPECT_THROW(SloSpec::Parse("p99=0ms"), std::invalid_argument); // zero
+  EXPECT_THROW(SloSpec::Parse("p42=5ms"), std::invalid_argument); // quantile
+  EXPECT_THROW(SloSpec::Parse("avail=100"), std::invalid_argument);
+  EXPECT_THROW(SloSpec::Parse("avail=0"), std::invalid_argument);
+  EXPECT_THROW(SloSpec::Parse("p99"), std::invalid_argument);     // no '='
+}
+
+// ----------------------------------------------------------- burn-rate math
+
+TEST(SloTrackerTest, BurnMatchesHandComputedWindows) {
+  SloSpec spec = SloSpec::Parse("p99=1ms,avail=99");
+  // Fast window 2s, slow window 4s: small enough to hand-compute exactly.
+  SloTracker tracker(spec, /*fast=*/2, /*slow=*/4);
+
+  auto feed = [&](uint64_t total, uint64_t bad, uint64_t errors) {
+    SloInput in;
+    in.total = total;
+    in.errors = errors;
+    in.over_threshold = {bad};
+    tracker.Feed(in);
+  };
+
+  // Seconds 1-2: 1 then 3 bad of 100 each. Fast = slow = 4/200 over a 1%
+  // budget -> burn 2.
+  feed(100, 1, 0);
+  feed(100, 3, 0);
+  SloStatus s = tracker.Status();
+  ASSERT_EQ(s.objectives.size(), 2u);
+  EXPECT_EQ(s.objectives[0].name, "p99_1ms");
+  EXPECT_NEAR(s.objectives[0].fast_burn, 2.0, 1e-9);
+  EXPECT_NEAR(s.objectives[0].slow_burn, 2.0, 1e-9);
+  EXPECT_EQ(s.objectives[0].fast_bad, 4u);
+  EXPECT_EQ(s.objectives[0].fast_total, 200u);
+  EXPECT_TRUE(s.objectives[0].Burning());
+  EXPECT_TRUE(s.AnyBurning());
+
+  // Seconds 3-4 are clean: the fast window (3-4) drops to 0 while the slow
+  // window (1-4) still holds 4/400 -> exactly on budget, burn 1.
+  feed(100, 0, 0);
+  feed(100, 0, 0);
+  s = tracker.Status();
+  EXPECT_NEAR(s.objectives[0].fast_burn, 0.0, 1e-9);
+  EXPECT_NEAR(s.objectives[0].slow_burn, 1.0, 1e-9);
+  EXPECT_FALSE(s.objectives[0].Burning());
+
+  // Second 5 wraps the ring: second 1 retires, slow covers 2-5 = 3/400.
+  feed(100, 0, 0);
+  s = tracker.Status();
+  EXPECT_NEAR(s.objectives[0].slow_burn, 0.75, 1e-9);
+
+  // Availability rides the same windows on the errors counter: 5 errors of
+  // the fast window's 200 against a 1% budget -> burn 2.5.
+  feed(100, 0, 5);
+  s = tracker.Status();
+  EXPECT_EQ(s.objectives[1].name, "availability");
+  EXPECT_NEAR(s.objectives[1].fast_burn, 2.5, 1e-9);
+}
+
+TEST(SloTrackerTest, ZeroTrafficBurnsNothing) {
+  SloTracker tracker(SloSpec::Parse("p99=1ms"), 2, 4);
+  SloStatus s = tracker.Status();
+  ASSERT_EQ(s.objectives.size(), 1u);
+  EXPECT_DOUBLE_EQ(s.objectives[0].fast_burn, 0.0);
+  EXPECT_DOUBLE_EQ(s.objectives[0].slow_burn, 0.0);
+  tracker.Feed(SloInput{});  // a quiet second changes nothing
+  s = tracker.Status();
+  EXPECT_DOUBLE_EQ(s.objectives[0].fast_burn, 0.0);
+  EXPECT_FALSE(s.AnyBurning());
+}
+
+// --------------------------------------------------------- time-series ring
+
+TEST(TimeSeriesRingTest, WrapsAroundKeepingTheNewest) {
+  TimeSeriesRing ring(4);
+  EXPECT_EQ(ring.capacity(), 4u);
+  EXPECT_EQ(ring.size(), 0u);
+  for (uint64_t i = 0; i < 10; ++i) {
+    WindowSample w;
+    w.end_micros = i;
+    w.requests = i * 10;
+    ring.Push(w);
+  }
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.total_pushed(), 10u);
+
+  // Oldest first: pushes 6..9 survive, 0..5 were overwritten.
+  std::vector<WindowSample> got = ring.Window();
+  ASSERT_EQ(got.size(), 4u);
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].end_micros, 6 + i);
+    EXPECT_EQ(got[i].requests, (6 + i) * 10);
+  }
+
+  // last_n counts from the newest.
+  got = ring.Window(2);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].end_micros, 8u);
+  EXPECT_EQ(got[1].end_micros, 9u);
+}
+
+TEST(TimeSeriesRingTest, PartialFillReturnsWhatWasPushed) {
+  TimeSeriesRing ring(8);
+  WindowSample w;
+  w.end_micros = 42;
+  ring.Push(w);
+  std::vector<WindowSample> got = ring.Window();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].end_micros, 42u);
+  EXPECT_NE(RenderHistoryJson(got, 8).find("\"t_us\":42"), std::string::npos);
+}
+
+// ------------------------------------------------------ health + hysteresis
+
+HealthInput OkSignals() { return HealthInput{0.1, 100.0}; }
+HealthInput DegradedSignals() { return HealthInput{0.6, 100.0}; }
+HealthInput OverloadedSignals() { return HealthInput{0.95, 100.0}; }
+
+TEST(HealthTrackerTest, BoundaryLoadCannotFlapTheState) {
+  HealthTracker tracker;  // enter 2, exit 5
+  // Exactly at the knee the signals straddle the threshold tick to tick;
+  // alternating ok/overloaded never makes 2 consecutive high ticks, so the
+  // published state must never leave ok.
+  for (int i = 0; i < 20; ++i) {
+    tracker.Tick(i % 2 == 0 ? OverloadedSignals() : OkSignals());
+    EXPECT_EQ(tracker.state(), HealthState::kOk) << "tick " << i;
+  }
+  EXPECT_EQ(tracker.transitions(), 0u);
+
+  // Two consecutive high ticks escalate...
+  tracker.Tick(OverloadedSignals());
+  EXPECT_EQ(tracker.state(), HealthState::kOk);
+  tracker.Tick(OverloadedSignals());
+  EXPECT_EQ(tracker.state(), HealthState::kOverloaded);
+  EXPECT_EQ(tracker.transitions(), 1u);
+
+  // ...and the same boundary alternation cannot flap it back: exiting
+  // needs 5 consecutive ticks below.
+  for (int i = 0; i < 20; ++i) {
+    tracker.Tick(i % 2 == 0 ? OkSignals() : OverloadedSignals());
+    EXPECT_EQ(tracker.state(), HealthState::kOverloaded) << "tick " << i;
+  }
+
+  // Five clean ticks finally de-escalate, all the way to ok.
+  for (int i = 0; i < 4; ++i) {
+    tracker.Tick(OkSignals());
+    EXPECT_EQ(tracker.state(), HealthState::kOverloaded);
+  }
+  tracker.Tick(OkSignals());
+  EXPECT_EQ(tracker.state(), HealthState::kOk);
+  EXPECT_EQ(tracker.transitions(), 2u);
+}
+
+TEST(HealthTrackerTest, EscalatesToTheWeakestLevelOfTheStreak) {
+  HealthTracker tracker;
+  // A streak alternating degraded/overloaded has every tick above ok, but
+  // only degraded is vouched for by the *whole* streak — jumping straight
+  // to overloaded would overreact to one spiky tick.
+  tracker.Tick(OverloadedSignals());
+  tracker.Tick(DegradedSignals());
+  EXPECT_EQ(tracker.state(), HealthState::kDegraded);
+
+  // From degraded, two consecutive overloaded ticks escalate the rest of
+  // the way.
+  tracker.Tick(OverloadedSignals());
+  tracker.Tick(OverloadedSignals());
+  EXPECT_EQ(tracker.state(), HealthState::kOverloaded);
+}
+
+TEST(HealthTrackerTest, QueueWaitAloneTriggersWithoutABoundedQueue) {
+  HealthTracker tracker;
+  // queue_frac stays 0 (unbounded queue): the p99 queue-wait signal must
+  // carry the classification by itself.
+  HealthInput waits{0.0, 60'000.0};  // over the 50ms overloaded bar
+  tracker.Tick(waits);
+  tracker.Tick(waits);
+  EXPECT_EQ(tracker.state(), HealthState::kOverloaded);
+  EXPECT_STREQ(HealthStateName(tracker.state()), "overloaded");
+}
+
+// ---------------------------------------------------------- flight recorder
+
+void AppendTrace(FlightRecorder* recorder, uint64_t total,
+                 uint64_t queue_wait) {
+  RequestTrace trace;
+  trace.total_micros = total;
+  trace.Add(Stage::kQueueWait, queue_wait);
+  trace.Add(Stage::kEstimate, total - queue_wait);
+  recorder->Append("subplans", QueryFingerprint{0xabc, 0xdef}, 4, "m1",
+                   trace);
+}
+
+TEST(FlightRecorderTest, RetainsNewestAndFindsDominantStage) {
+  FlightRecorder recorder(4);
+  for (uint64_t i = 1; i <= 6; ++i) {
+    AppendTrace(&recorder, 100 * i, 90 * i);  // queue_wait dominates
+  }
+  EXPECT_EQ(recorder.appended(), 6u);
+
+  std::vector<FlightRecord> recent = recorder.Recent();
+  ASSERT_EQ(recent.size(), 4u);
+  // Newest first; the oldest two fell off the ring.
+  EXPECT_EQ(recent[0].total_micros, 600u);
+  EXPECT_EQ(recent[3].total_micros, 300u);
+  EXPECT_EQ(recent[0].DominantStage(), Stage::kQueueWait);
+  EXPECT_STREQ(recent[0].kind, "subplans");
+  EXPECT_STREQ(recent[0].model, "m1");
+  EXPECT_EQ(recent[0].masks, 4u);
+
+  std::string dump = recorder.DumpJson();
+  EXPECT_NE(dump.find("\"dominant_stage\":\"queue_wait\""),
+            std::string::npos)
+      << dump;
+  EXPECT_NE(dump.find("\"appended\":6"), std::string::npos) << dump;
+}
+
+TEST(FlightRecorderTest, ConcurrentAppendsLoseNoTickets) {
+  FlightRecorder recorder(64);
+  constexpr size_t kThreads = 8;
+  constexpr size_t kPerThread = 500;
+  std::atomic<bool> stop{false};
+  // A reader hammering dumps while appenders run: the per-slot locks must
+  // keep every copied record internally consistent (this file runs under
+  // the tsan label, which is the real assertion here).
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      std::vector<FlightRecord> recent = recorder.Recent(16);
+      for (const FlightRecord& r : recent) {
+        EXPECT_NE(r.seq, 0u);  // never a half-written slot
+      }
+      recorder.DumpJson(8);
+    }
+  });
+  std::vector<std::thread> writers;
+  for (size_t t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&, t] {
+      for (size_t i = 0; i < kPerThread; ++i) {
+        RequestTrace trace;
+        trace.total_micros = t * kPerThread + i + 1;
+        trace.Add(Stage::kEstimate, trace.total_micros);
+        recorder.Append("estimate", QueryFingerprint{t, i}, 0, "m",
+                        trace);
+      }
+    });
+  }
+  for (std::thread& w : writers) w.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  EXPECT_EQ(recorder.appended(), kThreads * kPerThread);
+  std::vector<FlightRecord> recent = recorder.Recent();
+  EXPECT_EQ(recent.size(), 64u);
+  for (const FlightRecord& r : recent) {
+    EXPECT_GT(r.seq, 0u);
+    EXPECT_LE(r.seq, kThreads * kPerThread);
+  }
+}
+
+// ----------------------------------------------------------------- monitor
+
+TEST(ServingMonitorTest, TickPipelineDerivesWindowsBurnAndHealth) {
+  MonitorOptions options;
+  options.retention_seconds = 16;
+  options.slo = SloSpec::Parse("p99=1ms");
+  options.slo_fast_window_seconds = 2;
+  options.slo_slow_window_seconds = 4;
+  std::vector<std::pair<HealthState, HealthState>> transitions;
+  options.on_transition = [&](HealthState from, HealthState to) {
+    transitions.emplace_back(from, to);
+  };
+  // Tests drive TickWith directly; the source is never sampled.
+  ServingMonitor monitor(options, [] { return MonitorInput{}; });
+
+  LatencyHistogram lat;
+  LatencyHistogram queue_wait;
+  MonitorInput in;
+  in.now_micros = 1'000'000;
+  in.latency = lat.Snapshot();
+  monitor.TickWith(in);  // baseline only: nothing to diff yet
+  EXPECT_EQ(monitor.history().size(), 0u);
+
+  // One second of traffic: 900 fast requests, 100 at 100ms (all over the
+  // 1ms objective), a nearly full queue, and long queue waits.
+  for (int i = 0; i < 900; ++i) lat.Record(100);
+  for (int i = 0; i < 100; ++i) lat.Record(100'000);
+  for (int i = 0; i < 100; ++i) queue_wait.Record(80'000);
+  in.now_micros = 2'000'000;
+  in.requests = 1000;
+  in.errors = 10;
+  in.cache_hits = 500;
+  in.cache_misses = 500;
+  in.queue_depth = 95;
+  in.queue_capacity = 100;
+  in.latency = lat.Snapshot();
+  in.stages[static_cast<size_t>(Stage::kQueueWait)] = queue_wait.Snapshot();
+  monitor.TickWith(in);
+
+  ASSERT_EQ(monitor.history().size(), 1u);
+  WindowSample w = monitor.history().Window()[0];
+  EXPECT_EQ(w.requests, 1000u);
+  EXPECT_EQ(w.errors, 10u);
+  EXPECT_EQ(w.latency_count, 1000u);
+  EXPECT_EQ(w.queue_depth, 95u);
+  EXPECT_NEAR(w.HitRate(), 0.5, 1e-12);
+  EXPECT_GT(w.p99_micros, 1000.0);
+  EXPECT_GT(w.queue_wait_p99_micros, 50'000.0);
+
+  // 100 of 1000 over threshold against a 1% budget: burn exactly 10.
+  SloStatus slo = monitor.slo_status();
+  ASSERT_EQ(slo.objectives.size(), 1u);
+  EXPECT_NEAR(slo.objectives[0].fast_burn, 10.0, 1e-9);
+
+  // One overloaded tick is not enough (hysteresis enter_ticks=2)...
+  EXPECT_EQ(monitor.health_state(), HealthState::kOk);
+  EXPECT_TRUE(transitions.empty());
+
+  // ...a second consecutive one publishes the transition.
+  in.now_micros = 3'000'000;
+  monitor.TickWith(in);
+  EXPECT_EQ(monitor.health_state(), HealthState::kOverloaded);
+  ASSERT_EQ(transitions.size(), 1u);
+  EXPECT_EQ(transitions[0].first, HealthState::kOk);
+  EXPECT_EQ(transitions[0].second, HealthState::kOverloaded);
+
+  int status = 0;
+  std::string health = monitor.HealthJson(&status);
+  EXPECT_EQ(status, 503);
+  EXPECT_NE(health.find("\"state\":\"overloaded\""), std::string::npos)
+      << health;
+  EXPECT_NE(health.find("\"name\":\"p99_1ms\""), std::string::npos) << health;
+
+  std::string history = monitor.HistoryJson();
+  EXPECT_NE(history.find("\"windows\":["), std::string::npos) << history;
+  EXPECT_NE(history.find("\"queue_wait\""), std::string::npos) << history;
+}
+
+TEST(ServingMonitorTest, CountersNeverGoBackwardsAcrossRestarts) {
+  // A source whose counters regress (model swapped out of the registry)
+  // must clamp to zero-delta windows, not underflow.
+  MonitorOptions options;
+  ServingMonitor monitor(options, [] { return MonitorInput{}; });
+  MonitorInput in;
+  in.now_micros = 1'000'000;
+  in.requests = 1000;
+  monitor.TickWith(in);
+  in.now_micros = 2'000'000;
+  in.requests = 400;  // regressed
+  monitor.TickWith(in);
+  ASSERT_EQ(monitor.history().size(), 1u);
+  EXPECT_EQ(monitor.history().Window()[0].requests, 0u);
+}
+
+}  // namespace
+}  // namespace fj::obs

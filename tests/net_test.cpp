@@ -348,6 +348,7 @@ TEST(ProtocolTest, ServiceStatsRoundTrip) {
   stats.cache.cost_weighted_evictions = 1;
   stats.cache.entries = 77;
   stats.slow_requests = 3;
+  stats.slow_suppressed = 17;
   // The wire carries full histograms; quantiles are re-derived on decode,
   // never trusted from the peer.
   obs::LatencyHistogram lat;
@@ -374,6 +375,7 @@ TEST(ProtocolTest, ServiceStatsRoundTrip) {
   EXPECT_EQ(back.cache.hits, stats.cache.hits);
   EXPECT_EQ(back.cache.entries, stats.cache.entries);
   EXPECT_EQ(back.slow_requests, stats.slow_requests);
+  EXPECT_EQ(back.slow_suppressed, stats.slow_suppressed);
   EXPECT_EQ(back.latency.count, stats.latency.count);
   EXPECT_EQ(back.latency.sum, stats.latency.sum);
   EXPECT_EQ(back.latency.max, stats.latency.max);

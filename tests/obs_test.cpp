@@ -365,6 +365,68 @@ TEST(SlowRequestLogTest, ZeroThresholdDisables) {
   EXPECT_EQ(log.logged(), 0u);
 }
 
+TEST(SlowRequestLogTest, TokenBucketSuppressesAndSummarizes) {
+  char* buf = nullptr;
+  size_t buf_size = 0;
+  std::FILE* sink = open_memstream(&buf, &buf_size);
+  ASSERT_NE(sink, nullptr);
+  uint64_t now = 1'000'000;  // injectable clock: the test owns time
+  {
+    SlowRequestLog log(100, sink, "m1", /*lines_per_second=*/1.0,
+                       /*burst=*/2.0, [&now] { return now; });
+    RequestTrace slow;
+    slow.total_micros = 500;
+    QueryFingerprint fp{0x1, 0x2};
+
+    // The bucket banks `burst` tokens: two lines pass, then suppression.
+    EXPECT_TRUE(log.MaybeLog("estimate", fp, 0, slow));
+    EXPECT_TRUE(log.MaybeLog("estimate", fp, 0, slow));
+    for (int i = 0; i < 5; ++i) {
+      EXPECT_FALSE(log.MaybeLog("estimate", fp, 0, slow));
+    }
+    EXPECT_EQ(log.logged(), 2u);
+    EXPECT_EQ(log.suppressed(), 5u);
+
+    // One second later one token has refilled; the emitted line must be
+    // preceded by the suppressed=N summary so the gap is accounted for.
+    now += 1'000'000;
+    EXPECT_TRUE(log.MaybeLog("estimate", fp, 0, slow));
+    EXPECT_EQ(log.logged(), 3u);
+    EXPECT_EQ(log.suppressed(), 5u);
+
+    // Refill is capped at burst: a long quiet period banks 2 tokens, not 60.
+    now += 60'000'000;
+    EXPECT_TRUE(log.MaybeLog("estimate", fp, 0, slow));
+    EXPECT_TRUE(log.MaybeLog("estimate", fp, 0, slow));
+    EXPECT_FALSE(log.MaybeLog("estimate", fp, 0, slow));
+    EXPECT_EQ(log.suppressed(), 6u);
+  }
+  std::fclose(sink);
+  std::string out(buf, buf_size);
+  free(buf);
+  EXPECT_NE(out.find("fj_slow_request_suppressed model=m1 suppressed=5"),
+            std::string::npos)
+      << out;
+  // The summary precedes the line that broke the silence.
+  EXPECT_LT(out.find("fj_slow_request_suppressed"),
+            out.rfind("fj_slow_request model=m1"))
+      << out;
+}
+
+TEST(SlowRequestLogTest, RateZeroDisablesLimiting) {
+  RequestTrace slow;
+  slow.total_micros = 500;
+  std::FILE* devnull = std::fopen("/dev/null", "w");
+  ASSERT_NE(devnull, nullptr);
+  SlowRequestLog unlimited(100, devnull, "m", 0.0);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(unlimited.MaybeLog("estimate", QueryFingerprint{}, 0, slow));
+  }
+  EXPECT_EQ(unlimited.logged(), 100u);
+  EXPECT_EQ(unlimited.suppressed(), 0u);
+  std::fclose(devnull);
+}
+
 // ------------------------------------------------------- metrics registry
 
 TEST(MetricsRegistryTest, RendersPrometheusExposition) {

@@ -29,8 +29,10 @@
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "bench_util.h"
+#include "obs/time_series.h"
 #include "factorjoin/estimator.h"
 #include "net/client.h"
 #include "service/estimator_service.h"
@@ -76,7 +78,8 @@ void Usage(const char* argv0) {
       "  --record PATH           save the generated trace to PATH\n"
       "  --record-only PATH      save the trace and exit (no run)\n"
       "  --replay PATH           replay a recorded trace instead of generating\n"
-      "  --json PATH             write metrics as a flat JSON report\n",
+      "  --json PATH             write metrics as a flat JSON report,\n"
+      "                          including per-second loadgen_w<i>_* series\n",
       argv0, fj::tools::kWorkloadFlagsUsage);
 }
 
@@ -232,6 +235,25 @@ int main(int argc, char** argv) {
   report.Add("loadgen_reads", static_cast<double>(result.reads));
   report.Add("loadgen_updates", static_cast<double>(result.updates));
   report.Add("loadgen_errors", static_cast<double>(result.errors));
+
+  // Per-second series, routed through the same TimeSeriesRing shape the
+  // server's /metrics/history uses so harness-side and server-side windows
+  // line up one-to-one (both key on 1s windows; the harness keys on
+  // *scheduled* arrival, charging queueing delay to the second that
+  // offered the load).
+  fj::obs::TimeSeriesRing ring(
+      result.windows.empty() ? 1 : result.windows.size());
+  for (const fj::obs::WindowSample& w : result.windows) ring.Push(w);
+  std::vector<fj::obs::WindowSample> windows = ring.Window();
+  report.Add("loadgen_windows", static_cast<double>(windows.size()));
+  for (size_t i = 0; i < windows.size(); ++i) {
+    const fj::obs::WindowSample& w = windows[i];
+    std::string prefix = "loadgen_w" + std::to_string(i);
+    report.Add(prefix + "_qps", w.Qps(), "1/s");
+    report.Add(prefix + "_p50_us", w.p50_micros, "us");
+    report.Add(prefix + "_p99_us", w.p99_micros, "us");
+    report.Add(prefix + "_p999_us", w.p999_micros, "us");
+  }
   report.Write();
   return result.errors == 0 ? 0 : 1;
 }

@@ -35,9 +35,12 @@
 
 #include "factorjoin/estimator.h"
 #include "net/server.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics_export.h"
 #include "obs/metrics_http.h"
 #include "obs/metrics_registry.h"
+#include "obs/monitor.h"
+#include "obs/slo.h"
 #include "service/estimator_service.h"
 #include "service/model_registry.h"
 #include "stats/snapshot.h"
@@ -62,6 +65,13 @@ struct Args {
   int metrics_port = -1;
   // --slow-log-micros: slow-request log threshold; 0 = disabled.
   uint64_t slow_log_micros = 0;
+  // --slo: objective spec ("p99=5ms,avail=99.9"); parsed in main so a typo
+  // fails startup with the parser's message.
+  std::string slo_spec;
+  // --history-seconds: /metrics/history retention (one window per second).
+  size_t history_seconds = 300;
+  // --flight-capacity: flight-recorder recent-ring slots; 0 disables.
+  size_t flight_capacity = 256;
 };
 
 void Usage(const char* argv0) {
@@ -75,7 +85,13 @@ void Usage(const char* argv0) {
       "                          (repeatable; skips retraining)\n"
       "  --metrics-port N        serve Prometheus metrics on 127.0.0.1:N\n"
       "                          (0 = ephemeral; the resolved URL is printed)\n"
-      "  --slow-log-micros N     log requests slower than N us to stderr\n",
+      "  --slow-log-micros N     log requests slower than N us to stderr\n"
+      "  --slo SPEC              SLO objectives, e.g. p99=5ms,avail=99.9\n"
+      "                          (burn-rate gauges + /healthz; needs\n"
+      "                          --metrics-port)\n"
+      "  --history-seconds N     /metrics/history retention (default 300)\n"
+      "  --flight-capacity N     flight-recorder ring slots (default 256;\n"
+      "                          0 disables /debug/traces)\n",
       argv0, fj::tools::kWorkloadFlagsUsage);
 }
 
@@ -99,6 +115,12 @@ bool Parse(int argc, char** argv, Args* args) {
       args->metrics_port = std::atoi(argv[++i]);
     } else if (flag == "--slow-log-micros" && i + 1 < argc) {
       args->slow_log_micros = static_cast<uint64_t>(std::atoll(argv[++i]));
+    } else if (flag == "--slo" && i + 1 < argc) {
+      args->slo_spec = argv[++i];
+    } else if (flag == "--history-seconds" && i + 1 < argc) {
+      args->history_seconds = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (flag == "--flight-capacity" && i + 1 < argc) {
+      args->flight_capacity = static_cast<size_t>(std::atoll(argv[++i]));
     } else if (flag == "--load-model" && i + 1 < argc) {
       std::string spec = argv[++i];
       size_t eq = spec.find('=');
@@ -139,10 +161,24 @@ int main(int argc, char** argv) {
   Args args;
   if (!Parse(argc, argv, &args)) return 2;
 
+  // Parsed up front so a malformed spec fails before minutes of training.
+  fj::obs::SloSpec slo;
+  try {
+    slo = fj::obs::SloSpec::Parse(args.slo_spec);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fj_server: %s\n", e.what());
+    return 2;
+  }
+
   auto workload = fj::tools::MakeFlaggedWorkload(args.common);
+  // The flight recorder outlives every service holding a pointer to it
+  // (services die with the registry at end of main).
+  fj::obs::FlightRecorder flight(
+      args.flight_capacity > 0 ? args.flight_capacity : 1);
   fj::EstimatorServiceOptions service_options;
   service_options.num_threads = args.threads;
   service_options.slow_request_micros = args.slow_log_micros;
+  if (args.flight_capacity > 0) service_options.flight_recorder = &flight;
 
   fj::ModelRegistry registry;
   if (args.load_models.empty()) {
@@ -207,13 +243,87 @@ int main(int argc, char** argv) {
   // a scrape can never observe a half-started server.
   fj::obs::MetricsRegistry metrics;
   std::unique_ptr<fj::obs::MetricsHttpServer> metrics_http;
+  std::unique_ptr<fj::obs::ServingMonitor> monitor;
   if (args.metrics_port >= 0) {
     fj::obs::ExportRegistryModels(&metrics, registry);
     fj::obs::ExportServer(&metrics, server);
+    fj::obs::ExportProcess(&metrics, server.Stats().start_micros);
+    if (args.flight_capacity > 0) {
+      fj::obs::ExportFlightRecorder(&metrics, flight);
+    }
+
+    // Monitor: samples every model's service plus the net front end once
+    // per second into the time-series ring, the SLO tracker, and the
+    // health state machine.
+    fj::obs::MonitorOptions monitor_options;
+    monitor_options.retention_seconds = args.history_seconds;
+    monitor_options.slo = slo;
+    monitor_options.on_transition = [&flight, &args](
+                                        fj::obs::HealthState from,
+                                        fj::obs::HealthState to) {
+      std::fprintf(stderr, "fj_server: health %s -> %s\n",
+                   fj::obs::HealthStateName(from),
+                   fj::obs::HealthStateName(to));
+      if (to == fj::obs::HealthState::kOverloaded &&
+          args.flight_capacity > 0) {
+        // The post-hoc record of what was on the floor at overload entry,
+        // captured before the episode scrolls it out of the ring.
+        std::fprintf(stderr, "fj_server: flight dump on overload: %s\n",
+                     flight.DumpJson(16).c_str());
+      }
+    };
+    size_t queue_capacity_per_model = service_options.queue_capacity;
+    monitor = std::make_unique<fj::obs::ServingMonitor>(
+        monitor_options,
+        [&registry, &server, queue_capacity_per_model] {
+          fj::obs::MonitorInput in;
+          in.now_micros = fj::obs::MonotonicMicros();
+          std::vector<std::string> names = registry.ModelNames();
+          for (const std::string& name : names) {
+            fj::ServiceStats s = registry.Find(name)->Stats();
+            in.requests += s.requests + s.subplan_requests;
+            in.errors += s.errors;
+            in.cache_hits += s.cache.hits;
+            in.cache_misses += s.cache.misses;
+            in.cache_evictions += s.cache.evictions;
+            in.slow_requests += s.slow_requests;
+            in.slow_suppressed += s.slow_suppressed;
+            in.queue_depth += s.queue_depth;
+            in.pending_requests += s.pending_requests;
+            in.latency.Merge(s.latency);
+            for (size_t i = 0; i < fj::obs::kNumStages; ++i) {
+              in.stages[i].Merge(s.stages[i]);
+            }
+          }
+          in.queue_capacity = queue_capacity_per_model * names.size();
+          fj::net::ServerStats ns = server.Stats();
+          in.bytes_received = ns.bytes_received;
+          in.bytes_sent = ns.bytes_sent;
+          in.connections_active = ns.connections_active;
+          return in;
+        });
+    fj::obs::ExportMonitor(&metrics, *monitor);
+
     fj::obs::MetricsHttpOptions http_options;
     http_options.port = static_cast<uint16_t>(args.metrics_port);
     metrics_http =
         std::make_unique<fj::obs::MetricsHttpServer>(metrics, http_options);
+    fj::obs::ServingMonitor* mon = monitor.get();
+    metrics_http->AddHandler("/metrics/history", [mon] {
+      return fj::obs::HttpHandlerResult{200, "application/json",
+                                        mon->HistoryJson()};
+    });
+    metrics_http->AddHandler("/healthz", [mon] {
+      fj::obs::HttpHandlerResult result;
+      result.body = mon->HealthJson(&result.status);
+      return result;
+    });
+    if (args.flight_capacity > 0) {
+      metrics_http->AddHandler("/debug/traces", [&flight] {
+        return fj::obs::HttpHandlerResult{200, "application/json",
+                                          flight.DumpJson()};
+      });
+    }
     try {
       metrics_http->Start();
     } catch (const std::exception& e) {
@@ -221,6 +331,7 @@ int main(int argc, char** argv) {
       server.Stop();
       return 1;
     }
+    monitor->Start();
     std::printf("fj_server: metrics on http://127.0.0.1:%u/metrics\n",
                 static_cast<unsigned>(metrics_http->port()));
   }
@@ -235,8 +346,10 @@ int main(int argc, char** argv) {
     nanosleep(&ts, nullptr);
   }
 
-  // Scrapers stop first: collectors reference the server and services.
+  // Scrapers stop first: collectors reference the server and services,
+  // and the monitor's source callback samples both.
   if (metrics_http != nullptr) metrics_http->Stop();
+  if (monitor != nullptr) monitor->Stop();
   server.Stop();
   for (const std::string& name : registry.ModelNames()) {
     fj::ServiceStats stats = registry.Find(name)->Stats();

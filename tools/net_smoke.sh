@@ -16,17 +16,25 @@
 #     expected metric families are present and the request counters
 #     moved; also checks /metrics.json and the fj_client --trace output.
 #
+#  4. health under overload: restart fj_server with an SLO spec, confirm
+#     /healthz reports ok at idle, drive an fj_loadgen burst far past
+#     saturation, assert the health state machine leaves ok and the
+#     /debug/traces flight dump is non-empty, then wait for recovery
+#     back to ok once the burst drains. Skipped when no fj_loadgen path
+#     is given.
+#
 # Registered as the ctest "net_smoke" test.
 #
-#   usage: net_smoke.sh <path-to-fj_server> <path-to-fj_client> [snapshot-keep-path]
+#   usage: net_smoke.sh <fj_server> <fj_client> [fj_loadgen] [snapshot-keep-path]
 #
 # When [snapshot-keep-path] is given, one of the phase-2 snapshot files is
 # copied there (CI uploads it as a sample artifact).
 set -euo pipefail
 
-SERVER_BIN=${1:?usage: net_smoke.sh <fj_server> <fj_client> [snapshot-keep-path]}
-CLIENT_BIN=${2:?usage: net_smoke.sh <fj_server> <fj_client> [snapshot-keep-path]}
-KEEP_SNAPSHOT=${3:-}
+SERVER_BIN=${1:?usage: net_smoke.sh <fj_server> <fj_client> [fj_loadgen] [snapshot-keep-path]}
+CLIENT_BIN=${2:?usage: net_smoke.sh <fj_server> <fj_client> [fj_loadgen] [snapshot-keep-path]}
+LOADGEN_BIN=${3:-}
+KEEP_SNAPSHOT=${4:-}
 
 # Small IMDB-JOB-style workload (the acceptance scenario: cyclic templates,
 # self joins, LIKE) — both sides must use identical flags so the client can
@@ -115,20 +123,25 @@ grep -q "loaded model m32" "$SERVER_LOG" || {
 stop_server
 echo "net_smoke: phase 2 (snapshot save/load + multi-model verify) OK"
 
+# Waits for the "metrics on" startup line and sets METRICS_URL.
+resolve_metrics_url() {
+  METRICS_URL=""
+  for _ in $(seq 1 100); do
+    METRICS_URL=$(sed -n 's#^fj_server: metrics on \(http://[^ ]*\)$#\1#p' "$SERVER_LOG" | head -n1)
+    [[ -n "$METRICS_URL" ]] && break
+    sleep 0.1
+  done
+  if [[ -z "$METRICS_URL" ]]; then
+    echo "net_smoke: server never reported a metrics URL:" >&2
+    cat "$SERVER_LOG" >&2
+    exit 1
+  fi
+  echo "net_smoke: metrics endpoint at $METRICS_URL"
+}
+
 # -------------------------------------------------- phase 3: observability
 start_server "${WORKLOAD_FLAGS[@]}" --metrics-port 0 --slow-log-micros 1
-METRICS_URL=""
-for _ in $(seq 1 100); do
-  METRICS_URL=$(sed -n 's#^fj_server: metrics on \(http://[^ ]*\)$#\1#p' "$SERVER_LOG" | head -n1)
-  [[ -n "$METRICS_URL" ]] && break
-  sleep 0.1
-done
-if [[ -z "$METRICS_URL" ]]; then
-  echo "net_smoke: server never reported a metrics URL:" >&2
-  cat "$SERVER_LOG" >&2
-  exit 1
-fi
-echo "net_smoke: metrics endpoint at $METRICS_URL"
+resolve_metrics_url
 
 BEFORE="$WORKDIR/metrics_before.txt"
 AFTER="$WORKDIR/metrics_after.txt"
@@ -188,4 +201,110 @@ stop_server
 grep -q "fj_slow_request" "$SERVER_LOG" || {
   echo "net_smoke: no fj_slow_request line in server log" >&2; exit 1; }
 echo "net_smoke: phase 3 (metrics endpoint + trace + slow log) OK"
+
+# --------------------------------------- phase 4: health under overload
+if [[ -z "$LOADGEN_BIN" ]]; then
+  echo "net_smoke: no fj_loadgen path given; skipping phase 4"
+else
+  # Two workers keep the capacity low enough that the burst below is far
+  # past saturation on any machine; the SLO spec arms the burn-rate gauges.
+  start_server "${WORKLOAD_FLAGS[@]}" --metrics-port 0 --threads 2 \
+    --slo p99=5ms,avail=99.9
+  resolve_metrics_url
+  BASE_URL="${METRICS_URL%/metrics}"
+
+  # Idle server: healthy, HTTP 200.
+  HEALTH=$(curl -sSf "$BASE_URL/healthz")
+  grep -q '"state":"ok"' <<<"$HEALTH" || {
+    echo "net_smoke: idle /healthz not ok: $HEALTH" >&2; exit 1; }
+
+  # Burst far past capacity: an open-loop constant schedule at 200k req/s
+  # is effectively a saturation probe — the service queue fills (queue
+  # occupancy >= 0.9) and queue waits blow past the overload bar, so the
+  # monitor must leave ok within a few of its 1s ticks.
+  "$LOADGEN_BIN" "${WORKLOAD_FLAGS[@]}" --port "$PORT" --remote \
+    --schedule const:200000 --ops 200000 > "$WORKDIR/loadgen.log" 2>&1 &
+  LOADGEN_PID=$!
+  NONOK=""
+  for _ in $(seq 1 300); do
+    H=$(curl -sf "$BASE_URL/healthz" || true)
+    if [[ -n "$H" ]] && ! grep -q '"state":"ok"' <<<"$H"; then
+      NONOK="$H"
+      break
+    fi
+    if ! kill -0 "$LOADGEN_PID" 2>/dev/null; then
+      # Burst already drained; one last look before giving up.
+      H=$(curl -sf "$BASE_URL/healthz" || true)
+      if [[ -n "$H" ]] && ! grep -q '"state":"ok"' <<<"$H"; then NONOK="$H"; fi
+      break
+    fi
+    sleep 0.1
+  done
+  if [[ -z "$NONOK" ]]; then
+    echo "net_smoke: health never left ok under a 200k req/s burst" >&2
+    cat "$WORKDIR/loadgen.log" >&2
+    cat "$SERVER_LOG" >&2
+    exit 1
+  fi
+  echo "net_smoke: health under burst: $NONOK"
+
+  # Fetch with a few retries: the metrics listener is single-threaded and
+  # a probe can land while it is mid-response to another scrape.
+  fetch() {
+    local url=$1 out=$2
+    for _ in 1 2 3 4 5; do
+      if curl -sf "$url" > "$out"; then return 0; fi
+      sleep 0.2
+    done
+    echo "net_smoke: could not fetch $url" >&2
+    return 1
+  }
+
+  # The flight recorder must hold what was on the floor during the burst.
+  fetch "$BASE_URL/debug/traces" "$WORKDIR/traces.json"
+  grep -q '"recent":\[{' "$WORKDIR/traces.json" || {
+    echo "net_smoke: /debug/traces empty after the burst:" >&2
+    cat "$WORKDIR/traces.json" >&2
+    exit 1
+  }
+  grep -q '"dominant_stage"' "$WORKDIR/traces.json" || {
+    echo "net_smoke: flight dump lacks dominant_stage:" >&2
+    cat "$WORKDIR/traces.json" >&2
+    exit 1
+  }
+  # The time-series ring must have windows by now.
+  fetch "$BASE_URL/metrics/history" "$WORKDIR/history.json"
+  grep -q '"windows":\[{' "$WORKDIR/history.json" || {
+    echo "net_smoke: /metrics/history has no windows" >&2; exit 1; }
+  # The SLO gauges must be exported once a spec is armed.
+  fetch "$METRICS_URL" "$WORKDIR/scrape.txt"
+  grep -q 'fj_slo_fast_burn' "$WORKDIR/scrape.txt" || {
+    echo "net_smoke: fj_slo_fast_burn missing from scrape" >&2; exit 1; }
+
+  wait "$LOADGEN_PID" || {
+    echo "net_smoke: fj_loadgen burst failed:" >&2
+    cat "$WORKDIR/loadgen.log" >&2
+    exit 1
+  }
+
+  # Recovery: with the burst drained, de-escalation (5 clean ticks per
+  # level) brings the state back to ok within ~15s; the budget is 60s to
+  # absorb slow machines and parallel-ctest contention.
+  RECOVERED=""
+  for _ in $(seq 1 600); do
+    H=$(curl -sf "$BASE_URL/healthz" || true)
+    if grep -q '"state":"ok"' <<<"$H"; then RECOVERED=1; break; fi
+    sleep 0.1
+  done
+  if [[ -z "$RECOVERED" ]]; then
+    echo "net_smoke: health never recovered to ok after the burst" >&2
+    cat "$SERVER_LOG" >&2
+    exit 1
+  fi
+
+  stop_server
+  grep -q "fj_server: health ok ->" "$SERVER_LOG" || {
+    echo "net_smoke: no health transition line in server log" >&2; exit 1; }
+  echo "net_smoke: phase 4 (healthz + overload burst + flight dump + recovery) OK"
+fi
 echo "net_smoke: OK"
